@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Extension experiment: NoC topology trade-offs under MSE. The paper's
+ * Sec. 2.2 notes that flexible accelerators rely on their on-chip
+ * networks to distribute operands; this study attaches per-hop
+ * distribution energy to the PE-array network (bus / tree / mesh) and
+ * re-runs MSE per topology. Findings to look for: the optimizer trades
+ * parallelism against distribution cost, so mesh designs (expensive
+ * hops) settle for lower spatial utilization than tree designs.
+ */
+#include "bench_util.hpp"
+#include "mappers/gamma.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace mse;
+
+int
+main()
+{
+    bench::banner("Extension — NoC topology study",
+                  "per-hop distribution energy on the PE-array network; "
+                  "MSE re-run per topology");
+    const size_t samples = bench::envSize("MSE_BENCH_SAMPLES", 4000);
+    const double hop_pj = bench::envDouble("MSE_BENCH_HOP_PJ", 2.0);
+
+    std::printf("%-24s %8s %13s %13s %8s\n", "workload", "noc", "EDP",
+                "energy(uJ)", "util%");
+    for (const Workload &wl : {resnetConv4(), bertKqv()}) {
+        for (NocTopology t :
+             {NocTopology::Bus, NocTopology::Tree, NocTopology::Mesh}) {
+            ArchConfig arch = accelB();
+            arch.levels[1].noc = t; // PE-array network
+            arch.levels[1].noc_hop_energy_pj = hop_pj;
+            arch.levels[0].noc = t; // intra-PE ALU network
+            arch.levels[0].noc_hop_energy_pj = hop_pj / 4;
+            MapSpace space(wl, arch);
+            EvalFn eval = [&](const Mapping &m) {
+                return CostModel::evaluate(wl, arch, m);
+            };
+            double best_edp = std::numeric_limits<double>::infinity();
+            CostResult best;
+            for (uint64_t seed = 0; seed < 3; ++seed) {
+                GammaMapper gamma;
+                SearchBudget budget;
+                budget.max_samples = samples;
+                Rng rng(10 + seed);
+                const SearchResult r =
+                    gamma.search(space, eval, budget, rng);
+                if (r.best_cost.edp < best_edp) {
+                    best_edp = r.best_cost.edp;
+                    best = r.best_cost;
+                }
+            }
+            std::printf("%-24s %8s %13.3e %13.3e %7.1f%%\n",
+                        wl.name().c_str(), nocTopologyName(t), best.edp,
+                        best.energy_uj, 100.0 * best.utilization);
+        }
+    }
+    std::printf("\nExpected ordering at equal hop energy: bus <= tree "
+                "<= mesh EDP; costlier networks may also push the "
+                "optimizer toward lower spatial utilization.\n");
+    return 0;
+}

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Fig. 3 reproduction: apples-to-apples comparison of the three mapper
+ * families — Random-Pruned (random-based), Gamma (feedback-based) and
+ * Mind-Mappings (gradient-based) — under (i) an iso-samples budget and
+ * (ii) a tight iso-time budget, on the surrogate's training accelerator
+ * (Accel-A, panels a/b) and on an unseen accelerator (Accel-B, panels
+ * c/d).
+ *
+ * Expected shapes (paper Sec. 4.3):
+ *  - iso-samples, Accel-A: gradient-based starts fastest, feedback-based
+ *    wins by the end, random-based trails;
+ *  - iso-samples, Accel-B: gradient-based degrades (surrogate does not
+ *    generalize across accelerator configs);
+ *  - iso-time: random-based is cost-effective because its per-sample
+ *    wall cost is far lower than the learning-based mappers'.
+ */
+#include <memory>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "mappers/gamma.hpp"
+#include "mappers/mind_mappings.hpp"
+#include "mappers/random_pruned.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace mse;
+
+namespace {
+
+struct MapperRun
+{
+    std::string name;
+    SearchResult result;
+};
+
+std::vector<size_t>
+checkpoints(size_t budget)
+{
+    std::vector<size_t> cps;
+    for (size_t c : {10, 30, 100, 300, 1000, 3000, 10000, 30000}) {
+        if (c < budget)
+            cps.push_back(c);
+    }
+    cps.push_back(budget);
+    return cps;
+}
+
+double
+bestAt(const SearchLog &log, size_t sample)
+{
+    if (log.best_edp_per_sample.empty())
+        return std::numeric_limits<double>::infinity();
+    const size_t idx =
+        std::min(sample, log.best_edp_per_sample.size()) - 1;
+    return log.best_edp_per_sample[idx];
+}
+
+double
+bestAtTime(const SearchLog &log, double seconds)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < log.best_edp_per_sample.size(); ++i) {
+        if (log.seconds_per_sample[i] <= seconds)
+            best = log.best_edp_per_sample[i];
+    }
+    return best;
+}
+
+void
+runPanel(const char *panel, const Workload &wl, const ArchConfig &arch,
+         const std::shared_ptr<const MindMappingsSurrogate> &surrogate,
+         size_t samples, double seconds)
+{
+    std::printf("\n--- Fig 3(%s): %s on %s ---\n", panel,
+                wl.toString().c_str(), arch.name.c_str());
+    MapSpace space(wl, arch);
+    EvalFn eval = [&wl, &arch](const Mapping &m) {
+        return CostModel::evaluate(wl, arch, m);
+    };
+
+    std::vector<MapperRun> runs;
+    {
+        RandomPrunedMapper m;
+        SearchBudget b;
+        b.max_samples = samples;
+        Rng rng(1);
+        runs.push_back({m.name(), m.search(space, eval, b, rng)});
+    }
+    {
+        // Paper-faithful three-axis map space: the bypass extension is
+        // exercised separately in bench_ablation_design_choices.
+        GammaConfig gcfg;
+        gcfg.enable_bypass = false;
+        gcfg.random_immigrant_prob = 0.0;
+        GammaMapper m(gcfg);
+        SearchBudget b;
+        b.max_samples = samples;
+        Rng rng(2);
+        runs.push_back({m.name(), m.search(space, eval, b, rng)});
+    }
+    {
+        MindMappingsMapper m(surrogate);
+        SearchBudget b;
+        b.max_samples = samples;
+        Rng rng(3);
+        runs.push_back({m.name(), m.search(space, eval, b, rng)});
+    }
+
+    std::printf("Iso-samples convergence (best EDP so far, cycles*uJ):\n");
+    std::printf("%-28s", "samples");
+    for (const auto &r : runs)
+        std::printf(" %11s", r.name.c_str());
+    std::printf("\n");
+    for (size_t cp : checkpoints(samples)) {
+        std::vector<double> row;
+        for (const auto &r : runs)
+            row.push_back(bestAt(r.result.log, cp));
+        bench::sciRow(std::to_string(cp), row);
+    }
+
+    std::printf("Per-sample wall cost (us/sample):\n");
+    for (const auto &r : runs) {
+        const double total = r.result.log.seconds_per_sample.empty()
+            ? 0.0 : r.result.log.seconds_per_sample.back();
+        std::printf("  %-14s %8.2f us/sample over %zu samples\n",
+                    r.name.c_str(),
+                    1e6 * total /
+                        static_cast<double>(r.result.log.samples),
+                    r.result.log.samples);
+    }
+
+    // Iso-time: re-run with a wall-clock budget only.
+    std::printf("Iso-time best EDP within %.3f s:\n", seconds);
+    std::vector<MapperRun> truns;
+    {
+        RandomPrunedMapper m;
+        SearchBudget b;
+        b.max_samples = SIZE_MAX;
+        b.max_seconds = seconds;
+        Rng rng(4);
+        truns.push_back({m.name(), m.search(space, eval, b, rng)});
+    }
+    {
+        GammaConfig gcfg;
+        gcfg.enable_bypass = false;
+        gcfg.random_immigrant_prob = 0.0;
+        GammaMapper m(gcfg);
+        SearchBudget b;
+        b.max_samples = SIZE_MAX;
+        b.max_seconds = seconds;
+        Rng rng(5);
+        truns.push_back({m.name(), m.search(space, eval, b, rng)});
+    }
+    {
+        MindMappingsMapper m(surrogate);
+        SearchBudget b;
+        b.max_samples = SIZE_MAX;
+        b.max_seconds = seconds;
+        Rng rng(6);
+        truns.push_back({m.name(), m.search(space, eval, b, rng)});
+    }
+    for (double frac : {0.25, 0.5, 1.0}) {
+        std::vector<double> row;
+        for (const auto &r : truns)
+            row.push_back(bestAtTime(r.result.log, seconds * frac));
+        bench::sciRow("t=" + std::to_string(seconds * frac) + "s", row);
+    }
+    for (const auto &r : truns) {
+        std::printf("  %-14s evaluated %zu samples in the time budget\n",
+                    r.name.c_str(), r.result.log.samples);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 3 — mapper comparison",
+                  "Random-Pruned vs Gamma vs Mind-Mappings, iso-samples "
+                  "and iso-time, trained (Accel-A) and unseen (Accel-B) "
+                  "accelerators");
+    const size_t samples = bench::envSize("MSE_BENCH_SAMPLES", 5000);
+    const double seconds = bench::envDouble("MSE_BENCH_SECONDS", 0.05);
+
+    // Offline surrogate training on Accel-A only (the Fig. 3 protocol).
+    std::printf("Training Mind-Mappings surrogate on %s...\n",
+                accelA().name.c_str());
+    SurrogateConfig scfg;
+    scfg.train_samples = bench::envSize("MSE_BENCH_SURROGATE_SAMPLES",
+                                        4000);
+    Rng srng(99);
+    const auto surrogate = std::make_shared<const MindMappingsSurrogate>(
+        accelA(),
+        std::vector<Workload>{resnetConv3(), resnetConv4(), bertKqv(),
+                              bertAttn()},
+        scfg, srng);
+    std::printf("Surrogate training loss (normalized): %.3f\n",
+                surrogate->trainingLoss());
+
+    runPanel("a", resnetConv4(), accelA(), surrogate, samples, seconds);
+    runPanel("b", bertKqv(), accelA(), surrogate, samples, seconds);
+    runPanel("c", resnetConv4(), accelB(), surrogate, samples, seconds);
+    runPanel("d", bertKqv(), accelB(), surrogate, samples, seconds);
+
+    std::printf("\nPaper-shape checklist: gamma should reach the lowest "
+                "EDP at the full sample budget;\nmind-mappings should "
+                "lead at small sample counts on Accel-A but lose that "
+                "edge on Accel-B;\nrandom-pruned should run the most "
+                "samples within the iso-time budget.\n");
+    return 0;
+}

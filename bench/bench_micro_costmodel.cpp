@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the methodology-critical
+ * throughput numbers: the paper's MSE loop assumes an analytical cost
+ * model that evaluates a mapping in ~ms or less; our implementation
+ * targets microseconds. Also measures mapper sample-generation rates,
+ * which drive the iso-time comparison of Fig. 3.
+ */
+#include <benchmark/benchmark.h>
+
+#include "mappers/gamma.hpp"
+#include "mappers/random_pruned.hpp"
+#include "sparse/sparse_model.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace mse;
+
+namespace {
+
+void
+BM_DenseCostModelConv(benchmark::State &state)
+{
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    Rng rng(1);
+    std::vector<Mapping> pool;
+    for (int i = 0; i < 64; ++i)
+        pool.push_back(space.randomMapping(rng));
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            CostModel::evaluate(wl, arch, pool[i++ % pool.size()]));
+    }
+}
+BENCHMARK(BM_DenseCostModelConv);
+
+void
+BM_DenseCostModelGemm(benchmark::State &state)
+{
+    const Workload wl = bertKqv();
+    const ArchConfig arch = accelA();
+    MapSpace space(wl, arch);
+    Rng rng(2);
+    std::vector<Mapping> pool;
+    for (int i = 0; i < 64; ++i)
+        pool.push_back(space.randomMapping(rng));
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            CostModel::evaluate(wl, arch, pool[i++ % pool.size()]));
+    }
+}
+BENCHMARK(BM_DenseCostModelGemm);
+
+void
+BM_SparseCostModel(benchmark::State &state)
+{
+    Workload wl = resnetConv4();
+    applyDensities(wl, 0.5, 0.5);
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    Rng rng(3);
+    std::vector<Mapping> pool;
+    for (int i = 0; i < 64; ++i)
+        pool.push_back(space.randomMapping(rng));
+    const SparseCostModel model;
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.evaluate(wl, arch, pool[i++ % pool.size()]));
+    }
+}
+BENCHMARK(BM_SparseCostModel);
+
+void
+BM_RandomMappingGeneration(benchmark::State &state)
+{
+    MapSpace space(resnetConv4(), accelB());
+    Rng rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(space.randomMapping(rng));
+}
+BENCHMARK(BM_RandomMappingGeneration);
+
+void
+BM_GammaCrossoverMutateRepair(benchmark::State &state)
+{
+    MapSpace space(resnetConv4(), accelB());
+    Rng rng(5);
+    const Mapping a = space.randomMapping(rng);
+    const Mapping b = space.randomMapping(rng);
+    for (auto _ : state) {
+        Mapping child = GammaMapper::crossover(a, b, rng);
+        GammaMapper::mutateTile(space, child, rng);
+        space.repair(child);
+        benchmark::DoNotOptimize(child);
+    }
+}
+BENCHMARK(BM_GammaCrossoverMutateRepair);
+
+void
+BM_MappingValidation(benchmark::State &state)
+{
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    Rng rng(6);
+    const Mapping m = space.randomMapping(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(validateMapping(wl, arch, m));
+}
+BENCHMARK(BM_MappingValidation);
+
+void
+BM_EndToEndGammaSearch(benchmark::State &state)
+{
+    // Whole-search throughput: samples/second at a 500-sample budget.
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    EvalFn eval = [&](const Mapping &m) {
+        return CostModel::evaluate(wl, arch, m);
+    };
+    uint64_t seed = 0;
+    for (auto _ : state) {
+        GammaMapper gamma;
+        SearchBudget budget;
+        budget.max_samples = 500;
+        Rng rng(seed++);
+        benchmark::DoNotOptimize(
+            gamma.search(space, eval, budget, rng));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            500);
+}
+BENCHMARK(BM_EndToEndGammaSearch)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Table 3 reproduction: inner- vs outer-product style mappings on
+ * sparse-dense BERT-large GEMMs. For each workload and density, the
+ * loop order is fixed to one style (reduction innermost = inner
+ * product, reduction outermost = outer product) and Gamma searches the
+ * remaining axes (tile sizes + parallelism). Paper finding: inner
+ * product wins at density >= 0.5, outer product wins at <= 0.1.
+ */
+#include "bench_util.hpp"
+#include "mappers/gamma.hpp"
+#include "sparse/sparse_model.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace mse;
+
+namespace {
+
+double
+searchWithStyle(const Workload &wl, const ArchConfig &arch, bool inner,
+                size_t samples, uint64_t seed)
+{
+    MapSpace space(wl, arch);
+    const SparseCostModel model;
+    // The evaluator enforces the dataflow style: any candidate is
+    // reordered to the fixed style before costing.
+    EvalFn eval = [&](const Mapping &cand) {
+        Mapping m = cand;
+        if (inner)
+            fixOrderInnerProduct(wl, m);
+        else
+            fixOrderOuterProduct(wl, m);
+        return model.evaluate(wl, arch, m);
+    };
+    GammaConfig cfg;
+    cfg.enable_order = false;  // order axis is fixed by the style
+    cfg.enable_bypass = false; // GAMMA's genome has no bypass axis
+    cfg.random_immigrant_prob = 0.0;
+    double best = std::numeric_limits<double>::infinity();
+    for (int restart = 0; restart < 3; ++restart) {
+        GammaMapper gamma(cfg);
+        // Seed with mappings whose reduction tiling sits entirely in the
+        // shared buffer (partial sums merge on-chip before touching
+        // DRAM) — the canonical starting point for both product styles.
+        Rng seed_rng(seed + 500 * restart);
+        std::vector<Mapping> seeds;
+        for (int s = 0; s < 4; ++s) {
+            Mapping m = space.randomMapping(seed_rng);
+            const int l2 = 1;
+            for (int d : wl.reductionDims()) {
+                const int64_t total = m.totalFactor(d);
+                for (int l = 0; l < m.numLevels(); ++l) {
+                    m.level(l).temporal[d] = 1;
+                    m.level(l).spatial[d] = 1;
+                }
+                m.level(l2).temporal[d] = total;
+            }
+            space.repair(m);
+            seeds.push_back(m);
+        }
+        gamma.setInitialMappings(seeds);
+        SearchBudget budget;
+        budget.max_samples = samples;
+        Rng rng(seed + 1000 * restart);
+        best = std::min(
+            best, gamma.search(space, eval, budget, rng).best_cost.edp);
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 3 — inner vs outer product",
+                  "optimized EDP of style-fixed mappings on BERT-large "
+                  "GEMMs (cycles*uJ)");
+    const size_t samples = bench::envSize("MSE_BENCH_SAMPLES", 5000);
+    const std::vector<double> densities = {1.0, 0.5, 0.1, 0.01};
+    const ArchConfig arch = accelB();
+
+    std::printf("%-10s", "density");
+    for (const char *w : {"KQV", "Attn", "FC"}) {
+        std::printf(" %11s-in %10s-out", w, w);
+    }
+    std::printf("\n");
+
+    int inner_wins_dense = 0, outer_wins_sparse = 0;
+    for (double d : densities) {
+        std::printf("%-10.2f", d);
+        int col = 0;
+        for (const Workload &base : {bertKqv(), bertAttn(), bertFc()}) {
+            Workload wl = base;
+            applyDensities(wl, d, d);
+            const double inner =
+                searchWithStyle(wl, arch, true, samples, 11 + col);
+            const double outer =
+                searchWithStyle(wl, arch, false, samples, 23 + col);
+            std::printf(" %13.3e %13.3e", inner, outer);
+            if (d >= 0.5 && inner <= outer)
+                ++inner_wins_dense;
+            if (d <= 0.1 && outer <= inner)
+                ++outer_wins_sparse;
+            ++col;
+        }
+        std::printf("\n");
+    }
+    std::printf("\nInner product wins %d/6 dense cells (d >= 0.5); "
+                "outer product wins %d/6 sparse cells (d <= 0.1).\n",
+                inner_wins_dense, outer_wins_sparse);
+    std::printf("Paper shape: inner consistently ahead at d >= 0.5, "
+                "outer ahead at d <= 0.1.\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Table 4 reproduction: sparsity-aware search vs static-density
+ * heuristics under dynamic activation sparsity. Four searches per
+ * workload — sparsity-aware (scores candidates at densities
+ * {1.0, 0.8, 0.5, 0.2, 0.1}) and static-density {1.0, 0.5, 0.1} — and
+ * every found mapping is tested across densities 1.0..0.05, several of
+ * which were never seen at search time. Paper finding: one fixed
+ * sparsity-aware mapping achieves ~99.7% (geomean) of the per-row best.
+ */
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/sparsity_aware.hpp"
+#include "mappers/gamma.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace mse;
+
+namespace {
+
+Mapping
+searchWith(const MapSpace &space, const EvalFn &eval, size_t samples,
+           uint64_t seed, const std::vector<Mapping> &seeds = {})
+{
+    Mapping best;
+    double best_edp = std::numeric_limits<double>::infinity();
+    for (int restart = 0; restart < 8; ++restart) {
+        // Scalar selection: all four strategies score candidates by a
+        // single weighted-sum objective (the paper's protocol), so the
+        // multi-objective Pareto ranking is switched off.
+        GammaConfig cfg;
+        cfg.multi_objective = false;
+        cfg.enable_bypass = false; // GAMMA's genome has no bypass axis
+        GammaMapper gamma(cfg);
+        gamma.setInitialMappings(seeds);
+        SearchBudget budget;
+        budget.max_samples = samples;
+        Rng rng(seed + 100 * restart);
+        const SearchResult r = gamma.search(space, eval, budget, rng);
+        if (r.best_cost.edp < best_edp) {
+            best_edp = r.best_cost.edp;
+            best = r.best_mapping;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 4 — sparsity-aware vs static-density",
+                  "EDP of one fixed mapping per strategy, tested across "
+                  "activation densities 1.0-0.05 (cycles*uJ)");
+    const size_t samples = bench::envSize("MSE_BENCH_SAMPLES", 5000);
+    const std::vector<double> test_densities = {
+        1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.05};
+    const std::vector<double> static_densities = {1.0, 0.5, 0.1};
+    const ArchConfig arch = accelB();
+    const SparseCostModel model;
+
+    for (const Workload &base : {resnetConv3(), inceptionConv2()}) {
+        std::printf("\n%s on %s\n", base.toString().c_str(),
+                    arch.name.c_str());
+        MapSpace space(base, arch);
+
+        // Search the three static strategies first...
+        std::vector<Mapping> statics;
+        for (size_t i = 0; i < static_densities.size(); ++i) {
+            statics.push_back(searchWith(
+                space,
+                makeStaticDensityEvaluator(space, model,
+                                           static_densities[i]),
+                samples, 17 + i));
+        }
+        // ...then the sparsity-aware strategy, seeded with the static
+        // winners (it still commits to ONE fixed mapping; the seeds
+        // only help its search converge on the combined objective).
+        SparsityAwareConfig aware_cfg; // {1.0, 0.8, 0.5, 0.2, 0.1}
+        const Mapping aware = searchWith(
+            space, makeSparsityAwareEvaluator(space, model, aware_cfg),
+            samples, 5, statics);
+
+        std::printf("%-10s %14s", "density", "sparsity-aware");
+        for (double d : static_densities)
+            std::printf("     static-%.1f", d);
+        std::printf("\n");
+
+        // Cross-test: rows = tested activation density.
+        std::vector<double> aware_vs_best;
+        for (double tested : test_densities) {
+            const EvalFn at = makeStaticDensityEvaluator(space, model,
+                                                         tested);
+            std::vector<double> row;
+            row.push_back(at(aware).edp);
+            for (const auto &m : statics)
+                row.push_back(at(m).edp);
+            double best = row[0];
+            size_t best_i = 0;
+            for (size_t i = 0; i < row.size(); ++i) {
+                if (row[i] < best) {
+                    best = row[i];
+                    best_i = i;
+                }
+            }
+            std::printf("%-10.2f", tested);
+            for (size_t i = 0; i < row.size(); ++i)
+                std::printf(" %13.3e%s", row[i],
+                            i == best_i ? "*" : " ");
+            std::printf("\n");
+            aware_vs_best.push_back(best / row[0]);
+        }
+        std::printf("Sparsity-aware achieves %.1f%% of the per-row best "
+                    "EDP (geomean; paper: 99.7%%)\n",
+                    100.0 * geomean(aware_vs_best));
+    }
+    std::printf("\n'*' marks the best cell of each row. Densities 0.9, "
+                "0.7, ... were never seen at search time.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared scaffolding for the experiment reproduction benches.
+ *
+ * Every bench binary regenerates one table or figure of the paper. Run
+ * them with default (scaled-down) budgets via the build tree, or at
+ * paper scale by setting environment variables:
+ *   MSE_BENCH_SAMPLES  sample budget per search (default varies)
+ *   MSE_BENCH_SECONDS  wall-clock budget for iso-time studies
+ *   MSE_BENCH_OUTDIR   directory for CSV dumps (default: skip CSVs)
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace mse::bench {
+
+/** Integer knob from the environment with a default. */
+inline size_t
+envSize(const char *name, size_t def)
+{
+    const char *v = std::getenv(name);
+    return v ? static_cast<size_t>(std::strtoull(v, nullptr, 10)) : def;
+}
+
+/** Floating-point knob from the environment with a default. */
+inline double
+envDouble(const char *name, double def)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtod(v, nullptr) : def;
+}
+
+/** CSV output directory; empty means "don't write CSVs". */
+inline std::string
+csvDir()
+{
+    const char *v = std::getenv("MSE_BENCH_OUTDIR");
+    return v ? std::string(v) : std::string();
+}
+
+/** Print a banner naming the experiment being reproduced. */
+inline void
+banner(const char *experiment, const char *description)
+{
+    std::printf("=====================================================\n");
+    std::printf("%s\n%s\n", experiment, description);
+    std::printf("=====================================================\n");
+}
+
+/** Print one row of right-aligned scientific-notation cells. */
+inline void
+sciRow(const std::string &label, const std::vector<double> &cells)
+{
+    std::printf("%-28s", label.c_str());
+    for (double c : cells)
+        std::printf(" %11.3e", c);
+    std::printf("\n");
+}
+
+} // namespace mse::bench

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Map a user-specified CONV2D or GEMM onto a user-sized NPU, comparing
+ * all three mapper families — the "bring your own layer" entry point of
+ * the library.
+ *
+ * Usage:
+ *   ./build/examples/custom_workload conv B K C Y X R S
+ *   ./build/examples/custom_workload gemm B M K N
+ * Optional trailing args: [num_pes] [l2_kb] [l1_bytes] [samples]
+ * Defaults: a 256-PE, 64 KB-L2, 256 B-L1 NPU (Accel-B-like), 2000
+ * samples.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mappers/gamma.hpp"
+#include "mappers/mind_mappings.hpp"
+#include "mappers/random_pruned.hpp"
+#include "workload/workload.hpp"
+
+using namespace mse;
+
+namespace {
+
+int64_t
+arg(int argc, char **argv, int i, int64_t def)
+{
+    return i < argc ? std::strtoll(argv[i], nullptr, 10) : def;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s conv B K C Y X R S | gemm B M K N\n",
+                     argv[0]);
+        return 1;
+    }
+
+    Workload wl;
+    int next;
+    if (std::strcmp(argv[1], "conv") == 0 && argc >= 9) {
+        wl = makeConv2d("custom_conv", arg(argc, argv, 2, 1),
+                        arg(argc, argv, 3, 1), arg(argc, argv, 4, 1),
+                        arg(argc, argv, 5, 1), arg(argc, argv, 6, 1),
+                        arg(argc, argv, 7, 1), arg(argc, argv, 8, 1));
+        next = 9;
+    } else if (std::strcmp(argv[1], "gemm") == 0 && argc >= 6) {
+        wl = makeGemm("custom_gemm", arg(argc, argv, 2, 1),
+                      arg(argc, argv, 3, 1), arg(argc, argv, 4, 1),
+                      arg(argc, argv, 5, 1));
+        next = 6;
+    } else {
+        std::fprintf(stderr,
+                     "usage: %s conv B K C Y X R S | gemm B M K N\n",
+                     argv[0]);
+        return 1;
+    }
+
+    const int64_t pes = arg(argc, argv, next, 256);
+    const int64_t l2_kb = arg(argc, argv, next + 1, 64);
+    const int64_t l1_b = arg(argc, argv, next + 2, 256);
+    const size_t samples =
+        static_cast<size_t>(arg(argc, argv, next + 3, 2000));
+
+    const ArchConfig arch =
+        makeNpu("custom-npu", l2_kb * 1024, l1_b, pes, 4);
+    MapSpace space(wl, arch);
+    const auto sz = space.size();
+    std::printf("%s on %s (%lld PEs, %lld KB L2, %lld B L1)\n",
+                wl.toString().c_str(), arch.name.c_str(),
+                static_cast<long long>(pes),
+                static_cast<long long>(l2_kb),
+                static_cast<long long>(l1_b));
+    std::printf("Map space ~10^%.1f; budget %zu samples per mapper\n\n",
+                sz.log10_total, samples);
+
+    EvalFn eval = [&](const Mapping &m) {
+        return CostModel::evaluate(wl, arch, m);
+    };
+
+    std::vector<std::unique_ptr<Mapper>> mappers;
+    mappers.push_back(std::make_unique<RandomPrunedMapper>());
+    mappers.push_back(std::make_unique<GammaMapper>());
+    {
+        SurrogateConfig scfg;
+        scfg.train_samples = 1500;
+        Rng srng(1);
+        auto sur = std::make_shared<const MindMappingsSurrogate>(
+            arch, std::vector<Workload>{wl}, scfg, srng);
+        mappers.push_back(std::make_unique<MindMappingsMapper>(sur));
+    }
+
+    const Mapping *best_mapping = nullptr;
+    double best_edp = std::numeric_limits<double>::infinity();
+    std::vector<SearchResult> results;
+    results.reserve(mappers.size());
+    std::printf("%-16s %12s %12s %12s %8s\n", "mapper", "EDP", "latency",
+                "energy(uJ)", "util%");
+    for (auto &m : mappers) {
+        SearchBudget budget;
+        budget.max_samples = samples;
+        Rng rng(5);
+        results.push_back(m->search(space, eval, budget, rng));
+        const auto &r = results.back();
+        std::printf("%-16s %12.3e %12.3e %12.3e %7.1f%%\n",
+                    m->name().c_str(), r.best_cost.edp,
+                    r.best_cost.latency_cycles, r.best_cost.energy_uj,
+                    100.0 * r.best_cost.utilization);
+        if (r.found() && r.best_cost.edp < best_edp) {
+            best_edp = r.best_cost.edp;
+            best_mapping = &results.back().best_mapping;
+        }
+    }
+    if (best_mapping) {
+        std::printf("\nBest mapping found:\n%s",
+                    best_mapping->toString(wl).c_str());
+    }
+    return 0;
+}

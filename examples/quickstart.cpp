@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: map one ResNet CONV layer onto the Accel-B NPU with the
+ * Gamma mapper and print the optimized mapping and its cost.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <cstdio>
+
+#include "core/mse_engine.hpp"
+#include "mappers/gamma.hpp"
+#include "model/analysis.hpp"
+#include "workload/model_zoo.hpp"
+
+int
+main()
+{
+    using namespace mse;
+
+    // 1. Pick a workload and an accelerator.
+    const Workload wl = resnetConv4(); // CONV2D(16,256,256,14,14,3,3)
+    const ArchConfig arch = accelB();  // 256 PEs x 4 ALUs, 64KB L2
+
+    std::printf("Workload:    %s\n", wl.toString().c_str());
+    std::printf("Accelerator: %s (%lld ALUs)\n", arch.name.c_str(),
+                static_cast<long long>(arch.totalComputeUnits()));
+
+    const MapSpace space(wl, arch);
+    const auto sz = space.size();
+    std::printf("Map space:   ~10^%.1f mappings "
+                "(tile 10^%.1f x order 10^%.1f x parallel 10^%.1f)\n\n",
+                sz.log10_total, sz.log10_tile, sz.log10_order,
+                sz.log10_parallel);
+
+    // 2. Run MSE with the Gamma mapper.
+    MseEngine engine(arch);
+    GammaMapper gamma;
+    MseOptions opts;
+    opts.budget.max_samples = 2000;
+    Rng rng(1);
+
+    const MseOutcome outcome = engine.optimize(wl, gamma, opts, rng);
+
+    // 3. Report.
+    const auto &best = outcome.search.best_cost;
+    std::printf("Best mapping found by %s after %zu samples:\n%s\n",
+                gamma.name().c_str(), outcome.search.log.samples,
+                outcome.search.best_mapping.toString(wl).c_str());
+    std::printf("EDP:         %.3e cycles*uJ\n", best.edp);
+    std::printf("Latency:     %.3e cycles\n", best.latency_cycles);
+    std::printf("Energy:      %.3e uJ\n", best.energy_uj);
+    std::printf("Utilization: %.1f%% of ALUs\n", best.utilization * 100);
+    std::printf("Dataflow:    %s, %.1f MACs/DRAM-word\n",
+                stationarityName(
+                    classifyStationarity(wl, outcome.search.best_mapping)),
+                arithmeticIntensity(wl, arch,
+                                    outcome.search.best_mapping));
+    std::printf("Converged after %zu of %zu generations\n",
+                outcome.generations_to_converge,
+                outcome.search.log.best_edp_per_generation.size());
+    std::printf("Pareto frontier holds %zu points\n",
+                outcome.pareto.entries().size());
+    return 0;
+}

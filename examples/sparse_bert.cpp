@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Sparse-workload mapping for BERT-large on a flexible sparse NPU.
+ *
+ * Demonstrates the two sparse capabilities of the library (Secs. 4.5 and
+ * 5.2 of the paper):
+ *  1. a weight-sparsity sweep of one encoder GEMM, showing how the
+ *     optimized mapping and its dataflow style change with density, and
+ *  2. a sparsity-aware search that returns ONE mapping robust across the
+ *     dynamic activation-density range 1.0-0.1, compared against a
+ *     dense-tuned mapping.
+ *
+ *   ./build/examples/sparse_bert [samples]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/sparsity_aware.hpp"
+#include "mappers/gamma.hpp"
+#include "sparse/sparse_model.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace mse;
+
+namespace {
+
+SearchResult
+run(const MapSpace &space, const EvalFn &eval, size_t samples,
+    uint64_t seed)
+{
+    GammaConfig cfg;
+    cfg.multi_objective = false;
+    GammaMapper gamma(cfg);
+    SearchBudget budget;
+    budget.max_samples = samples;
+    Rng rng(seed);
+    return gamma.search(space, eval, budget, rng);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const size_t samples = argc > 1
+        ? static_cast<size_t>(std::strtoull(argv[1], nullptr, 10))
+        : 3000;
+    const ArchConfig arch = accelB();
+    const SparseCostModel model;
+
+    // 1. Weight-sparsity sweep on the KQV projection GEMM.
+    std::printf("=== Weight sparsity sweep: %s on %s ===\n",
+                bertKqv().toString().c_str(), arch.name.c_str());
+    std::printf("%-10s %12s %12s %14s\n", "density", "EDP", "energy(uJ)",
+                "dataflow-style");
+    for (double density : {1.0, 0.5, 0.1, 0.01}) {
+        Workload wl = bertKqv();
+        applyDensities(wl, density, 1.0);
+        MapSpace space(wl, arch);
+        EvalFn eval = [&](const Mapping &m) {
+            return model.evaluate(wl, arch, m);
+        };
+        const SearchResult r = run(space, eval, samples, 7);
+        const double innerness =
+            reductionInnerness(wl, r.best_mapping);
+        std::printf("%-10.2f %12.3e %12.3e %11.0f%% inner\n", density,
+                    r.best_cost.edp, r.best_cost.energy_uj,
+                    100.0 * innerness);
+    }
+
+    // 2. Sparsity-aware mapping for dynamic activation sparsity.
+    std::printf("\n=== Sparsity-aware mapping: %s ===\n",
+                bertAttn().toString().c_str());
+    const Workload wl = bertAttn();
+    MapSpace space(wl, arch);
+
+    SparsityAwareConfig cfg; // searches densities {1.0,0.8,0.5,0.2,0.1}
+    const SearchResult aware =
+        run(space, makeSparsityAwareEvaluator(space, model, cfg),
+            samples, 11);
+    const SearchResult dense_tuned =
+        run(space, makeStaticDensityEvaluator(space, model, 1.0),
+            samples, 13);
+
+    std::printf("%-18s %14s %14s\n", "tested density", "sparsity-aware",
+                "dense-tuned");
+    for (double d : {1.0, 0.7, 0.4, 0.2, 0.1, 0.05}) {
+        const EvalFn at = makeStaticDensityEvaluator(space, model, d);
+        std::printf("%-18.2f %14.3e %14.3e\n", d,
+                    at(aware.best_mapping).edp,
+                    at(dense_tuned.best_mapping).edp);
+    }
+    std::printf("\nOne fixed sparsity-aware mapping serves the whole "
+                "dynamic range; the dense-tuned mapping degrades as "
+                "activations get sparser.\n");
+    return 0;
+}

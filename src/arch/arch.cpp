@@ -1,0 +1,121 @@
+#include "arch/arch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mse {
+
+const char *
+nocTopologyName(NocTopology t)
+{
+    switch (t) {
+      case NocTopology::Bus: return "bus";
+      case NocTopology::Tree: return "tree";
+      case NocTopology::Mesh: return "mesh";
+    }
+    return "unknown";
+}
+
+double
+nocHops(NocTopology t, int64_t fanout)
+{
+    const double f = static_cast<double>(std::max<int64_t>(fanout, 1));
+    switch (t) {
+      case NocTopology::Bus:
+        return 1.0;
+      case NocTopology::Tree:
+        return 1.0 + std::log2(f);
+      case NocTopology::Mesh:
+        return std::max(1.0, std::sqrt(f));
+    }
+    return 1.0;
+}
+
+namespace {
+
+constexpr int64_t kBytesPerWord = 2;
+
+/**
+ * SRAM access energy heuristic (pJ/word): grows roughly with the square
+ * root of capacity, anchored at Eyeriss/Timeloop-class numbers
+ * (256 B -> ~0.6 pJ, 64 KB -> ~6 pJ, 512 KB -> ~12 pJ).
+ */
+double
+sramEnergyPj(int64_t bytes)
+{
+    return 0.04 * std::sqrt(static_cast<double>(bytes)) + 0.35;
+}
+
+} // namespace
+
+ArchConfig
+makeNpu(const std::string &name, int64_t l2_bytes, int64_t l1_bytes,
+        int64_t num_pes, int64_t alus_per_pe)
+{
+    ArchConfig cfg;
+    cfg.name = name;
+    cfg.mac_energy_pj = 1.0;
+
+    BufferLevel l1;
+    l1.name = "L1";
+    l1.capacity_words = l1_bytes / kBytesPerWord;
+    l1.bandwidth_words_per_cycle = 4.0; // per PE
+    l1.read_energy_pj = sramEnergyPj(l1_bytes);
+    l1.write_energy_pj = l1.read_energy_pj * 1.2;
+    l1.fanout = alus_per_pe;
+    l1.multicast = true;
+
+    BufferLevel l2;
+    l2.name = "L2";
+    l2.capacity_words = l2_bytes / kBytesPerWord;
+    l2.bandwidth_words_per_cycle = 32.0;
+    l2.read_energy_pj = sramEnergyPj(l2_bytes);
+    l2.write_energy_pj = l2.read_energy_pj * 1.2;
+    l2.fanout = num_pes;
+    l2.multicast = true;
+
+    BufferLevel dram;
+    dram.name = "DRAM";
+    dram.capacity_words = 0; // unbounded
+    dram.bandwidth_words_per_cycle = 16.0;
+    dram.read_energy_pj = 200.0;
+    dram.write_energy_pj = 200.0;
+    dram.fanout = 1;
+    dram.multicast = true;
+
+    cfg.levels = {l1, l2, dram};
+    return cfg;
+}
+
+ArchConfig
+makeDeepNpu(const std::string &name, int64_t l2_bytes, int64_t l1_bytes,
+            int64_t reg_bytes, int64_t num_pes, int64_t alus_per_pe)
+{
+    ArchConfig cfg = makeNpu(name, l2_bytes, l1_bytes, num_pes, 1);
+    // Insert a register level below L1; the ALU fanout moves onto it.
+    BufferLevel regs;
+    regs.name = "Regs";
+    regs.capacity_words = std::max<int64_t>(reg_bytes / kBytesPerWord, 1);
+    regs.bandwidth_words_per_cycle = 8.0;
+    regs.read_energy_pj = 0.15;
+    regs.write_energy_pj = 0.2;
+    regs.fanout = alus_per_pe;
+    regs.multicast = true;
+    cfg.levels.insert(cfg.levels.begin(), regs);
+    cfg.levels[1].fanout = 1; // L1 now feeds one register file group
+    return cfg;
+}
+
+ArchConfig
+accelA()
+{
+    return makeNpu("Accel-A", 512 * 1024, 64 * 1024, 256, 1);
+}
+
+ArchConfig
+accelB()
+{
+    return makeNpu("Accel-B", 64 * 1024, 256, 256, 4);
+}
+
+} // namespace mse

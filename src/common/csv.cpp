@@ -1,0 +1,50 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+namespace mse {
+
+CsvWriter::CsvWriter(const std::string &path) : out_(path) {}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find(',') == std::string::npos &&
+        cell.find('"') == std::string::npos) {
+        return cell;
+    }
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &cells)
+{
+    char buf[64];
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        std::snprintf(buf, sizeof(buf), "%.6g", cells[i]);
+        out_ << buf;
+    }
+    out_ << '\n';
+}
+
+} // namespace mse

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal CSV emission for bench outputs (e.g. the Fig. 4 PCA point cloud).
+ */
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mse {
+
+/**
+ * Streams rows of heterogeneous printable cells to a CSV file.
+ *
+ * Cells are quoted only when they contain a comma or quote; numeric cells
+ * are formatted with operator<< defaults.
+ */
+class CsvWriter
+{
+  public:
+    /** Opens (and truncates) path. Check ok() before writing. */
+    explicit CsvWriter(const std::string &path);
+
+    /** True iff the file opened successfully. */
+    bool ok() const { return out_.good(); }
+
+    /** Write a header or data row of string cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Write a row of doubles (scientific format, 6 significant digits). */
+    void writeRow(const std::vector<double> &cells);
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::ofstream out_;
+};
+
+} // namespace mse

@@ -1,0 +1,139 @@
+#include "common/math_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+
+namespace mse {
+
+std::vector<int64_t>
+divisorsOf(int64_t n)
+{
+    std::vector<int64_t> small, large;
+    for (int64_t d = 1; d * d <= n; ++d) {
+        if (n % d == 0) {
+            small.push_back(d);
+            if (d != n / d)
+                large.push_back(n / d);
+        }
+    }
+    small.insert(small.end(), large.rbegin(), large.rend());
+    return small;
+}
+
+int64_t
+nearestDivisor(int64_t n, int64_t target)
+{
+    int64_t best = 1;
+    int64_t best_dist = std::llabs(target - 1);
+    for (int64_t d : divisorsOf(n)) {
+        int64_t dist = std::llabs(target - d);
+        if (dist < best_dist) {
+            best = d;
+            best_dist = dist;
+        }
+    }
+    return best;
+}
+
+double
+countOrderedFactorizations(int64_t n, int k)
+{
+    if (k <= 0)
+        return n == 1 ? 1.0 : 0.0;
+    if (k == 1)
+        return 1.0;
+    // Multiplicative over prime powers: p^e contributes C(e + k - 1, k - 1).
+    double count = 1.0;
+    int64_t m = n;
+    for (int64_t p = 2; p * p <= m; ++p) {
+        if (m % p != 0)
+            continue;
+        int e = 0;
+        while (m % p == 0) {
+            m /= p;
+            ++e;
+        }
+        // C(e + k - 1, k - 1) computed in floating point.
+        double c = 1.0;
+        for (int i = 1; i <= e; ++i)
+            c = c * (k - 1 + i) / i;
+        count *= c;
+    }
+    if (m > 1) {
+        // One remaining prime with exponent 1: C(k, 1) = k.
+        count *= k;
+    }
+    return count;
+}
+
+namespace {
+
+void
+enumerateRec(int64_t n, int k, std::vector<int64_t> &prefix,
+             std::vector<std::vector<int64_t>> &out)
+{
+    if (k == 1) {
+        prefix.push_back(n);
+        out.push_back(prefix);
+        prefix.pop_back();
+        return;
+    }
+    for (int64_t d : divisorsOf(n)) {
+        prefix.push_back(d);
+        enumerateRec(n / d, k - 1, prefix, out);
+        prefix.pop_back();
+    }
+}
+
+} // namespace
+
+std::vector<std::vector<int64_t>>
+enumerateOrderedFactorizations(int64_t n, int k)
+{
+    std::vector<std::vector<int64_t>> out;
+    std::vector<int64_t> prefix;
+    if (k >= 1)
+        enumerateRec(n, k, prefix, out);
+    return out;
+}
+
+std::vector<int64_t>
+sampleFactorization(int64_t n, int k, Rng &rng)
+{
+    std::vector<int64_t> factors;
+    factors.reserve(k);
+    int64_t rem = n;
+    for (int i = 0; i < k - 1; ++i) {
+        const auto divs = divisorsOf(rem);
+        int64_t d = divs[rng.index(divs.size())];
+        factors.push_back(d);
+        rem /= d;
+    }
+    factors.push_back(rem);
+    return factors;
+}
+
+int64_t
+gcd64(int64_t a, int64_t b)
+{
+    while (b != 0) {
+        int64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a < 0 ? -a : a;
+}
+
+double
+log10OfProduct(const std::vector<double> &factors)
+{
+    double s = 0.0;
+    for (double f : factors)
+        s += std::log10(f);
+    return s;
+}
+
+} // namespace mse

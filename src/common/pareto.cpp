@@ -1,0 +1,88 @@
+#include "common/pareto.hpp"
+
+#include <algorithm>
+
+namespace mse {
+
+bool
+dominates(const ObjectivePoint &a, const ObjectivePoint &b)
+{
+    bool strictly = false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] > b[i])
+            return false;
+        if (a[i] < b[i])
+            strictly = true;
+    }
+    return strictly;
+}
+
+std::vector<int>
+paretoRanks(const std::vector<ObjectivePoint> &points)
+{
+    const size_t n = points.size();
+    std::vector<int> rank(n, -1);
+    std::vector<char> assigned(n, 0);
+    size_t remaining = n;
+    int current = 0;
+    while (remaining > 0) {
+        std::vector<size_t> front;
+        for (size_t i = 0; i < n; ++i) {
+            if (assigned[i])
+                continue;
+            bool dominated = false;
+            for (size_t j = 0; j < n && !dominated; ++j) {
+                if (j != i && !assigned[j] &&
+                    dominates(points[j], points[i])) {
+                    dominated = true;
+                }
+            }
+            if (!dominated)
+                front.push_back(i);
+        }
+        for (size_t i : front) {
+            rank[i] = current;
+            assigned[i] = 1;
+        }
+        remaining -= front.size();
+        ++current;
+    }
+    return rank;
+}
+
+bool
+ParetoArchive::insert(double energy, double latency, size_t payload)
+{
+    for (const auto &e : entries_) {
+        // Weak dominance: exact duplicates are not an improvement.
+        if (e.energy <= energy && e.latency <= latency)
+            return false;
+    }
+    entries_.erase(
+        std::remove_if(entries_.begin(), entries_.end(),
+                       [&](const Entry &e) {
+                           return energy <= e.energy &&
+                               latency <= e.latency &&
+                               (energy < e.energy || latency < e.latency);
+                       }),
+        entries_.end());
+    entries_.push_back({energy, latency, payload});
+    return true;
+}
+
+int
+ParetoArchive::bestEdpIndex() const
+{
+    int best = -1;
+    double best_edp = 0.0;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        const double edp = entries_[i].energy * entries_[i].latency;
+        if (best < 0 || edp < best_edp) {
+            best = static_cast<int>(i);
+            best_edp = edp;
+        }
+    }
+    return best;
+}
+
+} // namespace mse

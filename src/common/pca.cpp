@@ -1,0 +1,129 @@
+#include "common/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mse {
+
+std::vector<double>
+PcaModel::project(const std::vector<double> &x) const
+{
+    std::vector<double> out(components.size(), 0.0);
+    for (size_t c = 0; c < components.size(); ++c) {
+        double s = 0.0;
+        for (size_t j = 0; j < dim; ++j)
+            s += (x[j] - mean[j]) * components[c][j];
+        out[c] = s;
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Cyclic Jacobi eigen-decomposition of a symmetric matrix a (modified in
+ * place). Returns eigenvectors as columns of v.
+ */
+void
+jacobiEigen(std::vector<std::vector<double>> &a,
+            std::vector<std::vector<double>> &v)
+{
+    const size_t n = a.size();
+    v.assign(n, std::vector<double>(n, 0.0));
+    for (size_t i = 0; i < n; ++i)
+        v[i][i] = 1.0;
+
+    for (int sweep = 0; sweep < 64; ++sweep) {
+        double off = 0.0;
+        for (size_t p = 0; p < n; ++p)
+            for (size_t q = p + 1; q < n; ++q)
+                off += a[p][q] * a[p][q];
+        if (off < 1e-18)
+            break;
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                if (std::fabs(a[p][q]) < 1e-15)
+                    continue;
+                const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                const double t = (theta >= 0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+                for (size_t k = 0; k < n; ++k) {
+                    const double akp = a[k][p], akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    const double apk = a[p][k], aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    const double vkp = v[k][p], vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+PcaModel
+fitPca(const std::vector<std::vector<double>> &data, size_t n_components)
+{
+    PcaModel model;
+    if (data.empty())
+        return model;
+    const size_t n = data.size();
+    const size_t d = data[0].size();
+    model.dim = d;
+    model.mean.assign(d, 0.0);
+    for (const auto &row : data)
+        for (size_t j = 0; j < d; ++j)
+            model.mean[j] += row[j];
+    for (size_t j = 0; j < d; ++j)
+        model.mean[j] /= static_cast<double>(n);
+
+    // Covariance matrix.
+    std::vector<std::vector<double>> cov(d, std::vector<double>(d, 0.0));
+    for (const auto &row : data) {
+        for (size_t i = 0; i < d; ++i) {
+            const double xi = row[i] - model.mean[i];
+            for (size_t j = i; j < d; ++j)
+                cov[i][j] += xi * (row[j] - model.mean[j]);
+        }
+    }
+    const double denom = static_cast<double>(n > 1 ? n - 1 : 1);
+    for (size_t i = 0; i < d; ++i)
+        for (size_t j = i; j < d; ++j) {
+            cov[i][j] /= denom;
+            cov[j][i] = cov[i][j];
+        }
+
+    std::vector<std::vector<double>> vecs;
+    jacobiEigen(cov, vecs);
+
+    // Sort eigenpairs by descending eigenvalue (diagonal of rotated cov).
+    std::vector<size_t> order(d);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return cov[a][a] > cov[b][b]; });
+
+    n_components = std::min(n_components, d);
+    model.components.resize(n_components);
+    model.explained_variance.resize(n_components);
+    for (size_t c = 0; c < n_components; ++c) {
+        const size_t e = order[c];
+        model.explained_variance[c] = cov[e][e];
+        model.components[c].resize(d);
+        for (size_t j = 0; j < d; ++j)
+            model.components[c][j] = vecs[j][e];
+    }
+    return model;
+}
+
+} // namespace mse

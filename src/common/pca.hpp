@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Principal component analysis for map-space visualization (Fig. 4).
+ *
+ * The paper projects sampled mappings into 3-D via PCA to show how each
+ * mapper navigates the map space. We implement PCA from scratch on top of
+ * a covariance matrix and Jacobi eigen-decomposition — data sets here are
+ * small (thousands of points, tens of features).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mse {
+
+/** Result of fitting PCA: component directions and explained variance. */
+struct PcaModel
+{
+    size_t dim = 0;                           ///< Input feature count.
+    std::vector<double> mean;                 ///< Per-feature mean.
+    std::vector<std::vector<double>> components; ///< Row-major, one per PC.
+    std::vector<double> explained_variance;   ///< Eigenvalue per PC.
+
+    /** Project one sample onto the first components.size() PCs. */
+    std::vector<double> project(const std::vector<double> &x) const;
+};
+
+/**
+ * Fit PCA on row-major data (n_samples x n_features), keeping
+ * n_components leading principal components.
+ *
+ * Uses cyclic Jacobi rotations on the covariance matrix; suitable for
+ * n_features up to a few hundred.
+ */
+PcaModel fitPca(const std::vector<std::vector<double>> &data,
+                size_t n_components);
+
+} // namespace mse

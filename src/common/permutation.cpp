@@ -1,0 +1,79 @@
+#include "common/permutation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace mse {
+
+std::vector<int>
+identityPermutation(int n)
+{
+    std::vector<int> p(n);
+    std::iota(p.begin(), p.end(), 0);
+    return p;
+}
+
+std::vector<int>
+randomPermutation(int n, Rng &rng)
+{
+    auto p = identityPermutation(n);
+    rng.shuffle(p);
+    return p;
+}
+
+bool
+isPermutation(const std::vector<int> &perm)
+{
+    std::vector<bool> seen(perm.size(), false);
+    for (int v : perm) {
+        if (v < 0 || static_cast<size_t>(v) >= perm.size() || seen[v])
+            return false;
+        seen[v] = true;
+    }
+    return true;
+}
+
+uint64_t
+factorial(int n)
+{
+    uint64_t f = 1;
+    for (int i = 2; i <= n; ++i)
+        f *= static_cast<uint64_t>(i);
+    return f;
+}
+
+uint64_t
+permutationRank(const std::vector<int> &perm)
+{
+    const int n = static_cast<int>(perm.size());
+    uint64_t rank = 0;
+    for (int i = 0; i < n; ++i) {
+        int smaller = 0;
+        for (int j = i + 1; j < n; ++j) {
+            if (perm[j] < perm[i])
+                ++smaller;
+        }
+        rank += static_cast<uint64_t>(smaller) * factorial(n - 1 - i);
+    }
+    return rank;
+}
+
+std::vector<int>
+permutationFromRank(int n, uint64_t rank)
+{
+    std::vector<int> pool = identityPermutation(n);
+    std::vector<int> perm;
+    perm.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        uint64_t f = factorial(n - 1 - i);
+        size_t idx = static_cast<size_t>(rank / f);
+        rank %= f;
+        perm.push_back(pool[idx]);
+        pool.erase(pool.begin() + static_cast<long>(idx));
+    }
+    return perm;
+}
+
+} // namespace mse

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Permutation helpers for loop-order exploration.
+ *
+ * A loop order at a tiling level is a permutation of the workload's
+ * dimension indices (outermost first). Mappers need to sample, perturb,
+ * enumerate and canonically index such permutations.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mse {
+
+class Rng;
+
+/** The identity permutation [0, 1, ..., n-1]. */
+std::vector<int> identityPermutation(int n);
+
+/** A uniformly random permutation of [0, n). */
+std::vector<int> randomPermutation(int n, Rng &rng);
+
+/** True iff perm is a permutation of [0, n). */
+bool isPermutation(const std::vector<int> &perm);
+
+/**
+ * Lexicographic rank of a permutation in [0, n!). Factorial-number-system
+ * encoding; n must be small enough that n! fits in uint64_t (n <= 20).
+ */
+uint64_t permutationRank(const std::vector<int> &perm);
+
+/** Inverse of permutationRank. */
+std::vector<int> permutationFromRank(int n, uint64_t rank);
+
+/** n! as uint64_t (n <= 20). */
+uint64_t factorial(int n);
+
+} // namespace mse

@@ -1,0 +1,67 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mse {
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += std::log(x);
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+double
+stddev(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    const double m = mean(v);
+    double s = 0.0;
+    for (double x : v)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+double
+minOf(const std::vector<double> &v)
+{
+    return *std::min_element(v.begin(), v.end());
+}
+
+double
+maxOf(const std::vector<double> &v)
+{
+    return *std::max_element(v.begin(), v.end());
+}
+
+double
+percentile(std::vector<double> v, double p)
+{
+    std::sort(v.begin(), v.end());
+    if (v.size() == 1)
+        return v[0];
+    const double pos = (p / 100.0) * static_cast<double>(v.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+} // namespace mse

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Summary statistics used by benches and EXPERIMENTS.md reporting.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mse {
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &v);
+
+/** Geometric mean of strictly positive values; 0 for empty input. */
+double geomean(const std::vector<double> &v);
+
+/** Population standard deviation; 0 for fewer than two samples. */
+double stddev(const std::vector<double> &v);
+
+/** Minimum; requires non-empty input. */
+double minOf(const std::vector<double> &v);
+
+/** Maximum; requires non-empty input. */
+double maxOf(const std::vector<double> &v);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100]. Requires non-empty input;
+ * the input is copied and sorted internally.
+ */
+double percentile(std::vector<double> v, double p);
+
+} // namespace mse

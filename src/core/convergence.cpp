@@ -1,0 +1,41 @@
+#include "core/convergence.hpp"
+
+#include <cmath>
+
+namespace mse {
+
+size_t
+indexToConverge(const std::vector<double> &best_so_far, double frac)
+{
+    if (best_so_far.empty())
+        return 0;
+    // Ignore leading infinities (no legal mapping found yet).
+    size_t first = 0;
+    while (first < best_so_far.size() && std::isinf(best_so_far[first]))
+        ++first;
+    if (first >= best_so_far.size())
+        return best_so_far.size() - 1;
+    const double start = best_so_far[first];
+    const double final = best_so_far.back();
+    const double total = start - final;
+    if (total <= 0.0)
+        return first;
+    const double target = start - frac * total;
+    for (size_t i = first; i < best_so_far.size(); ++i) {
+        if (best_so_far[i] <= target)
+            return i;
+    }
+    return best_so_far.size() - 1;
+}
+
+size_t
+indexToReach(const std::vector<double> &best_so_far, double target)
+{
+    for (size_t i = 0; i < best_so_far.size(); ++i) {
+        if (best_so_far[i] <= target)
+            return i;
+    }
+    return best_so_far.size();
+}
+
+} // namespace mse

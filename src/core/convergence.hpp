@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Convergence metrics for search traces.
+ *
+ * The paper defines time-to-converge as the time to reach 99.5% of the
+ * total performance improvement of a run (Sec. 5.1.3) and reports the
+ * equivalent generations-to-converge for Gamma. These helpers compute
+ * that index from SearchLog traces.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mse {
+
+/**
+ * First index into best_so_far at which the run achieved `frac` of its
+ * total improvement (best_so_far is non-increasing). Returns 0 for
+ * traces with no improvement and best_so_far.size()-1 as an upper bound.
+ */
+size_t indexToConverge(const std::vector<double> &best_so_far,
+                       double frac = 0.995);
+
+/**
+ * First index at which best_so_far reaches `target` (<=). Used to
+ * compare two runs against a shared quality bar (Figs. 10-11: the
+ * speedup of warm-start is how much sooner it reaches the cold run's
+ * final EDP). Returns best_so_far.size() when the target is never
+ * reached.
+ */
+size_t indexToReach(const std::vector<double> &best_so_far, double target);
+
+} // namespace mse

@@ -1,0 +1,65 @@
+#include "core/mse_engine.hpp"
+
+namespace mse {
+
+MseOutcome
+MseEngine::optimizeWithEvaluator(const MapSpace &space, const EvalFn &eval,
+                                 Mapper &mapper, const MseOptions &opts,
+                                 Rng &rng)
+{
+    MseOutcome outcome;
+
+    // Wrap the evaluator to maintain the Pareto frontier of the run.
+    size_t sample_index = 0;
+    EvalFn tracked = [&](const Mapping &m) {
+        const CostResult c = eval(m);
+        if (c.valid) {
+            outcome.pareto.insert(c.energy_uj, c.latency_cycles,
+                                  sample_index);
+        }
+        ++sample_index;
+        return c;
+    };
+
+    mapper.setInitialMappings(warmStartSeeds(space, replay_,
+                                             opts.warm_start,
+                                             opts.warm_seeds, rng));
+    outcome.search = mapper.search(space, tracked, opts.budget, rng);
+    mapper.setInitialMappings({});
+
+    outcome.generations_to_converge =
+        indexToConverge(outcome.search.log.best_edp_per_generation);
+    outcome.samples_to_converge =
+        indexToConverge(outcome.search.log.best_edp_per_sample);
+
+    if (opts.update_replay && outcome.search.found()) {
+        replay_.push(space.workload(), outcome.search.best_mapping,
+                     outcome.search.best_cost);
+    }
+    return outcome;
+}
+
+MseOutcome
+MseEngine::optimize(const Workload &wl, Mapper &mapper,
+                    const MseOptions &opts, Rng &rng)
+{
+    MapSpace space(wl, arch_);
+    EvalFn eval;
+    if (opts.sparse) {
+        const Workload sparse_wl = wl;
+        const ArchConfig arch = arch_;
+        const SparseCostModel model = sparse_model_;
+        eval = [sparse_wl, arch, model](const Mapping &m) {
+            return model.evaluate(sparse_wl, arch, m);
+        };
+    } else {
+        const Workload dense_wl = wl;
+        const ArchConfig arch = arch_;
+        eval = [dense_wl, arch](const Mapping &m) {
+            return CostModel::evaluate(dense_wl, arch, m);
+        };
+    }
+    return optimizeWithEvaluator(space, eval, mapper, opts, rng);
+}
+
+} // namespace mse

@@ -1,0 +1,50 @@
+#include "core/objective.hpp"
+
+namespace mse {
+
+const char *
+objectiveName(Objective o)
+{
+    switch (o) {
+      case Objective::Edp: return "EDP";
+      case Objective::Energy: return "energy";
+      case Objective::Latency: return "latency";
+      case Objective::Ed2p: return "ED2P";
+      case Objective::E2dp: return "E2DP";
+    }
+    return "unknown";
+}
+
+double
+objectiveScore(const CostResult &cost, Objective o)
+{
+    switch (o) {
+      case Objective::Edp:
+        return cost.energy_uj * cost.latency_cycles;
+      case Objective::Energy:
+        return cost.energy_uj;
+      case Objective::Latency:
+        return cost.latency_cycles;
+      case Objective::Ed2p:
+        return cost.energy_uj * cost.latency_cycles *
+            cost.latency_cycles;
+      case Objective::E2dp:
+        return cost.energy_uj * cost.energy_uj * cost.latency_cycles;
+    }
+    return cost.edp;
+}
+
+EvalFn
+makeObjectiveEvaluator(EvalFn base, Objective o)
+{
+    if (o == Objective::Edp)
+        return base;
+    return [base = std::move(base), o](const Mapping &m) {
+        CostResult c = base(m);
+        if (c.valid)
+            c.edp = objectiveScore(c, o);
+        return c;
+    };
+}
+
+} // namespace mse

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Optimization objectives (Sec. 3: "optimizing some objective (e.g.,
+ * latency or energy-efficiency)... any formulation of the objective can
+ * also be used").
+ *
+ * Mappers minimize CostResult::edp; makeObjectiveEvaluator re-targets
+ * that scalar to any supported objective so every mapper can optimize
+ * latency-only, energy-only, ED^2P, etc. without modification. Energy
+ * and latency fields are preserved so the Pareto frontier stays
+ * meaningful.
+ */
+#pragma once
+
+#include "mappers/mapper.hpp"
+
+namespace mse {
+
+/** Scalar figure of merit to minimize. */
+enum class Objective
+{
+    Edp,      ///< energy * delay (the paper's default)
+    Energy,   ///< energy only
+    Latency,  ///< delay only
+    Ed2p,     ///< energy * delay^2 (latency-leaning)
+    E2dp,     ///< energy^2 * delay (energy-leaning)
+};
+
+/** Printable name of an objective. */
+const char *objectiveName(Objective o);
+
+/** The scalar score of a cost under an objective. */
+double objectiveScore(const CostResult &cost, Objective o);
+
+/**
+ * Wrap an evaluator so mappers minimize the chosen objective: the
+ * returned CostResult carries the objective score in `edp`.
+ */
+EvalFn makeObjectiveEvaluator(EvalFn base, Objective o);
+
+} // namespace mse

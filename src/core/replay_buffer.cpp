@@ -1,0 +1,81 @@
+#include "core/replay_buffer.hpp"
+
+#include <fstream>
+
+#include "mapping/mapping_io.hpp"
+#include "workload/workload_io.hpp"
+
+namespace mse {
+
+void
+ReplayBuffer::push(Workload wl, Mapping m, CostResult cost)
+{
+    if (entries_.size() >= capacity_)
+        entries_.erase(entries_.begin());
+    entries_.push_back({std::move(wl), std::move(m), std::move(cost)});
+}
+
+std::optional<ReplayEntry>
+ReplayBuffer::mostSimilar(const Workload &wl) const
+{
+    int best_dist = -1;
+    const ReplayEntry *best = nullptr;
+    for (const auto &e : entries_) {
+        if (e.workload.numDims() != wl.numDims())
+            continue;
+        const int dist = editDistance(e.workload, wl);
+        if (best == nullptr || dist <= best_dist) {
+            best = &e;
+            best_dist = dist;
+        }
+    }
+    if (!best)
+        return std::nullopt;
+    return *best;
+}
+
+bool
+ReplayBuffer::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out.good())
+        return false;
+    for (const auto &e : entries_) {
+        out << serializeWorkload(e.workload) << '\n'
+            << serializeMapping(e.mapping) << '\n';
+    }
+    return out.good();
+}
+
+size_t
+ReplayBuffer::load(const std::string &path,
+                   const std::function<CostResult(
+                       const Workload &, const Mapping &)> &eval)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        return 0;
+    size_t loaded = 0;
+    std::string wl_line, map_line;
+    while (std::getline(in, wl_line) && std::getline(in, map_line)) {
+        const auto wl = parseWorkload(wl_line);
+        const auto m = parseMapping(map_line);
+        if (!wl || !m)
+            continue;
+        push(*wl, *m, eval(*wl, *m));
+        ++loaded;
+    }
+    return loaded;
+}
+
+std::optional<ReplayEntry>
+ReplayBuffer::mostRecent(const Workload &wl) const
+{
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        if (it->workload.numDims() == wl.numDims())
+            return *it;
+    }
+    return std::nullopt;
+}
+
+} // namespace mse

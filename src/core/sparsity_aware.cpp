@@ -1,0 +1,65 @@
+#include "core/sparsity_aware.hpp"
+
+#include <limits>
+
+namespace mse {
+
+EvalFn
+makeSparsityAwareEvaluator(const MapSpace &space,
+                           const SparseCostModel &model,
+                           const SparsityAwareConfig &cfg)
+{
+    // Pre-instantiate one annotated workload per density level; the
+    // closure captures them by value.
+    std::vector<Workload> workloads;
+    workloads.reserve(cfg.densities.size());
+    for (double d : cfg.densities) {
+        Workload wl = space.workload();
+        applyDensities(wl, cfg.weight_density, d);
+        workloads.push_back(std::move(wl));
+    }
+    const ArchConfig arch = space.arch();
+    const std::vector<double> densities = cfg.densities;
+
+    return [workloads, arch, densities, model](const Mapping &m) {
+        CostResult combined;
+        combined.valid = true;
+        combined.edp = 0.0;
+        combined.energy_uj = 0.0;
+        combined.latency_cycles = 0.0;
+        for (size_t i = 0; i < workloads.size(); ++i) {
+            const CostResult c = model.evaluate(workloads[i], arch, m);
+            if (!c.valid) {
+                // Illegal under some density level: reject outright so
+                // the found mapping is deployable at every density.
+                CostResult bad;
+                bad.valid = false;
+                bad.error = c.error;
+                bad.edp = std::numeric_limits<double>::infinity();
+                bad.energy_uj = bad.edp;
+                bad.latency_cycles = bad.edp;
+                return bad;
+            }
+            const double w = 1.0 / densities[i];
+            combined.edp += c.edp * w;
+            combined.energy_uj += c.energy_uj * w;
+            combined.latency_cycles += c.latency_cycles * w;
+        }
+        return combined;
+    };
+}
+
+EvalFn
+makeStaticDensityEvaluator(const MapSpace &space,
+                           const SparseCostModel &model,
+                           double activation_density, double weight_density)
+{
+    Workload wl = space.workload();
+    applyDensities(wl, weight_density, activation_density);
+    const ArchConfig arch = space.arch();
+    return [wl, arch, model](const Mapping &m) {
+        return model.evaluate(wl, arch, m);
+    };
+}
+
+} // namespace mse

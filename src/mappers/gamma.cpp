@@ -1,0 +1,233 @@
+#include "mappers/gamma.hpp"
+
+#include <algorithm>
+
+#include "common/math_util.hpp"
+#include "common/pareto.hpp"
+
+namespace mse {
+
+void
+GammaMapper::mutateTile(const MapSpace &space, Mapping &m, Rng &rng)
+{
+    const int D = m.numDims();
+    const int L = m.numLevels();
+    // Pick a dimension with something to move; a handful of tries keeps
+    // the operator cheap for workloads with many unit bounds.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        const int d = static_cast<int>(rng.index(D));
+        if (space.workload().bound(d) <= 1)
+            continue;
+        const int src = static_cast<int>(rng.index(L));
+        if (m.level(src).temporal[d] <= 1)
+            continue;
+        int dst = static_cast<int>(rng.index(L));
+        if (dst == src)
+            dst = (dst + 1) % L;
+        const auto &divs = space.divisors(m.level(src).temporal[d]);
+        // Skip the trivial divisor 1 (divs[0]).
+        const int64_t g = divs[1 + rng.index(divs.size() - 1)];
+        m.level(src).temporal[d] /= g;
+        m.level(dst).temporal[d] *= g;
+        return;
+    }
+}
+
+void
+GammaMapper::mutateOrder(Mapping &m, Rng &rng)
+{
+    const int D = m.numDims();
+    if (D < 2)
+        return;
+    const int l = static_cast<int>(rng.index(m.numLevels()));
+    const size_t i = rng.index(D);
+    size_t j = rng.index(D);
+    if (i == j)
+        j = (j + 1) % D;
+    std::swap(m.level(l).order[i], m.level(l).order[j]);
+}
+
+void
+GammaMapper::mutateParallel(const MapSpace &space, Mapping &m, Rng &rng)
+{
+    // Candidate spatial levels.
+    std::vector<int> levels;
+    for (int l = 0; l < m.numLevels(); ++l) {
+        if (space.arch().levels[l].fanout > 1)
+            levels.push_back(l);
+    }
+    if (levels.empty())
+        return;
+    const int l = levels[rng.index(levels.size())];
+    const int D = m.numDims();
+    const int64_t fanout = space.arch().levels[l].fanout;
+
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        const int d = static_cast<int>(rng.index(D));
+        if (rng.chance(0.5)) {
+            // Grow parallelism of d out of its temporal loop.
+            if (m.level(l).temporal[d] <= 1)
+                continue;
+            const auto &divs = space.divisors(m.level(l).temporal[d]);
+            const int64_t g = divs[1 + rng.index(divs.size() - 1)];
+            if (m.spatialProduct(l) * g > fanout)
+                continue;
+            m.level(l).temporal[d] /= g;
+            m.level(l).spatial[d] *= g;
+        } else {
+            // Shrink parallelism of d back into its temporal loop.
+            if (m.level(l).spatial[d] <= 1)
+                continue;
+            const auto &divs = space.divisors(m.level(l).spatial[d]);
+            const int64_t g = divs[1 + rng.index(divs.size() - 1)];
+            m.level(l).spatial[d] /= g;
+            m.level(l).temporal[d] *= g;
+        }
+        return;
+    }
+}
+
+void
+GammaMapper::mutateBypass(const MapSpace &space, Mapping &m, Rng &rng)
+{
+    // Flip one tensor's residency at one non-DRAM level. DRAM must keep
+    // everything (validateMapping enforces it), so it is never touched.
+    const int L = m.numLevels();
+    if (L < 2)
+        return;
+    const int num_tensors = space.workload().numTensors();
+    const int l = static_cast<int>(rng.index(L - 1));
+    const int t = static_cast<int>(rng.index(num_tensors));
+    m.setKeep(l, t, !m.keeps(l, t), num_tensors);
+}
+
+Mapping
+GammaMapper::crossover(const Mapping &a, const Mapping &b, Rng &rng)
+{
+    Mapping child = a;
+    // Whole per-dimension factor columns from either parent keep each
+    // dimension's factor product intact.
+    for (int d = 0; d < child.numDims(); ++d) {
+        if (rng.chance(0.5))
+            child.setFactorColumn(d, b.factorColumn(d));
+    }
+    // Orders and bypass directives travel together per level.
+    for (int l = 0; l < child.numLevels(); ++l) {
+        if (rng.chance(0.5)) {
+            child.level(l).order = b.level(l).order;
+            child.level(l).keep = b.level(l).keep;
+        }
+    }
+    return child;
+}
+
+SearchResult
+GammaMapper::search(const MapSpace &space, const EvalFn &eval,
+                    const SearchBudget &budget, Rng &rng)
+{
+    SearchTracker tracker(eval, budget);
+    const size_t pop_size = std::max<size_t>(cfg_.population, 4);
+
+    struct Individual
+    {
+        Mapping mapping;
+        CostResult cost;
+    };
+    std::vector<Individual> pop;
+    pop.reserve(pop_size);
+
+    // Initial population: warm-start seeds first, random fill.
+    for (const auto &seed : seeds_) {
+        if (pop.size() >= pop_size || tracker.exhausted())
+            break;
+        Mapping m = seed;
+        space.repair(m);
+        Individual ind{m, tracker.evaluate(m)};
+        pop.push_back(std::move(ind));
+    }
+    while (pop.size() < pop_size && !tracker.exhausted()) {
+        Mapping m = space.randomMapping(rng);
+        Individual ind{m, tracker.evaluate(m)};
+        pop.push_back(std::move(ind));
+    }
+    tracker.endGeneration();
+    if (pop.empty())
+        return tracker.takeResult();
+
+    const size_t elites =
+        std::max<size_t>(1, static_cast<size_t>(
+                                cfg_.elite_fraction *
+                                static_cast<double>(pop.size())));
+
+    while (!tracker.exhausted()) {
+        // Rank the population: nondominated rank, EDP tiebreak.
+        std::vector<size_t> idx(pop.size());
+        for (size_t i = 0; i < idx.size(); ++i)
+            idx[i] = i;
+        std::vector<int> ranks(pop.size(), 0);
+        if (cfg_.multi_objective) {
+            std::vector<ObjectivePoint> pts;
+            pts.reserve(pop.size());
+            for (const auto &ind : pop) {
+                pts.push_back({ind.cost.energy_uj,
+                               ind.cost.latency_cycles});
+            }
+            ranks = paretoRanks(pts);
+        }
+        std::sort(idx.begin(), idx.end(), [&](size_t x, size_t y) {
+            if (ranks[x] != ranks[y])
+                return ranks[x] < ranks[y];
+            return pop[x].cost.edp < pop[y].cost.edp;
+        });
+
+        // Elites survive; the rest are replaced by offspring.
+        std::vector<Individual> next;
+        next.reserve(pop.size());
+        for (size_t i = 0; i < elites; ++i)
+            next.push_back(pop[idx[i]]);
+
+        auto tournament = [&]() -> const Individual & {
+            const size_t a = idx[rng.index(std::max<size_t>(
+                pop.size() / 2, 1))];
+            const size_t b = idx[rng.index(pop.size())];
+            return pop[a].cost.edp <= pop[b].cost.edp ? pop[a] : pop[b];
+        };
+
+        while (next.size() < pop.size() && !tracker.exhausted()) {
+            if (rng.chance(cfg_.random_immigrant_prob)) {
+                Mapping immigrant = space.randomMapping(rng);
+                Individual ind{immigrant, tracker.evaluate(immigrant)};
+                next.push_back(std::move(ind));
+                continue;
+            }
+            const Individual &pa = tournament();
+            Mapping child;
+            if (cfg_.enable_crossover && rng.chance(cfg_.crossover_prob)) {
+                const Individual &pb = tournament();
+                child = crossover(pa.mapping, pb.mapping, rng);
+            } else {
+                child = pa.mapping;
+            }
+            if (cfg_.enable_tile && rng.chance(cfg_.mutate_tile_prob))
+                mutateTile(space, child, rng);
+            if (cfg_.enable_order && rng.chance(cfg_.mutate_order_prob))
+                mutateOrder(child, rng);
+            if (cfg_.enable_parallel &&
+                rng.chance(cfg_.mutate_parallel_prob)) {
+                mutateParallel(space, child, rng);
+            }
+            if (cfg_.enable_bypass &&
+                rng.chance(cfg_.mutate_bypass_prob)) {
+                mutateBypass(space, child, rng);
+            }
+            space.repair(child);
+            Individual ind{child, tracker.evaluate(child)};
+            next.push_back(std::move(ind));
+        }
+        pop.swap(next);
+        tracker.endGeneration();
+    }
+    return tracker.takeResult();
+}
+
+} // namespace mse

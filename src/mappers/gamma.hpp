@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Gamma: genetic-algorithm mapper with domain-specific operators
+ * (Kao & Krishna, ICCAD 2020; the feedback-based mapper of Sec. 4.3).
+ *
+ * Gamma keeps a population of candidate mappings and evolves it with
+ * operators tuned to the map space's three axes:
+ *   - mutate-tile: migrate a divisor of one dimension between two
+ *     temporal tiling levels;
+ *   - mutate-order: swap two loop positions at one level;
+ *   - mutate-parallel: move a factor between a level's temporal loop and
+ *     its spatial partitioning (changing which dims are parallelized);
+ *   - crossover: blend two parents by taking whole per-dimension factor
+ *     columns and per-level orders from either parent — children are
+ *     factor-legal by construction.
+ * Selection is multi-objective: nondominated rank on (energy, latency),
+ * ties broken by EDP, as in the paper's methodology (Sec. 4.1).
+ *
+ * Every operator can be masked, which is how the Fig. 5 (single-axis
+ * sensitivity) and Fig. 6 (crossover sensitivity) studies are run.
+ */
+#pragma once
+
+#include "mappers/mapper.hpp"
+
+namespace mse {
+
+/** Tunables and operator masks for Gamma. */
+struct GammaConfig
+{
+    size_t population = 24;       ///< Individuals per generation.
+    double elite_fraction = 0.25; ///< Fraction surviving unchanged.
+    double crossover_prob = 0.8;  ///< Per-child crossover probability.
+    double mutate_tile_prob = 0.6;
+    double mutate_order_prob = 0.35;
+    double mutate_parallel_prob = 0.35;
+
+    /**
+     * Fraction of offspring slots filled with fresh random mappings
+     * ("random immigrants") to keep diversity when the population is
+     * seeded or converges early.
+     */
+    double random_immigrant_prob = 0.05;
+
+    /** Probability of flipping one per-level tensor bypass bit. */
+    double mutate_bypass_prob = 0.15;
+
+    /** Operator masks for the sensitivity studies (Figs. 5-6). */
+    bool enable_tile = true;
+    bool enable_order = true;
+    bool enable_parallel = true;
+    bool enable_crossover = true;
+
+    /** Explore Timeloop-style per-level tensor bypass directives. */
+    bool enable_bypass = true;
+
+    /**
+     * If false, initial random individuals keep their random order and
+     * parallelism but single-axis studies still explore only the enabled
+     * axes (the paper's Fig. 5 protocol: random init on all axes, then
+     * explore one).
+     */
+    bool multi_objective = true; ///< NSGA-style rank + EDP tiebreak.
+};
+
+/** The Gamma mapper. */
+class GammaMapper : public Mapper
+{
+  public:
+    explicit GammaMapper(GammaConfig cfg = {}) : cfg_(cfg) {}
+
+    std::string name() const override { return "gamma"; }
+
+    SearchResult search(const MapSpace &space, const EvalFn &eval,
+                        const SearchBudget &budget, Rng &rng) override;
+
+    void setInitialMappings(std::vector<Mapping> seeds) override
+    {
+        seeds_ = std::move(seeds);
+    }
+
+    const GammaConfig &config() const { return cfg_; }
+
+    /** @name Genetic operators (exposed for unit tests)
+     *  Operators mutate in place; callers repair afterwards. @{ */
+    static void mutateTile(const MapSpace &space, Mapping &m, Rng &rng);
+    static void mutateOrder(Mapping &m, Rng &rng);
+    static void mutateParallel(const MapSpace &space, Mapping &m, Rng &rng);
+    static void mutateBypass(const MapSpace &space, Mapping &m, Rng &rng);
+    static Mapping crossover(const Mapping &a, const Mapping &b, Rng &rng);
+    /** @} */
+
+  private:
+    GammaConfig cfg_;
+    std::vector<Mapping> seeds_;
+};
+
+} // namespace mse

@@ -1,0 +1,103 @@
+#include "mappers/local_search.hpp"
+
+#include <cmath>
+
+#include "mappers/gamma.hpp"
+
+namespace mse {
+
+Mapping
+randomNeighbor(const MapSpace &space, const Mapping &m, Rng &rng)
+{
+    Mapping n = m;
+    switch (rng.index(4)) {
+      case 0:
+        GammaMapper::mutateTile(space, n, rng);
+        break;
+      case 1:
+        GammaMapper::mutateOrder(n, rng);
+        break;
+      case 2:
+        GammaMapper::mutateParallel(space, n, rng);
+        break;
+      default:
+        GammaMapper::mutateBypass(space, n, rng);
+        break;
+    }
+    space.repair(n);
+    return n;
+}
+
+SearchResult
+SimulatedAnnealingMapper::search(const MapSpace &space, const EvalFn &eval,
+                                 const SearchBudget &budget, Rng &rng)
+{
+    SearchTracker tracker(eval, budget);
+
+    Mapping current =
+        seeds_.empty() ? space.randomMapping(rng) : seeds_.front();
+    space.repair(current);
+    CostResult current_cost = tracker.evaluate(current);
+    double temperature = cfg_.initial_temperature;
+    size_t rejects = 0;
+
+    while (!tracker.exhausted()) {
+        const Mapping neighbor = randomNeighbor(space, current, rng);
+        const CostResult cost = tracker.evaluate(neighbor);
+        bool accept = false;
+        if (cost.valid &&
+            (!current_cost.valid || cost.edp <= current_cost.edp)) {
+            accept = true;
+        } else if (cost.valid && current_cost.valid) {
+            // Metropolis on log10(EDP): scale-free across workloads.
+            const double delta =
+                std::log10(cost.edp) - std::log10(current_cost.edp);
+            accept = rng.chance(std::exp(-delta / temperature));
+        }
+        if (accept) {
+            current = neighbor;
+            current_cost = cost;
+            rejects = 0;
+        } else if (++rejects >= cfg_.restart_after_rejects) {
+            current = space.randomMapping(rng);
+            current_cost = tracker.evaluate(current);
+            rejects = 0;
+        }
+        temperature =
+            std::max(temperature * cfg_.cooling, cfg_.min_temperature);
+    }
+    tracker.endGeneration();
+    return tracker.takeResult();
+}
+
+SearchResult
+HillClimbMapper::search(const MapSpace &space, const EvalFn &eval,
+                        const SearchBudget &budget, Rng &rng)
+{
+    SearchTracker tracker(eval, budget);
+
+    Mapping current =
+        seeds_.empty() ? space.randomMapping(rng) : seeds_.front();
+    space.repair(current);
+    CostResult current_cost = tracker.evaluate(current);
+    size_t stale = 0;
+
+    while (!tracker.exhausted()) {
+        const Mapping neighbor = randomNeighbor(space, current, rng);
+        const CostResult cost = tracker.evaluate(neighbor);
+        if (cost.valid &&
+            (!current_cost.valid || cost.edp < current_cost.edp)) {
+            current = neighbor;
+            current_cost = cost;
+            stale = 0;
+        } else if (++stale >= cfg_.restart_after_stale) {
+            current = space.randomMapping(rng);
+            current_cost = tracker.evaluate(current);
+            stale = 0;
+        }
+    }
+    tracker.endGeneration();
+    return tracker.takeResult();
+}
+
+} // namespace mse

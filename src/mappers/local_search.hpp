@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Local-search mappers from the paper's "others" category (Sec. 3.3).
+ *
+ * The paper analyzes one representative of each of the random-based,
+ * feedback-based and gradient-based families and leaves "porting
+ * representative mappers from the others category to a common cost
+ * model" as future work. These two mappers do exactly that for the
+ * local-search sub-family, reusing Gamma's domain-aware move operators
+ * as the neighborhood function so the comparison is apples-to-apples:
+ *
+ *  - SimulatedAnnealingMapper: Metropolis acceptance over log-EDP with
+ *    a geometric temperature schedule and periodic random restarts
+ *    (the MCMC flavor of FlexFlow's search).
+ *  - HillClimbMapper: steepest-accept first-improvement climbing with
+ *    restart on stagnation.
+ */
+#pragma once
+
+#include "mappers/mapper.hpp"
+
+namespace mse {
+
+/** Tunables for simulated annealing. */
+struct AnnealingConfig
+{
+    /** Initial acceptance temperature in log10(EDP) units. */
+    double initial_temperature = 1.0;
+
+    /** Multiplicative cooling per step. */
+    double cooling = 0.999;
+
+    /** Temperature floor. */
+    double min_temperature = 1e-3;
+
+    /** Restart from a fresh random mapping after this many consecutive
+     *  rejected moves. */
+    size_t restart_after_rejects = 400;
+};
+
+/** Metropolis search over the map space. */
+class SimulatedAnnealingMapper : public Mapper
+{
+  public:
+    explicit SimulatedAnnealingMapper(AnnealingConfig cfg = {})
+        : cfg_(cfg)
+    {}
+
+    std::string name() const override { return "annealing"; }
+
+    SearchResult search(const MapSpace &space, const EvalFn &eval,
+                        const SearchBudget &budget, Rng &rng) override;
+
+    void setInitialMappings(std::vector<Mapping> seeds) override
+    {
+        seeds_ = std::move(seeds);
+    }
+
+  private:
+    AnnealingConfig cfg_;
+    std::vector<Mapping> seeds_;
+};
+
+/** Tunables for hill climbing. */
+struct HillClimbConfig
+{
+    /** Restart from a fresh random mapping after this many consecutive
+     *  non-improving neighbors. */
+    size_t restart_after_stale = 200;
+};
+
+/** First-improvement hill climbing with random restarts. */
+class HillClimbMapper : public Mapper
+{
+  public:
+    explicit HillClimbMapper(HillClimbConfig cfg = {}) : cfg_(cfg) {}
+
+    std::string name() const override { return "hill-climb"; }
+
+    SearchResult search(const MapSpace &space, const EvalFn &eval,
+                        const SearchBudget &budget, Rng &rng) override;
+
+    void setInitialMappings(std::vector<Mapping> seeds) override
+    {
+        seeds_ = std::move(seeds);
+    }
+
+  private:
+    HillClimbConfig cfg_;
+    std::vector<Mapping> seeds_;
+};
+
+/**
+ * Shared neighborhood function: apply one random Gamma move operator
+ * (tile / order / parallel / bypass) and repair.
+ */
+Mapping randomNeighbor(const MapSpace &space, const Mapping &m, Rng &rng);
+
+} // namespace mse

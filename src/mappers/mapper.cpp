@@ -1,0 +1,69 @@
+#include "mappers/mapper.hpp"
+
+#include <chrono>
+
+namespace mse {
+
+namespace {
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+SearchTracker::SearchTracker(const EvalFn &eval, const SearchBudget &budget)
+    : eval_(eval), budget_(budget), t0_(nowSeconds())
+{
+}
+
+double
+SearchTracker::elapsedSeconds() const
+{
+    return nowSeconds() - t0_;
+}
+
+bool
+SearchTracker::exhausted() const
+{
+    if (log_.samples >= budget_.max_samples)
+        return true;
+    return elapsedSeconds() >= budget_.max_seconds;
+}
+
+const CostResult &
+SearchTracker::evaluate(const Mapping &m)
+{
+    last_cost_ = eval_(m);
+    ++log_.samples;
+    if (last_cost_.valid && last_cost_.edp < best_edp_) {
+        best_edp_ = last_cost_.edp;
+        best_mapping_ = m;
+        best_cost_ = last_cost_;
+    }
+    log_.best_edp_per_sample.push_back(best_edp_);
+    log_.seconds_per_sample.push_back(elapsedSeconds());
+    return last_cost_;
+}
+
+void
+SearchTracker::endGeneration()
+{
+    log_.best_edp_per_generation.push_back(best_edp_);
+}
+
+SearchResult
+SearchTracker::takeResult()
+{
+    SearchResult res;
+    res.best_mapping = best_mapping_;
+    res.best_cost = best_cost_;
+    res.log = std::move(log_);
+    return res;
+}
+
+} // namespace mse

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Common mapper interface (the "Exploration method" of Sec. 3.3).
+ *
+ * A mapper searches a MapSpace for mappings minimizing EDP, querying an
+ * opaque evaluation function (the cost model — dense, sparse, or the
+ * sparsity-aware multi-density wrapper of Sec. 5.2). Mappers honor a
+ * sample budget and an optional wall-clock budget, and record a
+ * convergence log (best-so-far EDP per evaluated sample and per
+ * generation) that the Fig. 3/5/6/10 benches plot directly.
+ */
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mapping/map_space.hpp"
+#include "model/cost_model.hpp"
+
+namespace mse {
+
+/** Evaluation callback: mapping -> cost (infinite EDP when illegal). */
+using EvalFn = std::function<CostResult(const Mapping &)>;
+
+/** Search termination criteria. */
+struct SearchBudget
+{
+    /** Maximum cost-model queries. */
+    size_t max_samples = 5000;
+
+    /** Wall-clock limit in seconds (infinity = samples only). */
+    double max_seconds = std::numeric_limits<double>::infinity();
+};
+
+/** Convergence trace of one search run. */
+struct SearchLog
+{
+    /** Best-so-far EDP after each evaluated sample. */
+    std::vector<double> best_edp_per_sample;
+
+    /** Wall-clock seconds elapsed at each evaluated sample. */
+    std::vector<double> seconds_per_sample;
+
+    /** Best-so-far EDP at the end of each generation/iteration. */
+    std::vector<double> best_edp_per_generation;
+
+    /** Total cost-model queries issued. */
+    size_t samples = 0;
+};
+
+/** Outcome of a search. */
+struct SearchResult
+{
+    Mapping best_mapping;
+    CostResult best_cost;
+    SearchLog log;
+
+    bool found() const { return best_cost.valid; }
+};
+
+/** Abstract search algorithm over a map space. */
+class Mapper
+{
+  public:
+    virtual ~Mapper() = default;
+
+    /** Short identifier used in bench output (e.g. "gamma"). */
+    virtual std::string name() const = 0;
+
+    /** Run the search. */
+    virtual SearchResult search(const MapSpace &space, const EvalFn &eval,
+                                const SearchBudget &budget, Rng &rng) = 0;
+
+    /**
+     * Seed the search with initial candidate mappings (the warm-start
+     * hook of Sec. 5.1). Mappers that cannot exploit seeds ignore them.
+     */
+    virtual void setInitialMappings(std::vector<Mapping> seeds)
+    {
+        (void)seeds;
+    }
+};
+
+/**
+ * Bookkeeping shared by all mappers: evaluates a mapping, appends to the
+ * log, and tracks the incumbent. Returns the cost.
+ */
+class SearchTracker
+{
+  public:
+    SearchTracker(const EvalFn &eval, const SearchBudget &budget);
+
+    /** True once the sample or time budget is exhausted. */
+    bool exhausted() const;
+
+    /** Evaluate and record one candidate. */
+    const CostResult &evaluate(const Mapping &m);
+
+    /** Seconds since construction. */
+    double elapsedSeconds() const;
+
+    /** Close out a generation (records best-so-far). */
+    void endGeneration();
+
+    SearchResult takeResult();
+
+    double bestEdp() const { return best_edp_; }
+    size_t samples() const { return log_.samples; }
+
+  private:
+    const EvalFn &eval_;
+    SearchBudget budget_;
+    double t0_;
+    double best_edp_ = std::numeric_limits<double>::infinity();
+    Mapping best_mapping_;
+    CostResult best_cost_;
+    CostResult last_cost_;
+    SearchLog log_;
+};
+
+} // namespace mse

@@ -1,0 +1,191 @@
+#include "mappers/mind_mappings.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mapping/encoding.hpp"
+
+namespace mse {
+
+namespace {
+
+constexpr size_t kWorkloadFeatureWidth = 8;
+
+} // namespace
+
+std::vector<double>
+MindMappingsSurrogate::buildInput(const Workload &wl,
+                                  const std::vector<double> &enc) const
+{
+    // Workload descriptor followed by the mapping encoding padded from
+    // D dims to cfg_.max_dims per (level, block).
+    std::vector<double> in = workloadFeatures(wl, kWorkloadFeatureWidth);
+    in.resize(kWorkloadFeatureWidth + 3); // exactly 3 tensor densities
+    const int D = wl.numDims();
+    for (int l = 0; l < levels_; ++l) {
+        for (int block = 0; block < 3; ++block) {
+            for (size_t d = 0; d < cfg_.max_dims; ++d) {
+                if (d < static_cast<size_t>(D)) {
+                    in.push_back(enc[static_cast<size_t>(l) * 3 * D +
+                                     static_cast<size_t>(block) * D + d]);
+                } else {
+                    in.push_back(0.0);
+                }
+            }
+        }
+    }
+    return in;
+}
+
+MindMappingsSurrogate::MindMappingsSurrogate(
+    const ArchConfig &train_arch,
+    const std::vector<Workload> &train_workloads, SurrogateConfig cfg,
+    Rng &rng)
+    : train_arch_(train_arch), cfg_(cfg),
+      levels_(train_arch.numLevels()),
+      net_([&] {
+          std::vector<int> sizes;
+          sizes.push_back(static_cast<int>(
+              kWorkloadFeatureWidth + 3 +
+              3 * static_cast<size_t>(train_arch.numLevels()) *
+                  cfg.max_dims));
+          for (int h : cfg.hidden)
+              sizes.push_back(h);
+          sizes.push_back(2);
+          return sizes;
+      }(), rng)
+{
+    // Offline dataset: random legal mappings labeled by the dense model.
+    std::vector<std::vector<double>> xs, ys;
+    xs.reserve(cfg_.train_samples);
+    ys.reserve(cfg_.train_samples);
+    std::vector<MapSpace> spaces;
+    spaces.reserve(train_workloads.size());
+    for (const auto &wl : train_workloads)
+        spaces.emplace_back(wl, train_arch_);
+
+    while (xs.size() < cfg_.train_samples) {
+        const auto &space = spaces[rng.index(spaces.size())];
+        const Mapping m = space.randomMapping(rng);
+        const CostResult cost =
+            CostModel::evaluate(space.workload(), train_arch_, m);
+        if (!cost.valid)
+            continue;
+        xs.push_back(buildInput(space.workload(), encodeMapping(space, m)));
+        ys.push_back({std::log10(cost.energy_uj),
+                      std::log10(cost.latency_cycles)});
+    }
+
+    // Normalize targets.
+    for (int k = 0; k < 2; ++k) {
+        double s = 0.0, s2 = 0.0;
+        for (const auto &y : ys) {
+            s += y[k];
+            s2 += y[k] * y[k];
+        }
+        const double n = static_cast<double>(ys.size());
+        y_mean_[k] = s / n;
+        y_std_[k] = std::sqrt(std::max(s2 / n - y_mean_[k] * y_mean_[k],
+                                       1e-12));
+        for (auto &y : ys)
+            y[k] = (y[k] - y_mean_[k]) / y_std_[k];
+    }
+
+    // Minibatch Adam training.
+    std::vector<size_t> perm(xs.size());
+    for (size_t i = 0; i < perm.size(); ++i)
+        perm[i] = i;
+    for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+        rng.shuffle(perm);
+        double loss = 0.0;
+        size_t batches = 0;
+        for (size_t start = 0; start + cfg_.batch <= perm.size();
+             start += cfg_.batch) {
+            std::vector<std::vector<double>> bx, by;
+            bx.reserve(cfg_.batch);
+            by.reserve(cfg_.batch);
+            for (size_t i = 0; i < cfg_.batch; ++i) {
+                bx.push_back(xs[perm[start + i]]);
+                by.push_back(ys[perm[start + i]]);
+            }
+            loss += net_.trainBatch(bx, by, cfg_.lr);
+            ++batches;
+        }
+        training_loss_ = batches ? loss / static_cast<double>(batches)
+                                 : 0.0;
+    }
+}
+
+std::vector<double>
+MindMappingsSurrogate::predict(const Workload &wl,
+                               const std::vector<double> &encoding) const
+{
+    auto y = net_.forward(buildInput(wl, encoding));
+    y[0] = y[0] * y_std_[0] + y_mean_[0];
+    y[1] = y[1] * y_std_[1] + y_mean_[1];
+    return y;
+}
+
+std::vector<double>
+MindMappingsSurrogate::encodingGradient(
+    const Workload &wl, const std::vector<double> &encoding) const
+{
+    const auto in = buildInput(wl, encoding);
+    const auto g0 = net_.inputGradient(in, 0);
+    const auto g1 = net_.inputGradient(in, 1);
+    // Slice the padded encoding gradient back to the unpadded layout.
+    const int D = wl.numDims();
+    std::vector<double> g(encoding.size(), 0.0);
+    const size_t base = kWorkloadFeatureWidth + 3;
+    for (int l = 0; l < levels_; ++l) {
+        for (int block = 0; block < 3; ++block) {
+            for (int d = 0; d < D; ++d) {
+                const size_t padded = base +
+                    (static_cast<size_t>(l) * 3 +
+                     static_cast<size_t>(block)) * cfg_.max_dims +
+                    static_cast<size_t>(d);
+                g[static_cast<size_t>(l) * 3 * D +
+                  static_cast<size_t>(block) * D +
+                  static_cast<size_t>(d)] = g0[padded] + g1[padded];
+            }
+        }
+    }
+    return g;
+}
+
+SearchResult
+MindMappingsMapper::search(const MapSpace &space, const EvalFn &eval,
+                           const SearchBudget &budget, Rng &rng)
+{
+    SearchTracker tracker(eval, budget);
+    const int restarts = std::max(cfg_.restarts, 1);
+    const size_t steps_per_restart =
+        std::max<size_t>(budget.max_samples / restarts, 1);
+
+    for (int r = 0; r < restarts && !tracker.exhausted(); ++r) {
+        std::vector<double> x =
+            encodeMapping(space, space.randomMapping(rng));
+        for (size_t step = 0;
+             step < steps_per_restart && !tracker.exhausted(); ++step) {
+            // Gradient descent in the relaxed encoding space.
+            const auto g = surrogate_->encodingGradient(space.workload(),
+                                                        x);
+            double norm = 0.0;
+            for (double v : g)
+                norm += v * v;
+            norm = std::sqrt(std::max(norm, 1e-12));
+            for (size_t i = 0; i < x.size(); ++i) {
+                x[i] -= cfg_.lr * g[i] / norm +
+                    rng.gaussian(0.0, cfg_.noise);
+                x[i] = std::clamp(x[i], 0.0, 1.0);
+            }
+            // Decode and record the true cost of the step.
+            const Mapping m = decodeContinuous(space, x);
+            tracker.evaluate(m);
+        }
+        tracker.endGeneration();
+    }
+    return tracker.takeResult();
+}
+
+} // namespace mse

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Mind-Mappings-style gradient mapper (Hegde et al., ASPLOS 2021; the
+ * gradient-based mapper of Sec. 4.3).
+ *
+ * A neural surrogate is trained *offline* on (workload features, mapping
+ * encoding) -> (log energy, log latency) pairs sampled from the cost
+ * model on a specific accelerator configuration. At search time the
+ * mapper never queries the cost model for guidance: it follows the
+ * surrogate's input gradient in the relaxed encoding space, decoding
+ * each step into a legal mapping whose true cost is recorded.
+ *
+ * Because the surrogate bakes in the training accelerator, it converges
+ * quickly on that configuration (Fig. 3a/b) but does not transfer to an
+ * unseen one (Fig. 3c/d) — reproduce by passing an Accel-A-trained
+ * surrogate to a search over Accel-B.
+ */
+#pragma once
+
+#include <memory>
+
+#include "mappers/mapper.hpp"
+#include "nn/mlp.hpp"
+
+namespace mse {
+
+/** Offline-training hyperparameters for the surrogate. */
+struct SurrogateConfig
+{
+    size_t train_samples = 3000; ///< Random mappings sampled per run.
+    int epochs = 30;
+    size_t batch = 32;
+    double lr = 3e-3;
+    std::vector<int> hidden = {128, 64};
+    size_t max_dims = 8; ///< Encoding is padded to this many dims.
+};
+
+/**
+ * The trained surrogate: an MLP over padded mapping encodings plus
+ * workload features, predicting normalized (log10 energy, log10
+ * latency).
+ */
+class MindMappingsSurrogate
+{
+  public:
+    /**
+     * Sample random legal mappings of the given workloads on train_arch,
+     * label them with the dense cost model, and fit the MLP.
+     */
+    MindMappingsSurrogate(const ArchConfig &train_arch,
+                          const std::vector<Workload> &train_workloads,
+                          SurrogateConfig cfg, Rng &rng);
+
+    const ArchConfig &trainArch() const { return train_arch_; }
+
+    /** Final training loss (normalized squared error). */
+    double trainingLoss() const { return training_loss_; }
+
+    /** Predicted (log10 energy, log10 latency), denormalized. */
+    std::vector<double> predict(const Workload &wl,
+                                const std::vector<double> &encoding) const;
+
+    /**
+     * Gradient of predicted normalized log-EDP (sum of both outputs)
+     * with respect to the *unpadded* mapping encoding.
+     */
+    std::vector<double>
+    encodingGradient(const Workload &wl,
+                     const std::vector<double> &encoding) const;
+
+  private:
+    std::vector<double> buildInput(const Workload &wl,
+                                   const std::vector<double> &enc) const;
+
+    ArchConfig train_arch_;
+    SurrogateConfig cfg_;
+    int levels_;
+    Mlp net_;
+    double y_mean_[2] = {0, 0};
+    double y_std_[2] = {1, 1};
+    double training_loss_ = 0.0;
+};
+
+/** Search hyperparameters for the gradient descent phase. */
+struct MindMappingsConfig
+{
+    int restarts = 6;      ///< Independent random starting encodings.
+    double lr = 0.08;      ///< Gradient step size in encoding space.
+    double noise = 0.01;   ///< Exploration noise per step.
+};
+
+/** The gradient-based mapper driving a shared surrogate. */
+class MindMappingsMapper : public Mapper
+{
+  public:
+    MindMappingsMapper(std::shared_ptr<const MindMappingsSurrogate> sur,
+                       MindMappingsConfig cfg = {})
+        : surrogate_(std::move(sur)), cfg_(cfg)
+    {}
+
+    std::string name() const override { return "mind-mappings"; }
+
+    SearchResult search(const MapSpace &space, const EvalFn &eval,
+                        const SearchBudget &budget, Rng &rng) override;
+
+  private:
+    std::shared_ptr<const MindMappingsSurrogate> surrogate_;
+    MindMappingsConfig cfg_;
+};
+
+} // namespace mse

@@ -1,0 +1,50 @@
+#include "mappers/order_sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/permutation.hpp"
+
+namespace mse {
+
+std::vector<OrderSweepPoint>
+sweepUniformOrders(const MapSpace &space, const Mapping &base,
+                   const EvalFn &eval)
+{
+    const int D = space.numDims();
+    const uint64_t total = factorial(D);
+    std::vector<OrderSweepPoint> pts;
+    pts.reserve(total);
+    for (uint64_t rank = 0; rank < total; ++rank) {
+        const auto perm = permutationFromRank(D, rank);
+        Mapping m = base;
+        for (int l = 0; l < m.numLevels(); ++l)
+            m.level(l).order = perm;
+        const CostResult cost = eval(m);
+        if (!cost.valid)
+            continue;
+        pts.push_back({rank, perm, cost.edp});
+    }
+    return pts;
+}
+
+std::vector<double>
+distinctEdps(const std::vector<OrderSweepPoint> &pts, double rel_tol)
+{
+    std::vector<double> edps;
+    edps.reserve(pts.size());
+    for (const auto &p : pts)
+        edps.push_back(p.edp);
+    std::sort(edps.begin(), edps.end());
+    std::vector<double> distinct;
+    for (double e : edps) {
+        if (distinct.empty() ||
+            std::fabs(e - distinct.back()) >
+                rel_tol * std::max(std::fabs(e), 1.0)) {
+            distinct.push_back(e);
+        }
+    }
+    return distinct;
+}
+
+} // namespace mse

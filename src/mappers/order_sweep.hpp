@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Exhaustive loop-order sweep (the Fig. 7 study).
+ *
+ * Holds a base mapping's tile sizes and parallelization fixed, applies
+ * the same order permutation at every buffer level (the paper's
+ * complexity-relaxation constraint), and evaluates all d! permutations.
+ * Reports the EDP of each permutation so callers can count distinct EDP
+ * groups and the best/worst ratio.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mappers/mapper.hpp"
+
+namespace mse {
+
+/** Result of sweeping one permutation. */
+struct OrderSweepPoint
+{
+    uint64_t rank;       ///< Lexicographic rank of the permutation.
+    std::vector<int> order;
+    double edp;
+};
+
+/**
+ * Evaluate every permutation of the workload dims applied uniformly at
+ * all levels of `base`. Illegal variants (there should be none, since
+ * order does not affect legality) are skipped.
+ */
+std::vector<OrderSweepPoint> sweepUniformOrders(const MapSpace &space,
+                                                const Mapping &base,
+                                                const EvalFn &eval);
+
+/**
+ * Distinct EDP values in a sweep, using a relative tolerance to merge
+ * floating-point twins. Returned ascending.
+ */
+std::vector<double> distinctEdps(const std::vector<OrderSweepPoint> &pts,
+                                 double rel_tol = 1e-9);
+
+} // namespace mse

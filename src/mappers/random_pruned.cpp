@@ -1,0 +1,33 @@
+#include "mappers/random_pruned.hpp"
+
+namespace mse {
+
+SearchResult
+RandomPrunedMapper::search(const MapSpace &space, const EvalFn &eval,
+                           const SearchBudget &budget, Rng &rng)
+{
+    SearchTracker tracker(eval, budget);
+    std::unordered_set<std::string> seen;
+    // Bound the number of consecutive duplicate draws so tiny map spaces
+    // cannot spin forever.
+    const int max_consecutive_dupes = 256;
+    int dupes = 0;
+    while (!tracker.exhausted()) {
+        Mapping m = space.randomMapping(rng);
+        if (dedupe_) {
+            auto [it, inserted] = seen.insert(m.canonicalKey());
+            (void)it;
+            if (!inserted) {
+                if (++dupes >= max_consecutive_dupes)
+                    break;
+                continue;
+            }
+            dupes = 0;
+        }
+        tracker.evaluate(m);
+    }
+    tracker.endGeneration();
+    return tracker.takeResult();
+}
+
+} // namespace mse

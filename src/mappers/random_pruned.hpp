@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Random-Pruned mapper: Timeloop-mapper's default search (Sec. 4.3).
+ *
+ * Samples the map space uniformly at random but prunes redundant
+ * candidates before spending cost-model evaluations on them: mappings
+ * whose loop orders differ only in the placement of factor-1 loops are
+ * canonically identical (Mapping::canonicalKey), and previously-seen
+ * canonical keys are skipped. There is no learning: each sample is
+ * independent, which makes every sample cheap — the property that lets
+ * random search win under very tight wall-clock budgets (Fig. 3, bottom).
+ */
+#pragma once
+
+#include <unordered_set>
+
+#include "mappers/mapper.hpp"
+
+namespace mse {
+
+/** Pruned random search over the map space. */
+class RandomPrunedMapper : public Mapper
+{
+  public:
+    /**
+     * @param dedupe  Skip canonically-duplicate mappings (the "pruned"
+     *                part); disable to get plain random search.
+     */
+    explicit RandomPrunedMapper(bool dedupe = true) : dedupe_(dedupe) {}
+
+    std::string name() const override { return "random-pruned"; }
+
+    SearchResult search(const MapSpace &space, const EvalFn &eval,
+                        const SearchBudget &budget, Rng &rng) override;
+
+  private:
+    bool dedupe_;
+};
+
+} // namespace mse

@@ -1,0 +1,140 @@
+#include "mapping/encoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/math_util.hpp"
+
+namespace mse {
+
+namespace {
+
+double
+normLog(int64_t factor, int64_t bound)
+{
+    if (bound <= 1)
+        return 0.0;
+    return std::log2(static_cast<double>(factor)) /
+        std::log2(static_cast<double>(bound));
+}
+
+} // namespace
+
+size_t
+encodingWidth(const MapSpace &space)
+{
+    return static_cast<size_t>(3 * space.numLevels() * space.numDims());
+}
+
+std::vector<double>
+encodeMapping(const MapSpace &space, const Mapping &m)
+{
+    const int L = space.numLevels();
+    const int D = space.numDims();
+    const auto &wl = space.workload();
+    std::vector<double> x;
+    x.reserve(encodingWidth(space));
+    for (int l = 0; l < L; ++l) {
+        for (int d = 0; d < D; ++d)
+            x.push_back(normLog(m.level(l).temporal[d], wl.bound(d)));
+        for (int d = 0; d < D; ++d)
+            x.push_back(normLog(m.level(l).spatial[d], wl.bound(d)));
+        std::vector<int> pos(D, 0);
+        for (int i = 0; i < D; ++i)
+            pos[m.level(l).order[i]] = i;
+        for (int d = 0; d < D; ++d)
+            x.push_back(D > 1 ? static_cast<double>(pos[d]) / (D - 1) : 0.0);
+    }
+    return x;
+}
+
+Mapping
+decodeContinuous(const MapSpace &space, const std::vector<double> &x)
+{
+    const int L = space.numLevels();
+    const int D = space.numDims();
+    const auto &wl = space.workload();
+    const auto &arch = space.arch();
+    Mapping m(L, D);
+
+    auto at = [&](int l, int block, int d) {
+        // block 0 = temporal, 1 = spatial, 2 = order score.
+        return x[static_cast<size_t>(l) * 3 * D +
+                 static_cast<size_t>(block) * D + static_cast<size_t>(d)];
+    };
+
+    for (int d = 0; d < D; ++d) {
+        const int64_t bound = wl.bound(d);
+        // Gather slot scores: temporal at every level, spatial only where
+        // the architecture has fanout.
+        struct Slot { int level; bool spatial; double score; };
+        std::vector<Slot> slots;
+        for (int l = 0; l < L; ++l) {
+            slots.push_back({l, false, at(l, 0, d)});
+            if (arch.levels[l].fanout > 1)
+                slots.push_back({l, true, at(l, 1, d)});
+        }
+        // Softmax shares of log(bound).
+        double mx = slots[0].score;
+        for (const auto &s : slots)
+            mx = std::max(mx, s.score);
+        double z = 0.0;
+        std::vector<double> e(slots.size());
+        for (size_t i = 0; i < slots.size(); ++i) {
+            e[i] = std::exp(4.0 * (slots[i].score - mx));
+            z += e[i];
+        }
+        const double logb = std::log2(static_cast<double>(bound));
+        // Greedy divisor rounding, last slot absorbs the remainder.
+        int64_t rem = bound;
+        for (size_t i = 0; i + 1 < slots.size(); ++i) {
+            const double target = std::exp2(logb * e[i] / z);
+            const int64_t f = nearestDivisor(
+                rem, static_cast<int64_t>(std::llround(target)));
+            if (slots[i].spatial)
+                m.level(slots[i].level).spatial[d] = f;
+            else
+                m.level(slots[i].level).temporal[d] = f;
+            rem /= f;
+        }
+        const auto &last = slots.back();
+        if (last.spatial)
+            m.level(last.level).spatial[d] = rem;
+        else
+            m.level(last.level).temporal[d] = rem;
+    }
+
+    for (int l = 0; l < L; ++l) {
+        std::vector<int> order(D);
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+            return at(l, 2, a) < at(l, 2, b);
+        });
+        m.level(l).order = order;
+    }
+
+    space.repairFanout(m);
+    space.repairCapacity(m);
+    return m;
+}
+
+std::vector<double>
+workloadFeatures(const Workload &wl, size_t width)
+{
+    std::vector<double> f;
+    f.reserve(width + wl.numTensors());
+    for (size_t i = 0; i < width; ++i) {
+        if (i < static_cast<size_t>(wl.numDims())) {
+            f.push_back(std::log2(static_cast<double>(wl.bound(
+                            static_cast<int>(i))) ) / 16.0);
+        } else {
+            f.push_back(0.0);
+        }
+    }
+    for (const auto &t : wl.tensors())
+        f.push_back(t.density);
+    return f;
+}
+
+} // namespace mse

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Numeric encodings of mappings.
+ *
+ * Two consumers need a fixed-width vector view of a mapping:
+ *  - the Fig. 4 map-space visualization (PCA over sampled mappings), and
+ *  - the Mind-Mappings-style gradient mapper, which trains a surrogate
+ *    on (workload features, mapping encoding) -> performance and then
+ *    gradient-descends on the mapping encoding.
+ *
+ * The encoding is, per storage level and dimension: normalized log tile
+ * factor, normalized log spatial factor, and normalized loop-order
+ * position; i.e. 3 * levels * dims features. decodeContinuous() maps an
+ * arbitrary real vector of that shape back to a legal mapping (softmax
+ * factor shares + greedy divisor rounding + repair), which is how
+ * gradient steps in the relaxed space are realized as concrete mappings.
+ */
+#pragma once
+
+#include <vector>
+
+#include "mapping/map_space.hpp"
+#include "mapping/mapping.hpp"
+
+namespace mse {
+
+/** Number of features encodeMapping() produces for this space. */
+size_t encodingWidth(const MapSpace &space);
+
+/** Encode a legal mapping as a fixed-width feature vector in [0, 1]. */
+std::vector<double> encodeMapping(const MapSpace &space, const Mapping &m);
+
+/**
+ * Decode an arbitrary real vector (same layout as encodeMapping) into a
+ * legal mapping of the space. Total ordering of magnitudes is respected;
+ * illegal intermediate results are repaired.
+ */
+Mapping decodeContinuous(const MapSpace &space, const std::vector<double> &x);
+
+/**
+ * Workload descriptor for surrogate inputs: normalized log bounds padded
+ * or truncated to `width` entries, followed by tensor densities.
+ */
+std::vector<double> workloadFeatures(const Workload &wl, size_t width = 8);
+
+} // namespace mse

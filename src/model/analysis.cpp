@@ -1,0 +1,73 @@
+#include "model/analysis.hpp"
+
+#include "model/cost_model.hpp"
+
+namespace mse {
+
+const char *
+stationarityName(Stationarity s)
+{
+    switch (s) {
+      case Stationarity::Weight: return "weight-stationary";
+      case Stationarity::Input: return "input-stationary";
+      case Stationarity::Output: return "output-stationary";
+      case Stationarity::None: return "no-stationarity";
+    }
+    return "unknown";
+}
+
+double
+reuseFactor(const Workload &wl, const Mapping &m, int t, int l)
+{
+    // Product of the factors of irrelevant loops inside the innermost
+    // relevant loop of level l's order.
+    const auto &lvl = m.level(l);
+    const int D = static_cast<int>(lvl.order.size());
+    double reuse = 1.0;
+    for (int j = D - 1; j >= 0; --j) {
+        const int d = lvl.order[j];
+        if (lvl.temporal[d] <= 1)
+            continue;
+        if (wl.isRelevant(t, d))
+            break;
+        reuse *= static_cast<double>(lvl.temporal[d]);
+    }
+    return reuse;
+}
+
+Stationarity
+classifyStationarity(const Workload &wl, const Mapping &m)
+{
+    double best_reuse = 1.0;
+    int best_tensor = -1;
+    for (int t = 0; t < wl.numTensors(); ++t) {
+        const double r = reuseFactor(wl, m, t, 0);
+        if (r > best_reuse) {
+            best_reuse = r;
+            best_tensor = t;
+        }
+    }
+    if (best_tensor < 0)
+        return Stationarity::None;
+    if (best_tensor == wl.outputTensor())
+        return Stationarity::Output;
+    if (wl.tensor(best_tensor).name == "Weights")
+        return Stationarity::Weight;
+    return Stationarity::Input;
+}
+
+double
+arithmeticIntensity(const Workload &wl, const ArchConfig &arch,
+                    const Mapping &m)
+{
+    const AccessCounts counts = computeAccessCounts(wl, arch, m);
+    const int dram = arch.numLevels() - 1;
+    double words = 0.0;
+    for (int t = 0; t < wl.numTensors(); ++t) {
+        words += counts.access[dram][t].reads +
+            counts.access[dram][t].writes;
+    }
+    return counts.macs / std::max(words, 1.0);
+}
+
+} // namespace mse

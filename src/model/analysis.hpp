@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Mapping analysis utilities.
+ *
+ * Sec. 4.4.3 of the paper observes that loop orders collapse into large
+ * "stationarity" buckets (weight-/input-/output-stationary). These
+ * helpers make that taxonomy executable: classifyStationarity() names
+ * the tensor that enjoys the most temporal reuse at the innermost
+ * storage level, and reuseFactor() quantifies each tensor's reuse so
+ * analyses (and users debugging a mapping) can see *why* an order is
+ * good.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "mapping/mapping.hpp"
+#include "workload/workload.hpp"
+
+namespace mse {
+
+/** Classical dataflow buckets. */
+enum class Stationarity
+{
+    Weight,
+    Input,
+    Output,
+    None, ///< No tensor is meaningfully held still.
+};
+
+/** Printable name of a bucket. */
+const char *stationarityName(Stationarity s);
+
+/**
+ * Temporal reuse factor of tensor t at storage level l: how many
+ * consecutive innermost iterations at that level touch the same tile of
+ * t (the product of the factors of irrelevant loops placed inside t's
+ * innermost relevant loop). 1 = no reuse.
+ */
+double reuseFactor(const Workload &wl, const Mapping &m, int t, int l);
+
+/**
+ * The dataflow bucket of a mapping: the tensor with the largest
+ * innermost-level reuse factor, by name ("Weights" -> Weight, "Inputs"
+ * -> Input, output tensor -> Output). None when every factor is 1.
+ */
+Stationarity classifyStationarity(const Workload &wl, const Mapping &m);
+
+/**
+ * Arithmetic intensity of the mapping: MACs per word moved across the
+ * DRAM boundary (higher = better data reuse overall).
+ */
+double arithmeticIntensity(const Workload &wl, const ArchConfig &arch,
+                           const Mapping &m);
+
+} // namespace mse

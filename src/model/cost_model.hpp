@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Order-aware analytical cost model (the Timeloop role in Sec. 3.2).
+ *
+ * Given (workload, architecture, mapping) the model derives, per storage
+ * level and tensor, how many words move between adjacent levels, then
+ * folds the traffic into energy (per-access energies) and latency (a
+ * roofline over compute and per-level bandwidth).
+ *
+ * Reuse analysis. At a storage level, the child's tile of tensor T must
+ * be re-delivered once per iteration of the loop nest truncated at the
+ * *innermost loop relevant to T* (loops with factor 1 are skipped):
+ * irrelevant loops placed inside the innermost relevant loop reuse the
+ * resident tile, irrelevant loops outside it re-deliver the same data.
+ * This truncation is exactly why loop order matters, and why many orders
+ * tie (Fig. 7): only the truncation point is observable.
+ *
+ * Spatial fanout. Spatial factors relevant to T spread distinct data
+ * across child instances; irrelevant spatial factors multicast the same
+ * words (charged once at the parent when the NoC multicasts).
+ *
+ * Outputs. Partial sums are accumulated in place while reduction loops
+ * are inner; reduction iterations outside a tile's residence force a
+ * writeback and a later re-read of the partial (read-modify-write),
+ * counted as deliveries minus distinct tiles.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "mapping/mapping.hpp"
+#include "workload/workload.hpp"
+
+namespace mse {
+
+/** Word traffic at one storage level for one tensor. */
+struct TensorLevelAccess
+{
+    double reads = 0.0;  ///< Words read out of this level.
+    double writes = 0.0; ///< Words written into this level.
+};
+
+/** Full traffic breakdown of a mapping. */
+struct AccessCounts
+{
+    /** access[level][tensor]. */
+    std::vector<std::vector<TensorLevelAccess>> access;
+
+    /** Active compute lanes = product of all spatial products. */
+    double active_alus = 1.0;
+
+    /** Total multiply-accumulates. */
+    double macs = 0.0;
+};
+
+/** Evaluated cost of one mapping. */
+struct CostResult
+{
+    bool valid = false;
+    MappingError error = MappingError::Ok;
+
+    double latency_cycles = 0.0;
+    double energy_uj = 0.0;
+    double edp = 0.0; ///< latency_cycles * energy_uj (cycles * uJ).
+
+    double compute_cycles = 0.0;
+    double utilization = 0.0; ///< Active ALUs / total ALUs.
+    double macs = 0.0;
+
+    /** Per-level energy (uJ), innermost first. */
+    std::vector<double> level_energy_uj;
+
+    /** Per-level bandwidth-bound cycles, innermost first. */
+    std::vector<double> level_cycles;
+};
+
+/**
+ * Count the word traffic of a legal mapping. The caller is responsible
+ * for validity; behavior on illegal mappings is unspecified.
+ */
+AccessCounts computeAccessCounts(const Workload &wl, const ArchConfig &arch,
+                                 const Mapping &m);
+
+/**
+ * The dense analytical cost model. Stateless; evaluate() validates the
+ * mapping first and returns an invalid CostResult (infinite EDP) for
+ * illegal mappings so mappers can treat the map space as total.
+ */
+class CostModel
+{
+  public:
+    /** Evaluate a mapping end to end. */
+    static CostResult evaluate(const Workload &wl, const ArchConfig &arch,
+                               const Mapping &m);
+
+    /** Fold pre-computed traffic into energy/latency/EDP. */
+    static CostResult fold(const Workload &wl, const ArchConfig &arch,
+                           const Mapping &m, const AccessCounts &counts);
+};
+
+} // namespace mse

@@ -1,0 +1,193 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+
+namespace mse {
+
+DenseLayer::DenseLayer(int in, int out, Rng &rng) : in_(in), out_(out)
+{
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));
+    w_.resize(static_cast<size_t>(in) * out);
+    for (auto &v : w_)
+        v = rng.gaussian(0.0, scale);
+    b_.assign(out, 0.0);
+    gw_.assign(w_.size(), 0.0);
+    gb_.assign(out, 0.0);
+    mw_.assign(w_.size(), 0.0);
+    vw_.assign(w_.size(), 0.0);
+    mb_.assign(out, 0.0);
+    vb_.assign(out, 0.0);
+}
+
+void
+DenseLayer::forward(const std::vector<double> &x,
+                    std::vector<double> &y) const
+{
+    y.assign(out_, 0.0);
+    for (int o = 0; o < out_; ++o) {
+        double s = b_[o];
+        const double *row = &w_[static_cast<size_t>(o) * in_];
+        for (int i = 0; i < in_; ++i)
+            s += row[i] * x[i];
+        y[o] = s;
+    }
+}
+
+void
+DenseLayer::backward(const std::vector<double> &x,
+                     const std::vector<double> &dy, std::vector<double> &dx)
+{
+    dx.assign(in_, 0.0);
+    for (int o = 0; o < out_; ++o) {
+        const double g = dy[o];
+        gb_[o] += g;
+        double *grow = &gw_[static_cast<size_t>(o) * in_];
+        const double *row = &w_[static_cast<size_t>(o) * in_];
+        for (int i = 0; i < in_; ++i) {
+            grow[i] += g * x[i];
+            dx[i] += g * row[i];
+        }
+    }
+}
+
+void
+DenseLayer::backwardInput(const std::vector<double> &dy,
+                          std::vector<double> &dx) const
+{
+    dx.assign(in_, 0.0);
+    for (int o = 0; o < out_; ++o) {
+        const double g = dy[o];
+        const double *row = &w_[static_cast<size_t>(o) * in_];
+        for (int i = 0; i < in_; ++i)
+            dx[i] += g * row[i];
+    }
+}
+
+void
+DenseLayer::adamStep(double lr, double beta1, double beta2, double eps,
+                     int64_t t)
+{
+    const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(t));
+    const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(t));
+    for (size_t i = 0; i < w_.size(); ++i) {
+        mw_[i] = beta1 * mw_[i] + (1 - beta1) * gw_[i];
+        vw_[i] = beta2 * vw_[i] + (1 - beta2) * gw_[i] * gw_[i];
+        w_[i] -= lr * (mw_[i] / bc1) / (std::sqrt(vw_[i] / bc2) + eps);
+    }
+    for (size_t i = 0; i < b_.size(); ++i) {
+        mb_[i] = beta1 * mb_[i] + (1 - beta1) * gb_[i];
+        vb_[i] = beta2 * vb_[i] + (1 - beta2) * gb_[i] * gb_[i];
+        b_[i] -= lr * (mb_[i] / bc1) / (std::sqrt(vb_[i] / bc2) + eps);
+    }
+    zeroGrad();
+}
+
+void
+DenseLayer::zeroGrad()
+{
+    std::fill(gw_.begin(), gw_.end(), 0.0);
+    std::fill(gb_.begin(), gb_.end(), 0.0);
+}
+
+Mlp::Mlp(const std::vector<int> &sizes, Rng &rng) : sizes_(sizes)
+{
+    for (size_t i = 0; i + 1 < sizes.size(); ++i)
+        layers_.emplace_back(sizes[i], sizes[i + 1], rng);
+}
+
+std::vector<double>
+Mlp::forward(const std::vector<double> &x) const
+{
+    std::vector<double> a = x, y;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        layers_[i].forward(a, y);
+        if (i + 1 < layers_.size()) {
+            for (auto &v : y)
+                v = v > 0 ? v : 0.0; // ReLU
+        }
+        a.swap(y);
+    }
+    return a;
+}
+
+double
+Mlp::trainBatch(const std::vector<std::vector<double>> &xs,
+                const std::vector<std::vector<double>> &ys, double lr)
+{
+    const size_t n = xs.size();
+    double loss = 0.0;
+    for (size_t s = 0; s < n; ++s) {
+        // Forward pass caching pre-activation inputs per layer.
+        std::vector<std::vector<double>> acts; // input to each layer
+        std::vector<double> a = xs[s], y;
+        for (size_t i = 0; i < layers_.size(); ++i) {
+            acts.push_back(a);
+            layers_[i].forward(a, y);
+            if (i + 1 < layers_.size()) {
+                for (auto &v : y)
+                    v = v > 0 ? v : 0.0;
+            }
+            a.swap(y);
+        }
+        // Squared-error loss gradient.
+        std::vector<double> dy(a.size());
+        for (size_t k = 0; k < a.size(); ++k) {
+            const double e = a[k] - ys[s][k];
+            loss += e * e;
+            dy[k] = 2.0 * e / static_cast<double>(n);
+        }
+        // Backward pass.
+        std::vector<double> dx;
+        for (size_t i = layers_.size(); i-- > 0;) {
+            if (i + 1 < layers_.size()) {
+                // Gradient through the ReLU applied to this layer's
+                // output: recompute the activation mask.
+                std::vector<double> z;
+                layers_[i].forward(acts[i], z);
+                for (size_t k = 0; k < dy.size(); ++k) {
+                    if (z[k] <= 0)
+                        dy[k] = 0.0;
+                }
+            }
+            layers_[i].backward(acts[i], dy, dx);
+            dy.swap(dx);
+        }
+    }
+    ++adam_t_;
+    for (auto &layer : layers_)
+        layer.adamStep(lr, 0.9, 0.999, 1e-8, adam_t_);
+    return loss / static_cast<double>(n);
+}
+
+std::vector<double>
+Mlp::inputGradient(const std::vector<double> &x, int output_index) const
+{
+    // Forward pass caching pre-ReLU outputs.
+    std::vector<std::vector<double>> zs;
+    std::vector<double> a = x, y;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        layers_[i].forward(a, y);
+        zs.push_back(y);
+        if (i + 1 < layers_.size()) {
+            for (auto &v : y)
+                v = v > 0 ? v : 0.0;
+        }
+        a.swap(y);
+    }
+    std::vector<double> dy(layers_.back().outSize(), 0.0);
+    dy[output_index] = 1.0;
+    std::vector<double> dx;
+    for (size_t i = layers_.size(); i-- > 0;) {
+        if (i + 1 < layers_.size()) {
+            for (size_t k = 0; k < dy.size(); ++k) {
+                if (zs[i][k] <= 0)
+                    dy[k] = 0.0;
+            }
+        }
+        layers_[i].backwardInput(dy, dx);
+        dy.swap(dx);
+    }
+    return dy;
+}
+
+} // namespace mse

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Minimal fully-connected neural network with Adam, written from scratch
+ * to implement the Mind-Mappings surrogate (Sec. 4.3, gradient-based
+ * mapper). The surrogate maps (workload features, mapping encoding) to
+ * predicted log-performance; MSE then gradient-descends on the *input*
+ * encoding, so the network exposes input gradients as a first-class
+ * operation.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mse {
+
+/** One dense layer y = W x + b with Adam state. */
+class DenseLayer
+{
+  public:
+    DenseLayer(int in, int out, Rng &rng);
+
+    int inSize() const { return in_; }
+    int outSize() const { return out_; }
+
+    /** y = W x + b. */
+    void forward(const std::vector<double> &x, std::vector<double> &y) const;
+
+    /**
+     * Backprop: given dL/dy and the cached input x, accumulate weight
+     * gradients and produce dL/dx.
+     */
+    void backward(const std::vector<double> &x,
+                  const std::vector<double> &dy, std::vector<double> &dx);
+
+    /** Backprop to inputs only (no gradient accumulation). */
+    void backwardInput(const std::vector<double> &dy,
+                       std::vector<double> &dx) const;
+
+    /** Apply one Adam update and clear accumulated gradients. */
+    void adamStep(double lr, double beta1, double beta2, double eps,
+                  int64_t t);
+
+    void zeroGrad();
+
+  private:
+    int in_, out_;
+    std::vector<double> w_, b_;     // parameters
+    std::vector<double> gw_, gb_;   // accumulated gradients
+    std::vector<double> mw_, vw_, mb_, vb_; // Adam moments
+};
+
+/**
+ * A multi-layer perceptron with ReLU hidden activations and a linear
+ * output layer.
+ */
+class Mlp
+{
+  public:
+    /** sizes = {in, hidden..., out}; weights are He-initialized. */
+    Mlp(const std::vector<int> &sizes, Rng &rng);
+
+    int inputSize() const { return sizes_.front(); }
+    int outputSize() const { return sizes_.back(); }
+
+    /** Inference. */
+    std::vector<double> forward(const std::vector<double> &x) const;
+
+    /**
+     * One Adam minibatch step on squared error; returns the mean loss
+     * over the batch before the update.
+     */
+    double trainBatch(const std::vector<std::vector<double>> &xs,
+                      const std::vector<std::vector<double>> &ys,
+                      double lr);
+
+    /**
+     * Gradient of the scalar output[output_index] with respect to the
+     * input vector (for gradient descent on mapping encodings).
+     */
+    std::vector<double> inputGradient(const std::vector<double> &x,
+                                      int output_index = 0) const;
+
+  private:
+    std::vector<int> sizes_;
+    std::vector<DenseLayer> layers_;
+    int64_t adam_t_ = 0;
+};
+
+} // namespace mse

@@ -1,0 +1,296 @@
+#include "sparse/sparse_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mse {
+
+double
+reductionInnerness(const Workload &wl, const Mapping &m)
+{
+    // Per level: how much of the level's non-reduction loop weight sits
+    // *outside* each reduction loop. A reduction loop placed innermost
+    // (inner-product style) sees all non-reduction weight outside it
+    // (score 1); placed outermost (outer-product style) it sees none
+    // (score 0). Scores are aggregated across levels weighted by
+    // log2(reduction factor); loops with factor 1 are invisible.
+    const int out = wl.outputTensor();
+    double red_weight = 0.0, red_score = 0.0;
+    for (int l = 0; l < m.numLevels(); ++l) {
+        const auto &lvl = m.level(l);
+        // Spatially-mapped reduction accumulates immediately through an
+        // adder tree — inner-product semantics (score 1), whatever the
+        // temporal order says.
+        for (int d = 0; d < static_cast<int>(lvl.spatial.size()); ++d) {
+            if (lvl.spatial[d] > 1 && !wl.isRelevant(out, d)) {
+                const double w =
+                    std::log2(static_cast<double>(lvl.spatial[d]));
+                red_weight += w;
+                red_score += w;
+            }
+        }
+        double nonred_total = 0.0;
+        for (int d = 0; d < static_cast<int>(lvl.temporal.size()); ++d) {
+            if (lvl.temporal[d] > 1 && wl.isRelevant(out, d)) {
+                nonred_total +=
+                    std::log2(static_cast<double>(lvl.temporal[d]));
+            }
+        }
+        double nonred_outside = 0.0;
+        for (int d : lvl.order) {
+            const double w =
+                std::log2(static_cast<double>(lvl.temporal[d]));
+            if (lvl.temporal[d] <= 1)
+                continue;
+            if (wl.isRelevant(out, d)) {
+                nonred_outside += w;
+            } else {
+                const double frac = nonred_total > 0.0
+                    ? nonred_outside / nonred_total : 0.5;
+                red_weight += w;
+                red_score += w * frac;
+            }
+        }
+    }
+    if (red_weight <= 0.0)
+        return 0.5;
+    return red_score / red_weight;
+}
+
+void
+applyDensities(Workload &wl, double weight_density,
+               double activation_density)
+{
+    wl.setDensity("Weights", weight_density);
+    wl.setDensity("Inputs", activation_density);
+    double reduction = 1.0;
+    for (int d : wl.reductionDims())
+        reduction *= static_cast<double>(wl.bound(d));
+    const double nonzero_p = weight_density * activation_density;
+    double out_density = 1.0 - std::pow(1.0 - nonzero_p, reduction);
+    out_density = std::clamp(out_density, 1e-4, 1.0);
+    wl.setDensity("Outputs", out_density);
+}
+
+namespace {
+
+void
+fixOrder(const Workload &wl, Mapping &m, bool reduction_inner)
+{
+    const int out = wl.outputTensor();
+    for (int l = 0; l < m.numLevels(); ++l) {
+        std::vector<int> non_red, red;
+        for (int d : m.level(l).order) {
+            if (wl.isRelevant(out, d))
+                non_red.push_back(d);
+            else
+                red.push_back(d);
+        }
+        std::vector<int> order;
+        if (reduction_inner) {
+            order = non_red;
+            order.insert(order.end(), red.begin(), red.end());
+        } else {
+            order = red;
+            order.insert(order.end(), non_red.begin(), non_red.end());
+        }
+        m.level(l).order = order;
+    }
+}
+
+} // namespace
+
+void
+fixOrderInnerProduct(const Workload &wl, Mapping &m)
+{
+    fixOrder(wl, m, true);
+}
+
+void
+fixOrderOuterProduct(const Workload &wl, Mapping &m)
+{
+    fixOrder(wl, m, false);
+}
+
+CostResult
+SparseCostModel::evaluate(const Workload &wl, const ArchConfig &arch,
+                          const Mapping &m) const
+{
+    // Structural errors reject the mapping outright. Capacity overflow,
+    // however, is modeled as *spilling*: a mapping tuned for a sparse
+    // workload may overflow its buffers when the workload is denser
+    // than expected (the Table-2 cross-tests); the hardware would then
+    // stream the oversized tile in multiple passes rather than fault.
+    const MappingError err = validateMapping(wl, arch, m);
+    if (err != MappingError::Ok && err != MappingError::CapacityExceeded) {
+        CostResult res;
+        res.valid = false;
+        res.error = err;
+        res.latency_cycles = std::numeric_limits<double>::infinity();
+        res.energy_uj = std::numeric_limits<double>::infinity();
+        res.edp = std::numeric_limits<double>::infinity();
+        return res;
+    }
+
+    AccessCounts counts = computeAccessCounts(wl, arch, m);
+    const int L = arch.numLevels();
+    const int out = wl.outputTensor();
+    const double dw = wl.density("Weights");
+    const double da = wl.density("Inputs");
+
+    // Traffic compression per tensor. Inputs and weights scale by their
+    // density; the output (partial-sum) stream scales *per level* by the
+    // partial density accumulated below that level: a partial tile that
+    // has only seen R reduction iterations is nonzero with probability
+    // 1 - (1 - dw*da)^R. This is what makes outer-product dataflows
+    // cheap at high sparsity (their partial streams are nearly empty)
+    // and expensive when dense (the same streams are huge).
+    auto compressed = [&](int t) {
+        const auto &spec = wl.tensor(t);
+        if (spec.name == "Weights")
+            return saf_.compress_weights;
+        return saf_.compress_activations;
+    };
+    const double meta = 1.0 + saf_.metadata_overhead;
+    const double p0 = dw * da;
+    const double vol_out = wl.tensorVolume(out);
+    const double d_final = wl.density("Outputs");
+    double reduction_below = 1.0; // reduction iterations inside level l-1
+    for (int l = 0; l < L; ++l) {
+        // Density of a *partial* output tile entering level l: it has
+        // only accumulated the reduction iterations of the levels below.
+        const double p_partial = std::min(
+            1.0, 1.0 - std::pow(1.0 - p0, std::max(reduction_below, 1.0)));
+        for (int t = 0; t < wl.numTensors(); ++t) {
+            if (!compressed(t))
+                continue;
+            if (t == out) {
+                // Split deliveries into final ones (each output word
+                // crosses each level once at full output density) and
+                // partial ones (nearly empty early in the reduction).
+                auto &a = counts.access[l][t];
+                const double fin = std::min(a.writes, vol_out);
+                const double part = a.writes - fin;
+                a.writes = std::min(
+                    a.writes,
+                    (part * p_partial + fin * d_final) * meta);
+                a.reads *= std::min(p_partial * meta, 1.0);
+            } else {
+                const double scale =
+                    std::min(wl.tensor(t).density * meta, 1.0);
+                counts.access[l][t].reads *= scale;
+                counts.access[l][t].writes *= scale;
+            }
+        }
+        for (int d : wl.reductionDims()) {
+            reduction_below *= static_cast<double>(
+                m.level(l).temporal[d] * m.level(l).spatial[d]);
+        }
+    }
+
+    // Spill penalty: every level whose compressed resident set exceeds
+    // its capacity streams tiles in ceil(resident/capacity) passes,
+    // re-fetching from the parent each pass.
+    for (int l = 0; l < L - 1; ++l) {
+        const int64_t cap = arch.levels[l].capacity_words;
+        if (cap <= 0)
+            continue;
+        double resident = 0.0;
+        for (int t = 0; t < wl.numTensors(); ++t) {
+            if (m.keeps(l, t)) {
+                resident +=
+                    tileFootprint(wl, m, t, l) * wl.tensor(t).density;
+            }
+        }
+        const double ratio = resident / static_cast<double>(cap);
+        if (ratio <= 1.0)
+            continue;
+        for (int t = 0; t < wl.numTensors(); ++t) {
+            counts.access[l][t].reads *= ratio;
+            counts.access[l][t].writes *= ratio;
+            counts.access[l + 1][t].reads *= ratio;
+            counts.access[l + 1][t].writes *= ratio;
+        }
+    }
+
+    const double eff_frac = dw * da;
+    const double eff_macs = counts.macs * eff_frac;
+    const double innerness = reductionInnerness(wl, m);
+
+    // Dataflow-style overheads. Outer-product partial outputs are
+    // scattered and must be merged: extra psum words at L1.
+    const double merge_words = (1.0 - innerness) * saf_.merge_gamma *
+        eff_macs;
+    counts.access[0][out].writes += merge_words;
+    counts.access[0][out].reads += merge_words;
+
+    // Compute cycles.
+    const double alus = std::max(counts.active_alus, 1.0);
+    double compute_cycles;
+    double compute_energy_pj;
+    if (saf_.skipping) {
+        const double imbalance = 1.0 + saf_.imbalance_alpha *
+            (1.0 - eff_frac);
+        compute_cycles = eff_macs * imbalance / alus;
+        compute_energy_pj = eff_macs * arch.mac_energy_pj;
+    } else {
+        compute_cycles = counts.macs / alus;
+        compute_energy_pj = eff_macs * arch.mac_energy_pj;
+        if (saf_.gating) {
+            compute_energy_pj += (counts.macs - eff_macs) *
+                saf_.gated_mac_fraction * arch.mac_energy_pj;
+        } else {
+            compute_energy_pj = counts.macs * arch.mac_energy_pj;
+        }
+    }
+    // Coordinate intersection scans (inner-product side).
+    const double scans = innerness * saf_.intersect_beta * counts.macs *
+        (dw + da);
+    compute_cycles += scans / alus;
+    compute_energy_pj += scans * 0.1; // comparator energy per scan, pJ
+
+    // Fold traffic into energy and latency.
+    CostResult res;
+    res.valid = true;
+    res.error = MappingError::Ok;
+    res.macs = eff_macs;
+    res.compute_cycles = compute_cycles;
+    res.utilization = counts.active_alus /
+        static_cast<double>(arch.totalComputeUnits());
+    res.level_energy_uj.assign(L, 0.0);
+    res.level_cycles.assign(L, 0.0);
+
+    std::vector<double> sp_prod(L), ai(L + 1, 1.0);
+    for (int l = 0; l < L; ++l)
+        sp_prod[l] = static_cast<double>(m.spatialProduct(l));
+    for (int l = L - 1; l >= 0; --l)
+        ai[l] = ai[l + 1] * (l + 1 < L ? sp_prod[l + 1] : 1.0);
+
+    double energy_pj = compute_energy_pj;
+    double bound_cycles = compute_cycles;
+    for (int l = 0; l < L; ++l) {
+        const auto &lvl = arch.levels[l];
+        double reads = 0.0, writes = 0.0;
+        for (int t = 0; t < wl.numTensors(); ++t) {
+            reads += counts.access[l][t].reads;
+            writes += counts.access[l][t].writes;
+        }
+        const double hops = nocHops(lvl.noc, m.spatialProduct(l));
+        const double lvl_pj = reads * lvl.read_energy_pj +
+            writes * lvl.write_energy_pj +
+            reads * hops * lvl.noc_hop_energy_pj;
+        res.level_energy_uj[l] = lvl_pj * 1e-6;
+        energy_pj += lvl_pj;
+        const double per_instance = (reads + writes) / std::max(ai[l], 1.0);
+        res.level_cycles[l] = per_instance / lvl.bandwidth_words_per_cycle;
+        bound_cycles = std::max(bound_cycles, res.level_cycles[l]);
+    }
+
+    res.energy_uj = energy_pj * 1e-6;
+    res.latency_cycles = bound_cycles;
+    res.edp = res.energy_uj * res.latency_cycles;
+    return res;
+}
+
+} // namespace mse

@@ -1,0 +1,170 @@
+#include "workload/model_zoo.hpp"
+
+#include <string>
+
+namespace mse {
+
+namespace {
+
+/** Shorthand for a square stride-folded CONV2D layer. */
+Workload
+conv(const std::string &name, int64_t batch, int64_t k, int64_t c,
+     int64_t hw, int64_t rs)
+{
+    return makeConv2d(name, batch, k, c, hw, hw, rs, rs);
+}
+
+} // namespace
+
+std::vector<Workload>
+vgg16Layers(int64_t batch)
+{
+    return {
+        conv("vgg_conv1_1", batch, 64, 3, 224, 3),
+        conv("vgg_conv1_2", batch, 64, 64, 224, 3),
+        conv("vgg_conv2_1", batch, 128, 64, 112, 3),
+        conv("vgg_conv2_2", batch, 128, 128, 112, 3),
+        conv("vgg_conv3_1", batch, 256, 128, 56, 3),
+        conv("vgg_conv3_2", batch, 256, 256, 56, 3),
+        conv("vgg_conv3_3", batch, 256, 256, 56, 3),
+        conv("vgg_conv4_1", batch, 512, 256, 28, 3),
+        conv("vgg_conv4_2", batch, 512, 512, 28, 3),
+        conv("vgg_conv4_3", batch, 512, 512, 28, 3),
+        conv("vgg_conv5_1", batch, 512, 512, 14, 3),
+        conv("vgg_conv5_2", batch, 512, 512, 14, 3),
+        conv("vgg_conv5_3", batch, 512, 512, 14, 3),
+    };
+}
+
+std::vector<Workload>
+resnet18Layers(int64_t batch)
+{
+    std::vector<Workload> layers;
+    layers.push_back(conv("resnet_conv1", batch, 64, 3, 112, 7));
+    for (int i = 1; i <= 4; ++i)
+        layers.push_back(conv("resnet_conv2_" + std::to_string(i), batch,
+                              64, 64, 56, 3));
+    layers.push_back(conv("resnet_conv3_1", batch, 128, 64, 28, 3));
+    for (int i = 2; i <= 4; ++i)
+        layers.push_back(conv("resnet_conv3_" + std::to_string(i), batch,
+                              128, 128, 28, 3));
+    layers.push_back(conv("resnet_conv4_1", batch, 256, 128, 14, 3));
+    for (int i = 2; i <= 4; ++i)
+        layers.push_back(conv("resnet_conv4_" + std::to_string(i), batch,
+                              256, 256, 14, 3));
+    layers.push_back(conv("resnet_conv5_1", batch, 512, 256, 7, 3));
+    for (int i = 2; i <= 4; ++i)
+        layers.push_back(conv("resnet_conv5_" + std::to_string(i), batch,
+                              512, 512, 7, 3));
+    return layers;
+}
+
+std::vector<Workload>
+mobilenetV2Layers(int64_t batch)
+{
+    // Stages of MobileNetV2 (t = expansion, c = output channels,
+    // hw = spatial extent after the stage's stride).
+    struct Stage { int64_t cin, cout, hw; int64_t t; };
+    const std::vector<Stage> stages = {
+        {32, 16, 112, 1},  {16, 24, 56, 6},  {24, 32, 28, 6},
+        {32, 64, 14, 6},   {64, 96, 14, 6},  {96, 160, 7, 6},
+        {160, 320, 7, 6},
+    };
+    std::vector<Workload> layers;
+    layers.push_back(conv("mbv2_conv_stem", batch, 32, 3, 112, 3));
+    int idx = 1;
+    for (const auto &st : stages) {
+        const int64_t mid = st.cin * st.t;
+        const std::string base = "mbv2_block" + std::to_string(idx++) + "_";
+        if (st.t > 1)
+            layers.push_back(conv(base + "expand", batch, mid, st.cin,
+                                  st.hw, 1));
+        layers.push_back(makeDepthwiseConv2d(base + "dw", batch, mid,
+                                             st.hw, st.hw, 3, 3));
+        layers.push_back(conv(base + "project", batch, st.cout, mid,
+                              st.hw, 1));
+    }
+    layers.push_back(conv("mbv2_conv_head", batch, 1280, 320, 7, 1));
+    return layers;
+}
+
+std::vector<Workload>
+mnasnetLayers(int64_t batch)
+{
+    // MnasNet-A1-style stack: NAS-chosen irregular channels and mixed
+    // 3x3 / 5x5 kernels.
+    struct Stage { int64_t cin, cout, hw, rs, t; };
+    const std::vector<Stage> stages = {
+        {32, 16, 112, 3, 1},  {16, 24, 56, 3, 6},   {24, 40, 28, 5, 3},
+        {40, 80, 14, 3, 6},   {80, 112, 14, 3, 6},  {112, 160, 7, 5, 6},
+        {160, 320, 7, 3, 6},
+    };
+    std::vector<Workload> layers;
+    layers.push_back(conv("mnas_conv_stem", batch, 32, 3, 112, 3));
+    int idx = 1;
+    for (const auto &st : stages) {
+        const int64_t mid = st.cin * st.t;
+        const std::string base = "mnas_block" + std::to_string(idx++) + "_";
+        if (st.t > 1)
+            layers.push_back(conv(base + "expand", batch, mid, st.cin,
+                                  st.hw, 1));
+        layers.push_back(makeDepthwiseConv2d(base + "dw", batch, mid,
+                                             st.hw, st.hw, st.rs, st.rs));
+        layers.push_back(conv(base + "project", batch, st.cout, mid,
+                              st.hw, 1));
+    }
+    return layers;
+}
+
+std::vector<Workload>
+bertLargeLayers(int64_t batch)
+{
+    // One BERT-large encoder block's GEMMs (hidden 1024, seq 512,
+    // 16 heads x 64, FFN 4096).
+    return {
+        makeGemm("bert_kqv", batch, 1024, 1024, 512),
+        makeGemm("bert_attn_qk", batch, 512, 64, 512),
+        makeGemm("bert_attn_v", batch, 512, 512, 64),
+        makeGemm("bert_attn_out", batch, 1024, 1024, 512),
+        makeGemm("bert_ffn1", batch, 4096, 1024, 512),
+        makeGemm("bert_ffn2", batch, 1024, 4096, 512),
+    };
+}
+
+Workload
+resnetConv3()
+{
+    return makeConv2d("resnet_conv3", 16, 128, 128, 28, 28, 3, 3);
+}
+
+Workload
+resnetConv4()
+{
+    return makeConv2d("resnet_conv4", 16, 256, 256, 14, 14, 3, 3);
+}
+
+Workload
+inceptionConv2()
+{
+    return makeConv2d("inception_conv2", 16, 192, 192, 27, 27, 5, 5);
+}
+
+Workload
+bertKqv()
+{
+    return makeGemm("bert_kqv", 16, 1024, 1024, 512);
+}
+
+Workload
+bertAttn()
+{
+    return makeGemm("bert_attn", 16, 512, 64, 512);
+}
+
+Workload
+bertFc()
+{
+    return makeGemm("bert_fc", 16, 4096, 1024, 512);
+}
+
+} // namespace mse

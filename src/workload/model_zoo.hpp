@@ -1,0 +1,61 @@
+/**
+ * @file
+ * DNN model zoo: per-layer workload tables for the networks the paper
+ * evaluates (Sec. 4.1): ResNet, VGG16, MobileNetV2, MnasNet and
+ * BERT-large, plus the individual Table-1 workloads.
+ *
+ * Layer shapes follow the published architectures; strides are folded
+ * into output extents (our workloads are stride-1 loop nests), and the
+ * NAS-derived MnasNet table intentionally carries irregular channel
+ * counts and 5x5 depthwise kernels — the property warm-start-by-
+ * similarity exploits in Figs. 9-11.
+ */
+#pragma once
+
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace mse {
+
+/** The 13 convolution layers of VGG16 (224x224 input). */
+std::vector<Workload> vgg16Layers(int64_t batch = 16);
+
+/** The 17 convolution layers of ResNet-18 (224x224 input). */
+std::vector<Workload> resnet18Layers(int64_t batch = 16);
+
+/**
+ * Representative MobileNetV2 inverted-bottleneck stack: for each stage,
+ * expansion pointwise, depthwise, and projection pointwise layers.
+ */
+std::vector<Workload> mobilenetV2Layers(int64_t batch = 16);
+
+/**
+ * Representative MnasNet-A1 stack. NAS-found: channel counts (40, 112,
+ * 160, ...) and mixed 3x3/5x5 kernels make consecutive layers less
+ * similar than in hand-designed networks.
+ */
+std::vector<Workload> mnasnetLayers(int64_t batch = 16);
+
+/** BERT-large encoder GEMMs: KQV projections, attention, FFN layers. */
+std::vector<Workload> bertLargeLayers(int64_t batch = 16);
+
+/** Table 1: ResNet Conv_3 = CONV2D(16,128,128,28,28,3,3). */
+Workload resnetConv3();
+
+/** Table 1: ResNet Conv_4 = CONV2D(16,256,256,14,14,3,3). */
+Workload resnetConv4();
+
+/** Table 1: Inception Conv_2 = CONV2D(16,192,192,27,27,5,5). */
+Workload inceptionConv2();
+
+/** Table 1: BERT-large KQV projection GEMM (16,1024,1024,512). */
+Workload bertKqv();
+
+/** BERT-large attention score GEMM (16,512,64,512). */
+Workload bertAttn();
+
+/** BERT-large FFN GEMM (16,4096,1024,512). */
+Workload bertFc();
+
+} // namespace mse

@@ -1,0 +1,136 @@
+#include "workload/workload_io.hpp"
+
+#include <sstream>
+
+namespace mse {
+
+std::string
+serializeWorkload(const Workload &wl)
+{
+    std::ostringstream os;
+    os << "wl1;" << wl.name() << ";dims ";
+    for (int d = 0; d < wl.numDims(); ++d) {
+        os << (d ? "," : "") << wl.dimNames()[d] << "="
+           << wl.bound(d);
+    }
+    for (const auto &t : wl.tensors()) {
+        os << ";tensor " << t.name << ":"
+           << (t.kind == TensorKind::Output ? "out" : "in") << ":"
+           << t.density << ":";
+        for (size_t r = 0; r < t.projection.size(); ++r) {
+            if (r)
+                os << "|";
+            for (size_t i = 0; i < t.projection[r].size(); ++i) {
+                if (i)
+                    os << "+";
+                os << t.projection[r][i].coeff << "*"
+                   << t.projection[r][i].dim;
+            }
+        }
+    }
+    return os.str();
+}
+
+namespace {
+
+bool
+splitOn(const std::string &s, char sep, std::vector<std::string> &out)
+{
+    out.clear();
+    std::istringstream is(s);
+    std::string cell;
+    while (std::getline(is, cell, sep))
+        out.push_back(cell);
+    return !out.empty();
+}
+
+} // namespace
+
+std::optional<Workload>
+parseWorkload(const std::string &text)
+{
+    std::vector<std::string> sections;
+    splitOn(text, ';', sections);
+    if (sections.size() < 4 || sections[0] != "wl1")
+        return std::nullopt;
+    const std::string name = sections[1];
+
+    if (sections[2].rfind("dims ", 0) != 0)
+        return std::nullopt;
+    std::vector<std::string> dim_cells;
+    splitOn(sections[2].substr(5), ',', dim_cells);
+    std::vector<std::string> dim_names;
+    std::vector<int64_t> bounds;
+    for (const auto &cell : dim_cells) {
+        const size_t eq = cell.find('=');
+        if (eq == std::string::npos)
+            return std::nullopt;
+        dim_names.push_back(cell.substr(0, eq));
+        try {
+            bounds.push_back(std::stoll(cell.substr(eq + 1)));
+        } catch (...) {
+            return std::nullopt;
+        }
+        if (bounds.back() < 1)
+            return std::nullopt;
+    }
+
+    std::vector<TensorSpec> tensors;
+    for (size_t s = 3; s < sections.size(); ++s) {
+        if (sections[s].rfind("tensor ", 0) != 0)
+            return std::nullopt;
+        std::vector<std::string> fields;
+        splitOn(sections[s].substr(7), ':', fields);
+        if (fields.size() != 4)
+            return std::nullopt;
+        TensorSpec spec;
+        spec.name = fields[0];
+        if (fields[1] == "out")
+            spec.kind = TensorKind::Output;
+        else if (fields[1] == "in")
+            spec.kind = TensorKind::Input;
+        else
+            return std::nullopt;
+        try {
+            spec.density = std::stod(fields[2]);
+        } catch (...) {
+            return std::nullopt;
+        }
+        if (spec.density <= 0.0 || spec.density > 1.0)
+            return std::nullopt;
+        std::vector<std::string> ranks;
+        splitOn(fields[3], '|', ranks);
+        for (const auto &rank : ranks) {
+            std::vector<std::string> terms;
+            splitOn(rank, '+', terms);
+            CompositeDim comp;
+            for (const auto &term : terms) {
+                const size_t star = term.find('*');
+                if (star == std::string::npos)
+                    return std::nullopt;
+                try {
+                    DimTerm t;
+                    t.coeff = std::stoi(term.substr(0, star));
+                    t.dim = std::stoi(term.substr(star + 1));
+                    if (t.dim < 0 ||
+                        t.dim >= static_cast<int>(bounds.size())) {
+                        return std::nullopt;
+                    }
+                    comp.push_back(t);
+                } catch (...) {
+                    return std::nullopt;
+                }
+            }
+            spec.projection.push_back(comp);
+        }
+        tensors.push_back(std::move(spec));
+    }
+
+    try {
+        return Workload(name, dim_names, bounds, tensors);
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+} // namespace mse

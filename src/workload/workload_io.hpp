@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Textual serialization of workloads, companion to mapping_io.
+ *
+ * Format (one line):
+ *   wl1;name;dims B=16,K=256,...;tensor Name:kind:density:rank|rank;...
+ * where each rank is a '+'-joined list of coeff*dimIndex terms, e.g.
+ * the CONV input row rank "1*3+1*5" (Y + R).
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "workload/workload.hpp"
+
+namespace mse {
+
+/** Serialize a workload to the one-line wl1 format. */
+std::string serializeWorkload(const Workload &wl);
+
+/** Parse a serialized workload; nullopt on malformed input. */
+std::optional<Workload> parseWorkload(const std::string &text);
+
+} // namespace mse

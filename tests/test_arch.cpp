@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "arch/arch.hpp"
+
+namespace mse {
+namespace {
+
+TEST(ArchPresets, AccelAMatchesTable1)
+{
+    const ArchConfig a = accelA();
+    ASSERT_EQ(a.numLevels(), 3);
+    EXPECT_EQ(a.levels[0].name, "L1");
+    EXPECT_EQ(a.levels[0].capacity_words, 64 * 1024 / 2); // 64 KB
+    EXPECT_EQ(a.levels[0].fanout, 1);                     // 1 ALU/PE
+    EXPECT_EQ(a.levels[1].capacity_words, 512 * 1024 / 2);
+    EXPECT_EQ(a.levels[1].fanout, 256);                   // 256 PEs
+    EXPECT_EQ(a.levels[2].capacity_words, 0);             // DRAM unbounded
+    EXPECT_EQ(a.totalComputeUnits(), 256);
+}
+
+TEST(ArchPresets, AccelBMatchesTable1)
+{
+    const ArchConfig b = accelB();
+    EXPECT_EQ(b.levels[0].capacity_words, 256 / 2); // 256 B
+    EXPECT_EQ(b.levels[0].fanout, 4);               // 4 ALUs/PE
+    EXPECT_EQ(b.levels[1].capacity_words, 64 * 1024 / 2);
+    EXPECT_EQ(b.levels[1].fanout, 256);
+    EXPECT_EQ(b.totalComputeUnits(), 1024);
+}
+
+TEST(ArchPresets, EnergyGrowsWithCapacity)
+{
+    const ArchConfig a = accelA();
+    const ArchConfig b = accelB();
+    // Accel-A's 64 KB L1 costs more per access than Accel-B's 256 B L1.
+    EXPECT_GT(a.levels[0].read_energy_pj, b.levels[0].read_energy_pj);
+    // DRAM dominates all SRAM levels.
+    for (int l = 0; l < 2; ++l) {
+        EXPECT_GT(a.levels[2].read_energy_pj, a.levels[l].read_energy_pj);
+    }
+}
+
+TEST(ArchConfig, InstancesOfLevel)
+{
+    const ArchConfig b = accelB();
+    EXPECT_EQ(b.instancesOfLevel(0), 256); // one L1 per PE
+    EXPECT_EQ(b.instancesOfLevel(1), 1);   // one global L2
+    EXPECT_EQ(b.instancesOfLevel(2), 1);   // one DRAM
+}
+
+TEST(MakeNpu, Parameterized)
+{
+    const ArchConfig c = makeNpu("c", 1024, 64, 8, 2);
+    EXPECT_EQ(c.levels[1].capacity_words, 512);
+    EXPECT_EQ(c.levels[0].capacity_words, 32);
+    EXPECT_EQ(c.totalComputeUnits(), 16);
+    EXPECT_TRUE(c.levels[1].multicast);
+}
+
+} // namespace
+} // namespace mse

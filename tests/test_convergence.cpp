@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/convergence.hpp"
+
+namespace mse {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(IndexToConverge, EmptyTrace)
+{
+    EXPECT_EQ(indexToConverge({}), 0u);
+}
+
+TEST(IndexToConverge, FlatTraceConvergesImmediately)
+{
+    EXPECT_EQ(indexToConverge({5, 5, 5, 5}), 0u);
+}
+
+TEST(IndexToConverge, FindsFirstIndexMeetingFraction)
+{
+    // Improvement from 100 to 0; 99.5% target = 0.5.
+    const std::vector<double> trace = {100, 50, 10, 0.4, 0.0};
+    EXPECT_EQ(indexToConverge(trace, 0.995), 3u);
+    EXPECT_EQ(indexToConverge(trace, 0.5), 1u);
+    EXPECT_EQ(indexToConverge(trace, 0.90), 2u);
+}
+
+TEST(IndexToConverge, SkipsLeadingInfinities)
+{
+    const std::vector<double> trace = {kInf, kInf, 100, 1, 1};
+    EXPECT_EQ(indexToConverge(trace, 0.995), 3u);
+}
+
+TEST(IndexToConverge, AllInfinite)
+{
+    const std::vector<double> trace = {kInf, kInf};
+    EXPECT_EQ(indexToConverge(trace), 1u);
+}
+
+TEST(IndexToConverge, LastIndexWhenImprovementNeverReached)
+{
+    // Monotone traces always reach the target at the final index.
+    const std::vector<double> trace = {10, 9, 8};
+    EXPECT_LE(indexToConverge(trace, 0.995), 2u);
+}
+
+} // namespace
+} // namespace mse

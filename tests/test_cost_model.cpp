@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cost_model.hpp"
+#include "test_helpers.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace mse {
+namespace {
+
+using test::allAtTop;
+using test::flatArch;
+using test::tinyGemm;
+
+/**
+ * Hand-checked traffic for GEMM B=1,M=2,K=2,N=2 with every loop at DRAM
+ * in order (B,M,K,N) on a two-level machine. See the derivation in the
+ * assertions: A is read once per element, W re-streams per M iteration,
+ * and O is written back as partials because K sits outside N.
+ */
+TEST(AccessCounts, HandComputedGemmAllAtTop)
+{
+    const Workload wl = tinyGemm();
+    const ArchConfig arch = flatArch();
+    const Mapping m = allAtTop(wl, arch);
+    ASSERT_EQ(validateMapping(wl, arch, m), MappingError::Ok);
+
+    const AccessCounts c = computeAccessCounts(wl, arch, m);
+    const int A = 0, W = 1, O = 2;
+    EXPECT_DOUBLE_EQ(c.macs, 8.0);
+    EXPECT_DOUBLE_EQ(c.active_alus, 1.0);
+
+    // A[B,M,K]: innermost relevant DRAM loop is K -> 4 fetches (volume).
+    EXPECT_DOUBLE_EQ(c.access[1][A].reads, 4.0);
+    EXPECT_DOUBLE_EQ(c.access[0][A].writes, 4.0);
+    EXPECT_DOUBLE_EQ(c.access[0][A].reads, 4.0);
+    EXPECT_DOUBLE_EQ(c.access[1][A].writes, 0.0); // DRAM pre-loaded
+
+    // W[K,N]: innermost relevant loop is N (the full nest) -> 8 fetches,
+    // i.e. the 4 words re-stream once per M iteration.
+    EXPECT_DOUBLE_EQ(c.access[1][W].reads, 8.0);
+    EXPECT_DOUBLE_EQ(c.access[0][W].writes, 8.0);
+    EXPECT_DOUBLE_EQ(c.access[0][W].reads, 8.0);
+
+    // O[B,M,N]: K outside N forces partial-sum writebacks: 8 writes to
+    // DRAM (2 per output word), 4 partial re-reads from DRAM.
+    EXPECT_DOUBLE_EQ(c.access[1][O].writes, 8.0);
+    EXPECT_DOUBLE_EQ(c.access[1][O].reads, 4.0);
+    // L1: one update per MAC (8), 4 local psum re-reads plus 8 reads
+    // feeding the DRAM writebacks.
+    EXPECT_DOUBLE_EQ(c.access[0][O].writes, 8.0);
+    EXPECT_DOUBLE_EQ(c.access[0][O].reads, 12.0);
+}
+
+TEST(AccessCounts, ReductionInnermostCompletesAccumulationLocally)
+{
+    const Workload wl = tinyGemm();
+    const ArchConfig arch = flatArch();
+    Mapping m = allAtTop(wl, arch);
+    // Order (B,M,N,K): K innermost -> each output leaves L1 exactly once.
+    m.level(1).order = {0, 1, 3, 2};
+    const AccessCounts c = computeAccessCounts(wl, arch, m);
+    const int O = 2;
+    EXPECT_DOUBLE_EQ(c.access[1][O].writes, 4.0); // output volume
+    EXPECT_DOUBLE_EQ(c.access[1][O].reads, 0.0);  // no psum refetch
+}
+
+TEST(AccessCounts, IrrelevantInnerLoopGivesReuse)
+{
+    const Workload wl = tinyGemm();
+    const ArchConfig arch = flatArch();
+    Mapping base = allAtTop(wl, arch);
+
+    // N innermost (irrelevant to A): A reads from DRAM = volume = 4.
+    base.level(1).order = {0, 1, 2, 3};
+    const auto reuse = computeAccessCounts(wl, arch, base);
+    // N outermost: every A element re-fetched per N iteration.
+    Mapping worse = base;
+    worse.level(1).order = {3, 0, 1, 2};
+    const auto refetch = computeAccessCounts(wl, arch, worse);
+    EXPECT_DOUBLE_EQ(reuse.access[1][0].reads, 4.0);
+    EXPECT_DOUBLE_EQ(refetch.access[1][0].reads, 8.0);
+}
+
+TEST(AccessCounts, MulticastChargesParentOnce)
+{
+    // GEMM on a machine with 4 PEs; parallelize N across PEs: W and O
+    // are split (relevant), A is multicast (irrelevant).
+    const Workload wl = makeGemm("g", 1, 4, 4, 4);
+    const ArchConfig arch = makeNpu("npu4", 1 << 16, 1 << 12, 4, 1);
+    Mapping m(3, 4);
+    for (int d = 0; d < 4; ++d)
+        m.level(2).temporal[d] = wl.bound(d);
+    m.level(2).temporal[3] = 1;
+    m.level(1).spatial[3] = 4; // N across PEs
+    ASSERT_EQ(validateMapping(wl, arch, m), MappingError::Ok);
+    const AccessCounts c = computeAccessCounts(wl, arch, m);
+    const int A = 0;
+    // Each PE's L1 receives the full A stream (fills count per PE), but
+    // the L2 reads it once thanks to multicast.
+    EXPECT_DOUBLE_EQ(c.access[0][A].writes / c.access[1][A].reads, 4.0);
+}
+
+TEST(AccessCounts, SpatialPartitioningCountsDistinctData)
+{
+    const Workload wl = makeGemm("g", 1, 4, 4, 4);
+    const ArchConfig arch = makeNpu("npu4", 1 << 16, 1 << 12, 4, 1);
+    Mapping m(3, 4);
+    for (int d = 0; d < 4; ++d)
+        m.level(2).temporal[d] = wl.bound(d);
+    m.level(2).temporal[1] = 1;
+    m.level(1).spatial[1] = 4; // M across PEs: A and O split, W multicast
+    const AccessCounts c = computeAccessCounts(wl, arch, m);
+    const int A = 0, W = 1;
+    // A relevant to M: L2 reads scale with the spatial split.
+    EXPECT_DOUBLE_EQ(c.access[1][A].reads, c.access[0][A].writes);
+    // W irrelevant to M: multicast factor 4.
+    EXPECT_DOUBLE_EQ(c.access[0][W].writes / c.access[1][W].reads, 4.0);
+}
+
+TEST(CostModel, InvalidMappingGetsInfiniteEdp)
+{
+    const Workload wl = tinyGemm();
+    const ArchConfig arch = flatArch();
+    Mapping m(arch.numLevels(), wl.numDims()); // products are wrong
+    const CostResult r = CostModel::evaluate(wl, arch, m);
+    EXPECT_FALSE(r.valid);
+    EXPECT_EQ(r.error, MappingError::BadFactorProduct);
+    EXPECT_TRUE(std::isinf(r.edp));
+}
+
+TEST(CostModel, EdpIsEnergyTimesLatency)
+{
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    Rng rng(1);
+    for (int i = 0; i < 20; ++i) {
+        const CostResult r =
+            CostModel::evaluate(wl, arch, space.randomMapping(rng));
+        ASSERT_TRUE(r.valid);
+        EXPECT_DOUBLE_EQ(r.edp, r.energy_uj * r.latency_cycles);
+        EXPECT_GE(r.latency_cycles, r.compute_cycles);
+        EXPECT_GT(r.utilization, 0.0);
+        EXPECT_LE(r.utilization, 1.0 + 1e-12);
+    }
+}
+
+class TrafficLowerBoundP : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TrafficLowerBoundP, DramTrafficCoversTensorVolumes)
+{
+    // Every input word must cross the DRAM boundary at least once and
+    // every output word must be written back at least once, whatever the
+    // mapping.
+    const std::vector<Workload> wls = {resnetConv3(), resnetConv4(),
+                                       bertKqv(), test::tinyConv()};
+    const Workload wl = wls[static_cast<size_t>(GetParam())];
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    Rng rng(31 + GetParam());
+    const int dram = arch.numLevels() - 1;
+    for (int i = 0; i < 100; ++i) {
+        const Mapping m = space.randomMapping(rng);
+        const AccessCounts c = computeAccessCounts(wl, arch, m);
+        for (int t = 0; t < wl.numTensors(); ++t) {
+            if (t == wl.outputTensor()) {
+                EXPECT_GE(c.access[dram][t].writes,
+                          0.999 * wl.tensorVolume(t));
+            } else {
+                EXPECT_GE(c.access[dram][t].reads,
+                          0.999 * wl.tensorVolume(t));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, TrafficLowerBoundP,
+                         ::testing::Range(0, 4));
+
+TEST(CostModel, MoreParallelismFewerComputeCycles)
+{
+    const Workload wl = makeGemm("g", 1, 16, 16, 16);
+    const ArchConfig arch = makeNpu("npu", 1 << 16, 1 << 12, 16, 1);
+    Mapping serial(3, 4);
+    for (int d = 0; d < 4; ++d)
+        serial.level(2).temporal[d] = wl.bound(d);
+    Mapping parallel = serial;
+    parallel.level(2).temporal[1] = 1;
+    parallel.level(1).spatial[1] = 16;
+    const auto rs = CostModel::evaluate(wl, arch, serial);
+    const auto rp = CostModel::evaluate(wl, arch, parallel);
+    ASSERT_TRUE(rs.valid && rp.valid);
+    EXPECT_DOUBLE_EQ(rs.compute_cycles / rp.compute_cycles, 16.0);
+    EXPECT_DOUBLE_EQ(rp.utilization, 1.0);
+}
+
+TEST(CostModel, EnergyBreakdownSumsToTotal)
+{
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    Rng rng(77);
+    const Mapping m = space.randomMapping(rng);
+    const CostResult r = CostModel::evaluate(wl, arch, m);
+    double sum = r.macs * arch.mac_energy_pj * 1e-6;
+    for (double e : r.level_energy_uj)
+        sum += e;
+    EXPECT_NEAR(sum, r.energy_uj, 1e-9 * r.energy_uj);
+}
+
+TEST(CostModel, GoodBadMappingSpreadIsOrdersOfMagnitude)
+{
+    // Sec. 4.4: mappings of the same problem differ by up to ~3 orders
+    // of magnitude. Sampling randomly should already expose a >=100x
+    // spread between the best and worst legal mapping.
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    Rng rng(123);
+    double best = std::numeric_limits<double>::infinity(), worst = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        const CostResult r =
+            CostModel::evaluate(wl, arch, space.randomMapping(rng));
+        if (!r.valid)
+            continue;
+        best = std::min(best, r.edp);
+        worst = std::max(worst, r.edp);
+    }
+    EXPECT_GT(worst / best, 100.0);
+}
+
+TEST(CostModel, DeterministicForSameMapping)
+{
+    const Workload wl = resnetConv3();
+    const ArchConfig arch = accelA();
+    MapSpace space(wl, arch);
+    Rng rng(5);
+    const Mapping m = space.randomMapping(rng);
+    const CostResult a = CostModel::evaluate(wl, arch, m);
+    const CostResult b = CostModel::evaluate(wl, arch, m);
+    EXPECT_DOUBLE_EQ(a.edp, b.edp);
+    EXPECT_DOUBLE_EQ(a.energy_uj, b.energy_uj);
+}
+
+} // namespace
+} // namespace mse

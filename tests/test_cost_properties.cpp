@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Cross-architecture property sweep for the cost model: invariants that
+ * must hold for every (workload, architecture, mapping) triple.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cost_model.hpp"
+#include "test_helpers.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace mse {
+namespace {
+
+struct Combo
+{
+    const char *name;
+    Workload wl;
+    ArchConfig arch;
+};
+
+std::vector<Combo>
+combos()
+{
+    return {
+        {"conv4/accelA", resnetConv4(), accelA()},
+        {"conv4/accelB", resnetConv4(), accelB()},
+        {"conv3/deep", resnetConv3(),
+         makeDeepNpu("deep", 64 * 1024, 2048, 64, 64, 4)},
+        {"kqv/accelB", bertKqv(), accelB()},
+        {"dw/accelB", makeDepthwiseConv2d("dw", 4, 32, 14, 14, 3, 3),
+         accelB()},
+        {"attn/mini", bertAttn(), test::miniNpu()},
+        {"tiny/flat", test::tinyConv(), test::flatArch()},
+    };
+}
+
+class CostPropertyP : public ::testing::TestWithParam<int>
+{
+  protected:
+    Combo combo_ = combos()[static_cast<size_t>(GetParam())];
+};
+
+TEST_P(CostPropertyP, EnergyAndLatencyArePositiveAndFinite)
+{
+    MapSpace space(combo_.wl, combo_.arch);
+    Rng rng(100 + GetParam());
+    for (int i = 0; i < 60; ++i) {
+        const CostResult r = CostModel::evaluate(
+            combo_.wl, combo_.arch, space.randomMapping(rng));
+        ASSERT_TRUE(r.valid) << combo_.name;
+        EXPECT_GT(r.energy_uj, 0.0);
+        EXPECT_GT(r.latency_cycles, 0.0);
+        EXPECT_TRUE(std::isfinite(r.edp));
+    }
+}
+
+TEST_P(CostPropertyP, LatencyIsRooflineBound)
+{
+    MapSpace space(combo_.wl, combo_.arch);
+    Rng rng(200 + GetParam());
+    for (int i = 0; i < 60; ++i) {
+        const CostResult r = CostModel::evaluate(
+            combo_.wl, combo_.arch, space.randomMapping(rng));
+        ASSERT_TRUE(r.valid);
+        double bound = r.compute_cycles;
+        for (double c : r.level_cycles)
+            bound = std::max(bound, c);
+        EXPECT_DOUBLE_EQ(r.latency_cycles, bound) << combo_.name;
+    }
+}
+
+TEST_P(CostPropertyP, EnergyNeverBelowCompulsoryTraffic)
+{
+    // Lower bound: every tensor crosses DRAM once + all MACs happen.
+    const auto &wl = combo_.wl;
+    const auto &arch = combo_.arch;
+    double floor_pj = wl.totalMacs() * arch.mac_energy_pj;
+    const auto &dram = arch.levels.back();
+    for (int t = 0; t < wl.numTensors(); ++t) {
+        floor_pj += wl.tensorVolume(t) *
+            (t == wl.outputTensor() ? dram.write_energy_pj
+                                    : dram.read_energy_pj);
+    }
+    MapSpace space(wl, arch);
+    Rng rng(300 + GetParam());
+    for (int i = 0; i < 40; ++i) {
+        const CostResult r =
+            CostModel::evaluate(wl, arch, space.randomMapping(rng));
+        ASSERT_TRUE(r.valid);
+        EXPECT_GE(r.energy_uj, 0.999 * floor_pj * 1e-6) << combo_.name;
+    }
+}
+
+TEST_P(CostPropertyP, ComputeCyclesMatchSpatialProducts)
+{
+    MapSpace space(combo_.wl, combo_.arch);
+    Rng rng(400 + GetParam());
+    for (int i = 0; i < 40; ++i) {
+        const Mapping m = space.randomMapping(rng);
+        const CostResult r =
+            CostModel::evaluate(combo_.wl, combo_.arch, m);
+        ASSERT_TRUE(r.valid);
+        double alus = 1;
+        for (int l = 0; l < m.numLevels(); ++l)
+            alus *= static_cast<double>(m.spatialProduct(l));
+        EXPECT_NEAR(r.compute_cycles, combo_.wl.totalMacs() / alus,
+                    1e-6 * r.compute_cycles);
+    }
+}
+
+TEST_P(CostPropertyP, MovingLoopsDownNeverChangesMacCount)
+{
+    MapSpace space(combo_.wl, combo_.arch);
+    Rng rng(500 + GetParam());
+    const Mapping a = space.randomMapping(rng);
+    const Mapping b = space.randomMapping(rng);
+    const AccessCounts ca =
+        computeAccessCounts(combo_.wl, combo_.arch, a);
+    const AccessCounts cb =
+        computeAccessCounts(combo_.wl, combo_.arch, b);
+    EXPECT_DOUBLE_EQ(ca.macs, cb.macs);
+    EXPECT_DOUBLE_EQ(ca.macs, combo_.wl.totalMacs());
+}
+
+INSTANTIATE_TEST_SUITE_P(Combos, CostPropertyP,
+                         ::testing::Range(0, 7));
+
+} // namespace
+} // namespace mse

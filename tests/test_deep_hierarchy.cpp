@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "mappers/gamma.hpp"
+#include "model/cost_model.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace mse {
+namespace {
+
+ArchConfig
+deepNpu()
+{
+    return makeDeepNpu("deep", 64 * 1024, 2048, 64, 64, 4);
+}
+
+TEST(DeepHierarchy, FourLevelsWired)
+{
+    const ArchConfig arch = deepNpu();
+    ASSERT_EQ(arch.numLevels(), 4);
+    EXPECT_EQ(arch.levels[0].name, "Regs");
+    EXPECT_EQ(arch.levels[1].name, "L1");
+    EXPECT_EQ(arch.levels[3].name, "DRAM");
+    EXPECT_EQ(arch.totalComputeUnits(), 64 * 4);
+    EXPECT_EQ(arch.levels[0].fanout, 4);
+    EXPECT_EQ(arch.levels[2].fanout, 64);
+}
+
+TEST(DeepHierarchy, RandomMappingsLegal)
+{
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = deepNpu();
+    MapSpace space(wl, arch);
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        const Mapping m = space.randomMapping(rng);
+        ASSERT_EQ(validateMapping(wl, arch, m), MappingError::Ok);
+    }
+}
+
+TEST(DeepHierarchy, CostModelProducesSaneResults)
+{
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = deepNpu();
+    MapSpace space(wl, arch);
+    Rng rng(2);
+    for (int i = 0; i < 50; ++i) {
+        const CostResult r =
+            CostModel::evaluate(wl, arch, space.randomMapping(rng));
+        ASSERT_TRUE(r.valid);
+        EXPECT_GT(r.energy_uj, 0.0);
+        EXPECT_GE(r.latency_cycles, r.compute_cycles);
+        EXPECT_LE(r.utilization, 1.0 + 1e-12);
+        ASSERT_EQ(r.level_energy_uj.size(), 4u);
+    }
+}
+
+TEST(DeepHierarchy, RegisterLevelCapturesReuse)
+{
+    // A register level between L1 and the MACs should reduce L1 reads
+    // relative to a 3-level machine with the same upper levels, for the
+    // same logical tiling (registers absorb innermost reuse).
+    const Workload wl = makeGemm("g", 1, 16, 16, 16);
+    const ArchConfig deep = makeDeepNpu("deep", 1 << 16, 1 << 12, 64,
+                                        1, 1);
+    const ArchConfig flat = makeNpu("flat", 1 << 16, 1 << 12, 1, 1);
+
+    // All loops at the top, identity orders.
+    Mapping md(deep.numLevels(), wl.numDims());
+    for (int d = 0; d < wl.numDims(); ++d)
+        md.level(deep.numLevels() - 1).temporal[d] = wl.bound(d);
+    Mapping mf(flat.numLevels(), wl.numDims());
+    for (int d = 0; d < wl.numDims(); ++d)
+        mf.level(flat.numLevels() - 1).temporal[d] = wl.bound(d);
+
+    ASSERT_EQ(validateMapping(wl, deep, md), MappingError::Ok);
+    ASSERT_EQ(validateMapping(wl, flat, mf), MappingError::Ok);
+    const AccessCounts cd = computeAccessCounts(wl, deep, md);
+    const AccessCounts cf = computeAccessCounts(wl, flat, mf);
+    // L1 is level 1 in the deep machine, level 0 in the flat one; total
+    // MAC-side traffic must not increase with the extra level.
+    double deep_l1 = 0, flat_l1 = 0;
+    for (int t = 0; t < wl.numTensors(); ++t) {
+        deep_l1 += cd.access[1][t].reads;
+        flat_l1 += cf.access[0][t].reads;
+    }
+    EXPECT_LE(deep_l1, flat_l1 + 1e-9);
+}
+
+TEST(DeepHierarchy, GammaSearchesDeepSpaces)
+{
+    const Workload wl = resnetConv3();
+    const ArchConfig arch = deepNpu();
+    MapSpace space(wl, arch);
+    EvalFn eval = [&](const Mapping &m) {
+        return CostModel::evaluate(wl, arch, m);
+    };
+    GammaMapper gamma;
+    SearchBudget budget;
+    budget.max_samples = 1000;
+    Rng rng(3);
+    const SearchResult r = gamma.search(space, eval, budget, rng);
+    ASSERT_TRUE(r.found());
+    EXPECT_EQ(validateMapping(wl, arch, r.best_mapping), MappingError::Ok);
+    EXPECT_LT(r.best_cost.edp, r.log.best_edp_per_sample.front());
+}
+
+TEST(DeepHierarchy, MapSpaceIsLargerThanShallow)
+{
+    const Workload wl = resnetConv4();
+    MapSpace deep_space(wl, deepNpu());
+    MapSpace flat_space(wl, accelB());
+    EXPECT_GT(deep_space.size().log10_total,
+              flat_space.size().log10_total);
+}
+
+} // namespace
+} // namespace mse

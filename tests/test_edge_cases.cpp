@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Edge-case hardening: degenerate hierarchies, unit bounds, extreme
+ * budgets, and other corners a fuzzer would find first.
+ */
+#include <gtest/gtest.h>
+
+#include "mappers/gamma.hpp"
+#include "mappers/random_pruned.hpp"
+#include "model/cost_model.hpp"
+#include "sparse/sparse_model.hpp"
+#include "test_helpers.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace mse {
+namespace {
+
+/** A machine that is just DRAM: everything streams. */
+ArchConfig
+dramOnly()
+{
+    ArchConfig cfg;
+    cfg.name = "dram-only";
+    BufferLevel dram;
+    dram.name = "DRAM";
+    dram.capacity_words = 0;
+    dram.bandwidth_words_per_cycle = 8.0;
+    dram.read_energy_pj = 100.0;
+    dram.write_energy_pj = 100.0;
+    dram.fanout = 1;
+    cfg.levels = {dram};
+    return cfg;
+}
+
+TEST(EdgeCases, SingleLevelMachineEvaluates)
+{
+    const Workload wl = test::tinyGemm();
+    const ArchConfig arch = dramOnly();
+    Mapping m(1, wl.numDims());
+    for (int d = 0; d < wl.numDims(); ++d)
+        m.level(0).temporal[d] = wl.bound(d);
+    ASSERT_EQ(validateMapping(wl, arch, m), MappingError::Ok);
+    const CostResult r = CostModel::evaluate(wl, arch, m);
+    ASSERT_TRUE(r.valid);
+    EXPECT_GT(r.energy_uj, 0.0);
+    EXPECT_GE(r.latency_cycles, r.compute_cycles);
+}
+
+TEST(EdgeCases, SingleLevelSearchWorks)
+{
+    const Workload wl = test::tinyGemm();
+    const ArchConfig arch = dramOnly();
+    MapSpace space(wl, arch);
+    EvalFn eval = [&](const Mapping &m) {
+        return CostModel::evaluate(wl, arch, m);
+    };
+    GammaMapper gamma;
+    SearchBudget budget;
+    budget.max_samples = 200;
+    Rng rng(1);
+    const SearchResult r = gamma.search(space, eval, budget, rng);
+    ASSERT_TRUE(r.found());
+}
+
+TEST(EdgeCases, AllUnitBoundsWorkload)
+{
+    // A 1x1x...x1 problem: exactly one mapping shape, EDP finite.
+    const Workload wl = makeGemm("unit", 1, 1, 1, 1);
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    Rng rng(2);
+    const Mapping m = space.randomMapping(rng);
+    ASSERT_EQ(validateMapping(wl, arch, m), MappingError::Ok);
+    const CostResult r = CostModel::evaluate(wl, arch, m);
+    ASSERT_TRUE(r.valid);
+    EXPECT_DOUBLE_EQ(r.macs, 1.0);
+}
+
+TEST(EdgeCases, PrimeBoundsLimitFactorization)
+{
+    // Prime bounds can only split as 1s and the prime itself.
+    const Workload wl = makeGemm("prime", 1, 7, 13, 17);
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        const Mapping m = space.randomMapping(rng);
+        ASSERT_EQ(validateMapping(wl, arch, m), MappingError::Ok);
+    }
+}
+
+TEST(EdgeCases, ZeroSampleBudgetReturnsNotFound)
+{
+    const Workload wl = resnetConv3();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    EvalFn eval = [&](const Mapping &m) {
+        return CostModel::evaluate(wl, arch, m);
+    };
+    RandomPrunedMapper mapper;
+    SearchBudget budget;
+    budget.max_samples = 0;
+    Rng rng(4);
+    const SearchResult r = mapper.search(space, eval, budget, rng);
+    EXPECT_FALSE(r.found());
+    EXPECT_EQ(r.log.samples, 0u);
+}
+
+TEST(EdgeCases, OneSampleBudget)
+{
+    const Workload wl = resnetConv3();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    EvalFn eval = [&](const Mapping &m) {
+        return CostModel::evaluate(wl, arch, m);
+    };
+    GammaMapper gamma;
+    SearchBudget budget;
+    budget.max_samples = 1;
+    Rng rng(5);
+    const SearchResult r = gamma.search(space, eval, budget, rng);
+    EXPECT_EQ(r.log.samples, 1u);
+    EXPECT_TRUE(r.found());
+}
+
+TEST(EdgeCases, TinyCapacityStillRepairable)
+{
+    // L1 of 8 words: the repair loop must still terminate with a legal
+    // mapping (minimal tiles are 3 words for 3 tensors).
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = makeNpu("tiny-l1", 64 * 1024, 16, 256, 4);
+    MapSpace space(wl, arch);
+    Rng rng(6);
+    for (int i = 0; i < 50; ++i) {
+        const Mapping m = space.randomMapping(rng);
+        ASSERT_EQ(validateMapping(wl, arch, m), MappingError::Ok);
+    }
+}
+
+TEST(EdgeCases, HugeBoundsDoNotOverflow)
+{
+    // Totals near 2^40 MACs: doubles must carry the magnitudes.
+    const Workload wl = makeGemm("huge", 64, 4096, 4096, 4096);
+    const ArchConfig arch = accelA();
+    MapSpace space(wl, arch);
+    Rng rng(7);
+    const Mapping m = space.randomMapping(rng);
+    const CostResult r = CostModel::evaluate(wl, arch, m);
+    ASSERT_TRUE(r.valid);
+    EXPECT_TRUE(std::isfinite(r.edp));
+    EXPECT_GT(r.macs, 4e12);
+}
+
+TEST(EdgeCases, FanoutOneEverywhereDisablesSpatial)
+{
+    const Workload wl = test::tinyConv();
+    const ArchConfig arch = test::flatArch();
+    MapSpace space(wl, arch);
+    Rng rng(8);
+    for (int i = 0; i < 30; ++i) {
+        const Mapping m = space.randomMapping(rng);
+        for (int l = 0; l < m.numLevels(); ++l)
+            ASSERT_EQ(m.spatialProduct(l), 1);
+    }
+}
+
+TEST(EdgeCases, RepeatedRepairIsIdempotent)
+{
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    Rng rng(9);
+    Mapping m = space.randomMapping(rng);
+    const std::string once = [&] {
+        Mapping c = m;
+        space.repair(c);
+        return c.canonicalKey();
+    }();
+    Mapping twice = m;
+    space.repair(twice);
+    space.repair(twice);
+    EXPECT_EQ(twice.canonicalKey(), once);
+}
+
+TEST(EdgeCases, SparseModelOnDegenerateDensity)
+{
+    Workload wl = resnetConv3();
+    applyDensities(wl, 1e-4, 1e-4); // nearly empty tensors
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    Rng rng(10);
+    const Mapping m = space.randomMapping(rng);
+    const CostResult r = SparseCostModel().evaluate(wl, arch, m);
+    ASSERT_TRUE(r.valid);
+    EXPECT_TRUE(std::isfinite(r.edp));
+    EXPECT_GT(r.edp, 0.0);
+}
+
+} // namespace
+} // namespace mse

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "mapping/encoding.hpp"
+#include "test_helpers.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace mse {
+namespace {
+
+TEST(Encoding, WidthIsThreeBlocksPerLevel)
+{
+    MapSpace space(resnetConv4(), accelB());
+    EXPECT_EQ(encodingWidth(space), 3u * 3u * 7u);
+}
+
+TEST(Encoding, ValuesInUnitInterval)
+{
+    MapSpace space(resnetConv4(), accelB());
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        const auto x = encodeMapping(space, space.randomMapping(rng));
+        ASSERT_EQ(x.size(), encodingWidth(space));
+        for (double v : x) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+    }
+}
+
+TEST(Encoding, DistinctMappingsDistinctEncodings)
+{
+    MapSpace space(resnetConv4(), accelB());
+    Rng rng(2);
+    const auto a = encodeMapping(space, space.randomMapping(rng));
+    const auto b = encodeMapping(space, space.randomMapping(rng));
+    EXPECT_NE(a, b);
+}
+
+TEST(Decode, ArbitraryVectorsYieldLegalMappings)
+{
+    MapSpace space(resnetConv4(), accelB());
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        std::vector<double> x(encodingWidth(space));
+        for (auto &v : x)
+            v = rng.uniformReal(-0.5, 1.5); // even out-of-range inputs
+        const Mapping m = decodeContinuous(space, x);
+        ASSERT_EQ(validateMapping(space.workload(), space.arch(), m),
+                  MappingError::Ok);
+    }
+}
+
+TEST(Decode, RoundTripPreservesOrder)
+{
+    MapSpace space(resnetConv4(), accelB());
+    Rng rng(4);
+    const Mapping m = space.randomMapping(rng);
+    const Mapping rt = decodeContinuous(space, encodeMapping(space, m));
+    // Loop orders survive encode/decode exactly (they are rank scores).
+    for (int l = 0; l < m.numLevels(); ++l)
+        EXPECT_EQ(rt.level(l).order, m.level(l).order) << "level " << l;
+}
+
+TEST(Decode, RoundTripApproximatesTiling)
+{
+    // Tile factors may be re-rounded, but the dominant level of each
+    // dimension should survive the round trip for most dims.
+    MapSpace space(bertKqv(), accelB());
+    Rng rng(5);
+    int preserved = 0, total = 0;
+    for (int i = 0; i < 20; ++i) {
+        const Mapping m = space.randomMapping(rng);
+        const Mapping rt =
+            decodeContinuous(space, encodeMapping(space, m));
+        for (int d = 0; d < m.numDims(); ++d) {
+            if (space.workload().bound(d) <= 1)
+                continue;
+            ++total;
+            // Compare which level holds the largest temporal factor.
+            auto argmax = [&](const Mapping &mm) {
+                int best = 0;
+                for (int l = 1; l < mm.numLevels(); ++l) {
+                    if (mm.level(l).temporal[d] >
+                        mm.level(best).temporal[d])
+                        best = l;
+                }
+                return best;
+            };
+            if (argmax(m) == argmax(rt))
+                ++preserved;
+        }
+    }
+    EXPECT_GT(preserved, total / 2);
+}
+
+TEST(WorkloadFeatures, PadsAndAppendsDensities)
+{
+    Workload wl = bertKqv(); // 4 dims
+    wl.setDensity("Weights", 0.5);
+    const auto f = workloadFeatures(wl, 8);
+    ASSERT_EQ(f.size(), 8u + 3u);
+    EXPECT_GT(f[0], 0.0);  // log bound of B
+    EXPECT_EQ(f[4], 0.0);  // padded
+    EXPECT_EQ(f[7], 0.0);  // padded
+    // Densities follow in tensor order (Inputs, Weights, Outputs for
+    // GEMM).
+    EXPECT_DOUBLE_EQ(f[9], 0.5);
+}
+
+TEST(WorkloadFeatures, DistinguishWorkloads)
+{
+    EXPECT_NE(workloadFeatures(resnetConv3()),
+              workloadFeatures(resnetConv4()));
+}
+
+} // namespace
+} // namespace mse

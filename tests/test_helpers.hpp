@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared fixtures for the test suite: small hand-checkable workloads and
+ * architectures plus common assertion helpers.
+ */
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "arch/arch.hpp"
+#include "mapping/map_space.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/workload.hpp"
+
+namespace mse::test {
+
+/** A 2x2x2 GEMM: small enough to verify traffic counts by hand. */
+inline Workload
+tinyGemm()
+{
+    return makeGemm("tiny_gemm", 1, 2, 2, 2);
+}
+
+/** A small CONV2D with a real sliding window. */
+inline Workload
+tinyConv()
+{
+    return makeConv2d("tiny_conv", 1, 2, 2, 4, 4, 3, 3);
+}
+
+/** Two-level hierarchy (L1 + DRAM), no spatial fanout. */
+inline ArchConfig
+flatArch(int64_t l1_words = 1 << 20)
+{
+    ArchConfig cfg;
+    cfg.name = "flat";
+    BufferLevel l1;
+    l1.name = "L1";
+    l1.capacity_words = l1_words;
+    l1.bandwidth_words_per_cycle = 4.0;
+    l1.read_energy_pj = 1.0;
+    l1.write_energy_pj = 1.0;
+    l1.fanout = 1;
+    BufferLevel dram;
+    dram.name = "DRAM";
+    dram.capacity_words = 0;
+    dram.bandwidth_words_per_cycle = 16.0;
+    dram.read_energy_pj = 100.0;
+    dram.write_energy_pj = 100.0;
+    dram.fanout = 1;
+    cfg.levels = {l1, dram};
+    cfg.mac_energy_pj = 1.0;
+    return cfg;
+}
+
+/** A small 3-level NPU with 4x2 spatial fanout and tight L1. */
+inline ArchConfig
+miniNpu()
+{
+    return makeNpu("mini-npu", 8 * 1024, 128, 4, 2);
+}
+
+/** Mapping with every loop at DRAM (trivial inner levels). */
+inline Mapping
+allAtTop(const Workload &wl, const ArchConfig &arch)
+{
+    Mapping m(arch.numLevels(), wl.numDims());
+    for (int d = 0; d < wl.numDims(); ++d)
+        m.level(arch.numLevels() - 1).temporal[d] = wl.bound(d);
+    return m;
+}
+
+} // namespace mse::test

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "mappers/local_search.hpp"
+#include "mappers/random_pruned.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace mse {
+namespace {
+
+EvalFn
+denseEval(const Workload &wl, const ArchConfig &arch)
+{
+    return [wl, arch](const Mapping &m) {
+        return CostModel::evaluate(wl, arch, m);
+    };
+}
+
+TEST(RandomNeighbor, AlwaysFactorLegal)
+{
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    Rng rng(1);
+    Mapping m = space.randomMapping(rng);
+    for (int i = 0; i < 200; ++i) {
+        m = randomNeighbor(space, m, rng);
+        ASSERT_EQ(validateMapping(wl, arch, m), MappingError::Ok);
+    }
+}
+
+TEST(RandomNeighbor, ReachesDistinctMappings)
+{
+    const Workload wl = resnetConv3();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    Rng rng(2);
+    const Mapping m = space.randomMapping(rng);
+    std::set<std::string> keys;
+    for (int i = 0; i < 50; ++i)
+        keys.insert(randomNeighbor(space, m, rng).canonicalKey());
+    EXPECT_GT(keys.size(), 10u);
+}
+
+TEST(SimulatedAnnealing, FindsLegalMappingAndImproves)
+{
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    SimulatedAnnealingMapper sa;
+    SearchBudget budget;
+    budget.max_samples = 1500;
+    Rng rng(3);
+    const SearchResult r =
+        sa.search(space, denseEval(wl, arch), budget, rng);
+    ASSERT_TRUE(r.found());
+    EXPECT_EQ(validateMapping(wl, arch, r.best_mapping), MappingError::Ok);
+    EXPECT_LT(r.log.best_edp_per_sample.back(),
+              r.log.best_edp_per_sample.front());
+}
+
+TEST(SimulatedAnnealing, BeatsPureRandomOnAverage)
+{
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    SearchBudget budget;
+    budget.max_samples = 1500;
+    int wins = 0;
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+        SimulatedAnnealingMapper sa;
+        RandomPrunedMapper random;
+        Rng ra(100 + seed), rr(200 + seed);
+        const double a =
+            sa.search(space, denseEval(wl, arch), budget, ra)
+                .best_cost.edp;
+        const double r =
+            random.search(space, denseEval(wl, arch), budget, rr)
+                .best_cost.edp;
+        if (a < r)
+            ++wins;
+    }
+    EXPECT_GE(wins, 2);
+}
+
+TEST(SimulatedAnnealing, UsesSeedAsStart)
+{
+    const Workload wl = resnetConv3();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    Rng rng(5);
+    const Mapping seed = space.randomMapping(rng);
+    const double seed_edp = CostModel::evaluate(wl, arch, seed).edp;
+
+    SimulatedAnnealingMapper sa;
+    sa.setInitialMappings({seed});
+    SearchBudget budget;
+    budget.max_samples = 5;
+    Rng rng2(6);
+    const SearchResult r =
+        sa.search(space, denseEval(wl, arch), budget, rng2);
+    // The first sample is the seed itself.
+    EXPECT_DOUBLE_EQ(r.log.best_edp_per_sample.front(), seed_edp);
+}
+
+TEST(HillClimb, FindsLegalMappingAndImproves)
+{
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    HillClimbMapper hc;
+    SearchBudget budget;
+    budget.max_samples = 1500;
+    Rng rng(7);
+    const SearchResult r =
+        hc.search(space, denseEval(wl, arch), budget, rng);
+    ASSERT_TRUE(r.found());
+    EXPECT_EQ(validateMapping(wl, arch, r.best_mapping), MappingError::Ok);
+    EXPECT_LT(r.log.best_edp_per_sample.back(),
+              r.log.best_edp_per_sample.front());
+}
+
+TEST(HillClimb, MonotoneBestTrace)
+{
+    const Workload wl = bertKqv();
+    const ArchConfig arch = accelA();
+    MapSpace space(wl, arch);
+    HillClimbMapper hc;
+    SearchBudget budget;
+    budget.max_samples = 800;
+    Rng rng(8);
+    const SearchResult r =
+        hc.search(space, denseEval(wl, arch), budget, rng);
+    for (size_t i = 1; i < r.log.best_edp_per_sample.size(); ++i) {
+        EXPECT_LE(r.log.best_edp_per_sample[i],
+                  r.log.best_edp_per_sample[i - 1]);
+    }
+}
+
+TEST(HillClimb, RestartsEscapeStagnation)
+{
+    // With an absurdly low restart threshold, the climber must still
+    // make global progress via restarts.
+    HillClimbConfig cfg;
+    cfg.restart_after_stale = 5;
+    const Workload wl = resnetConv3();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    HillClimbMapper hc(cfg);
+    SearchBudget budget;
+    budget.max_samples = 1000;
+    Rng rng(9);
+    const SearchResult r =
+        hc.search(space, denseEval(wl, arch), budget, rng);
+    ASSERT_TRUE(r.found());
+    EXPECT_LT(r.best_cost.edp, r.log.best_edp_per_sample.front());
+}
+
+TEST(Annealing, RespectsSampleBudgetExactly)
+{
+    const Workload wl = resnetConv3();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    SimulatedAnnealingMapper sa;
+    SearchBudget budget;
+    budget.max_samples = 321;
+    Rng rng(10);
+    const SearchResult r =
+        sa.search(space, denseEval(wl, arch), budget, rng);
+    EXPECT_LE(r.log.samples, 321u);
+    EXPECT_GE(r.log.samples, 320u);
+}
+
+} // namespace
+} // namespace mse

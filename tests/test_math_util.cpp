@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+
+namespace mse {
+namespace {
+
+TEST(Divisors, OfOne)
+{
+    EXPECT_EQ(divisorsOf(1), (std::vector<int64_t>{1}));
+}
+
+TEST(Divisors, OfPrime)
+{
+    EXPECT_EQ(divisorsOf(13), (std::vector<int64_t>{1, 13}));
+}
+
+TEST(Divisors, OfCompositeSortedAndComplete)
+{
+    const auto d = divisorsOf(36);
+    EXPECT_EQ(d, (std::vector<int64_t>{1, 2, 3, 4, 6, 9, 12, 18, 36}));
+    EXPECT_TRUE(std::is_sorted(d.begin(), d.end()));
+}
+
+TEST(Divisors, PerfectSquareNoDuplicateRoot)
+{
+    const auto d = divisorsOf(16);
+    EXPECT_EQ(d, (std::vector<int64_t>{1, 2, 4, 8, 16}));
+}
+
+TEST(NearestDivisor, ExactHit)
+{
+    EXPECT_EQ(nearestDivisor(24, 6), 6);
+}
+
+TEST(NearestDivisor, RoundsToClosest)
+{
+    EXPECT_EQ(nearestDivisor(24, 5), 4); // tie 4 vs 6 resolves low
+    EXPECT_EQ(nearestDivisor(24, 7), 6);
+    EXPECT_EQ(nearestDivisor(24, 100), 24);
+    EXPECT_EQ(nearestDivisor(24, 0), 1);
+}
+
+TEST(NearestDivisor, PrimeBound)
+{
+    EXPECT_EQ(nearestDivisor(7, 3), 1);
+    EXPECT_EQ(nearestDivisor(7, 5), 7);
+}
+
+TEST(CountOrderedFactorizations, MatchesEnumerationSmall)
+{
+    for (int64_t n : {1, 2, 6, 12, 16, 28, 36, 49}) {
+        for (int k : {1, 2, 3, 4}) {
+            const auto enumerated = enumerateOrderedFactorizations(n, k);
+            EXPECT_DOUBLE_EQ(countOrderedFactorizations(n, k),
+                             static_cast<double>(enumerated.size()))
+                << "n=" << n << " k=" << k;
+        }
+    }
+}
+
+TEST(CountOrderedFactorizations, KnownValues)
+{
+    // 12 = 2^2 * 3 into 2 factors: C(3,1)*C(2,1) = 6.
+    EXPECT_DOUBLE_EQ(countOrderedFactorizations(12, 2), 6.0);
+    // Identity cases.
+    EXPECT_DOUBLE_EQ(countOrderedFactorizations(1, 3), 1.0);
+    EXPECT_DOUBLE_EQ(countOrderedFactorizations(97, 1), 1.0);
+}
+
+TEST(EnumerateOrderedFactorizations, ProductsAreCorrect)
+{
+    for (const auto &f : enumerateOrderedFactorizations(24, 3)) {
+        ASSERT_EQ(f.size(), 3u);
+        EXPECT_EQ(f[0] * f[1] * f[2], 24);
+    }
+}
+
+TEST(EnumerateOrderedFactorizations, NoDuplicates)
+{
+    auto all = enumerateOrderedFactorizations(30, 3);
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+class SampleFactorizationP : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(SampleFactorizationP, ProductEqualsInput)
+{
+    Rng rng(42);
+    const int64_t n = GetParam();
+    for (int k = 1; k <= 6; ++k) {
+        for (int trial = 0; trial < 32; ++trial) {
+            const auto f = sampleFactorization(n, k, rng);
+            ASSERT_EQ(static_cast<int>(f.size()), k);
+            int64_t p = 1;
+            for (int64_t v : f) {
+                EXPECT_GE(v, 1);
+                p *= v;
+            }
+            EXPECT_EQ(p, n);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, SampleFactorizationP,
+                         ::testing::Values<int64_t>(1, 2, 7, 16, 28, 224,
+                                                    256, 1024));
+
+TEST(SampleFactorization, CoversNontrivialSplits)
+{
+    Rng rng(7);
+    bool saw_split = false;
+    for (int i = 0; i < 100 && !saw_split; ++i) {
+        const auto f = sampleFactorization(16, 3, rng);
+        if (f[0] > 1 && f[1] > 1)
+            saw_split = true;
+    }
+    EXPECT_TRUE(saw_split);
+}
+
+TEST(Gcd64, Basics)
+{
+    EXPECT_EQ(gcd64(12, 18), 6);
+    EXPECT_EQ(gcd64(7, 13), 1);
+    EXPECT_EQ(gcd64(0, 5), 5);
+    EXPECT_EQ(gcd64(5, 0), 5);
+    EXPECT_EQ(gcd64(-12, 18), 6);
+}
+
+TEST(CeilDiv, Basics)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(1, 5), 1);
+}
+
+TEST(Log10OfProduct, SumsLogs)
+{
+    EXPECT_NEAR(log10OfProduct({10.0, 100.0}), 3.0, 1e-12);
+    EXPECT_NEAR(log10OfProduct({}), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace mse

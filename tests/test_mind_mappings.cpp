@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "mapping/encoding.hpp"
+#include "mappers/mind_mappings.hpp"
+#include "mappers/random_pruned.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace mse {
+namespace {
+
+SurrogateConfig
+fastSurrogateConfig()
+{
+    SurrogateConfig cfg;
+    cfg.train_samples = 800;
+    cfg.epochs = 12;
+    cfg.lr = 3e-3;
+    cfg.hidden = {48, 24};
+    return cfg;
+}
+
+std::shared_ptr<const MindMappingsSurrogate>
+trainedOnAccelA()
+{
+    static std::shared_ptr<const MindMappingsSurrogate> cached = [] {
+        Rng rng(77);
+        return std::make_shared<const MindMappingsSurrogate>(
+            accelA(),
+            std::vector<Workload>{resnetConv3(), resnetConv4()},
+            fastSurrogateConfig(), rng);
+    }();
+    return cached;
+}
+
+EvalFn
+denseEval(const Workload &wl, const ArchConfig &arch)
+{
+    return [wl, arch](const Mapping &m) {
+        return CostModel::evaluate(wl, arch, m);
+    };
+}
+
+TEST(Surrogate, TrainingConverges)
+{
+    const auto sur = trainedOnAccelA();
+    // Normalized squared error well below the unit-variance baseline.
+    EXPECT_LT(sur->trainingLoss(), 1.0);
+}
+
+TEST(Surrogate, PredictsSaneMagnitudes)
+{
+    const auto sur = trainedOnAccelA();
+    const Workload wl = resnetConv4();
+    MapSpace space(wl, accelA());
+    Rng rng(5);
+    const Mapping m = space.randomMapping(rng);
+    const auto y = sur->predict(wl, encodeMapping(space, m));
+    ASSERT_EQ(y.size(), 2u);
+    const CostResult truth = CostModel::evaluate(wl, accelA(), m);
+    // Predicted log-energy and log-latency within a few decades.
+    EXPECT_NEAR(y[0], std::log10(truth.energy_uj), 3.0);
+    EXPECT_NEAR(y[1], std::log10(truth.latency_cycles), 3.0);
+}
+
+TEST(Surrogate, RanksGoodAboveBadOnAverage)
+{
+    const auto sur = trainedOnAccelA();
+    const Workload wl = resnetConv4();
+    MapSpace space(wl, accelA());
+    Rng rng(6);
+    int correct = 0;
+    const int trials = 40;
+    for (int i = 0; i < trials; ++i) {
+        const Mapping a = space.randomMapping(rng);
+        const Mapping b = space.randomMapping(rng);
+        const double ta = CostModel::evaluate(wl, accelA(), a).edp;
+        const double tb = CostModel::evaluate(wl, accelA(), b).edp;
+        if (std::abs(std::log10(ta) - std::log10(tb)) < 0.5)
+            continue; // too close to call
+        const auto pa = sur->predict(wl, encodeMapping(space, a));
+        const auto pb = sur->predict(wl, encodeMapping(space, b));
+        const double sa = pa[0] + pa[1], sb = pb[0] + pb[1];
+        if ((ta < tb) == (sa < sb))
+            ++correct;
+        else
+            --correct;
+    }
+    EXPECT_GT(correct, 0); // better than coin-flipping
+}
+
+TEST(Surrogate, EncodingGradientHasSignal)
+{
+    const auto sur = trainedOnAccelA();
+    const Workload wl = resnetConv4();
+    MapSpace space(wl, accelA());
+    Rng rng(7);
+    const auto x = encodeMapping(space, space.randomMapping(rng));
+    const auto g = sur->encodingGradient(wl, x);
+    ASSERT_EQ(g.size(), x.size());
+    double norm = 0;
+    for (double v : g)
+        norm += v * v;
+    EXPECT_GT(norm, 0.0);
+}
+
+TEST(MindMappingsMapper, FindsLegalMapping)
+{
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelA();
+    MapSpace space(wl, arch);
+    MindMappingsMapper mapper(trainedOnAccelA());
+    SearchBudget budget;
+    budget.max_samples = 300;
+    Rng rng(8);
+    const SearchResult r =
+        mapper.search(space, denseEval(wl, arch), budget, rng);
+    ASSERT_TRUE(r.found());
+    EXPECT_EQ(validateMapping(wl, arch, r.best_mapping), MappingError::Ok);
+    EXPECT_LE(r.log.samples, budget.max_samples);
+}
+
+TEST(MindMappingsMapper, ImprovesOverItsOwnStart)
+{
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelA();
+    MapSpace space(wl, arch);
+    MindMappingsMapper mapper(trainedOnAccelA());
+    SearchBudget budget;
+    budget.max_samples = 400;
+    Rng rng(9);
+    const SearchResult r =
+        mapper.search(space, denseEval(wl, arch), budget, rng);
+    ASSERT_TRUE(r.found());
+    const auto &trace = r.log.best_edp_per_sample;
+    EXPECT_LT(trace.back(), trace.front());
+}
+
+TEST(MindMappingsMapper, WorksOnUnseenArchButReturnsLegal)
+{
+    // Fig. 3(c)(d): the Accel-A surrogate driving a search on Accel-B
+    // still produces legal mappings (the quality degradation is the
+    // bench's subject, legality is the library's invariant).
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    MindMappingsMapper mapper(trainedOnAccelA());
+    SearchBudget budget;
+    budget.max_samples = 200;
+    Rng rng(10);
+    const SearchResult r =
+        mapper.search(space, denseEval(wl, arch), budget, rng);
+    ASSERT_TRUE(r.found());
+    EXPECT_EQ(validateMapping(wl, arch, r.best_mapping), MappingError::Ok);
+}
+
+} // namespace
+} // namespace mse

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/mlp.hpp"
+
+namespace mse {
+namespace {
+
+TEST(Mlp, ShapesAreWired)
+{
+    Rng rng(1);
+    Mlp net({3, 8, 2}, rng);
+    EXPECT_EQ(net.inputSize(), 3);
+    EXPECT_EQ(net.outputSize(), 2);
+    const auto y = net.forward({0.1, 0.2, 0.3});
+    EXPECT_EQ(y.size(), 2u);
+}
+
+TEST(Mlp, FitsLinearFunction)
+{
+    Rng rng(2);
+    Mlp net({2, 16, 1}, rng);
+    std::vector<std::vector<double>> xs, ys;
+    for (int i = 0; i < 256; ++i) {
+        const double a = rng.uniformReal(-1, 1);
+        const double b = rng.uniformReal(-1, 1);
+        xs.push_back({a, b});
+        ys.push_back({2.0 * a - 0.5 * b + 0.3});
+    }
+    double loss = 0;
+    for (int epoch = 0; epoch < 400; ++epoch)
+        loss = net.trainBatch(xs, ys, 1e-2);
+    EXPECT_LT(loss, 5e-3);
+    EXPECT_NEAR(net.forward({0.5, -0.5})[0], 1.55, 0.1);
+}
+
+TEST(Mlp, FitsNonlinearFunction)
+{
+    // XOR-like target requires the hidden layer.
+    Rng rng(3);
+    Mlp net({2, 16, 16, 1}, rng);
+    const std::vector<std::vector<double>> xs = {
+        {0, 0}, {0, 1}, {1, 0}, {1, 1}};
+    const std::vector<std::vector<double>> ys = {{0}, {1}, {1}, {0}};
+    double loss = 0;
+    for (int epoch = 0; epoch < 1500; ++epoch)
+        loss = net.trainBatch(xs, ys, 5e-3);
+    EXPECT_LT(loss, 1e-2);
+    EXPECT_GT(net.forward({0, 1})[0], 0.7);
+    EXPECT_LT(net.forward({1, 1})[0], 0.3);
+}
+
+TEST(Mlp, InputGradientMatchesFiniteDifference)
+{
+    Rng rng(4);
+    Mlp net({4, 12, 6, 2}, rng);
+    const std::vector<double> x = {0.3, -0.2, 0.7, 0.1};
+    for (int out = 0; out < 2; ++out) {
+        const auto g = net.inputGradient(x, out);
+        ASSERT_EQ(g.size(), x.size());
+        const double eps = 1e-6;
+        for (size_t i = 0; i < x.size(); ++i) {
+            auto xp = x, xm = x;
+            xp[i] += eps;
+            xm[i] -= eps;
+            const double fd = (net.forward(xp)[out] -
+                               net.forward(xm)[out]) / (2 * eps);
+            EXPECT_NEAR(g[i], fd, 1e-5)
+                << "output " << out << " input " << i;
+        }
+    }
+}
+
+TEST(Mlp, TrainingReducesLoss)
+{
+    Rng rng(5);
+    Mlp net({3, 10, 1}, rng);
+    std::vector<std::vector<double>> xs, ys;
+    for (int i = 0; i < 64; ++i) {
+        xs.push_back({rng.uniformReal(), rng.uniformReal(),
+                      rng.uniformReal()});
+        ys.push_back({xs.back()[0] * xs.back()[1] + xs.back()[2]});
+    }
+    const double first = net.trainBatch(xs, ys, 1e-3);
+    double last = first;
+    for (int epoch = 0; epoch < 100; ++epoch)
+        last = net.trainBatch(xs, ys, 1e-3);
+    EXPECT_LT(last, first * 0.5);
+}
+
+TEST(Mlp, DeterministicGivenSeed)
+{
+    Rng rng1(7), rng2(7);
+    Mlp a({2, 4, 1}, rng1);
+    Mlp b({2, 4, 1}, rng2);
+    EXPECT_DOUBLE_EQ(a.forward({0.1, 0.9})[0], b.forward({0.1, 0.9})[0]);
+}
+
+} // namespace
+} // namespace mse

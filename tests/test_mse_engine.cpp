@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "core/mse_engine.hpp"
+#include "mappers/gamma.hpp"
+#include "mappers/random_pruned.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace mse {
+namespace {
+
+TEST(MseEngine, OptimizeReturnsLegalBest)
+{
+    MseEngine engine(accelB());
+    GammaMapper gamma;
+    MseOptions opts;
+    opts.budget.max_samples = 600;
+    Rng rng(1);
+    const MseOutcome out = engine.optimize(resnetConv4(), gamma, opts,
+                                           rng);
+    ASSERT_TRUE(out.search.found());
+    EXPECT_EQ(validateMapping(resnetConv4(), accelB(),
+                              out.search.best_mapping),
+              MappingError::Ok);
+    EXPECT_GT(out.pareto.entries().size(), 0u);
+}
+
+TEST(MseEngine, ReplayBufferRecordsOutcomes)
+{
+    MseEngine engine(accelB());
+    GammaMapper gamma;
+    MseOptions opts;
+    opts.budget.max_samples = 300;
+    Rng rng(2);
+    engine.optimize(resnetConv3(), gamma, opts, rng);
+    engine.optimize(resnetConv4(), gamma, opts, rng);
+    EXPECT_EQ(engine.replay().size(), 2u);
+}
+
+TEST(MseEngine, UpdateReplayCanBeDisabled)
+{
+    MseEngine engine(accelB());
+    GammaMapper gamma;
+    MseOptions opts;
+    opts.budget.max_samples = 200;
+    opts.update_replay = false;
+    Rng rng(3);
+    engine.optimize(resnetConv3(), gamma, opts, rng);
+    EXPECT_TRUE(engine.replay().empty());
+}
+
+TEST(MseEngine, ParetoFrontierIsNondominated)
+{
+    MseEngine engine(accelB());
+    RandomPrunedMapper random;
+    MseOptions opts;
+    opts.budget.max_samples = 500;
+    Rng rng(4);
+    const MseOutcome out =
+        engine.optimize(resnetConv4(), random, opts, rng);
+    const auto &entries = out.pareto.entries();
+    for (size_t i = 0; i < entries.size(); ++i) {
+        for (size_t j = 0; j < entries.size(); ++j) {
+            if (i == j)
+                continue;
+            const bool dominated =
+                entries[j].energy <= entries[i].energy &&
+                entries[j].latency <= entries[i].latency &&
+                (entries[j].energy < entries[i].energy ||
+                 entries[j].latency < entries[i].latency);
+            EXPECT_FALSE(dominated);
+        }
+    }
+}
+
+TEST(MseEngine, BestEdpIsOnParetoFrontier)
+{
+    MseEngine engine(accelB());
+    GammaMapper gamma;
+    MseOptions opts;
+    opts.budget.max_samples = 500;
+    Rng rng(5);
+    const MseOutcome out =
+        engine.optimize(resnetConv4(), gamma, opts, rng);
+    const int idx = out.pareto.bestEdpIndex();
+    ASSERT_GE(idx, 0);
+    const auto &e = out.pareto.entries()[static_cast<size_t>(idx)];
+    EXPECT_NEAR(e.energy * e.latency, out.bestEdp(),
+                1e-9 * out.bestEdp());
+}
+
+TEST(MseEngine, WarmStartConvergesFasterOnSimilarLayer)
+{
+    // Optimize conv3 cold; then conv4 twice: cold vs warm-started.
+    // The warm-started run should converge in no more generations
+    // (Fig. 10's effect) and reach a comparable EDP.
+    const uint64_t seed = 11;
+    MseOptions opts;
+    opts.budget.max_samples = 1200;
+
+    MseEngine cold_engine(accelB());
+    GammaMapper g1;
+    Rng rng_cold(seed);
+    const MseOutcome cold =
+        cold_engine.optimize(resnetConv4(), g1, opts, rng_cold);
+
+    MseEngine warm_engine(accelB());
+    GammaMapper g2;
+    Rng rng_warm(seed);
+    warm_engine.optimize(resnetConv3(), g2, opts, rng_warm);
+    MseOptions warm_opts = opts;
+    warm_opts.warm_start = WarmStartStrategy::BySimilarity;
+    const MseOutcome warm =
+        warm_engine.optimize(resnetConv4(), g2, warm_opts, rng_warm);
+
+    ASSERT_TRUE(cold.search.found() && warm.search.found());
+    // Warm start must not hurt final quality by more than a bit.
+    EXPECT_LT(warm.bestEdp(), cold.bestEdp() * 2.0);
+    // And its first-generation incumbent should already be strong.
+    EXPECT_LT(warm.search.log.best_edp_per_generation.front(),
+              cold.search.log.best_edp_per_generation.front());
+}
+
+TEST(MseEngine, SparsePathUsesWorkloadDensities)
+{
+    Workload wl = resnetConv4();
+    MseEngine engine(accelB());
+    GammaMapper gamma;
+    MseOptions opts;
+    opts.budget.max_samples = 300;
+    opts.sparse = true;
+    Rng rng(6);
+    const MseOutcome dense_out = engine.optimize(wl, gamma, opts, rng);
+
+    Workload sparse_wl = resnetConv4();
+    applyDensities(sparse_wl, 0.1, 1.0);
+    GammaMapper gamma2;
+    Rng rng2(6);
+    const MseOutcome sparse_out =
+        engine.optimize(sparse_wl, gamma2, opts, rng2);
+    ASSERT_TRUE(dense_out.search.found() && sparse_out.search.found());
+    EXPECT_LT(sparse_out.bestEdp(), dense_out.bestEdp());
+}
+
+TEST(MseEngine, ConvergenceIndicesWithinTraceLength)
+{
+    MseEngine engine(accelA());
+    GammaMapper gamma;
+    MseOptions opts;
+    opts.budget.max_samples = 400;
+    Rng rng(7);
+    const MseOutcome out =
+        engine.optimize(resnetConv3(), gamma, opts, rng);
+    EXPECT_LT(out.generations_to_converge,
+              out.search.log.best_edp_per_generation.size());
+    EXPECT_LT(out.samples_to_converge,
+              out.search.log.best_edp_per_sample.size());
+}
+
+} // namespace
+} // namespace mse

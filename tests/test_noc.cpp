@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "model/cost_model.hpp"
+#include "test_helpers.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace mse {
+namespace {
+
+TEST(NocHops, BusIsAlwaysOneHop)
+{
+    EXPECT_DOUBLE_EQ(nocHops(NocTopology::Bus, 1), 1.0);
+    EXPECT_DOUBLE_EQ(nocHops(NocTopology::Bus, 256), 1.0);
+}
+
+TEST(NocHops, TreeIsLogarithmic)
+{
+    EXPECT_DOUBLE_EQ(nocHops(NocTopology::Tree, 1), 1.0);
+    EXPECT_DOUBLE_EQ(nocHops(NocTopology::Tree, 16), 5.0);
+    EXPECT_DOUBLE_EQ(nocHops(NocTopology::Tree, 256), 9.0);
+}
+
+TEST(NocHops, MeshIsSquareRoot)
+{
+    EXPECT_DOUBLE_EQ(nocHops(NocTopology::Mesh, 1), 1.0);
+    EXPECT_DOUBLE_EQ(nocHops(NocTopology::Mesh, 256), 16.0);
+}
+
+TEST(NocHops, MeshExceedsTreeAtScale)
+{
+    EXPECT_GT(nocHops(NocTopology::Mesh, 1024),
+              nocHops(NocTopology::Tree, 1024));
+}
+
+TEST(NocTopologyName, AllNamed)
+{
+    EXPECT_STREQ(nocTopologyName(NocTopology::Bus), "bus");
+    EXPECT_STREQ(nocTopologyName(NocTopology::Tree), "tree");
+    EXPECT_STREQ(nocTopologyName(NocTopology::Mesh), "mesh");
+}
+
+TEST(NocEnergy, ZeroHopEnergyLeavesCostUnchanged)
+{
+    // The presets ship with noc_hop_energy_pj = 0: identical results.
+    const Workload wl = resnetConv4();
+    ArchConfig a = accelB();
+    ArchConfig b = accelB();
+    b.levels[1].noc = NocTopology::Mesh; // topology alone is free
+    MapSpace space(wl, a);
+    Rng rng(1);
+    const Mapping m = space.randomMapping(rng);
+    EXPECT_DOUBLE_EQ(CostModel::evaluate(wl, a, m).edp,
+                     CostModel::evaluate(wl, b, m).edp);
+}
+
+TEST(NocEnergy, HopEnergyRaisesTotalEnergy)
+{
+    const Workload wl = resnetConv4();
+    ArchConfig base = accelB();
+    ArchConfig noc = accelB();
+    for (auto &lvl : noc.levels)
+        lvl.noc_hop_energy_pj = 0.1;
+    MapSpace space(wl, base);
+    Rng rng(2);
+    const Mapping m = space.randomMapping(rng);
+    const CostResult rb = CostModel::evaluate(wl, base, m);
+    const CostResult rn = CostModel::evaluate(wl, noc, m);
+    EXPECT_GT(rn.energy_uj, rb.energy_uj);
+    // Latency is unaffected (energy-only model).
+    EXPECT_DOUBLE_EQ(rn.latency_cycles, rb.latency_cycles);
+}
+
+TEST(NocEnergy, MeshCostsMoreThanBusAtHighFanout)
+{
+    const Workload wl = resnetConv4();
+    auto archWith = [](NocTopology t) {
+        ArchConfig cfg = accelB();
+        cfg.levels[1].noc = t; // PE-array network
+        cfg.levels[1].noc_hop_energy_pj = 0.2;
+        return cfg;
+    };
+    const ArchConfig bus = archWith(NocTopology::Bus);
+    const ArchConfig mesh = archWith(NocTopology::Mesh);
+    MapSpace space(wl, bus);
+    Rng rng(3);
+    // Use a mapping that actually spreads across PEs.
+    Mapping m = space.randomMapping(rng);
+    while (m.spatialProduct(1) < 8)
+        m = space.randomMapping(rng);
+    EXPECT_GT(CostModel::evaluate(wl, mesh, m).energy_uj,
+              CostModel::evaluate(wl, bus, m).energy_uj);
+}
+
+TEST(NocEnergy, ScalesWithActiveFanoutNotRatedFanout)
+{
+    // A mapping using one PE pays one hop worth even on a mesh.
+    const Workload wl = test::tinyGemm();
+    ArchConfig arch = makeNpu("n", 1 << 16, 1 << 12, 64, 1);
+    arch.levels[1].noc = NocTopology::Mesh;
+    arch.levels[1].noc_hop_energy_pj = 1.0;
+    Mapping m(arch.numLevels(), wl.numDims());
+    for (int d = 0; d < wl.numDims(); ++d)
+        m.level(2).temporal[d] = wl.bound(d);
+    ASSERT_EQ(validateMapping(wl, arch, m), MappingError::Ok);
+    ArchConfig free_arch = arch;
+    free_arch.levels[1].noc_hop_energy_pj = 0.0;
+    const double with_noc = CostModel::evaluate(wl, arch, m).energy_uj;
+    const double without = CostModel::evaluate(wl, free_arch, m).energy_uj;
+    // Exactly one hop per L2 read word (spatial product is 1).
+    const AccessCounts c = computeAccessCounts(wl, arch, m);
+    double l2_reads = 0;
+    for (int t = 0; t < wl.numTensors(); ++t)
+        l2_reads += c.access[1][t].reads;
+    EXPECT_NEAR(with_noc - without, l2_reads * 1.0 * 1e-6,
+                1e-12 + 1e-9 * with_noc);
+}
+
+} // namespace
+} // namespace mse

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "common/pareto.hpp"
+
+namespace mse {
+namespace {
+
+TEST(Dominates, StrictAndEqualCases)
+{
+    EXPECT_TRUE(dominates({1, 1}, {2, 2}));
+    EXPECT_TRUE(dominates({1, 2}, {2, 2}));
+    EXPECT_FALSE(dominates({1, 3}, {2, 2}));
+    EXPECT_FALSE(dominates({2, 2}, {2, 2})); // equal: not strict
+    EXPECT_FALSE(dominates({2, 2}, {1, 1}));
+}
+
+TEST(ParetoRanks, AllNondominated)
+{
+    const auto r = paretoRanks({{1, 3}, {2, 2}, {3, 1}});
+    EXPECT_EQ(r, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(ParetoRanks, LayeredFronts)
+{
+    // (1,1) dominates everything; (2,2) dominates (3,3).
+    const auto r = paretoRanks({{1, 1}, {2, 2}, {3, 3}});
+    EXPECT_EQ(r, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ParetoRanks, MixedFront)
+{
+    const auto r = paretoRanks({{1, 4}, {4, 1}, {2, 2}, {3, 3}});
+    EXPECT_EQ(r[0], 0);
+    EXPECT_EQ(r[1], 0);
+    EXPECT_EQ(r[2], 0);
+    EXPECT_EQ(r[3], 1);
+}
+
+TEST(ParetoArchive, InsertKeepsNondominated)
+{
+    ParetoArchive a;
+    EXPECT_TRUE(a.insert(1, 4, 0));
+    EXPECT_TRUE(a.insert(4, 1, 1));
+    EXPECT_TRUE(a.insert(2, 2, 2));
+    EXPECT_EQ(a.entries().size(), 3u);
+}
+
+TEST(ParetoArchive, RejectsDominated)
+{
+    ParetoArchive a;
+    a.insert(1, 1, 0);
+    EXPECT_FALSE(a.insert(2, 2, 1));
+    EXPECT_FALSE(a.insert(1, 1, 2)); // duplicate point is not an improvement
+    EXPECT_EQ(a.entries().size(), 1u);
+}
+
+TEST(ParetoArchive, EvictsNewlyDominated)
+{
+    ParetoArchive a;
+    a.insert(3, 3, 0);
+    a.insert(2, 4, 1);
+    EXPECT_TRUE(a.insert(1, 1, 2)); // dominates both
+    ASSERT_EQ(a.entries().size(), 1u);
+    EXPECT_EQ(a.entries()[0].payload, 2u);
+}
+
+TEST(ParetoArchive, BestEdp)
+{
+    ParetoArchive a;
+    EXPECT_EQ(a.bestEdpIndex(), -1);
+    a.insert(1, 8, 0); // EDP 8
+    a.insert(2, 3, 1); // EDP 6 <- best
+    a.insert(6, 1, 2); // EDP 6 tie, first wins
+    const int best = a.bestEdpIndex();
+    ASSERT_GE(best, 0);
+    EXPECT_EQ(a.entries()[static_cast<size_t>(best)].payload, 1u);
+}
+
+} // namespace
+} // namespace mse

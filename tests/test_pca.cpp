@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/pca.hpp"
+#include "common/rng.hpp"
+
+namespace mse {
+namespace {
+
+TEST(Pca, RecoversDominantDirection)
+{
+    // Points spread along (1,1)/sqrt(2) with small orthogonal noise.
+    Rng rng(5);
+    std::vector<std::vector<double>> data;
+    for (int i = 0; i < 500; ++i) {
+        const double t = rng.gaussian(0.0, 3.0);
+        const double n = rng.gaussian(0.0, 0.1);
+        data.push_back({t + n, t - n});
+    }
+    const auto model = fitPca(data, 2);
+    ASSERT_EQ(model.components.size(), 2u);
+    // First PC should be (±1/sqrt2, ±1/sqrt2).
+    const double c0 = std::fabs(model.components[0][0]);
+    const double c1 = std::fabs(model.components[0][1]);
+    EXPECT_NEAR(c0, 1.0 / std::sqrt(2.0), 0.05);
+    EXPECT_NEAR(c1, 1.0 / std::sqrt(2.0), 0.05);
+    EXPECT_GT(model.explained_variance[0],
+              50.0 * model.explained_variance[1]);
+}
+
+TEST(Pca, ExplainedVarianceDescending)
+{
+    Rng rng(9);
+    std::vector<std::vector<double>> data;
+    for (int i = 0; i < 200; ++i) {
+        data.push_back({rng.gaussian(0, 4), rng.gaussian(0, 2),
+                        rng.gaussian(0, 1)});
+    }
+    const auto model = fitPca(data, 3);
+    ASSERT_EQ(model.explained_variance.size(), 3u);
+    EXPECT_GE(model.explained_variance[0], model.explained_variance[1]);
+    EXPECT_GE(model.explained_variance[1], model.explained_variance[2]);
+}
+
+TEST(Pca, ProjectionIsCentered)
+{
+    std::vector<std::vector<double>> data = {
+        {1, 2}, {3, 4}, {5, 6}, {7, 8}};
+    const auto model = fitPca(data, 1);
+    // The mean point projects to the origin.
+    const auto p = model.project({4, 5});
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_NEAR(p[0], 0.0, 1e-9);
+}
+
+TEST(Pca, ComponentsAreUnitNorm)
+{
+    Rng rng(13);
+    std::vector<std::vector<double>> data;
+    for (int i = 0; i < 100; ++i)
+        data.push_back({rng.uniformReal(), rng.uniformReal(),
+                        rng.uniformReal(), rng.uniformReal()});
+    const auto model = fitPca(data, 3);
+    for (const auto &c : model.components) {
+        double norm = 0;
+        for (double v : c)
+            norm += v * v;
+        EXPECT_NEAR(norm, 1.0, 1e-6);
+    }
+}
+
+TEST(Pca, HandlesEmptyAndSingle)
+{
+    EXPECT_EQ(fitPca({}, 2).components.size(), 0u);
+    const auto model = fitPca({{1.0, 2.0}}, 2);
+    EXPECT_EQ(model.dim, 2u);
+}
+
+TEST(Pca, ClampsComponentCount)
+{
+    std::vector<std::vector<double>> data = {{1, 2}, {2, 1}, {0, 3}};
+    const auto model = fitPca(data, 10);
+    EXPECT_EQ(model.components.size(), 2u);
+}
+
+} // namespace
+} // namespace mse

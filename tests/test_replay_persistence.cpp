@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/replay_buffer.hpp"
+#include "mapping/map_space.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace mse {
+namespace {
+
+class ReplayPersistenceTest : public ::testing::Test
+{
+  protected:
+    std::string path_ = ::testing::TempDir() + "/mse_replay_test.txt";
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    static CostResult
+    evalDense(const Workload &wl, const Mapping &m)
+    {
+        return CostModel::evaluate(wl, accelB(), m);
+    }
+
+    ReplayBuffer
+    populated()
+    {
+        ReplayBuffer buf;
+        Rng rng(1);
+        for (const Workload &wl : {resnetConv3(), resnetConv4()}) {
+            MapSpace space(wl, accelB());
+            const Mapping m = space.randomMapping(rng);
+            buf.push(wl, m, evalDense(wl, m));
+        }
+        return buf;
+    }
+};
+
+TEST_F(ReplayPersistenceTest, SaveLoadRoundTrip)
+{
+    ReplayBuffer buf = populated();
+    ASSERT_TRUE(buf.save(path_));
+
+    ReplayBuffer fresh;
+    const size_t n = fresh.load(path_, evalDense);
+    EXPECT_EQ(n, 2u);
+    ASSERT_EQ(fresh.size(), 2u);
+    EXPECT_EQ(fresh.entries()[0].workload.name(), "resnet_conv3");
+    EXPECT_EQ(fresh.entries()[1].workload.name(), "resnet_conv4");
+    // Costs re-derived on load match the originals.
+    EXPECT_DOUBLE_EQ(fresh.entries()[0].cost.edp,
+                     buf.entries()[0].cost.edp);
+}
+
+TEST_F(ReplayPersistenceTest, LoadedEntriesServeWarmStartLookups)
+{
+    populated().save(path_);
+    ReplayBuffer fresh;
+    fresh.load(path_, evalDense);
+    const auto hit = fresh.mostSimilar(resnetConv4());
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->workload.name(), "resnet_conv4");
+}
+
+TEST_F(ReplayPersistenceTest, LoadSkipsCorruptLines)
+{
+    populated().save(path_);
+    {
+        std::ofstream out(path_, std::ios::app);
+        out << "garbage workload line\n" << "garbage mapping line\n";
+    }
+    ReplayBuffer fresh;
+    EXPECT_EQ(fresh.load(path_, evalDense), 2u);
+}
+
+TEST_F(ReplayPersistenceTest, LoadFromMissingFileReturnsZero)
+{
+    ReplayBuffer fresh;
+    EXPECT_EQ(fresh.load("/nonexistent_zzz/replay.txt", evalDense), 0u);
+    EXPECT_TRUE(fresh.empty());
+}
+
+TEST_F(ReplayPersistenceTest, SaveToBadPathFails)
+{
+    EXPECT_FALSE(populated().save("/nonexistent_zzz/replay.txt"));
+}
+
+TEST_F(ReplayPersistenceTest, LoadAppendsToExistingEntries)
+{
+    populated().save(path_);
+    ReplayBuffer buf;
+    Rng rng(7);
+    MapSpace space(inceptionConv2(), accelB());
+    const Mapping m = space.randomMapping(rng);
+    buf.push(inceptionConv2(), m, evalDense(inceptionConv2(), m));
+    buf.load(path_, evalDense);
+    EXPECT_EQ(buf.size(), 3u);
+}
+
+} // namespace
+} // namespace mse

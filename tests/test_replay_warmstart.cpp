@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "core/replay_buffer.hpp"
+#include "core/warm_start.hpp"
+#include "mappers/gamma.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace mse {
+namespace {
+
+ReplayEntry
+entryFor(const Workload &wl, const ArchConfig &arch, uint64_t seed)
+{
+    MapSpace space(wl, arch);
+    Rng rng(seed);
+    ReplayEntry e;
+    e.workload = wl;
+    e.mapping = space.randomMapping(rng);
+    e.cost = CostModel::evaluate(wl, arch, e.mapping);
+    return e;
+}
+
+TEST(ReplayBuffer, PushAndSize)
+{
+    ReplayBuffer buf(2);
+    EXPECT_TRUE(buf.empty());
+    const auto e = entryFor(resnetConv3(), accelB(), 1);
+    buf.push(e.workload, e.mapping, e.cost);
+    EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(ReplayBuffer, EvictsOldestAtCapacity)
+{
+    ReplayBuffer buf(2);
+    const auto a = entryFor(resnetConv3(), accelB(), 1);
+    const auto b = entryFor(resnetConv4(), accelB(), 2);
+    const auto c = entryFor(inceptionConv2(), accelB(), 3);
+    buf.push(a.workload, a.mapping, a.cost);
+    buf.push(b.workload, b.mapping, b.cost);
+    buf.push(c.workload, c.mapping, c.cost);
+    EXPECT_EQ(buf.size(), 2u);
+    EXPECT_EQ(buf.entries()[0].workload.name(), "resnet_conv4");
+}
+
+TEST(ReplayBuffer, MostSimilarPicksMinimumEditDistance)
+{
+    ReplayBuffer buf;
+    const auto far = entryFor(inceptionConv2(), accelB(), 1);
+    const auto near = entryFor(resnetConv3(), accelB(), 2);
+    buf.push(far.workload, far.mapping, far.cost);
+    buf.push(near.workload, near.mapping, near.cost);
+    // Query: conv3 with doubled K -> distance 1 to conv3, larger to
+    // inception.
+    const Workload query = makeConv2d("q", 16, 256, 128, 28, 28, 3, 3);
+    const auto hit = buf.mostSimilar(query);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->workload.name(), "resnet_conv3");
+}
+
+TEST(ReplayBuffer, MostSimilarSkipsIncompatibleDims)
+{
+    ReplayBuffer buf;
+    const auto gemm = entryFor(bertKqv(), accelB(), 1);
+    buf.push(gemm.workload, gemm.mapping, gemm.cost);
+    EXPECT_FALSE(buf.mostSimilar(resnetConv4()).has_value());
+    EXPECT_FALSE(buf.mostRecent(resnetConv4()).has_value());
+    EXPECT_TRUE(buf.mostSimilar(bertAttn()).has_value());
+}
+
+TEST(ReplayBuffer, MostRecentReturnsLatestCompatible)
+{
+    ReplayBuffer buf;
+    const auto a = entryFor(resnetConv3(), accelB(), 1);
+    const auto g = entryFor(bertKqv(), accelB(), 2);
+    buf.push(a.workload, a.mapping, a.cost);
+    buf.push(g.workload, g.mapping, g.cost);
+    const auto hit = buf.mostRecent(resnetConv4());
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->workload.name(), "resnet_conv3");
+}
+
+TEST(WarmStart, NoneProducesNoSeeds)
+{
+    ReplayBuffer buf;
+    const auto e = entryFor(resnetConv3(), accelB(), 1);
+    buf.push(e.workload, e.mapping, e.cost);
+    MapSpace space(resnetConv4(), accelB());
+    Rng rng(1);
+    EXPECT_TRUE(warmStartSeeds(space, buf, WarmStartStrategy::None, 4,
+                               rng).empty());
+}
+
+TEST(WarmStart, EmptyBufferProducesNoSeeds)
+{
+    ReplayBuffer buf;
+    MapSpace space(resnetConv4(), accelB());
+    Rng rng(1);
+    EXPECT_TRUE(warmStartSeeds(space, buf,
+                               WarmStartStrategy::BySimilarity, 4, rng)
+                    .empty());
+}
+
+TEST(WarmStart, SeedsAreLegalForTargetSpace)
+{
+    ReplayBuffer buf;
+    const auto e = entryFor(resnetConv3(), accelB(), 5);
+    buf.push(e.workload, e.mapping, e.cost);
+    MapSpace space(resnetConv4(), accelB());
+    Rng rng(2);
+    const auto seeds = warmStartSeeds(
+        space, buf, WarmStartStrategy::BySimilarity, 4, rng);
+    ASSERT_EQ(seeds.size(), 4u);
+    for (const auto &s : seeds) {
+        EXPECT_EQ(validateMapping(space.workload(), space.arch(), s),
+                  MappingError::Ok);
+    }
+}
+
+TEST(WarmStart, SimilaritySeedBeatsRandomInitOnAverage)
+{
+    // Optimize conv3, then initialize conv4's search from it: the seed's
+    // EDP should beat the average random mapping (Fig. 9's effect).
+    const ArchConfig arch = accelB();
+    const Workload src = resnetConv3();
+    const Workload dst = resnetConv4();
+    Rng rng(3);
+
+    // A decently optimized source mapping.
+    MapSpace src_space(src, arch);
+    GammaMapper gamma;
+    SearchBudget budget;
+    budget.max_samples = 800;
+    EvalFn eval = [&](const Mapping &m) {
+        return CostModel::evaluate(src, arch, m);
+    };
+    const SearchResult opt = gamma.search(src_space, eval, budget, rng);
+    ASSERT_TRUE(opt.found());
+
+    ReplayBuffer buf;
+    buf.push(src, opt.best_mapping, opt.best_cost);
+
+    MapSpace dst_space(dst, arch);
+    const auto seeds = warmStartSeeds(
+        dst_space, buf, WarmStartStrategy::BySimilarity, 1, rng);
+    ASSERT_EQ(seeds.size(), 1u);
+    const double seed_edp =
+        CostModel::evaluate(dst, arch, seeds[0]).edp;
+
+    double random_mean_log = 0;
+    const int n = 50;
+    for (int i = 0; i < n; ++i) {
+        const double e =
+            CostModel::evaluate(dst, arch, dst_space.randomMapping(rng))
+                .edp;
+        random_mean_log += std::log10(e) / n;
+    }
+    EXPECT_LT(std::log10(seed_edp), random_mean_log);
+}
+
+TEST(WarmStartStrategyName, AllNamed)
+{
+    EXPECT_STREQ(warmStartStrategyName(WarmStartStrategy::None),
+                 "random-init");
+    EXPECT_STREQ(warmStartStrategyName(WarmStartStrategy::BySimilarity),
+                 "warm-start-similarity");
+    EXPECT_STREQ(warmStartStrategyName(WarmStartStrategy::ByPrevious),
+                 "warm-start-previous");
+}
+
+} // namespace
+} // namespace mse

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace mse {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1 << 30), b.uniformInt(0, 1 << 30));
+}
+
+TEST(Rng, SeedsDiverge)
+{
+    Rng a(1), b(2);
+    bool differed = false;
+    for (int i = 0; i < 10 && !differed; ++i)
+        differed = a.uniformInt(0, 1 << 30) != b.uniformInt(0, 1 << 30);
+    EXPECT_TRUE(differed);
+}
+
+TEST(Rng, UniformIntBoundsInclusive)
+{
+    Rng rng(3);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 200; ++i) {
+        const int64_t v = rng.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all values reachable
+}
+
+TEST(Rng, IndexCoversRange)
+{
+    Rng rng(4);
+    std::set<size_t> seen;
+    for (int i = 0; i < 300; ++i)
+        seen.insert(rng.index(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformRealInHalfOpenInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const double v = rng.uniformReal(-1.0, 1.0);
+        EXPECT_GE(v, -1.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(6);
+    double sum = 0, sum2 = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.gaussian(2.0, 3.0);
+        sum += v;
+        sum2 += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.1);
+    EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ShuffleIsAPermutation)
+{
+    Rng rng(8);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    auto resorted = v;
+    std::sort(resorted.begin(), resorted.end());
+    EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Rng, PickReturnsMember)
+{
+    Rng rng(9);
+    const std::vector<int> v = {10, 20, 30};
+    for (int i = 0; i < 30; ++i) {
+        const int p = rng.pick(v);
+        EXPECT_TRUE(p == 10 || p == 20 || p == 30);
+    }
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng rng(11);
+    const int64_t first = rng.uniformInt(0, 1 << 20);
+    rng.uniformInt(0, 1 << 20);
+    rng.seed(11);
+    EXPECT_EQ(rng.uniformInt(0, 1 << 20), first);
+}
+
+} // namespace
+} // namespace mse

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace mse {
+namespace {
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({7}), 7.0);
+}
+
+TEST(Stats, GeomeanBasics)
+{
+    EXPECT_NEAR(geomean({1, 100}), 10.0, 1e-9);
+    EXPECT_NEAR(geomean({2, 2, 2}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, GeomeanLessThanMeanForSpread)
+{
+    const std::vector<double> v = {1, 10, 100};
+    EXPECT_LT(geomean(v), mean(v));
+}
+
+TEST(Stats, Stddev)
+{
+    EXPECT_DOUBLE_EQ(stddev({5, 5, 5}), 0.0);
+    EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stddev({1}), 0.0);
+}
+
+TEST(Stats, MinMax)
+{
+    EXPECT_DOUBLE_EQ(minOf({3, 1, 2}), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf({3, 1, 2}), 3.0);
+}
+
+TEST(Stats, PercentileEndpoints)
+{
+    const std::vector<double> v = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    const std::vector<double> v = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+    EXPECT_DOUBLE_EQ(percentile({1}, 37.0), 1.0);
+}
+
+TEST(Stats, PercentileUnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(percentile({40, 10, 30, 20}, 50), 25.0);
+}
+
+} // namespace
+} // namespace mse

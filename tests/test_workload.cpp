@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/workload.hpp"
+
+namespace mse {
+namespace {
+
+TEST(Conv2d, DimsAndBounds)
+{
+    const Workload wl = makeConv2d("c", 16, 128, 64, 28, 28, 3, 3);
+    EXPECT_EQ(wl.numDims(), 7);
+    EXPECT_EQ(wl.dimNames(),
+              (std::vector<std::string>{"B", "K", "C", "Y", "X", "R", "S"}));
+    EXPECT_EQ(wl.bound(wl.dimIndex("K")), 128);
+    EXPECT_EQ(wl.bound(wl.dimIndex("S")), 3);
+    EXPECT_EQ(wl.dimIndex("Z"), -1);
+}
+
+TEST(Conv2d, TensorRelevance)
+{
+    const Workload wl = makeConv2d("c", 2, 4, 8, 6, 6, 3, 3);
+    const int W = 0, I = 1, O = 2;
+    // Weights[K,C,R,S].
+    EXPECT_FALSE(wl.isRelevant(W, wl.dimIndex("B")));
+    EXPECT_TRUE(wl.isRelevant(W, wl.dimIndex("K")));
+    EXPECT_TRUE(wl.isRelevant(W, wl.dimIndex("C")));
+    EXPECT_TRUE(wl.isRelevant(W, wl.dimIndex("R")));
+    // Inputs[B,C,Y+R,X+S].
+    EXPECT_TRUE(wl.isRelevant(I, wl.dimIndex("B")));
+    EXPECT_FALSE(wl.isRelevant(I, wl.dimIndex("K")));
+    EXPECT_TRUE(wl.isRelevant(I, wl.dimIndex("Y")));
+    EXPECT_TRUE(wl.isRelevant(I, wl.dimIndex("R")));
+    // Outputs[B,K,Y,X].
+    EXPECT_TRUE(wl.isRelevant(O, wl.dimIndex("B")));
+    EXPECT_FALSE(wl.isRelevant(O, wl.dimIndex("C")));
+    EXPECT_FALSE(wl.isRelevant(O, wl.dimIndex("R")));
+}
+
+TEST(Conv2d, ReductionDimsAreCRS)
+{
+    const Workload wl = makeConv2d("c", 2, 4, 8, 6, 6, 3, 3);
+    EXPECT_EQ(wl.reductionDims(),
+              (std::vector<int>{wl.dimIndex("C"), wl.dimIndex("R"),
+                                wl.dimIndex("S")}));
+}
+
+TEST(Conv2d, VolumesHonorSlidingWindow)
+{
+    const Workload wl = makeConv2d("c", 2, 4, 8, 6, 6, 3, 3);
+    EXPECT_DOUBLE_EQ(wl.tensorVolume(0), 4.0 * 8 * 3 * 3);      // weights
+    EXPECT_DOUBLE_EQ(wl.tensorVolume(1), 2.0 * 8 * 8 * 8);      // 6+3-1=8
+    EXPECT_DOUBLE_EQ(wl.tensorVolume(2), 2.0 * 4 * 6 * 6);      // outputs
+    EXPECT_DOUBLE_EQ(wl.totalMacs(), 2.0 * 4 * 8 * 6 * 6 * 3 * 3);
+}
+
+TEST(Gemm, ShapeAndReduction)
+{
+    const Workload wl = makeGemm("g", 16, 1024, 1024, 512);
+    EXPECT_EQ(wl.numDims(), 4);
+    EXPECT_EQ(wl.reductionDims(), (std::vector<int>{wl.dimIndex("K")}));
+    EXPECT_DOUBLE_EQ(wl.totalMacs(), 16.0 * 1024 * 1024 * 512);
+    EXPECT_DOUBLE_EQ(wl.tensorVolume(wl.outputTensor()),
+                     16.0 * 1024 * 512);
+}
+
+TEST(DepthwiseConv, ChannelSharedAcrossAllTensors)
+{
+    const Workload wl = makeDepthwiseConv2d("dw", 1, 32, 14, 14, 3, 3);
+    EXPECT_EQ(wl.numDims(), 6);
+    for (int t = 0; t < wl.numTensors(); ++t)
+        EXPECT_TRUE(wl.isRelevant(t, wl.dimIndex("C")));
+    // Reduction dims are only R and S.
+    EXPECT_EQ(wl.reductionDims(),
+              (std::vector<int>{wl.dimIndex("R"), wl.dimIndex("S")}));
+}
+
+TEST(Workload, DensityAnnotations)
+{
+    Workload wl = makeGemm("g", 1, 8, 8, 8);
+    EXPECT_DOUBLE_EQ(wl.density("Weights"), 1.0);
+    wl.setDensity("Weights", 0.25);
+    EXPECT_DOUBLE_EQ(wl.density("Weights"), 0.25);
+    EXPECT_DOUBLE_EQ(wl.density("NoSuchTensor"), 1.0);
+    EXPECT_THROW(wl.setDensity("NoSuchTensor", 0.5),
+                 std::invalid_argument);
+}
+
+TEST(Workload, RejectsInvalidConstruction)
+{
+    EXPECT_THROW(Workload("w", {"A"}, {0}, {}), std::invalid_argument);
+    EXPECT_THROW(Workload("w", {"A", "B"}, {1}, {}),
+                 std::invalid_argument);
+}
+
+TEST(EditDistance, CountsDifferingDims)
+{
+    const Workload a = makeConv2d("a", 16, 64, 64, 28, 28, 3, 3);
+    const Workload b = makeConv2d("b", 16, 128, 64, 28, 28, 3, 3);
+    const Workload c = makeConv2d("c", 16, 128, 128, 14, 14, 3, 3);
+    EXPECT_EQ(editDistance(a, a), 0);
+    EXPECT_EQ(editDistance(a, b), 1);
+    EXPECT_EQ(editDistance(a, c), 4);
+    EXPECT_EQ(editDistance(b, a), 1); // symmetric
+}
+
+TEST(EditDistance, IncompatibleDimCountsAreMaximallyFar)
+{
+    const Workload conv = makeConv2d("a", 1, 2, 2, 2, 2, 1, 1);
+    const Workload gemm = makeGemm("g", 1, 2, 2, 2);
+    EXPECT_GT(editDistance(conv, gemm), conv.numDims());
+}
+
+TEST(ModelZoo, LayerCountsAndNames)
+{
+    EXPECT_EQ(vgg16Layers().size(), 13u);
+    EXPECT_EQ(resnet18Layers().size(), 17u);
+    EXPECT_EQ(bertLargeLayers().size(), 6u);
+    EXPECT_GT(mobilenetV2Layers().size(), 15u);
+    EXPECT_GT(mnasnetLayers().size(), 15u);
+}
+
+TEST(ModelZoo, Table1WorkloadsMatchPaper)
+{
+    const Workload r3 = resnetConv3();
+    EXPECT_EQ(r3.bounds(),
+              (std::vector<int64_t>{16, 128, 128, 28, 28, 3, 3}));
+    const Workload r4 = resnetConv4();
+    EXPECT_EQ(r4.bounds(),
+              (std::vector<int64_t>{16, 256, 256, 14, 14, 3, 3}));
+    const Workload i2 = inceptionConv2();
+    EXPECT_EQ(i2.bounds(),
+              (std::vector<int64_t>{16, 192, 192, 27, 27, 5, 5}));
+    const Workload kqv = bertKqv();
+    EXPECT_EQ(kqv.bounds(), (std::vector<int64_t>{16, 1024, 1024, 512}));
+}
+
+TEST(ModelZoo, MnasnetIsMoreIrregularThanVgg)
+{
+    // Mean editing distance between consecutive layers should be larger
+    // for the NAS-found network (the property warm-start-by-similarity
+    // exploits in Fig. 9).
+    auto meanConsecutiveDistance = [](const std::vector<Workload> &ls) {
+        double sum = 0;
+        int n = 0;
+        for (size_t i = 1; i < ls.size(); ++i) {
+            if (ls[i].numDims() == ls[i - 1].numDims()) {
+                sum += editDistance(ls[i], ls[i - 1]);
+                ++n;
+            }
+        }
+        return sum / n;
+    };
+    EXPECT_GT(meanConsecutiveDistance(mnasnetLayers()),
+              meanConsecutiveDistance(vgg16Layers()));
+}
+
+TEST(Workload, ToStringContainsNameAndBounds)
+{
+    const Workload wl = makeGemm("my_gemm", 1, 2, 3, 4);
+    const std::string s = wl.toString();
+    EXPECT_NE(s.find("my_gemm"), std::string::npos);
+    EXPECT_NE(s.find("K=3"), std::string::npos);
+}
+
+} // namespace
+} // namespace mse

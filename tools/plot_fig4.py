@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Render the Fig. 4 map-space visualization from the bench CSVs.
+
+Usage:
+    MSE_BENCH_OUTDIR=out ./build/bench/bench_fig4_mapspace_visualization
+    python3 tools/plot_fig4.py out fig4.png
+
+Produces a 2x2 panel: the PCA-projected landscape colored by log10(EDP),
+plus the points each mapper actually sampled — the reproduction of the
+paper's Fig. 4(a)/(b).
+"""
+import csv
+import sys
+
+
+def load(path):
+    xs, ys, cs = [], [], []
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            xs.append(float(row["pc1"]))
+            ys.append(float(row["pc2"]))
+            cs.append(float(row["log10_edp"]))
+    return xs, ys, cs
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    outdir, target = sys.argv[1], sys.argv[2]
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    panels = [
+        ("landscape", "map space (random sample)"),
+        ("random-pruned", "Random-Pruned samples"),
+        ("gamma", "Gamma samples"),
+        ("mind-mappings", "Mind-Mappings samples"),
+    ]
+    fig, axes = plt.subplots(2, 2, figsize=(11, 9))
+    lx, ly, lc = load(f"{outdir}/fig4_landscape.csv")
+    vmin, vmax = min(lc), max(lc)
+    for ax, (name, title) in zip(axes.flat, panels):
+        xs, ys, cs = (lx, ly, lc) if name == "landscape" else load(
+            f"{outdir}/fig4_{name}.csv")
+        sc = ax.scatter(xs, ys, c=cs, s=4, cmap="RdYlGn_r", vmin=vmin,
+                        vmax=vmax, alpha=0.6)
+        ax.set_title(title)
+        ax.set_xlabel("PC1")
+        ax.set_ylabel("PC2")
+    fig.colorbar(sc, ax=axes.ravel().tolist(), label="log10(EDP)")
+    fig.suptitle("Fig. 4 — how each mapper navigates the map space")
+    fig.savefig(target, dpi=150)
+    print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main()
