@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_noc_topologies.dir/bench_ext_noc_topologies.cpp.o"
+  "CMakeFiles/bench_ext_noc_topologies.dir/bench_ext_noc_topologies.cpp.o.d"
+  "bench_ext_noc_topologies"
+  "bench_ext_noc_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_noc_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

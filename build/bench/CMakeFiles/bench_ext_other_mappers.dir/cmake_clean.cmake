@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_other_mappers.dir/bench_ext_other_mappers.cpp.o"
+  "CMakeFiles/bench_ext_other_mappers.dir/bench_ext_other_mappers.cpp.o.d"
+  "bench_ext_other_mappers"
+  "bench_ext_other_mappers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_other_mappers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_mapspace_visualization.dir/bench_fig4_mapspace_visualization.cpp.o"
+  "CMakeFiles/bench_fig4_mapspace_visualization.dir/bench_fig4_mapspace_visualization.cpp.o.d"
+  "bench_fig4_mapspace_visualization"
+  "bench_fig4_mapspace_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mapspace_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

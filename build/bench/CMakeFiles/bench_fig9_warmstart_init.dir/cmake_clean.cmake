@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_warmstart_init.dir/bench_fig9_warmstart_init.cpp.o"
+  "CMakeFiles/bench_fig9_warmstart_init.dir/bench_fig9_warmstart_init.cpp.o.d"
+  "bench_fig9_warmstart_init"
+  "bench_fig9_warmstart_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_warmstart_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

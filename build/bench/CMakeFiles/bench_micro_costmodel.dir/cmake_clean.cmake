@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_costmodel.dir/bench_micro_costmodel.cpp.o"
+  "CMakeFiles/bench_micro_costmodel.dir/bench_micro_costmodel.cpp.o.d"
+  "bench_micro_costmodel"
+  "bench_micro_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

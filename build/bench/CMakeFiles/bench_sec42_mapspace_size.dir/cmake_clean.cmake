@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec42_mapspace_size.dir/bench_sec42_mapspace_size.cpp.o"
+  "CMakeFiles/bench_sec42_mapspace_size.dir/bench_sec42_mapspace_size.cpp.o.d"
+  "bench_sec42_mapspace_size"
+  "bench_sec42_mapspace_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec42_mapspace_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

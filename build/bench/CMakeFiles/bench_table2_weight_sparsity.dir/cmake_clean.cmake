@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_weight_sparsity.dir/bench_table2_weight_sparsity.cpp.o"
+  "CMakeFiles/bench_table2_weight_sparsity.dir/bench_table2_weight_sparsity.cpp.o.d"
+  "bench_table2_weight_sparsity"
+  "bench_table2_weight_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_weight_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

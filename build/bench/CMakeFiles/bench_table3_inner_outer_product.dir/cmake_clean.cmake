@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_inner_outer_product.dir/bench_table3_inner_outer_product.cpp.o"
+  "CMakeFiles/bench_table3_inner_outer_product.dir/bench_table3_inner_outer_product.cpp.o.d"
+  "bench_table3_inner_outer_product"
+  "bench_table3_inner_outer_product.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_inner_outer_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

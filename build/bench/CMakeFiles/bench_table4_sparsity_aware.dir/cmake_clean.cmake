@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_sparsity_aware.dir/bench_table4_sparsity_aware.cpp.o"
+  "CMakeFiles/bench_table4_sparsity_aware.dir/bench_table4_sparsity_aware.cpp.o.d"
+  "bench_table4_sparsity_aware"
+  "bench_table4_sparsity_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sparsity_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_bert.dir/sparse_bert.cpp.o"
+  "CMakeFiles/sparse_bert.dir/sparse_bert.cpp.o.d"
+  "sparse_bert"
+  "sparse_bert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_bert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mse_arch.dir/arch.cpp.o"
+  "CMakeFiles/mse_arch.dir/arch.cpp.o.d"
+  "libmse_arch.a"
+  "libmse_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mse_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mse_common.dir/csv.cpp.o"
+  "CMakeFiles/mse_common.dir/csv.cpp.o.d"
+  "CMakeFiles/mse_common.dir/math_util.cpp.o"
+  "CMakeFiles/mse_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/mse_common.dir/pareto.cpp.o"
+  "CMakeFiles/mse_common.dir/pareto.cpp.o.d"
+  "CMakeFiles/mse_common.dir/pca.cpp.o"
+  "CMakeFiles/mse_common.dir/pca.cpp.o.d"
+  "CMakeFiles/mse_common.dir/permutation.cpp.o"
+  "CMakeFiles/mse_common.dir/permutation.cpp.o.d"
+  "CMakeFiles/mse_common.dir/stats.cpp.o"
+  "CMakeFiles/mse_common.dir/stats.cpp.o.d"
+  "libmse_common.a"
+  "libmse_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mse_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

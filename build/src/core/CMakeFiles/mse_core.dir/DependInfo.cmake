@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/convergence.cpp" "src/core/CMakeFiles/mse_core.dir/convergence.cpp.o" "gcc" "src/core/CMakeFiles/mse_core.dir/convergence.cpp.o.d"
+  "/root/repo/src/core/mse_engine.cpp" "src/core/CMakeFiles/mse_core.dir/mse_engine.cpp.o" "gcc" "src/core/CMakeFiles/mse_core.dir/mse_engine.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/core/CMakeFiles/mse_core.dir/objective.cpp.o" "gcc" "src/core/CMakeFiles/mse_core.dir/objective.cpp.o.d"
+  "/root/repo/src/core/replay_buffer.cpp" "src/core/CMakeFiles/mse_core.dir/replay_buffer.cpp.o" "gcc" "src/core/CMakeFiles/mse_core.dir/replay_buffer.cpp.o.d"
+  "/root/repo/src/core/sparsity_aware.cpp" "src/core/CMakeFiles/mse_core.dir/sparsity_aware.cpp.o" "gcc" "src/core/CMakeFiles/mse_core.dir/sparsity_aware.cpp.o.d"
+  "/root/repo/src/core/warm_start.cpp" "src/core/CMakeFiles/mse_core.dir/warm_start.cpp.o" "gcc" "src/core/CMakeFiles/mse_core.dir/warm_start.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mappers/CMakeFiles/mse_mappers.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/mse_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mse_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/mse_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mse_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mse_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

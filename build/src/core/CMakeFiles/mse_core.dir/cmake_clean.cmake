@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mse_core.dir/convergence.cpp.o"
+  "CMakeFiles/mse_core.dir/convergence.cpp.o.d"
+  "CMakeFiles/mse_core.dir/mse_engine.cpp.o"
+  "CMakeFiles/mse_core.dir/mse_engine.cpp.o.d"
+  "CMakeFiles/mse_core.dir/objective.cpp.o"
+  "CMakeFiles/mse_core.dir/objective.cpp.o.d"
+  "CMakeFiles/mse_core.dir/replay_buffer.cpp.o"
+  "CMakeFiles/mse_core.dir/replay_buffer.cpp.o.d"
+  "CMakeFiles/mse_core.dir/sparsity_aware.cpp.o"
+  "CMakeFiles/mse_core.dir/sparsity_aware.cpp.o.d"
+  "CMakeFiles/mse_core.dir/warm_start.cpp.o"
+  "CMakeFiles/mse_core.dir/warm_start.cpp.o.d"
+  "libmse_core.a"
+  "libmse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mappers/gamma.cpp" "src/mappers/CMakeFiles/mse_mappers.dir/gamma.cpp.o" "gcc" "src/mappers/CMakeFiles/mse_mappers.dir/gamma.cpp.o.d"
+  "/root/repo/src/mappers/local_search.cpp" "src/mappers/CMakeFiles/mse_mappers.dir/local_search.cpp.o" "gcc" "src/mappers/CMakeFiles/mse_mappers.dir/local_search.cpp.o.d"
+  "/root/repo/src/mappers/mapper.cpp" "src/mappers/CMakeFiles/mse_mappers.dir/mapper.cpp.o" "gcc" "src/mappers/CMakeFiles/mse_mappers.dir/mapper.cpp.o.d"
+  "/root/repo/src/mappers/mind_mappings.cpp" "src/mappers/CMakeFiles/mse_mappers.dir/mind_mappings.cpp.o" "gcc" "src/mappers/CMakeFiles/mse_mappers.dir/mind_mappings.cpp.o.d"
+  "/root/repo/src/mappers/order_sweep.cpp" "src/mappers/CMakeFiles/mse_mappers.dir/order_sweep.cpp.o" "gcc" "src/mappers/CMakeFiles/mse_mappers.dir/order_sweep.cpp.o.d"
+  "/root/repo/src/mappers/random_pruned.cpp" "src/mappers/CMakeFiles/mse_mappers.dir/random_pruned.cpp.o" "gcc" "src/mappers/CMakeFiles/mse_mappers.dir/random_pruned.cpp.o.d"
+  "/root/repo/src/mappers/standard_ga.cpp" "src/mappers/CMakeFiles/mse_mappers.dir/standard_ga.cpp.o" "gcc" "src/mappers/CMakeFiles/mse_mappers.dir/standard_ga.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mse_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/mse_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mse_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mse_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mse_mappers.dir/gamma.cpp.o"
+  "CMakeFiles/mse_mappers.dir/gamma.cpp.o.d"
+  "CMakeFiles/mse_mappers.dir/local_search.cpp.o"
+  "CMakeFiles/mse_mappers.dir/local_search.cpp.o.d"
+  "CMakeFiles/mse_mappers.dir/mapper.cpp.o"
+  "CMakeFiles/mse_mappers.dir/mapper.cpp.o.d"
+  "CMakeFiles/mse_mappers.dir/mind_mappings.cpp.o"
+  "CMakeFiles/mse_mappers.dir/mind_mappings.cpp.o.d"
+  "CMakeFiles/mse_mappers.dir/order_sweep.cpp.o"
+  "CMakeFiles/mse_mappers.dir/order_sweep.cpp.o.d"
+  "CMakeFiles/mse_mappers.dir/random_pruned.cpp.o"
+  "CMakeFiles/mse_mappers.dir/random_pruned.cpp.o.d"
+  "CMakeFiles/mse_mappers.dir/standard_ga.cpp.o"
+  "CMakeFiles/mse_mappers.dir/standard_ga.cpp.o.d"
+  "libmse_mappers.a"
+  "libmse_mappers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mse_mappers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/encoding.cpp" "src/mapping/CMakeFiles/mse_mapping.dir/encoding.cpp.o" "gcc" "src/mapping/CMakeFiles/mse_mapping.dir/encoding.cpp.o.d"
+  "/root/repo/src/mapping/map_space.cpp" "src/mapping/CMakeFiles/mse_mapping.dir/map_space.cpp.o" "gcc" "src/mapping/CMakeFiles/mse_mapping.dir/map_space.cpp.o.d"
+  "/root/repo/src/mapping/mapping.cpp" "src/mapping/CMakeFiles/mse_mapping.dir/mapping.cpp.o" "gcc" "src/mapping/CMakeFiles/mse_mapping.dir/mapping.cpp.o.d"
+  "/root/repo/src/mapping/mapping_io.cpp" "src/mapping/CMakeFiles/mse_mapping.dir/mapping_io.cpp.o" "gcc" "src/mapping/CMakeFiles/mse_mapping.dir/mapping_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mse_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mse_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

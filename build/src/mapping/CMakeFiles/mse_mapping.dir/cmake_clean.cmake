@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mse_mapping.dir/encoding.cpp.o"
+  "CMakeFiles/mse_mapping.dir/encoding.cpp.o.d"
+  "CMakeFiles/mse_mapping.dir/map_space.cpp.o"
+  "CMakeFiles/mse_mapping.dir/map_space.cpp.o.d"
+  "CMakeFiles/mse_mapping.dir/mapping.cpp.o"
+  "CMakeFiles/mse_mapping.dir/mapping.cpp.o.d"
+  "CMakeFiles/mse_mapping.dir/mapping_io.cpp.o"
+  "CMakeFiles/mse_mapping.dir/mapping_io.cpp.o.d"
+  "libmse_mapping.a"
+  "libmse_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mse_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

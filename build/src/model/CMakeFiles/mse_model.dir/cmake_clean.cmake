@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mse_model.dir/analysis.cpp.o"
+  "CMakeFiles/mse_model.dir/analysis.cpp.o.d"
+  "CMakeFiles/mse_model.dir/cost_model.cpp.o"
+  "CMakeFiles/mse_model.dir/cost_model.cpp.o.d"
+  "libmse_model.a"
+  "libmse_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mse_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mse_nn.dir/mlp.cpp.o"
+  "CMakeFiles/mse_nn.dir/mlp.cpp.o.d"
+  "libmse_nn.a"
+  "libmse_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mse_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

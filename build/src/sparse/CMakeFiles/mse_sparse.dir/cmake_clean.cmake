@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mse_sparse.dir/sparse_model.cpp.o"
+  "CMakeFiles/mse_sparse.dir/sparse_model.cpp.o.d"
+  "libmse_sparse.a"
+  "libmse_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mse_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

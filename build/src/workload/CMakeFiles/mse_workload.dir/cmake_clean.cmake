@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mse_workload.dir/model_zoo.cpp.o"
+  "CMakeFiles/mse_workload.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/mse_workload.dir/workload.cpp.o"
+  "CMakeFiles/mse_workload.dir/workload.cpp.o.d"
+  "CMakeFiles/mse_workload.dir/workload_io.cpp.o"
+  "CMakeFiles/mse_workload.dir/workload_io.cpp.o.d"
+  "libmse_workload.a"
+  "libmse_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mse_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bypass.dir/test_bypass.cpp.o"
+  "CMakeFiles/test_bypass.dir/test_bypass.cpp.o.d"
+  "test_bypass"
+  "test_bypass.pdb"
+  "test_bypass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_properties.dir/test_cost_properties.cpp.o"
+  "CMakeFiles/test_cost_properties.dir/test_cost_properties.cpp.o.d"
+  "test_cost_properties"
+  "test_cost_properties.pdb"
+  "test_cost_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_map_space.dir/test_map_space.cpp.o"
+  "CMakeFiles/test_map_space.dir/test_map_space.cpp.o.d"
+  "test_map_space"
+  "test_map_space.pdb"
+  "test_map_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_map_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

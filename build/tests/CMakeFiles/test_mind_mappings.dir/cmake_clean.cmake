@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mind_mappings.dir/test_mind_mappings.cpp.o"
+  "CMakeFiles/test_mind_mappings.dir/test_mind_mappings.cpp.o.d"
+  "test_mind_mappings"
+  "test_mind_mappings.pdb"
+  "test_mind_mappings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mind_mappings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

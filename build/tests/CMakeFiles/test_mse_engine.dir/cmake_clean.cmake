@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mse_engine.dir/test_mse_engine.cpp.o"
+  "CMakeFiles/test_mse_engine.dir/test_mse_engine.cpp.o.d"
+  "test_mse_engine"
+  "test_mse_engine.pdb"
+  "test_mse_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mse_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay_persistence.dir/test_replay_persistence.cpp.o"
+  "CMakeFiles/test_replay_persistence.dir/test_replay_persistence.cpp.o.d"
+  "test_replay_persistence"
+  "test_replay_persistence.pdb"
+  "test_replay_persistence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

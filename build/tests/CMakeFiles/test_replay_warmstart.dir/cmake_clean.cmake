@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay_warmstart.dir/test_replay_warmstart.cpp.o"
+  "CMakeFiles/test_replay_warmstart.dir/test_replay_warmstart.cpp.o.d"
+  "test_replay_warmstart"
+  "test_replay_warmstart.pdb"
+  "test_replay_warmstart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay_warmstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sparse_model.cpp" "tests/CMakeFiles/test_sparse_model.dir/test_sparse_model.cpp.o" "gcc" "tests/CMakeFiles/test_sparse_model.dir/test_sparse_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mappers/CMakeFiles/mse_mappers.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/mse_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mse_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/mse_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mse_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mse_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_model.dir/test_sparse_model.cpp.o"
+  "CMakeFiles/test_sparse_model.dir/test_sparse_model.cpp.o.d"
+  "test_sparse_model"
+  "test_sparse_model.pdb"
+  "test_sparse_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

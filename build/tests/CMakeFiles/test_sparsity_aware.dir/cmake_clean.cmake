@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparsity_aware.dir/test_sparsity_aware.cpp.o"
+  "CMakeFiles/test_sparsity_aware.dir/test_sparsity_aware.cpp.o.d"
+  "test_sparsity_aware"
+  "test_sparsity_aware.pdb"
+  "test_sparsity_aware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparsity_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
