@@ -8,8 +8,15 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
 #include "mappers/gamma.hpp"
 #include "mappers/random_pruned.hpp"
+#include "model/eval_cache.hpp"
 #include "sparse/sparse_model.hpp"
 #include "workload/model_zoo.hpp"
 
@@ -100,6 +107,44 @@ BM_GammaCrossoverMutateRepair(benchmark::State &state)
 BENCHMARK(BM_GammaCrossoverMutateRepair);
 
 void
+BM_MappingCanonicalHash(benchmark::State &state)
+{
+    MapSpace space(resnetConv4(), accelB());
+    Rng rng(7);
+    std::vector<Mapping> pool;
+    for (int i = 0; i < 64; ++i)
+        pool.push_back(space.randomMapping(rng));
+    size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pool[i++ % pool.size()].hash());
+}
+BENCHMARK(BM_MappingCanonicalHash);
+
+void
+BM_EvalCacheHit(benchmark::State &state)
+{
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    Rng rng(8);
+    std::vector<Mapping> pool;
+    for (int i = 0; i < 64; ++i)
+        pool.push_back(space.randomMapping(rng));
+    EvalCache cache(16);
+    CostEvalFn inner = [&](const Mapping &m) {
+        return CostModel::evaluate(wl, arch, m);
+    };
+    for (const auto &m : pool)
+        cache.getOrCompute(m, inner); // warm: everything memoized
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.getOrCompute(pool[i++ % pool.size()], inner));
+    }
+}
+BENCHMARK(BM_EvalCacheHit);
+
+void
 BM_MappingValidation(benchmark::State &state)
 {
     const Workload wl = resnetConv4();
@@ -136,6 +181,172 @@ BM_EndToEndGammaSearch(benchmark::State &state)
 }
 BENCHMARK(BM_EndToEndGammaSearch)->Unit(benchmark::kMillisecond);
 
+/**
+ * Batched-evaluation throughput sweep (the perf-trajectory artifact of
+ * the parallel eval layer). Replays a GA-population-shaped candidate
+ * stream — elites copied verbatim across generations plus offspring
+ * that escape mutation — through SearchTracker::evaluateBatch at
+ * 1/2/4/8 threads, with and without the memoizing eval cache, and
+ * emits BENCH_eval_throughput.json so later PRs can track the numbers.
+ */
+struct ThroughputSample
+{
+    unsigned threads = 1;
+    bool cache = false;
+    double evals_per_sec = 0.0;
+    double hit_rate = 0.0;
+    double speedup = 1.0; ///< vs. 1 thread, no cache
+};
+
+std::vector<Mapping>
+gaPopulationStream(const MapSpace &space, size_t generations,
+                   size_t pop_size, size_t elites)
+{
+    // Elite genomes ride along unchanged each generation; offspring
+    // clone a parent and mutate with probability < 1, so a realistic
+    // fraction of the stream is exact duplicates — the structure the
+    // eval cache exploits.
+    Rng rng(0xbeef);
+    std::vector<Mapping> pop;
+    for (size_t i = 0; i < pop_size; ++i)
+        pop.push_back(space.randomMapping(rng));
+    std::vector<Mapping> stream(pop);
+    for (size_t g = 1; g < generations; ++g) {
+        std::vector<Mapping> next;
+        next.reserve(pop_size);
+        for (size_t e = 0; e < elites; ++e)
+            next.push_back(pop[e]);
+        while (next.size() < pop_size) {
+            Mapping child = pop[rng.index(pop.size())];
+            if (rng.chance(0.6)) {
+                GammaMapper::mutateTile(space, child, rng);
+                space.repair(child);
+            }
+            next.push_back(std::move(child));
+        }
+        pop.swap(next);
+        stream.insert(stream.end(), pop.begin(), pop.end());
+    }
+    return stream;
+}
+
+ThroughputSample
+measureThroughput(const std::vector<Mapping> &stream, const Workload &wl,
+                  const ArchConfig &arch, unsigned threads, bool use_cache)
+{
+    ThreadPool::setGlobalThreads(threads);
+    EvalFn base = [&wl, &arch](const Mapping &m) {
+        return CostModel::evaluate(wl, arch, m);
+    };
+    EvalCache cache(16);
+    EvalFn eval = base;
+    if (use_cache) {
+        eval = [&cache, base](const Mapping &m) {
+            return cache.getOrCompute(m, base);
+        };
+    }
+    SearchBudget budget;
+    budget.max_samples = stream.size();
+    SearchTracker tracker(eval, budget);
+
+    // Pre-split the stream so chunk copying stays outside the timing.
+    const size_t batch = 64;
+    std::vector<std::vector<Mapping>> chunks;
+    for (size_t i = 0; i < stream.size(); i += batch) {
+        chunks.emplace_back(stream.begin() + i,
+                            stream.begin() +
+                                std::min(stream.size(), i + batch));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto &chunk : chunks)
+        tracker.evaluateBatch(chunk);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    ThroughputSample s;
+    s.threads = threads;
+    s.cache = use_cache;
+    s.evals_per_sec =
+        secs > 0.0 ? static_cast<double>(stream.size()) / secs : 0.0;
+    s.hit_rate = use_cache ? cache.hitRate() : 0.0;
+    return s;
+}
+
+void
+runThroughputSweep()
+{
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    MapSpace space(wl, arch);
+    const std::vector<Mapping> stream =
+        gaPopulationStream(space, /*generations=*/128, /*pop_size=*/128,
+                           /*elites=*/32);
+
+    std::vector<ThroughputSample> samples;
+    for (const bool use_cache : {false, true}) {
+        for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+            // Warm-up pass to populate caches and park worker threads.
+            measureThroughput(stream, wl, arch, threads, use_cache);
+            samples.push_back(
+                measureThroughput(stream, wl, arch, threads, use_cache));
+        }
+    }
+    ThreadPool::setGlobalThreads(0); // back to auto
+
+    const double baseline = samples.front().evals_per_sec;
+    for (auto &s : samples)
+        s.speedup = baseline > 0.0 ? s.evals_per_sec / baseline : 1.0;
+
+    std::printf("\nEval throughput (GA-population stream, %zu "
+                "candidates, batch 64, resnet_conv4 on accel-B)\n",
+                stream.size());
+    std::printf("%8s %6s %14s %9s %9s\n", "threads", "cache",
+                "evals/sec", "hit-rate", "speedup");
+    for (const auto &s : samples) {
+        std::printf("%8u %6s %14.0f %8.1f%% %8.2fx\n", s.threads,
+                    s.cache ? "on" : "off", s.evals_per_sec,
+                    100.0 * s.hit_rate, s.speedup);
+    }
+
+    FILE *f = std::fopen("BENCH_eval_throughput.json", "w");
+    if (!f) {
+        std::fprintf(stderr,
+                     "WARN: cannot write BENCH_eval_throughput.json\n");
+        return;
+    }
+    std::fprintf(f,
+                 "{\n  \"workload\": \"resnet_conv4\",\n"
+                 "  \"arch\": \"accel-B\",\n"
+                 "  \"candidates\": %zu,\n  \"batch_size\": 64,\n"
+                 "  \"hardware_threads\": %u,\n  \"results\": [\n",
+                 stream.size(), ThreadPool::configuredThreads());
+    for (size_t i = 0; i < samples.size(); ++i) {
+        const auto &s = samples[i];
+        std::fprintf(f,
+                     "    {\"threads\": %u, \"cache\": %s, "
+                     "\"evals_per_sec\": %.1f, \"hit_rate\": %.4f, "
+                     "\"speedup_vs_serial_uncached\": %.3f}%s\n",
+                     s.threads, s.cache ? "true" : "false",
+                     s.evals_per_sec, s.hit_rate, s.speedup,
+                     i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_eval_throughput.json\n");
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    runThroughputSweep();
+    return 0;
+}

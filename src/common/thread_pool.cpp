@@ -1,0 +1,153 @@
+#include "common/thread_pool.hpp"
+
+#include <cstdlib>
+#include <memory>
+
+namespace mse {
+
+unsigned
+ThreadPool::configuredThreads()
+{
+    if (const char *env = std::getenv("MSE_THREADS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && v >= 1)
+            return static_cast<unsigned>(v > 256 ? 256 : v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = configuredThreads();
+    workers_.reserve(threads - 1);
+    for (unsigned i = 1; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    job_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::runJob(const std::function<void(size_t)> *fn, size_t n)
+{
+    while (true) {
+        const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n)
+            break;
+        (*fn)(i);
+        if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+            // Last item: wake the caller (lock pairs the predicate).
+            std::lock_guard<std::mutex> lk(mu_);
+            done_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    while (true) {
+        const std::function<void(size_t)> *fn = nullptr;
+        size_t n = 0;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            job_cv_.wait(lk, [&] {
+                return stop_ || (job_id_ != seen && job_fn_ != nullptr);
+            });
+            if (stop_)
+                return;
+            seen = job_id_;
+            fn = job_fn_;
+            n = job_n_;
+            ++active_workers_;
+        }
+        runJob(fn, n);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            --active_workers_;
+        }
+        done_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        job_fn_ = &fn;
+        job_n_ = n;
+        next_.store(0, std::memory_order_relaxed);
+        completed_.store(0, std::memory_order_relaxed);
+        ++job_id_;
+    }
+    job_cv_.notify_all();
+    runJob(&fn, n);
+    // Wait until every item completed AND every worker has left runJob,
+    // so the next parallelFor cannot race a straggler's index fetch.
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] {
+        return completed_.load(std::memory_order_acquire) == job_n_ &&
+               active_workers_ == 0;
+    });
+    job_fn_ = nullptr;
+    job_n_ = 0;
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool> &
+globalPoolSlot()
+{
+    static std::unique_ptr<ThreadPool> pool;
+    return pool;
+}
+
+std::mutex &
+globalPoolMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lk(globalPoolMutex());
+    auto &slot = globalPoolSlot();
+    if (!slot)
+        slot = std::make_unique<ThreadPool>(0);
+    return *slot;
+}
+
+void
+ThreadPool::setGlobalThreads(unsigned threads)
+{
+    std::lock_guard<std::mutex> lk(globalPoolMutex());
+    auto &slot = globalPoolSlot();
+    slot.reset();
+    slot = std::make_unique<ThreadPool>(threads);
+}
+
+} // namespace mse

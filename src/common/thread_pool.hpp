@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Work-queue thread pool backing batched mapping evaluation.
+ *
+ * The pool exists for exactly one access pattern: a single search thread
+ * repeatedly fans a batch of independent cost-model queries out to N
+ * workers (`parallelFor`) and blocks until the whole batch is done.
+ * Workers are spawned once and parked on a condition variable between
+ * batches, so per-batch overhead is one notify + one join handshake
+ * rather than thread creation.
+ *
+ * Sizing. `configuredThreads()` reads the `MSE_THREADS` environment
+ * variable (clamped to [1, 256]); unset or unparsable falls back to
+ * `std::thread::hardware_concurrency()`. A pool of size 1 spawns no
+ * workers at all and `parallelFor` degenerates to an inline serial
+ * loop — the fully serial fallback used as the determinism reference.
+ *
+ * Determinism contract. `parallelFor(n, fn)` invokes fn exactly once
+ * for every index in [0, n); indices are claimed dynamically, so the
+ * *execution* order is nondeterministic, but callers that write results
+ * into per-index slots and reduce them in index order afterwards (see
+ * SearchTracker::evaluateBatch) observe identical results at any pool
+ * size.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mse {
+
+/**
+ * Fixed-size worker pool with a blocking parallel-for. Not re-entrant:
+ * parallelFor must not be called concurrently or from inside a task.
+ */
+class ThreadPool
+{
+  public:
+    /** threads = total parallelism (callers + workers); 0 = auto. */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism (the calling thread counts as one lane). */
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
+
+    /**
+     * Invoke fn(i) for every i in [0, n), distributing indices across
+     * the pool; the calling thread participates. Blocks until all n
+     * invocations returned. fn must be safe to call concurrently.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * Process-wide pool used by SearchTracker::evaluateBatch. Created
+     * on first use with configuredThreads() lanes.
+     */
+    static ThreadPool &global();
+
+    /**
+     * Replace the global pool with one of `threads` lanes (0 = auto).
+     * Intended for tests and benches that compare serial vs parallel
+     * runs in one process. Must not race an active parallelFor.
+     */
+    static void setGlobalThreads(unsigned threads);
+
+    /** MSE_THREADS env override, else hardware_concurrency (>= 1). */
+    static unsigned configuredThreads();
+
+  private:
+    void workerLoop();
+    void runJob(const std::function<void(size_t)> *fn, size_t n);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable job_cv_;  ///< wakes workers on a new job
+    std::condition_variable done_cv_; ///< wakes the caller on completion
+
+    // Current job, guarded by mu_ for publication; next_/completed_ are
+    // the hot counters workers hit lock-free.
+    const std::function<void(size_t)> *job_fn_ = nullptr;
+    size_t job_n_ = 0;
+    uint64_t job_id_ = 0;
+    unsigned active_workers_ = 0;
+    bool stop_ = false;
+    std::atomic<size_t> next_{0};
+    std::atomic<size_t> completed_{0};
+};
+
+} // namespace mse

@@ -1,5 +1,10 @@
 #include "core/mse_engine.hpp"
 
+#include <memory>
+#include <mutex>
+
+#include "model/eval_cache.hpp"
+
 namespace mse {
 
 MseOutcome
@@ -10,14 +15,22 @@ MseEngine::optimizeWithEvaluator(const MapSpace &space, const EvalFn &eval,
     MseOutcome outcome;
 
     // Wrap the evaluator to maintain the Pareto frontier of the run.
+    // evaluateBatch calls this concurrently from pool workers, so the
+    // archive and the sample counter sit behind a mutex. The frontier's
+    // final (energy, latency) content is order-independent; only the
+    // payload sample indices can differ between thread counts.
     size_t sample_index = 0;
+    std::mutex pareto_mu;
     EvalFn tracked = [&](const Mapping &m) {
         const CostResult c = eval(m);
-        if (c.valid) {
-            outcome.pareto.insert(c.energy_uj, c.latency_cycles,
-                                  sample_index);
+        {
+            std::lock_guard<std::mutex> lk(pareto_mu);
+            if (c.valid) {
+                outcome.pareto.insert(c.energy_uj, c.latency_cycles,
+                                      sample_index);
+            }
+            ++sample_index;
         }
-        ++sample_index;
         return c;
     };
 
@@ -59,7 +72,26 @@ MseEngine::optimize(const Workload &wl, Mapper &mapper,
             return CostModel::evaluate(dense_wl, arch, m);
         };
     }
-    return optimizeWithEvaluator(space, eval, mapper, opts, rng);
+
+    // Memoize duplicate genomes behind the canonical-mapping cache. The
+    // cache is scoped to this run: its key does not encode the workload
+    // or architecture.
+    std::shared_ptr<EvalCache> cache;
+    if (opts.use_eval_cache) {
+        cache = std::make_shared<EvalCache>(opts.eval_cache_shards);
+        EvalFn inner = std::move(eval);
+        eval = [cache, inner](const Mapping &m) {
+            return cache->getOrCompute(m, inner);
+        };
+    }
+
+    MseOutcome outcome =
+        optimizeWithEvaluator(space, eval, mapper, opts, rng);
+    if (cache) {
+        outcome.eval_cache_hits = cache->hits();
+        outcome.eval_cache_misses = cache->misses();
+    }
+    return outcome;
 }
 
 } // namespace mse

@@ -136,19 +136,25 @@ GammaMapper::search(const MapSpace &space, const EvalFn &eval,
     std::vector<Individual> pop;
     pop.reserve(pop_size);
 
-    // Initial population: warm-start seeds first, random fill.
+    // Initial population: warm-start seeds first, random fill. The whole
+    // generation is built up front and evaluated as one batch; candidate
+    // construction stays on this thread so the RNG stream is identical
+    // at any thread count.
+    std::vector<Mapping> initial;
+    initial.reserve(pop_size);
     for (const auto &seed : seeds_) {
-        if (pop.size() >= pop_size || tracker.exhausted())
+        if (initial.size() >= pop_size)
             break;
         Mapping m = seed;
         space.repair(m);
-        Individual ind{m, tracker.evaluate(m)};
-        pop.push_back(std::move(ind));
+        initial.push_back(std::move(m));
     }
-    while (pop.size() < pop_size && !tracker.exhausted()) {
-        Mapping m = space.randomMapping(rng);
-        Individual ind{m, tracker.evaluate(m)};
-        pop.push_back(std::move(ind));
+    while (initial.size() < pop_size)
+        initial.push_back(space.randomMapping(rng));
+    {
+        const auto &costs = tracker.evaluateBatch(initial);
+        for (size_t i = 0; i < costs.size(); ++i)
+            pop.push_back(Individual{initial[i], costs[i]});
     }
     tracker.endGeneration();
     if (pop.empty())
@@ -193,11 +199,13 @@ GammaMapper::search(const MapSpace &space, const EvalFn &eval,
             return pop[a].cost.edp <= pop[b].cost.edp ? pop[a] : pop[b];
         };
 
-        while (next.size() < pop.size() && !tracker.exhausted()) {
+        // Build the whole offspring generation, then evaluate it as one
+        // parallel batch (reduced in submission order by the tracker).
+        std::vector<Mapping> offspring;
+        offspring.reserve(pop.size() - next.size());
+        while (next.size() + offspring.size() < pop.size()) {
             if (rng.chance(cfg_.random_immigrant_prob)) {
-                Mapping immigrant = space.randomMapping(rng);
-                Individual ind{immigrant, tracker.evaluate(immigrant)};
-                next.push_back(std::move(ind));
+                offspring.push_back(space.randomMapping(rng));
                 continue;
             }
             const Individual &pa = tournament();
@@ -221,9 +229,11 @@ GammaMapper::search(const MapSpace &space, const EvalFn &eval,
                 mutateBypass(space, child, rng);
             }
             space.repair(child);
-            Individual ind{child, tracker.evaluate(child)};
-            next.push_back(std::move(ind));
+            offspring.push_back(std::move(child));
         }
+        const auto &costs = tracker.evaluateBatch(offspring);
+        for (size_t i = 0; i < costs.size(); ++i)
+            next.push_back(Individual{offspring[i], costs[i]});
         pop.swap(next);
         tracker.endGeneration();
     }

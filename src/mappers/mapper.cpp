@@ -1,6 +1,9 @@
 #include "mappers/mapper.hpp"
 
+#include <algorithm>
 #include <chrono>
+
+#include "common/thread_pool.hpp"
 
 namespace mse {
 
@@ -35,19 +38,54 @@ SearchTracker::exhausted() const
     return elapsedSeconds() >= budget_.max_seconds;
 }
 
+void
+SearchTracker::record(const Mapping &m, const CostResult &cost)
+{
+    ++log_.samples;
+    if (cost.valid && cost.edp < best_edp_) {
+        best_edp_ = cost.edp;
+        best_mapping_ = m;
+        best_cost_ = cost;
+    }
+    log_.best_edp_per_sample.push_back(best_edp_);
+    log_.seconds_per_sample.push_back(elapsedSeconds());
+}
+
 const CostResult &
 SearchTracker::evaluate(const Mapping &m)
 {
     last_cost_ = eval_(m);
-    ++log_.samples;
-    if (last_cost_.valid && last_cost_.edp < best_edp_) {
-        best_edp_ = last_cost_.edp;
-        best_mapping_ = m;
-        best_cost_ = last_cost_;
-    }
-    log_.best_edp_per_sample.push_back(best_edp_);
-    log_.seconds_per_sample.push_back(elapsedSeconds());
+    record(m, last_cost_);
     return last_cost_;
+}
+
+const std::vector<CostResult> &
+SearchTracker::evaluateBatch(const std::vector<Mapping> &batch)
+{
+    // Truncate to the remaining sample budget so batch-converted mappers
+    // never overshoot max_samples; the candidate sequence (and thus the
+    // caller's RNG stream) is unaffected by the truncation point.
+    const size_t remaining = budget_.max_samples > log_.samples
+        ? budget_.max_samples - log_.samples
+        : 0;
+    const size_t n = std::min(batch.size(), remaining);
+    batch_results_.assign(n, CostResult{});
+
+    ThreadPool &pool = ThreadPool::global();
+    if (n > 1 && pool.threads() > 1) {
+        pool.parallelFor(n, [&](size_t i) {
+            batch_results_[i] = eval_(batch[i]);
+        });
+    } else {
+        for (size_t i = 0; i < n; ++i)
+            batch_results_[i] = eval_(batch[i]);
+    }
+    // Deterministic reduce in submission order.
+    for (size_t i = 0; i < n; ++i)
+        record(batch[i], batch_results_[i]);
+    if (n > 0)
+        last_cost_ = batch_results_[n - 1];
+    return batch_results_;
 }
 
 void

@@ -23,7 +23,20 @@
 
 namespace mse {
 
-/** Evaluation callback: mapping -> cost (infinite EDP when illegal). */
+/**
+ * Evaluation callback: mapping -> cost (infinite EDP when illegal).
+ *
+ * Re-entrancy contract: SearchTracker::evaluateBatch may invoke the
+ * callback from multiple worker threads concurrently (one call per
+ * candidate, never two calls on the same Mapping object). An EvalFn
+ * must therefore be re-entrant: it may read shared immutable state
+ * (workload, arch, a const cost model) but must not write shared state
+ * without internal synchronization. Every built-in evaluator satisfies
+ * this: CostModel::evaluate is stateless, SparseCostModel::evaluate is
+ * const over value-captured inputs, the sparsity-aware scorers capture
+ * by value, EvalCache::getOrCompute locks internally, and MseEngine's
+ * Pareto-tracking wrapper serializes its archive behind a mutex.
+ */
 using EvalFn = std::function<CostResult(const Mapping &)>;
 
 /** Search termination criteria. */
@@ -100,6 +113,21 @@ class SearchTracker
     /** Evaluate and record one candidate. */
     const CostResult &evaluate(const Mapping &m);
 
+    /**
+     * Evaluate a batch of candidates, fanning the cost-model queries
+     * out to ThreadPool::global() and reducing the results **in
+     * submission order**, so the incumbent, best_edp_per_sample, and
+     * every other log are bit-identical to a fully serial run
+     * (MSE_THREADS=1) for the same candidate sequence. Evaluates only
+     * the prefix of the batch that fits the remaining sample budget;
+     * the returned vector (valid until the next evaluate/evaluateBatch
+     * call) may thus be shorter than the batch. The wall-clock budget
+     * is checked at batch granularity, never mid-batch, to keep the
+     * candidate sequence deterministic.
+     */
+    const std::vector<CostResult> &
+    evaluateBatch(const std::vector<Mapping> &batch);
+
     /** Seconds since construction. */
     double elapsedSeconds() const;
 
@@ -112,6 +140,9 @@ class SearchTracker
     size_t samples() const { return log_.samples; }
 
   private:
+    /** Ordered reduce: fold one evaluated candidate into the logs. */
+    void record(const Mapping &m, const CostResult &cost);
+
     const EvalFn &eval_;
     SearchBudget budget_;
     double t0_;
@@ -119,6 +150,7 @@ class SearchTracker
     Mapping best_mapping_;
     CostResult best_cost_;
     CostResult last_cost_;
+    std::vector<CostResult> batch_results_;
     SearchLog log_;
 };
 

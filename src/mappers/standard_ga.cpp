@@ -22,10 +22,16 @@ StandardGaMapper::search(const MapSpace &space, const EvalFn &eval,
         double edp;
     };
     std::vector<Individual> pop;
-    while (pop.size() < pop_size && !tracker.exhausted()) {
-        Mapping m = space.randomMapping(rng);
-        const auto &cost = tracker.evaluate(m);
-        pop.push_back({m, cost.edp});
+    // Batched initialization: candidates are drawn serially (fixed RNG
+    // stream), evaluated in parallel, reduced in submission order.
+    std::vector<Mapping> initial;
+    initial.reserve(pop_size);
+    while (initial.size() < pop_size)
+        initial.push_back(space.randomMapping(rng));
+    {
+        const auto &costs = tracker.evaluateBatch(initial);
+        for (size_t i = 0; i < costs.size(); ++i)
+            pop.push_back({initial[i], costs[i].edp});
     }
     tracker.endGeneration();
     if (pop.empty())
@@ -54,7 +60,10 @@ StandardGaMapper::search(const MapSpace &space, const EvalFn &eval,
             return pop[a].edp <= pop[b].edp ? pop[a] : pop[b];
         };
 
-        while (next.size() < pop_size && !tracker.exhausted()) {
+        // Build the offspring generation, then evaluate as one batch.
+        std::vector<Mapping> offspring;
+        offspring.reserve(pop_size - next.size());
+        while (next.size() + offspring.size() < pop_size) {
             const Individual &pa = parent();
             Mapping child = pa.mapping;
             if (rng.chance(cfg_.crossover_prob)) {
@@ -104,9 +113,11 @@ StandardGaMapper::search(const MapSpace &space, const EvalFn &eval,
             // and lets illegal offspring (broken factor products,
             // blown capacities) die with infinite fitness. This is the
             // handicap Gamma's per-axis operators avoid.
-            const auto &cost = tracker.evaluate(child);
-            next.push_back({child, cost.edp});
+            offspring.push_back(std::move(child));
         }
+        const auto &costs = tracker.evaluateBatch(offspring);
+        for (size_t i = 0; i < costs.size(); ++i)
+            next.push_back({offspring[i], costs[i].edp});
         pop.swap(next);
         tracker.endGeneration();
     }

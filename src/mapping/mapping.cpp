@@ -102,6 +102,114 @@ Mapping::canonicalKey() const
     return os.str();
 }
 
+namespace {
+
+/**
+ * Order with runs of unit-temporal loops sorted (see canonicalKey).
+ * Writes into a caller-provided buffer to keep the hot hash/equality
+ * path allocation-free (the buffers below are thread_local because
+ * hashing runs on eval-pool workers).
+ */
+void
+canonicalOrderInto(const LevelMapping &lvl, std::vector<int> &canon)
+{
+    canon.assign(lvl.order.begin(), lvl.order.end());
+    size_t i = 0;
+    while (i < canon.size()) {
+        size_t j = i;
+        while (j < canon.size() && lvl.temporal[canon[j]] == 1)
+            ++j;
+        if (j > i)
+            std::sort(canon.begin() + i, canon.begin() + j);
+        i = std::max(j, i + 1);
+    }
+}
+
+/** True iff the keep mask actually bypasses something. */
+bool
+maskBypasses(const std::vector<uint8_t> &mask)
+{
+    for (uint8_t k : mask) {
+        if (k == 0)
+            return true;
+    }
+    return false;
+}
+
+/** splitmix64 finalizer: strong mixing applied once at the end. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * FNV-1a step: cheap per-element combine on the hot eval-cache path.
+ * Collisions are safe (the cache verifies keys with operator==), so a
+ * fast sequential hash beats a cryptographic-strength one here.
+ */
+uint64_t
+hashCombine(uint64_t h, uint64_t v)
+{
+    return (h ^ v) * 0x100000001b3ULL;
+}
+
+} // namespace
+
+uint64_t
+Mapping::hash() const
+{
+    static thread_local std::vector<int> canon;
+    uint64_t h = 0x6d61707370616365ULL; // "mapspace"
+    for (const auto &lvl : levels_) {
+        for (size_t d = 0; d < lvl.temporal.size(); ++d) {
+            h = hashCombine(h, static_cast<uint64_t>(lvl.temporal[d]));
+            h = hashCombine(h, static_cast<uint64_t>(lvl.spatial[d]));
+        }
+        canonicalOrderInto(lvl, canon);
+        for (int o : canon)
+            h = hashCombine(h, static_cast<uint64_t>(o) + 0x100);
+        // An all-keep mask is canonically identical to an empty one.
+        if (maskBypasses(lvl.keep)) {
+            for (uint8_t k : lvl.keep)
+                h = hashCombine(h, k ? 0x2ULL : 0x3ULL);
+        }
+        h = hashCombine(h, 0xabULL); // level separator
+    }
+    return mix64(h);
+}
+
+bool
+Mapping::operator==(const Mapping &other) const
+{
+    static thread_local std::vector<int> canon_a, canon_b;
+    if (levels_.size() != other.levels_.size())
+        return false;
+    for (size_t l = 0; l < levels_.size(); ++l) {
+        const auto &a = levels_[l];
+        const auto &b = other.levels_[l];
+        if (a.temporal != b.temporal || a.spatial != b.spatial)
+            return false;
+        // Exact order match (the common case: GA elites and un-mutated
+        // clones are verbatim copies) short-circuits canonicalization.
+        if (a.order != b.order) {
+            canonicalOrderInto(a, canon_a);
+            canonicalOrderInto(b, canon_b);
+            if (canon_a != canon_b)
+                return false;
+        }
+        const bool ab = maskBypasses(a.keep);
+        if (ab != maskBypasses(b.keep))
+            return false;
+        if (ab && a.keep != b.keep)
+            return false;
+    }
+    return true;
+}
+
 std::string
 Mapping::toString(const Workload &wl) const
 {

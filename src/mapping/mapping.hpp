@@ -102,11 +102,39 @@ class Mapping
      */
     std::string canonicalKey() const;
 
+    /**
+     * Canonical 64-bit hash, consistent with operator==: two mappings
+     * that are equal up to (a) permutations within runs of unit-factor
+     * loops and (b) an explicit keep-everything mask vs. an empty one
+     * hash identically. Built for the eval-cache key, where canonical
+     * equivalence implies identical cost.
+     */
+    uint64_t hash() const;
+
+    /**
+     * Canonical equality (same equivalence classes as hash()); the
+     * eval cache relies on equal mappings having equal cost.
+     */
+    bool operator==(const Mapping &other) const;
+    bool operator!=(const Mapping &other) const
+    {
+        return !(*this == other);
+    }
+
     /** Multi-line human-readable loop nest rendering. */
     std::string toString(const Workload &wl) const;
 
   private:
     std::vector<LevelMapping> levels_;
+};
+
+/** Hasher for unordered containers keyed by canonical Mapping. */
+struct MappingHash
+{
+    size_t operator()(const Mapping &m) const
+    {
+        return static_cast<size_t>(m.hash());
+    }
 };
 
 /** Why a mapping failed validation. */

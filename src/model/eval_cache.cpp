@@ -1,0 +1,90 @@
+#include "model/eval_cache.hpp"
+
+namespace mse {
+
+namespace {
+
+size_t
+roundUpPow2(size_t n)
+{
+    size_t p = 1;
+    while (p < n && p < (size_t(1) << 20))
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+EvalCache::EvalCache(size_t shard_count)
+{
+    const size_t n = roundUpPow2(shard_count == 0 ? 1 : shard_count);
+    shards_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+CostResult
+EvalCache::getOrCompute(const Mapping &m, const CostEvalFn &inner)
+{
+    const uint64_t h = m.hash();
+    Shard &shard = shardFor(h);
+    {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        auto it = shard.map.find(h);
+        if (it != shard.map.end() && it->second.key == m) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second.cost;
+        }
+    }
+    // Compute outside the lock so concurrent misses don't serialize on
+    // the shard; a racing duplicate insert is benign (same value). A
+    // 64-bit collision (different mapping, same hash) keeps the first
+    // entry and recomputes the loser — a pure miss, never a wrong cost.
+    CostResult result = inner(m);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        shard.map.try_emplace(h, Entry{m, result});
+    }
+    return result;
+}
+
+CostEvalFn
+EvalCache::wrap(CostEvalFn inner)
+{
+    return [this, inner = std::move(inner)](const Mapping &m) {
+        return getOrCompute(m, inner);
+    };
+}
+
+double
+EvalCache::hitRate() const
+{
+    const double h = static_cast<double>(hits());
+    const double m = static_cast<double>(misses());
+    return (h + m) > 0.0 ? h / (h + m) : 0.0;
+}
+
+size_t
+EvalCache::size() const
+{
+    size_t n = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        n += s->map.size();
+    }
+    return n;
+}
+
+void
+EvalCache::clear()
+{
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        s->map.clear();
+    }
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace mse

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Sharded memoization cache for cost-model evaluations.
+ *
+ * GA populations re-evaluate duplicated genomes constantly: elites are
+ * copied verbatim across generations, crossover reproduces parent
+ * columns, and mutation is applied with probability < 1, so a large
+ * fraction of cost-model queries in a search are repeats. EvalCache
+ * memoizes (canonical mapping -> CostResult) so repeats cost one hash
+ * lookup instead of a full analytical-model evaluation, and compounds
+ * with the batch-parallel evaluation layer (multiple worker threads hit
+ * disjoint shards concurrently).
+ *
+ * Keys are canonical: Mapping::hash()/operator== treat mappings that
+ * differ only in permutations of unit-factor loops (or an explicit
+ * keep-all mask) as identical, which is sound because the cost model is
+ * invariant under exactly those rewrites.
+ *
+ * Scope: a cache instance is valid for ONE (workload, arch, evaluator)
+ * triple — the key does not encode them. MseEngine::optimize creates a
+ * fresh cache per run.
+ *
+ * Thread safety: getOrCompute is safe to call concurrently. On a miss
+ * the inner evaluator runs outside the shard lock, so two threads may
+ * compute the same mapping at the same time; the duplicate insert is
+ * harmless because evaluation is deterministic.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mapping/mapping.hpp"
+#include "model/cost_model.hpp"
+
+namespace mse {
+
+/** Callable evaluating one mapping (same shape as mappers' EvalFn). */
+using CostEvalFn = std::function<CostResult(const Mapping &)>;
+
+/** Memoizing wrapper around a cost evaluator. */
+class EvalCache
+{
+  public:
+    /** shard_count is rounded up to a power of two (min 1). */
+    explicit EvalCache(size_t shard_count = 16);
+
+    /** Look up m; on a miss run inner(m) and memoize the result. */
+    CostResult getOrCompute(const Mapping &m, const CostEvalFn &inner);
+
+    /**
+     * Convenience: a memoizing evaluator closing over this cache.
+     * The cache must outlive the returned function.
+     */
+    CostEvalFn wrap(CostEvalFn inner);
+
+    size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+    size_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+
+    /** hits / (hits + misses); 0 when never queried. */
+    double hitRate() const;
+
+    /** Number of distinct mappings memoized. */
+    size_t size() const;
+
+    /** Drop all entries and reset the hit/miss counters. */
+    void clear();
+
+  private:
+    /**
+     * Entries are keyed by the precomputed canonical hash (computed
+     * once per query instead of on every probe); the stored Mapping
+     * guards against 64-bit collisions, which degrade to misses.
+     */
+    struct Entry
+    {
+        Mapping key;
+        CostResult cost;
+    };
+
+    struct IdentityHash
+    {
+        size_t operator()(uint64_t h) const
+        {
+            return static_cast<size_t>(h);
+        }
+    };
+
+    struct Shard
+    {
+        std::mutex mu;
+        std::unordered_map<uint64_t, Entry, IdentityHash> map;
+    };
+
+    Shard &shardFor(uint64_t hash)
+    {
+        // The map buckets by the low bits, so shard by the high ones.
+        return *shards_[(hash >> 48) & (shards_.size() - 1)];
+    }
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<size_t> hits_{0};
+    std::atomic<size_t> misses_{0};
+};
+
+} // namespace mse

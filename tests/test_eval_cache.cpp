@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for canonical Mapping hashing/equality and the memoizing
+ * eval cache (hit/miss accounting, value fidelity, thread safety).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/thread_pool.hpp"
+#include "model/eval_cache.hpp"
+#include "test_helpers.hpp"
+
+namespace mse {
+namespace {
+
+/** 2-level, 4-dim mapping with two adjacent unit loops at level 0. */
+Mapping
+baseMapping()
+{
+    Mapping m(2, 4);
+    // Dims 0 and 1 are unit at level 0; dims 2 and 3 carry factor 2.
+    m.level(0).temporal = {1, 1, 2, 2};
+    m.level(1).temporal = {1, 2, 1, 1};
+    m.level(0).order = {0, 1, 2, 3};
+    m.level(1).order = {3, 2, 1, 0};
+    return m;
+}
+
+TEST(MappingHash, EqualCanonicalMappingsCollide)
+{
+    const Mapping a = baseMapping();
+    Mapping b = baseMapping();
+    // Dims 0 and 1 are an adjacent run of unit loops at level 0:
+    // permuting them does not change the canonical mapping.
+    b.level(0).order = {1, 0, 2, 3};
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+}
+
+TEST(MappingHash, PerturbedFactorsDoNotCollide)
+{
+    const Mapping a = baseMapping();
+    Mapping b = baseMapping();
+    // Migrate dim 2's tile factor outward: same total factor product,
+    // different mapping.
+    b.level(0).temporal[2] = 1;
+    b.level(1).temporal[2] = 2;
+    EXPECT_NE(a.hash(), b.hash());
+    EXPECT_FALSE(a == b);
+    EXPECT_TRUE(a != b);
+}
+
+TEST(MappingHash, NonUnitOrderSwapDoesNotCollide)
+{
+    const Mapping a = baseMapping();
+    Mapping b = baseMapping();
+    // Swapping the two non-unit loops at level 0 reorders real loops:
+    // canonically distinct.
+    b.level(0).order = {0, 1, 3, 2};
+    EXPECT_NE(a.hash(), b.hash());
+    EXPECT_FALSE(a == b);
+}
+
+TEST(MappingHash, UnitSwapAcrossNonUnitLoopDoesNotCollide)
+{
+    Mapping a = baseMapping();
+    a.level(0).order = {0, 2, 1, 3}; // unit loops 0 and 1 split by 2
+    Mapping b = a;
+    b.level(0).order = {1, 2, 0, 3};
+    EXPECT_NE(a.hash(), b.hash());
+    EXPECT_FALSE(a == b);
+}
+
+TEST(MappingHash, ExplicitKeepAllMatchesEmptyMask)
+{
+    const Mapping a = baseMapping();
+    Mapping b = baseMapping();
+    // setKeep materializes an all-ones mask; flipping the bit back
+    // leaves an explicit keep-everything mask, semantically identical
+    // to the default empty one.
+    b.setKeep(0, 1, false, 3);
+    b.setKeep(0, 1, true, 3);
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_TRUE(a == b);
+
+    Mapping c = baseMapping();
+    c.setKeep(0, 1, false, 3); // a real bypass must not collide
+    EXPECT_NE(a.hash(), c.hash());
+    EXPECT_FALSE(a == c);
+}
+
+TEST(EvalCache, HitAndMissAccounting)
+{
+    const Workload wl = test::tinyGemm();
+    const ArchConfig arch = test::flatArch();
+    MapSpace space(wl, arch);
+    Rng rng(11);
+    const Mapping m1 = space.randomMapping(rng);
+    Mapping m2 = space.randomMapping(rng);
+    while (m2 == m1)
+        m2 = space.randomMapping(rng);
+
+    std::atomic<int> inner_calls{0};
+    EvalCache cache(4);
+    CostEvalFn inner = [&](const Mapping &m) {
+        inner_calls.fetch_add(1);
+        return CostModel::evaluate(wl, arch, m);
+    };
+
+    const CostResult direct = CostModel::evaluate(wl, arch, m1);
+    const CostResult first = cache.getOrCompute(m1, inner);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 1u);
+    const CostResult second = cache.getOrCompute(m1, inner);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(inner_calls.load(), 1);
+
+    // Cached results are bit-identical to direct evaluation.
+    EXPECT_EQ(first.valid, direct.valid);
+    EXPECT_EQ(first.edp, direct.edp);
+    EXPECT_EQ(second.edp, direct.edp);
+    EXPECT_EQ(second.energy_uj, direct.energy_uj);
+    EXPECT_EQ(second.latency_cycles, direct.latency_cycles);
+
+    cache.getOrCompute(m2, inner);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 1.0 / 3.0);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(EvalCache, WrapProducesMemoizingEvalFn)
+{
+    const Workload wl = test::tinyGemm();
+    const ArchConfig arch = test::flatArch();
+    MapSpace space(wl, arch);
+    Rng rng(5);
+    const Mapping m = space.randomMapping(rng);
+
+    int inner_calls = 0;
+    EvalCache cache;
+    CostEvalFn cached = cache.wrap([&](const Mapping &mm) {
+        ++inner_calls;
+        return CostModel::evaluate(wl, arch, mm);
+    });
+    const CostResult a = cached(m);
+    const CostResult b = cached(m);
+    EXPECT_EQ(inner_calls, 1);
+    EXPECT_EQ(a.edp, b.edp);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(EvalCache, ConcurrentGetOrComputeIsConsistent)
+{
+    const Workload wl = test::tinyConv();
+    const ArchConfig arch = test::miniNpu();
+    MapSpace space(wl, arch);
+    Rng rng(21);
+    std::vector<Mapping> pool_maps;
+    for (int i = 0; i < 16; ++i)
+        pool_maps.push_back(space.randomMapping(rng));
+
+    EvalCache cache(4);
+    CostEvalFn inner = [&](const Mapping &m) {
+        return CostModel::evaluate(wl, arch, m);
+    };
+
+    ThreadPool pool(4);
+    const size_t n = 512;
+    std::vector<double> edps(n, 0.0);
+    pool.parallelFor(n, [&](size_t i) {
+        const Mapping &m = pool_maps[i % pool_maps.size()];
+        edps[i] = cache.getOrCompute(m, inner).edp;
+    });
+    for (size_t i = 0; i < n; ++i) {
+        const double direct =
+            CostModel::evaluate(wl, arch, pool_maps[i % pool_maps.size()])
+                .edp;
+        EXPECT_EQ(edps[i], direct) << "query " << i;
+    }
+    EXPECT_EQ(cache.hits() + cache.misses(), n);
+    // Every distinct mapping is memoized at most once per race window;
+    // with 16 uniques and 512 queries the hit rate must be high.
+    EXPECT_GE(cache.hits(), n - 64);
+}
+
+} // namespace
+} // namespace mse

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the work-queue thread pool behind batched evaluation.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace mse {
+namespace {
+
+TEST(ThreadPool, SerialPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+    std::vector<int> order;
+    pool.parallelFor(8, [&](size_t i) {
+        order.push_back(static_cast<int>(i));
+    });
+    // Size-1 pools run the loop inline, in index order, on this thread.
+    std::vector<int> expect(8);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+    const size_t n = 1000;
+    std::vector<std::atomic<int>> counts(n);
+    pool.parallelFor(n, [&](size_t i) {
+        counts[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<size_t> sum{0};
+        const size_t n = 1 + static_cast<size_t>(round) * 7 % 97;
+        pool.parallelFor(n, [&](size_t i) {
+            sum.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(sum.load(), n * (n + 1) / 2) << "round " << round;
+    }
+}
+
+TEST(ThreadPool, EmptyAndSingleItemJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, [&](size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+    pool.parallelFor(1, [&](size_t i) {
+        EXPECT_EQ(i, 0u);
+        calls.fetch_add(1);
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ConfiguredThreadsHonorsEnv)
+{
+    ::setenv("MSE_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::configuredThreads(), 3u);
+    ::setenv("MSE_THREADS", "not-a-number", 1);
+    EXPECT_GE(ThreadPool::configuredThreads(), 1u);
+    ::setenv("MSE_THREADS", "100000", 1);
+    EXPECT_EQ(ThreadPool::configuredThreads(), 256u);
+    ::unsetenv("MSE_THREADS");
+    EXPECT_GE(ThreadPool::configuredThreads(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolResizable)
+{
+    ThreadPool::setGlobalThreads(2);
+    EXPECT_EQ(ThreadPool::global().threads(), 2u);
+    ThreadPool::setGlobalThreads(1);
+    EXPECT_EQ(ThreadPool::global().threads(), 1u);
+}
+
+} // namespace
+} // namespace mse
