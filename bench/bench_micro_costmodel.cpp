@@ -8,9 +8,11 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -284,9 +286,20 @@ runThroughputSweep()
         gaPopulationStream(space, /*generations=*/128, /*pop_size=*/128,
                            /*elites=*/32);
 
+    // Thread counts beyond the machine's real cores only oversubscribe
+    // and report flat rows (a 1-core CI runner used to print four
+    // identical "speedups"), so the sweep stops at the detected count.
+    const unsigned detected_cores =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::vector<unsigned> thread_counts;
+    for (const unsigned t : {1u, 2u, 4u, 8u}) {
+        if (t == 1u || t <= detected_cores)
+            thread_counts.push_back(t);
+    }
+
     std::vector<ThroughputSample> samples;
     for (const bool use_cache : {false, true}) {
-        for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        for (const unsigned threads : thread_counts) {
             // Warm-up pass to populate caches and park worker threads.
             measureThroughput(stream, wl, arch, threads, use_cache);
             samples.push_back(
@@ -300,8 +313,15 @@ runThroughputSweep()
         s.speedup = baseline > 0.0 ? s.evals_per_sec / baseline : 1.0;
 
     std::printf("\nEval throughput (GA-population stream, %zu "
-                "candidates, batch 64, resnet_conv4 on accel-B)\n",
-                stream.size());
+                "candidates, batch 64, resnet_conv4 on accel-B, "
+                "%u detected core%s)\n",
+                stream.size(), detected_cores,
+                detected_cores == 1 ? "" : "s");
+    if (thread_counts.back() < 8u) {
+        std::printf("(thread counts > %u skipped: wider rows would "
+                    "only restate the %u-core ceiling)\n",
+                    detected_cores, detected_cores);
+    }
     std::printf("%8s %6s %14s %9s %9s\n", "threads", "cache",
                 "evals/sec", "hit-rate", "speedup");
     for (const auto &s : samples) {
@@ -320,8 +340,10 @@ runThroughputSweep()
                  "{\n  \"workload\": \"resnet_conv4\",\n"
                  "  \"arch\": \"accel-B\",\n"
                  "  \"candidates\": %zu,\n  \"batch_size\": 64,\n"
-                 "  \"hardware_threads\": %u,\n  \"results\": [\n",
-                 stream.size(), ThreadPool::configuredThreads());
+                 "  \"hardware_threads\": %u,\n"
+                 "  \"detected_cores\": %u,\n  \"results\": [\n",
+                 stream.size(), ThreadPool::configuredThreads(),
+                 detected_cores);
     for (size_t i = 0; i < samples.size(); ++i) {
         const auto &s = samples[i];
         std::fprintf(f,

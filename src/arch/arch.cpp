@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 namespace mse {
 
@@ -29,6 +30,22 @@ nocHops(NocTopology t, int64_t fanout)
         return std::max(1.0, std::sqrt(f));
     }
     return 1.0;
+}
+
+std::string
+ArchConfig::signature() const
+{
+    std::ostringstream os;
+    os << "mac=" << mac_energy_pj << ";";
+    for (const auto &l : levels) {
+        os << l.name << ":c=" << l.capacity_words << ":bw="
+           << l.bandwidth_words_per_cycle << ":r=" << l.read_energy_pj
+           << ":w=" << l.write_energy_pj << ":f=" << l.fanout
+           << ":m=" << (l.multicast ? 1 : 0) << ":n="
+           << nocTopologyName(l.noc) << ":h=" << l.noc_hop_energy_pj
+           << ";";
+    }
+    return os.str();
 }
 
 namespace {

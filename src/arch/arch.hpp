@@ -101,6 +101,15 @@ struct ArchConfig
     }
 
     /**
+     * Canonical structural signature: every level parameter the cost
+     * model and legality checks read, plus the MAC energy. The config
+     * *name* is excluded so two identically-parameterized presets
+     * compare equal. Combined with Workload::signature() it identifies
+     * a layer-search job for sweep-level deduplication.
+     */
+    std::string signature() const;
+
+    /**
      * Number of instances of level `lvl` in the whole machine: the
      * product of the fanouts of all levels above it.
      */

@@ -5,6 +5,28 @@
 
 namespace mse {
 
+namespace {
+
+/** Set while the current thread is executing a task body; nested
+ *  parallelFor calls check it and fall back to an inline loop. */
+thread_local bool t_in_pool_task = false;
+
+/** RAII flag guard so task bodies that throw still restore the flag. */
+struct InTaskScope
+{
+    bool prev;
+    InTaskScope() : prev(t_in_pool_task) { t_in_pool_task = true; }
+    ~InTaskScope() { t_in_pool_task = prev; }
+};
+
+} // namespace
+
+bool
+ThreadPool::inTask()
+{
+    return t_in_pool_task;
+}
+
 unsigned
 ThreadPool::configuredThreads()
 {
@@ -45,7 +67,10 @@ ThreadPool::runJob(const std::function<void(size_t)> *fn, size_t n)
         const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
         if (i >= n)
             break;
-        (*fn)(i);
+        {
+            InTaskScope scope;
+            (*fn)(i);
+        }
         if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
             // Last item: wake the caller (lock pairs the predicate).
             std::lock_guard<std::mutex> lk(mu_);
@@ -87,7 +112,10 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
 {
     if (n == 0)
         return;
-    if (workers_.empty() || n == 1) {
+    if (t_in_pool_task || workers_.empty() || n == 1) {
+        // Nested (or degenerate) invocation: the pool machinery is busy
+        // with the enclosing job, so run inline. Still counts as task
+        // context when nested, so deeper nesting stays inline too.
         for (size_t i = 0; i < n; ++i)
             fn(i);
         return;

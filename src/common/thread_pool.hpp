@@ -35,8 +35,11 @@
 namespace mse {
 
 /**
- * Fixed-size worker pool with a blocking parallel-for. Not re-entrant:
- * parallelFor must not be called concurrently or from inside a task.
+ * Fixed-size worker pool with a blocking parallel-for. parallelFor must
+ * not be called concurrently from two top-level threads; calls from
+ * *inside* a task are legal and degrade to an inline serial loop (see
+ * parallelFor), which is what lets ModelSweep parallelize whole layer
+ * searches whose inner batched evaluation also targets the global pool.
  */
 class ThreadPool
 {
@@ -58,8 +61,16 @@ class ThreadPool
      * Invoke fn(i) for every i in [0, n), distributing indices across
      * the pool; the calling thread participates. Blocks until all n
      * invocations returned. fn must be safe to call concurrently.
+     *
+     * Re-entrancy: when called from inside a pool task (at any depth),
+     * the indices run inline on the calling thread instead of being
+     * published as a job — nesting therefore cannot deadlock, and the
+     * outermost parallelFor level owns all the pool's parallelism.
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /** True while the calling thread is executing a pool task. */
+    static bool inTask();
 
     /**
      * Process-wide pool used by SearchTracker::evaluateBatch. Created

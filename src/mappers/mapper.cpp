@@ -4,6 +4,10 @@
 #include <chrono>
 
 #include "common/thread_pool.hpp"
+#include "mappers/gamma.hpp"
+#include "mappers/local_search.hpp"
+#include "mappers/random_pruned.hpp"
+#include "mappers/standard_ga.hpp"
 
 namespace mse {
 
@@ -18,6 +22,22 @@ nowSeconds()
 }
 
 } // namespace
+
+MapperFactory
+makeMapperFactory(const std::string &name)
+{
+    if (name == "gamma")
+        return [] { return std::make_unique<GammaMapper>(); };
+    if (name == "standard-ga")
+        return [] { return std::make_unique<StandardGaMapper>(); };
+    if (name == "random-pruned")
+        return [] { return std::make_unique<RandomPrunedMapper>(); };
+    if (name == "annealing")
+        return [] { return std::make_unique<SimulatedAnnealingMapper>(); };
+    if (name == "hill-climb")
+        return [] { return std::make_unique<HillClimbMapper>(); };
+    return {};
+}
 
 SearchTracker::SearchTracker(const EvalFn &eval, const SearchBudget &budget)
     : eval_(eval), budget_(budget), t0_(nowSeconds())

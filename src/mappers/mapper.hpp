@@ -99,6 +99,22 @@ class Mapper
 };
 
 /**
+ * Factory producing a fresh mapper instance per call. Mappers carry
+ * per-search state (warm-start seeds), so orchestrators that run many
+ * searches — possibly concurrently, as ModelSweep does — construct one
+ * instance per job instead of sharing one.
+ */
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+
+/**
+ * Factory for a mapper by its name() string: "gamma", "standard-ga",
+ * "random-pruned", "annealing", or "hill-climb" (mind-mappings is
+ * excluded — its surrogate training makes it unsuitable for unattended
+ * sweeps). Returns an empty factory for unknown names.
+ */
+MapperFactory makeMapperFactory(const std::string &name);
+
+/**
  * Bookkeeping shared by all mappers: evaluates a mapping, appends to the
  * log, and tracks the incumbent. Returns the cost.
  */

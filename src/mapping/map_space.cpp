@@ -171,6 +171,18 @@ MapSpace::randomMapping(Rng &rng) const
     return m;
 }
 
+bool
+MapSpace::canScaleFrom(const Workload &source) const
+{
+    if (source.numDims() != wl_.numDims())
+        return false;
+    for (int d = 0; d < wl_.numDims(); ++d) {
+        if (source.dimNames()[d] != wl_.dimNames()[d])
+            return false;
+    }
+    return true;
+}
+
 Mapping
 MapSpace::scaleFrom(const Mapping &m, const Workload &source, Rng &rng) const
 {

@@ -77,6 +77,15 @@ class MapSpace
     Mapping scaleFrom(const Mapping &m, const Workload &source,
                       Rng &rng) const;
 
+    /**
+     * True iff scaleFrom can actually inherit structure from a mapping
+     * of `source` (equal dimensionality with matching dim names, e.g.
+     * CONV from CONV but never CONV from GEMM). When false, scaleFrom
+     * falls back to a random mapping, so callers that care — like a
+     * model sweep deciding warm vs. cold start — check this first.
+     */
+    bool canScaleFrom(const Workload &source) const;
+
     /** Analytic size of this map space (Sec. 4.2 decomposition). */
     MapSpaceSize size() const;
 

@@ -26,7 +26,13 @@ EvalCache::EvalCache(size_t shard_count)
 CostResult
 EvalCache::getOrCompute(const Mapping &m, const CostEvalFn &inner)
 {
-    const uint64_t h = m.hash();
+    return getOrComputeHashed(m.hash(), m, inner);
+}
+
+CostResult
+EvalCache::getOrComputeHashed(uint64_t h, const Mapping &m,
+                              const CostEvalFn &inner)
+{
     Shard &shard = shardFor(h);
     {
         std::lock_guard<std::mutex> lk(shard.mu);

@@ -54,6 +54,16 @@ class EvalCache
     CostResult getOrCompute(const Mapping &m, const CostEvalFn &inner);
 
     /**
+     * getOrCompute with a caller-supplied hash instead of m.hash().
+     * Exists so tests can force two distinct mappings onto one 64-bit
+     * key and exercise the collision path (stored-key mismatch must
+     * degrade to a recomputed miss, never return the colliding
+     * entry's cost). Production callers use getOrCompute.
+     */
+    CostResult getOrComputeHashed(uint64_t hash, const Mapping &m,
+                                  const CostEvalFn &inner);
+
+    /**
      * Convenience: a memoizing evaluator closing over this cache.
      * The cache must outlive the returned function.
      */

@@ -121,6 +121,25 @@ Workload::toString() const
     return os.str();
 }
 
+std::string
+Workload::signature() const
+{
+    std::ostringstream os;
+    for (int d = 0; d < numDims(); ++d)
+        os << dim_names_[d] << "=" << bounds_[d] << ";";
+    for (const auto &t : tensors_) {
+        os << "|" << t.name
+           << (t.kind == TensorKind::Output ? ":out" : ":in") << ":d="
+           << t.density << ":";
+        for (const auto &rank : t.projection) {
+            for (const auto &term : rank)
+                os << term.coeff << "*" << term.dim << "+";
+            os << ",";
+        }
+    }
+    return os.str();
+}
+
 Workload
 makeConv2d(const std::string &name, int64_t b, int64_t k, int64_t c,
            int64_t y, int64_t x, int64_t r, int64_t s)

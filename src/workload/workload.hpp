@@ -105,6 +105,18 @@ class Workload
     /** Human-readable one-line summary, e.g. "conv3 (16,128,128,...)". */
     std::string toString() const;
 
+    /**
+     * Canonical structural signature: dimension names and bounds plus
+     * every tensor's kind, projection, and density — everything the
+     * cost model reads, and nothing it ignores (the layer *name* is
+     * deliberately excluded). Two workloads with equal signatures span
+     * identical map spaces and evaluate identically under every
+     * (arch, mapping) pair, which is what lets a full-model sweep
+     * search each unique layer shape once and reuse the result for
+     * its duplicates.
+     */
+    std::string signature() const;
+
   private:
     void buildCaches();
 

@@ -5,8 +5,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "core/mse_engine.hpp"
+#include "mappers/gamma.hpp"
 #include "model/cost_model.hpp"
 #include "test_helpers.hpp"
 #include "workload/model_zoo.hpp"
@@ -123,6 +126,109 @@ TEST_P(CostPropertyP, MovingLoopsDownNeverChangesMacCount)
         computeAccessCounts(combo_.wl, combo_.arch, b);
     EXPECT_DOUBLE_EQ(ca.macs, cb.macs);
     EXPECT_DOUBLE_EQ(ca.macs, combo_.wl.totalMacs());
+}
+
+TEST_P(CostPropertyP, ScalingAWorkloadDimNeverDecreasesEnergy)
+{
+    // Doubling one dimension bound (and absorbing the growth into the
+    // outermost temporal loop, which leaves every inner tile footprint
+    // and all spatial products unchanged) doubles the MAC count and can
+    // only add traffic — total energy must not go down.
+    const Workload &wl = combo_.wl;
+    MapSpace space(wl, combo_.arch);
+    Rng rng(600 + GetParam());
+    for (int d = 0; d < wl.numDims(); ++d) {
+        std::vector<int64_t> bounds = wl.bounds();
+        bounds[d] *= 2;
+        const Workload scaled("scaled", wl.dimNames(), bounds,
+                              wl.tensors());
+
+        const Mapping m = space.randomMapping(rng);
+        Mapping m2 = m;
+        m2.level(m2.numLevels() - 1).temporal[d] *= 2;
+        ASSERT_EQ(validateMapping(scaled, combo_.arch, m2),
+                  MappingError::Ok)
+            << combo_.name << " dim " << d;
+
+        const CostResult base =
+            CostModel::evaluate(wl, combo_.arch, m);
+        const CostResult grown =
+            CostModel::evaluate(scaled, combo_.arch, m2);
+        ASSERT_TRUE(base.valid && grown.valid);
+        EXPECT_GE(grown.energy_uj, base.energy_uj)
+            << combo_.name << " dim " << d;
+    }
+}
+
+TEST_P(CostPropertyP, CanonicallyEquivalentMappingsEvaluateIdentically)
+{
+    // The eval cache treats two rewrites as identity: permuting loops
+    // inside a run of temporal-factor-1 positions, and spelling the
+    // default keep-everything mask explicitly. Both must be invisible
+    // to the cost model bit-for-bit, or cache hits would change costs.
+    MapSpace space(combo_.wl, combo_.arch);
+    Rng rng(700 + GetParam());
+    const int tensors = combo_.wl.numTensors();
+    for (int i = 0; i < 30; ++i) {
+        const Mapping m = space.randomMapping(rng);
+        Mapping variant = m;
+        for (int l = 0; l < variant.numLevels(); ++l) {
+            auto &lvl = variant.level(l);
+            // Reverse every maximal run of unit-temporal loops.
+            size_t a = 0;
+            while (a < lvl.order.size()) {
+                size_t b = a;
+                while (b < lvl.order.size() &&
+                       lvl.temporal[lvl.order[b]] == 1)
+                    ++b;
+                if (b > a)
+                    std::reverse(lvl.order.begin() + a,
+                                 lvl.order.begin() + b);
+                a = std::max(b, a + 1);
+            }
+            if (lvl.keep.empty())
+                lvl.keep.assign(static_cast<size_t>(tensors), 1);
+        }
+        ASSERT_TRUE(variant == m) << combo_.name;
+        ASSERT_EQ(variant.hash(), m.hash()) << combo_.name;
+
+        const CostResult ra =
+            CostModel::evaluate(combo_.wl, combo_.arch, m);
+        const CostResult rb =
+            CostModel::evaluate(combo_.wl, combo_.arch, variant);
+        ASSERT_EQ(ra.valid, rb.valid);
+        EXPECT_EQ(ra.energy_uj, rb.energy_uj) << combo_.name;
+        EXPECT_EQ(ra.latency_cycles, rb.latency_cycles) << combo_.name;
+        EXPECT_EQ(ra.edp, rb.edp) << combo_.name;
+    }
+}
+
+TEST_P(CostPropertyP, CachedAndUncachedSearchesShareTheIncumbent)
+{
+    // The memoizing cache must be invisible to the search: same seed,
+    // cache on vs. off, identical incumbent and per-sample trace.
+    MseOptions on, off;
+    on.budget.max_samples = off.budget.max_samples = 300;
+    on.use_eval_cache = true;
+    off.use_eval_cache = false;
+
+    MseEngine engine_on(combo_.arch), engine_off(combo_.arch);
+    GammaMapper gamma_on, gamma_off;
+    Rng rng_on(800 + GetParam()), rng_off(800 + GetParam());
+    const MseOutcome a =
+        engine_on.optimize(combo_.wl, gamma_on, on, rng_on);
+    const MseOutcome b =
+        engine_off.optimize(combo_.wl, gamma_off, off, rng_off);
+
+    EXPECT_EQ(a.search.best_cost.edp, b.search.best_cost.edp)
+        << combo_.name;
+    EXPECT_TRUE(a.search.best_mapping == b.search.best_mapping)
+        << combo_.name;
+    EXPECT_EQ(a.search.log.best_edp_per_sample,
+              b.search.log.best_edp_per_sample)
+        << combo_.name;
+    EXPECT_GT(a.eval_cache_hits + a.eval_cache_misses, 0u);
+    EXPECT_EQ(b.eval_cache_hits + b.eval_cache_misses, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Combos, CostPropertyP,

@@ -91,6 +91,49 @@ TEST(MappingHash, ExplicitKeepAllMatchesEmptyMask)
     EXPECT_FALSE(a == c);
 }
 
+TEST(EvalCache, HashCollisionDegradesToMissNeverWrongCost)
+{
+    // Force two canonically distinct mappings onto the same 64-bit key
+    // through the hash-injection seam: the stored-key equality guard
+    // must recompute the second mapping instead of serving the first
+    // entry's cost.
+    const Mapping a = baseMapping();
+    Mapping b = baseMapping();
+    b.level(0).temporal[2] = 1;
+    b.level(1).temporal[2] = 2;
+    ASSERT_FALSE(a == b);
+
+    EvalCache cache(4);
+    const CostEvalFn by_factor = [](const Mapping &m) {
+        CostResult r;
+        r.valid = true;
+        // A stand-in cost that distinguishes the two mappings.
+        r.edp = static_cast<double>(m.level(0).temporal[2]);
+        return r;
+    };
+    const uint64_t shared_hash = 0xdeadbeefULL;
+    const CostResult ra =
+        cache.getOrComputeHashed(shared_hash, a, by_factor);
+    const CostResult rb =
+        cache.getOrComputeHashed(shared_hash, b, by_factor);
+    EXPECT_DOUBLE_EQ(ra.edp, 2.0);
+    EXPECT_DOUBLE_EQ(rb.edp, 1.0); // recomputed, not a's cached 2.0
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 2u);
+
+    // The first entry keeps the slot (try_emplace): `a` still hits,
+    // the collision loser keeps degrading to a recomputed miss.
+    EXPECT_DOUBLE_EQ(cache.getOrComputeHashed(shared_hash, a, by_factor)
+                         .edp,
+                     2.0);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_DOUBLE_EQ(cache.getOrComputeHashed(shared_hash, b, by_factor)
+                         .edp,
+                     1.0);
+    EXPECT_EQ(cache.misses(), 3u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
 TEST(EvalCache, HitAndMissAccounting)
 {
     const Workload wl = test::tinyGemm();

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Golden-trace regression test for the analytical cost model.
+ *
+ * tests/data/golden_cost_traces.txt pins the exact energy, latency, EDP,
+ * and per-level/per-tensor access counts of ten fixed (workload, arch,
+ * mapping) triples. The mappings themselves are stored in the fixture
+ * (mapping_io v1 lines), so the test is immune to changes in random
+ * mapping generation: any numeric difference is a real cost-model
+ * behavior change. Values are compared through their %.17g rendering,
+ * which round-trips IEEE doubles exactly — a drift of one ULP fails
+ * with a readable diff of expected vs. actual.
+ *
+ * Intentional model changes regenerate the fixture:
+ *
+ *   MSE_REGEN_GOLDEN=1 ./build/tests/test_golden_traces
+ *
+ * then re-run the suite and commit the new file alongside the change
+ * that justifies it.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mapping/mapping_io.hpp"
+#include "model/cost_model.hpp"
+#include "test_helpers.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace mse {
+namespace {
+
+std::string
+fixturePath()
+{
+    return std::string(MSE_TEST_DATA_DIR) + "/golden_cost_traces.txt";
+}
+
+/** Exact decimal rendering that round-trips IEEE-754 doubles. */
+std::string
+g17(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+struct GoldenCase
+{
+    std::string name;
+    Workload wl;
+    ArchConfig arch;
+    /** Seed used only at regeneration time to draw the mapping. */
+    uint64_t seed = 0;
+};
+
+/** The ten pinned triples: every workload family x both Table-1
+ *  accelerators plus the deep and flat test hierarchies. */
+std::vector<GoldenCase>
+goldenCases()
+{
+    return {
+        {"resnet_conv3_accelA", resnetConv3(), accelA(), 11},
+        {"resnet_conv3_accelB", resnetConv3(), accelB(), 12},
+        {"resnet_conv4_accelA", resnetConv4(), accelA(), 13},
+        {"inception_conv2_accelB", inceptionConv2(), accelB(), 14},
+        {"bert_kqv_accelA", bertKqv(), accelA(), 15},
+        {"bert_attn_accelB", bertAttn(), accelB(), 16},
+        {"bert_fc_accelA", bertFc(), accelA(), 17},
+        {"depthwise_mini",
+         makeDepthwiseConv2d("dw", 4, 32, 14, 14, 3, 3), test::miniNpu(),
+         18},
+        {"conv4_deep_hierarchy", resnetConv4(),
+         makeDeepNpu("deep", 64 * 1024, 2048, 64, 64, 4), 19},
+        {"tiny_conv_flat", test::tinyConv(), test::flatArch(), 20},
+    };
+}
+
+/** Draw the case's pinned-at-regen-time mapping. */
+Mapping
+drawMapping(const GoldenCase &c)
+{
+    MapSpace space(c.wl, c.arch);
+    Rng rng(c.seed);
+    return space.randomMapping(rng);
+}
+
+void
+regenerate()
+{
+    std::ofstream out(fixturePath());
+    ASSERT_TRUE(out.good()) << "cannot write " << fixturePath();
+    out << "# Golden cost-model traces (v1). Regenerate with\n"
+           "#   MSE_REGEN_GOLDEN=1 ./build/tests/test_golden_traces\n"
+           "# Lines: case/mapping/energy_uj/latency_cycles/edp/\n"
+           "#        access <level> <tensor> <reads> <writes>/end\n";
+    for (const auto &c : goldenCases()) {
+        const Mapping m = drawMapping(c);
+        const CostResult r = CostModel::evaluate(c.wl, c.arch, m);
+        ASSERT_TRUE(r.valid) << c.name;
+        const AccessCounts counts =
+            computeAccessCounts(c.wl, c.arch, m);
+        out << "case " << c.name << "\n";
+        out << "mapping " << serializeMapping(m) << "\n";
+        out << "energy_uj " << g17(r.energy_uj) << "\n";
+        out << "latency_cycles " << g17(r.latency_cycles) << "\n";
+        out << "edp " << g17(r.edp) << "\n";
+        for (size_t l = 0; l < counts.access.size(); ++l) {
+            for (size_t t = 0; t < counts.access[l].size(); ++t) {
+                out << "access " << l << " " << t << " "
+                    << g17(counts.access[l][t].reads) << " "
+                    << g17(counts.access[l][t].writes) << "\n";
+            }
+        }
+        out << "end\n";
+    }
+}
+
+/** Parsed expectation block for one case. */
+struct GoldenExpect
+{
+    std::string mapping_line;
+    std::string energy, latency, edp;
+    std::vector<std::string> access; // "level tensor reads writes"
+};
+
+std::map<std::string, GoldenExpect>
+loadFixture()
+{
+    std::map<std::string, GoldenExpect> cases;
+    std::ifstream in(fixturePath());
+    EXPECT_TRUE(in.good()) << "missing fixture " << fixturePath();
+    std::string line, current;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream is(line);
+        std::string key;
+        is >> key;
+        std::string rest = line.substr(
+            std::min(line.size(), key.size() + 1));
+        if (key == "case") {
+            current = rest;
+        } else if (key == "mapping") {
+            cases[current].mapping_line = rest;
+        } else if (key == "energy_uj") {
+            cases[current].energy = rest;
+        } else if (key == "latency_cycles") {
+            cases[current].latency = rest;
+        } else if (key == "edp") {
+            cases[current].edp = rest;
+        } else if (key == "access") {
+            cases[current].access.push_back(rest);
+        }
+    }
+    return cases;
+}
+
+TEST(GoldenTraces, CostModelMatchesPinnedFixture)
+{
+    if (std::getenv("MSE_REGEN_GOLDEN")) {
+        regenerate();
+        GTEST_SKIP() << "fixture regenerated at " << fixturePath();
+    }
+    const auto expected = loadFixture();
+    ASSERT_EQ(expected.size(), goldenCases().size());
+
+    for (const auto &c : goldenCases()) {
+        const auto it = expected.find(c.name);
+        ASSERT_NE(it, expected.end()) << "fixture missing " << c.name;
+        const GoldenExpect &exp = it->second;
+
+        const auto parsed = parseMapping(exp.mapping_line);
+        ASSERT_TRUE(parsed.has_value()) << c.name;
+        const Mapping &m = *parsed;
+        ASSERT_EQ(validateMapping(c.wl, c.arch, m), MappingError::Ok)
+            << c.name;
+
+        const CostResult r = CostModel::evaluate(c.wl, c.arch, m);
+        ASSERT_TRUE(r.valid) << c.name;
+        EXPECT_EQ(g17(r.energy_uj), exp.energy) << c.name;
+        EXPECT_EQ(g17(r.latency_cycles), exp.latency) << c.name;
+        EXPECT_EQ(g17(r.edp), exp.edp) << c.name;
+
+        const AccessCounts counts =
+            computeAccessCounts(c.wl, c.arch, m);
+        std::vector<std::string> actual;
+        for (size_t l = 0; l < counts.access.size(); ++l) {
+            for (size_t t = 0; t < counts.access[l].size(); ++t) {
+                actual.push_back(std::to_string(l) + " " +
+                                 std::to_string(t) + " " +
+                                 g17(counts.access[l][t].reads) + " " +
+                                 g17(counts.access[l][t].writes));
+            }
+        }
+        EXPECT_EQ(actual, exp.access) << c.name;
+    }
+}
+
+TEST(GoldenTraces, FixtureMappingsStayPinnedToGenerationSeeds)
+{
+    // Documents (non-fatally for the golden contract) that the stored
+    // mappings came from the seeds above: if random generation changes,
+    // this canary flags that a regen would alter the *mappings*, while
+    // the golden test keeps guarding the cost model itself.
+    if (std::getenv("MSE_REGEN_GOLDEN"))
+        GTEST_SKIP();
+    const auto expected = loadFixture();
+    size_t matching = 0;
+    for (const auto &c : goldenCases()) {
+        const auto it = expected.find(c.name);
+        if (it != expected.end() &&
+            serializeMapping(drawMapping(c)) == it->second.mapping_line)
+            ++matching;
+    }
+    EXPECT_EQ(matching, goldenCases().size())
+        << "random mapping generation drifted; golden mappings remain "
+           "valid but no longer match their generation seeds";
+}
+
+} // namespace
+} // namespace mse

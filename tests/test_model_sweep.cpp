@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the full-model sweep orchestrator: signature-based layer
+ * dedup, two-wave warm-start scheduling with cold fallback, thread-count
+ * determinism, and the CSV/JSON emitters.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/thread_pool.hpp"
+#include "core/model_sweep.hpp"
+#include "mapping/mapping_io.hpp"
+#include "test_helpers.hpp"
+
+namespace mse {
+namespace {
+
+/** A 5-layer toy model: conv A, duplicate of A, a similar conv B, a
+ *  GEMM (incompatible dims -> cold fallback), and A again. */
+std::vector<Workload>
+toyModel()
+{
+    std::vector<Workload> layers;
+    layers.push_back(makeConv2d("convA_1", 1, 8, 8, 8, 8, 3, 3));
+    Workload dup = makeConv2d("convA_2", 1, 8, 8, 8, 8, 3, 3);
+    layers.push_back(dup);
+    layers.push_back(makeConv2d("convB", 1, 16, 8, 8, 8, 3, 3));
+    layers.push_back(makeGemm("gemm", 1, 16, 16, 16));
+    layers.push_back(makeConv2d("convA_3", 1, 8, 8, 8, 8, 3, 3));
+    return layers;
+}
+
+ModelSweepOptions
+fastOptions()
+{
+    ModelSweepOptions opts;
+    opts.layer.budget.max_samples = 300;
+    opts.seed = 7;
+    return opts;
+}
+
+TEST(ModelSweep, DedupSearchesEachUniqueShapeOnce)
+{
+    ModelSweep sweep(test::miniNpu());
+    const auto res = sweep.run("toy", toyModel(), fastOptions());
+
+    EXPECT_EQ(res.stats.total_layers, 5u);
+    EXPECT_EQ(res.stats.unique_jobs, 3u); // convA, convB, gemm
+    EXPECT_EQ(res.stats.dedup_hits, 2u);
+    EXPECT_EQ(res.jobs.size(), 3u);
+    EXPECT_LT(res.stats.samples_spent, res.stats.samples_without_dedup);
+
+    // The duplicates must be flagged and share the first job.
+    EXPECT_FALSE(res.layers[0].deduped);
+    EXPECT_TRUE(res.layers[1].deduped);
+    EXPECT_TRUE(res.layers[4].deduped);
+    EXPECT_EQ(res.layers[1].job, res.layers[0].job);
+    EXPECT_EQ(res.layers[4].job, res.layers[0].job);
+}
+
+TEST(ModelSweep, DedupedLayersGetBitIdenticalMappings)
+{
+    ModelSweep sweep(test::miniNpu());
+    const auto res = sweep.run("toy", toyModel(), fastOptions());
+
+    for (const size_t dup : {1u, 4u}) {
+        EXPECT_EQ(serializeMapping(res.layers[dup].best_mapping),
+                  serializeMapping(res.layers[0].best_mapping));
+        EXPECT_TRUE(res.layers[dup].best_mapping ==
+                    res.layers[0].best_mapping);
+        EXPECT_EQ(res.layers[dup].best_cost.edp,
+                  res.layers[0].best_cost.edp);
+    }
+}
+
+TEST(ModelSweep, WarmStartsSimilarLayersAndColdStartsForeignShapes)
+{
+    ModelSweep sweep(test::miniNpu());
+    const auto res = sweep.run("toy", toyModel(), fastOptions());
+
+    // convA anchors the conv cluster; convB (1 bound differs) warms
+    // from it; the GEMM has no compatible root and must cold-start.
+    EXPECT_FALSE(res.layers[0].warm_started);
+    EXPECT_TRUE(res.layers[2].warm_started);
+    EXPECT_EQ(res.layers[2].warm_source_layer, 0);
+    EXPECT_DOUBLE_EQ(res.layers[2].warm_distance, 1.0);
+    EXPECT_FALSE(res.layers[3].warm_started);
+    EXPECT_EQ(res.layers[3].warm_source_layer, -1);
+    EXPECT_EQ(res.stats.warm_jobs, 1u);
+    EXPECT_EQ(res.stats.cold_jobs, 2u);
+
+    // Every layer still gets a valid optimized mapping.
+    for (const auto &rec : res.layers) {
+        EXPECT_TRUE(rec.best_cost.valid) << rec.layer_name;
+        EXPECT_GT(rec.samples, 0u);
+    }
+}
+
+TEST(ModelSweep, WarmStartCanBeDisabled)
+{
+    ModelSweepOptions opts = fastOptions();
+    opts.warm_start = false;
+    ModelSweep sweep(test::miniNpu());
+    const auto res = sweep.run("toy", toyModel(), opts);
+    EXPECT_EQ(res.stats.warm_jobs, 0u);
+    EXPECT_EQ(res.stats.cold_jobs, res.stats.unique_jobs);
+    for (const auto &rec : res.layers)
+        EXPECT_FALSE(rec.warm_started);
+}
+
+TEST(ModelSweep, ResultIsIdenticalAcrossThreadCountsAndJobOrdering)
+{
+    ModelSweep sweep(test::miniNpu());
+
+    ThreadPool::setGlobalThreads(1);
+    const auto serial = sweep.run("toy", toyModel(), fastOptions());
+
+    ThreadPool::setGlobalThreads(4);
+    const auto parallel = sweep.run("toy", toyModel(), fastOptions());
+
+    ModelSweepOptions sequential_opts = fastOptions();
+    sequential_opts.parallel_layers = false;
+    const auto sequential =
+        sweep.run("toy", toyModel(), sequential_opts);
+    ThreadPool::setGlobalThreads(0);
+
+    ASSERT_EQ(serial.layers.size(), parallel.layers.size());
+    for (size_t i = 0; i < serial.layers.size(); ++i) {
+        EXPECT_EQ(serial.layers[i].best_cost.edp,
+                  parallel.layers[i].best_cost.edp)
+            << serial.layers[i].layer_name;
+        EXPECT_EQ(serializeMapping(serial.layers[i].best_mapping),
+                  serializeMapping(parallel.layers[i].best_mapping));
+        EXPECT_EQ(serial.layers[i].best_cost.edp,
+                  sequential.layers[i].best_cost.edp);
+    }
+    EXPECT_EQ(serial.stats.samples_spent, parallel.stats.samples_spent);
+}
+
+TEST(ModelSweep, LayerSignatureTracksCostRelevantStateOnly)
+{
+    const Workload a = makeConv2d("a", 1, 8, 8, 8, 8, 3, 3);
+    Workload renamed = a;
+    renamed.setName("b");
+    Workload denser = a;
+    denser.setDensity("Weights", 0.5);
+
+    const ArchConfig mini = test::miniNpu();
+    EXPECT_EQ(layerSignature(a, mini), layerSignature(renamed, mini));
+    EXPECT_NE(layerSignature(a, mini), layerSignature(denser, mini));
+    EXPECT_NE(layerSignature(a, mini), layerSignature(a, accelA()));
+
+    // Arch identity is structural, not nominal.
+    ArchConfig renamed_arch = mini;
+    renamed_arch.name = "other";
+    EXPECT_EQ(layerSignature(a, mini), layerSignature(a, renamed_arch));
+    ArchConfig bigger = mini;
+    bigger.levels[0].capacity_words *= 2;
+    EXPECT_NE(layerSignature(a, mini), layerSignature(a, bigger));
+}
+
+TEST(ModelSweep, WorkloadDistanceMetrics)
+{
+    const Workload a = makeConv2d("a", 1, 8, 8, 8, 8, 3, 3);
+    const Workload b = makeConv2d("b", 1, 32, 8, 8, 8, 3, 3);
+    const Workload g = makeGemm("g", 1, 8, 8, 8);
+
+    EXPECT_DOUBLE_EQ(
+        workloadDistance(SimilarityMetric::EditDistance, a, a), 0.0);
+    EXPECT_DOUBLE_EQ(
+        workloadDistance(SimilarityMetric::EditDistance, a, b), 1.0);
+    // BoundRatio sees *how far* the K bound moved: 8 -> 32 is 2 octaves.
+    EXPECT_DOUBLE_EQ(
+        workloadDistance(SimilarityMetric::BoundRatio, a, b), 2.0);
+    EXPECT_TRUE(std::isinf(
+        workloadDistance(SimilarityMetric::EditDistance, a, g)));
+    EXPECT_TRUE(
+        std::isinf(workloadDistance(SimilarityMetric::BoundRatio, a, g)));
+}
+
+TEST(ModelSweep, BoundRatioMetricWarmStartsAcrossLooseEditDistance)
+{
+    // Every bound differs by 2x: edit distance 7 (over any reasonable
+    // threshold) but only 7 octaves of total drift.
+    std::vector<Workload> layers;
+    layers.push_back(makeConv2d("a", 2, 8, 8, 8, 8, 6, 6));
+    layers.push_back(makeConv2d("b", 4, 16, 16, 16, 16, 3, 3));
+
+    ModelSweepOptions opts = fastOptions();
+    opts.metric = SimilarityMetric::BoundRatio;
+    opts.max_distance = 8.0;
+    ModelSweep sweep(test::miniNpu());
+    const auto res = sweep.run("pair", layers, opts);
+    EXPECT_TRUE(res.layers[1].warm_started);
+
+    opts.metric = SimilarityMetric::EditDistance;
+    opts.max_distance = 4.0;
+    const auto strict = sweep.run("pair", layers, opts);
+    EXPECT_FALSE(strict.layers[1].warm_started);
+}
+
+TEST(ModelSweep, EmittersWriteParseableOutput)
+{
+    ModelSweep sweep(test::miniNpu());
+    const auto res = sweep.run("toy", toyModel(), fastOptions());
+
+    const std::string csv_path = "test_model_sweep_out.csv";
+    const std::string json_path = "test_model_sweep_out.json";
+    ASSERT_TRUE(writeSweepCsv(res, csv_path));
+    ASSERT_TRUE(writeSweepJson(res, json_path));
+
+    std::ifstream csv(csv_path);
+    std::string line;
+    size_t rows = 0;
+    while (std::getline(csv, line))
+        ++rows;
+    EXPECT_EQ(rows, res.layers.size() + 1); // header + one per layer
+
+    std::ifstream json(json_path);
+    std::stringstream buf;
+    buf << json.rdbuf();
+    const std::string text = buf.str();
+    EXPECT_NE(text.find("\"unique_jobs\": 3"), std::string::npos);
+    EXPECT_NE(text.find("\"layers\": ["), std::string::npos);
+    EXPECT_EQ(text.back(), '\n');
+
+    std::remove(csv_path.c_str());
+    std::remove(json_path.c_str());
+}
+
+} // namespace
+} // namespace mse

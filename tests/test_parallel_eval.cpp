@@ -122,6 +122,44 @@ TEST_F(ParallelEval, EvaluateBatchHonorsSampleBudget)
     EXPECT_TRUE(tracker.evaluateBatch(batch).empty());
 }
 
+TEST_F(ParallelEval, EvaluateBatchEdgeShapes)
+{
+    // Empty batch, singleton batch, and a pool wider than the batch
+    // must all behave like the serial reference.
+    ThreadPool::setGlobalThreads(8);
+    const Workload wl = test::tinyConv();
+    const ArchConfig arch = test::miniNpu();
+    MapSpace space(wl, arch);
+    EvalFn eval = [wl, arch](const Mapping &m) {
+        return CostModel::evaluate(wl, arch, m);
+    };
+    SearchBudget budget;
+    budget.max_samples = 100;
+    SearchTracker tracker(eval, budget);
+    Rng rng(5);
+
+    EXPECT_TRUE(tracker.evaluateBatch({}).empty());
+    EXPECT_EQ(tracker.samples(), 0u);
+
+    const Mapping single = space.randomMapping(rng);
+    const auto &one = tracker.evaluateBatch({single});
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0].edp, CostModel::evaluate(wl, arch, single).edp);
+    EXPECT_EQ(tracker.samples(), 1u);
+
+    std::vector<Mapping> small; // 3 candidates on an 8-lane pool
+    for (int i = 0; i < 3; ++i)
+        small.push_back(space.randomMapping(rng));
+    const auto &costs = tracker.evaluateBatch(small);
+    ASSERT_EQ(costs.size(), 3u);
+    for (size_t i = 0; i < small.size(); ++i) {
+        EXPECT_EQ(costs[i].edp,
+                  CostModel::evaluate(wl, arch, small[i]).edp)
+            << "index " << i;
+    }
+    EXPECT_EQ(tracker.samples(), 4u);
+}
+
 TEST_F(ParallelEval, EvalCacheIsTransparentToSearchTrajectory)
 {
     const Workload wl = resnetConv4();

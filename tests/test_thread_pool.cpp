@@ -68,6 +68,59 @@ TEST(ThreadPool, EmptyAndSingleItemJobs)
     EXPECT_EQ(calls.load(), 1);
 }
 
+TEST(ThreadPool, PoolWiderThanJobStillRunsEveryIndexOnce)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> counts(3);
+    pool.parallelFor(3, [&](size_t i) { counts[i].fetch_add(1); });
+    for (auto &c : counts)
+        EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    // A parallelFor issued from inside a task must fall back to an
+    // inline loop (this is what lets whole-layer sweep jobs nest over
+    // the batched-evaluation layer without deadlocking the pool).
+    ThreadPool pool(4);
+    constexpr size_t kOuter = 8, kInner = 16;
+    std::vector<std::atomic<int>> counts(kOuter * kInner);
+    std::atomic<int> inline_inner{0};
+    pool.parallelFor(kOuter, [&](size_t o) {
+        EXPECT_TRUE(ThreadPool::inTask());
+        pool.parallelFor(kInner, [&](size_t i) {
+            if (ThreadPool::inTask())
+                inline_inner.fetch_add(1);
+            counts[o * kInner + i].fetch_add(1);
+        });
+    });
+    for (auto &c : counts)
+        ASSERT_EQ(c.load(), 1);
+    // Every inner index ran in task context, i.e. inline.
+    EXPECT_EQ(inline_inner.load(),
+              static_cast<int>(kOuter * kInner));
+    EXPECT_FALSE(ThreadPool::inTask());
+
+    // The pool machinery must still be usable afterwards.
+    std::atomic<int> calls{0};
+    pool.parallelFor(32, [&](size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 32);
+}
+
+TEST(ThreadPool, NestedParallelForAcrossDistinctPoolsRunsInline)
+{
+    // Nesting across two different pools (global batch pool inside a
+    // local sweep pool) takes the same inline path: the flag is
+    // per-thread, not per-pool, because the inner pool's lanes are
+    // already owned by the outer job's parallelism budget.
+    ThreadPool outer(4), inner(4);
+    std::atomic<int> ran{0};
+    outer.parallelFor(4, [&](size_t) {
+        inner.parallelFor(4, [&](size_t) { ran.fetch_add(1); });
+    });
+    EXPECT_EQ(ran.load(), 16);
+}
+
 TEST(ThreadPool, ConfiguredThreadsHonorsEnv)
 {
     ::setenv("MSE_THREADS", "3", 1);
