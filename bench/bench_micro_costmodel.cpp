@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/thread_pool.hpp"
 #include "mappers/gamma.hpp"
 #include "mappers/random_pruned.hpp"
@@ -330,33 +331,26 @@ runThroughputSweep()
                     100.0 * s.hit_rate, s.speedup);
     }
 
-    FILE *f = std::fopen("BENCH_eval_throughput.json", "w");
-    if (!f) {
-        std::fprintf(stderr,
-                     "WARN: cannot write BENCH_eval_throughput.json\n");
-        return;
+    JsonValue doc = JsonValue::object();
+    doc["workload"] = "resnet_conv4";
+    doc["arch"] = "accel-B";
+    doc["candidates"] = static_cast<uint64_t>(stream.size());
+    doc["batch_size"] = 64;
+    doc["hardware_threads"] =
+        static_cast<uint64_t>(ThreadPool::configuredThreads());
+    doc["detected_cores"] = static_cast<uint64_t>(detected_cores);
+    JsonValue &results = doc["results"];
+    results = JsonValue::array();
+    for (const auto &s : samples) {
+        JsonValue row = JsonValue::object();
+        row["threads"] = static_cast<uint64_t>(s.threads);
+        row["cache"] = s.cache;
+        row["evals_per_sec"] = s.evals_per_sec;
+        row["hit_rate"] = s.hit_rate;
+        row["speedup_vs_serial_uncached"] = s.speedup;
+        results.push(std::move(row));
     }
-    std::fprintf(f,
-                 "{\n  \"workload\": \"resnet_conv4\",\n"
-                 "  \"arch\": \"accel-B\",\n"
-                 "  \"candidates\": %zu,\n  \"batch_size\": 64,\n"
-                 "  \"hardware_threads\": %u,\n"
-                 "  \"detected_cores\": %u,\n  \"results\": [\n",
-                 stream.size(), ThreadPool::configuredThreads(),
-                 detected_cores);
-    for (size_t i = 0; i < samples.size(); ++i) {
-        const auto &s = samples[i];
-        std::fprintf(f,
-                     "    {\"threads\": %u, \"cache\": %s, "
-                     "\"evals_per_sec\": %.1f, \"hit_rate\": %.4f, "
-                     "\"speedup_vs_serial_uncached\": %.3f}%s\n",
-                     s.threads, s.cache ? "true" : "false",
-                     s.evals_per_sec, s.hit_rate, s.speedup,
-                     i + 1 < samples.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote BENCH_eval_throughput.json\n");
+    bench::writeBenchJson("BENCH_eval_throughput.json", doc);
 }
 
 } // namespace

@@ -198,54 +198,46 @@ bool
 writeJson(const std::vector<SweepReport> &reports, size_t samples,
           uint64_t seed)
 {
-    FILE *f = std::fopen("BENCH_model_sweep.json", "w");
-    if (!f) {
-        std::fprintf(stderr,
-                     "WARN: cannot write BENCH_model_sweep.json\n");
-        return false;
-    }
-    std::fprintf(f,
-                 "{\n  \"detected_cores\": %u,\n"
-                 "  \"samples_per_layer\": %zu,\n"
-                 "  \"seed\": %llu,\n  \"sweeps\": [\n",
-                 std::thread::hardware_concurrency(), samples,
-                 static_cast<unsigned long long>(seed));
-    for (size_t i = 0; i < reports.size(); ++i) {
-        const auto &r = reports[i];
+    JsonValue doc = JsonValue::object();
+    doc["detected_cores"] =
+        static_cast<uint64_t>(std::thread::hardware_concurrency());
+    doc["samples_per_layer"] = static_cast<uint64_t>(samples);
+    doc["seed"] = seed;
+    JsonValue &sweeps = doc["sweeps"];
+    sweeps = JsonValue::array();
+    for (const auto &r : reports) {
         const auto &st = r.warm.stats;
-        std::fprintf(
-            f,
-            "    {\"model\": \"%s\", \"arch\": \"%s\",\n"
-            "     \"total_layers\": %zu, \"unique_jobs\": %zu, "
-            "\"dedup_hits\": %zu,\n"
-            "     \"warm_jobs\": %zu, \"cold_jobs\": %zu,\n"
-            "     \"samples_spent\": %zu, "
-            "\"samples_without_dedup\": %zu,\n"
-            "     \"eval_cache_hits\": %zu, "
-            "\"eval_cache_misses\": %zu,\n"
-            "     \"total_edp\": %.17g, \"total_energy_uj\": %.17g,\n"
-            "     \"total_latency_cycles\": %.17g,\n"
-            "     \"warm_vs_cold\": {\"jobs_compared\": %zu, "
-            "\"reached_cold_quality\": %zu,\n"
-            "       \"mean_samples_warm_to_cold_edp\": %.2f, "
-            "\"mean_samples_cold_to_incumbent\": %.2f,\n"
-            "       \"sample_speedup\": %.4f},\n"
-            "     \"deterministic_threads_1_vs_4\": %s,\n"
-            "     \"wall_seconds\": %.3f}%s\n",
-            r.model.c_str(), r.arch_name.c_str(), st.total_layers,
-            st.unique_jobs, st.dedup_hits, st.warm_jobs, st.cold_jobs,
-            st.samples_spent, st.samples_without_dedup,
-            st.eval_cache_hits, st.eval_cache_misses, r.warm.totalEdp(),
-            r.warm.totalEnergyUj(), r.warm.totalLatencyCycles(),
-            r.jobs_compared, r.reached_cold_quality,
-            r.mean_samples_warm, r.mean_samples_cold, r.warm_speedup,
-            r.deterministic ? "true" : "false", st.wall_seconds,
-            i + 1 < reports.size() ? "," : "");
+        JsonValue row = JsonValue::object();
+        row["model"] = r.model;
+        row["arch"] = r.arch_name;
+        row["total_layers"] = static_cast<uint64_t>(st.total_layers);
+        row["unique_jobs"] = static_cast<uint64_t>(st.unique_jobs);
+        row["dedup_hits"] = static_cast<uint64_t>(st.dedup_hits);
+        row["warm_jobs"] = static_cast<uint64_t>(st.warm_jobs);
+        row["cold_jobs"] = static_cast<uint64_t>(st.cold_jobs);
+        row["samples_spent"] = static_cast<uint64_t>(st.samples_spent);
+        row["samples_without_dedup"] =
+            static_cast<uint64_t>(st.samples_without_dedup);
+        row["eval_cache_hits"] =
+            static_cast<uint64_t>(st.eval_cache_hits);
+        row["eval_cache_misses"] =
+            static_cast<uint64_t>(st.eval_cache_misses);
+        row["total_edp"] = r.warm.totalEdp();
+        row["total_energy_uj"] = r.warm.totalEnergyUj();
+        row["total_latency_cycles"] = r.warm.totalLatencyCycles();
+        JsonValue &wc = row["warm_vs_cold"];
+        wc["jobs_compared"] = static_cast<uint64_t>(r.jobs_compared);
+        wc["reached_cold_quality"] =
+            static_cast<uint64_t>(r.reached_cold_quality);
+        wc["mean_samples_warm_to_cold_edp"] = r.mean_samples_warm;
+        wc["mean_samples_cold_to_incumbent"] = r.mean_samples_cold;
+        wc["sample_speedup"] = r.warm_speedup;
+        row["deterministic_threads_1_vs_4"] = r.deterministic;
+        row["wall_seconds"] = st.wall_seconds;
+        sweeps.push(std::move(row));
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nwrote BENCH_model_sweep.json\n");
-    return true;
+    std::printf("\n");
+    return bench::writeBenchJson("BENCH_model_sweep.json", doc);
 }
 
 } // namespace

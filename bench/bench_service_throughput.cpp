@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Service throughput bench: cold vs store-warmed request streams over
+ * the real TCP front end.
+ *
+ * Starts mse_serve's stack in-process (MseService + ServiceServer on
+ * an ephemeral loopback port), then plays the same layer stream twice
+ * over line-delimited JSON:
+ *
+ *   pass 1 (cold):  empty mapping store — every request cold-starts;
+ *   pass 2 (warm):  the store now holds pass 1's best mappings — every
+ *                   request warm-starts from an exact store hit.
+ *
+ * Reports per-pass QPS and client-observed latency percentiles, plus
+ * the warm-start win: mean samples-to-incumbent (how many cost-model
+ * samples until the search matches the stored best's quality) must
+ * collapse on the warm pass, mirroring the paper's Sec. 5.1 result at
+ * service granularity. Emits BENCH_service_throughput.json.
+ *
+ * `bench_service_throughput smoke` (or MSE_BENCH_SMOKE=1) shrinks the
+ * stream and budgets for CI.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "service/net.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
+#include "workload/workload_io.hpp"
+
+using namespace mse;
+
+namespace {
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+/** One request line of the bench stream. */
+std::string
+searchRequestLine(const Workload &wl, size_t samples)
+{
+    JsonValue req = JsonValue::object();
+    req["type"] = "search";
+    req["workload"] = serializeWorkload(wl);
+    req["arch"] = "accel-A";
+    req["max_samples"] = static_cast<uint64_t>(samples);
+    return req.dump();
+}
+
+/** Client-side measurements of one pass over the stream. */
+struct PassResult
+{
+    std::vector<double> latencies_s; // per request, sorted afterwards
+    double wall_seconds = 0.0;
+    double sum_samples_to_incumbent = 0.0;
+    double sum_score = 0.0;
+    size_t exact_hits = 0;
+    size_t failures = 0;
+
+    double qps() const
+    {
+        return wall_seconds > 0.0
+            ? static_cast<double>(latencies_s.size()) / wall_seconds
+            : 0.0;
+    }
+
+    double
+    percentile(double p) const
+    {
+        if (latencies_s.empty())
+            return 0.0;
+        const double idx =
+            p * static_cast<double>(latencies_s.size() - 1);
+        const size_t lo = static_cast<size_t>(idx);
+        const size_t hi = std::min(lo + 1, latencies_s.size() - 1);
+        const double frac = idx - static_cast<double>(lo);
+        return latencies_s[lo] * (1.0 - frac) + latencies_s[hi] * frac;
+    }
+};
+
+/** Play the stream once over one TCP connection. */
+PassResult
+runPass(uint16_t port, const std::vector<std::string> &lines)
+{
+    PassResult out;
+    std::string err;
+    const int fd = connectTcp("127.0.0.1", port, &err);
+    if (fd < 0) {
+        std::fprintf(stderr, "connect failed: %s\n", err.c_str());
+        out.failures = lines.size();
+        return out;
+    }
+    LineReader reader(fd);
+    const double t0 = nowSeconds();
+    for (const auto &line : lines) {
+        const double r0 = nowSeconds();
+        std::string reply;
+        if (!sendLine(fd, line) ||
+            reader.readLine(&reply, 600000) !=
+                LineReader::Status::Line) {
+            ++out.failures;
+            continue;
+        }
+        const double lat = nowSeconds() - r0;
+        const auto doc = parseJson(reply);
+        if (!doc || !doc->getBool("ok", false)) {
+            ++out.failures;
+            continue;
+        }
+        out.latencies_s.push_back(lat);
+        out.sum_samples_to_incumbent += static_cast<double>(
+            doc->getInt("samples_to_incumbent", 0));
+        out.sum_score += doc->getDouble("score", 0.0);
+        if (doc->getString("store", "") == "exact")
+            ++out.exact_hits;
+    }
+    out.wall_seconds = nowSeconds() - t0;
+    closeSocket(fd);
+    std::sort(out.latencies_s.begin(), out.latencies_s.end());
+    return out;
+}
+
+JsonValue
+passJson(const PassResult &r)
+{
+    JsonValue j = JsonValue::object();
+    const size_t n = r.latencies_s.size();
+    j["requests_ok"] = static_cast<uint64_t>(n);
+    j["failures"] = static_cast<uint64_t>(r.failures);
+    j["qps"] = r.qps();
+    j["p50_ms"] = r.percentile(0.50) * 1e3;
+    j["p95_ms"] = r.percentile(0.95) * 1e3;
+    j["p99_ms"] = r.percentile(0.99) * 1e3;
+    j["store_exact_hits"] = static_cast<uint64_t>(r.exact_hits);
+    j["mean_samples_to_incumbent"] =
+        n ? r.sum_samples_to_incumbent / static_cast<double>(n) : 0.0;
+    j["mean_score"] =
+        n ? r.sum_score / static_cast<double>(n) : 0.0;
+    return j;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke =
+        (argc > 1 && std::strcmp(argv[1], "smoke") == 0) ||
+        bench::envSize("MSE_BENCH_SMOKE", 0) != 0;
+    bench::banner("Mapping-search service throughput",
+                  "cold vs store-warmed request streams over the "
+                  "line-JSON TCP front end");
+
+    const size_t samples =
+        bench::envSize("MSE_BENCH_SAMPLES", smoke ? 300 : 1500);
+    const size_t repeats =
+        bench::envSize("MSE_BENCH_REPEATS", smoke ? 1 : 2);
+
+    // Distinct layers = distinct store keys: a BERT-ish GEMM mix plus
+    // two CONV layers so both workload shapes hit the wire codec.
+    std::vector<Workload> stream = {
+        makeGemm("g0", 16, 512, 512, 256),
+        makeGemm("g1", 16, 256, 1024, 256),
+        makeGemm("g2", 16, 1024, 256, 512),
+        makeConv2d("c0", 8, 64, 64, 28, 28, 3, 3),
+    };
+    if (!smoke) {
+        stream.push_back(makeGemm("g3", 16, 512, 256, 1024));
+        stream.push_back(makeGemm("g4", 32, 512, 512, 512));
+        stream.push_back(makeConv2d("c1", 8, 128, 128, 14, 14, 3, 3));
+        stream.push_back(makeConv2d("c2", 8, 256, 64, 14, 14, 1, 1));
+    }
+    std::vector<std::string> lines;
+    for (size_t rep = 0; rep < repeats; ++rep)
+        for (const auto &wl : stream)
+            lines.push_back(searchRequestLine(wl, samples));
+
+    ServiceConfig svc_cfg; // in-memory store
+    MseService service(svc_cfg);
+    ServiceServer server(service);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "server start failed: %s\n", err.c_str());
+        return 1;
+    }
+
+    std::printf("stream: %zu requests (%zu layers x %zu), %zu "
+                "samples each, port %u\n\n",
+                lines.size(), stream.size(), repeats, samples,
+                server.port());
+
+    const PassResult cold = runPass(server.port(), lines);
+    const PassResult warm = runPass(server.port(), lines);
+
+    const auto show = [](const char *name, const PassResult &r) {
+        std::printf("%-5s qps %7.2f   p50 %8.2f ms   p95 %8.2f ms   "
+                    "p99 %8.2f ms   exact-hits %zu/%zu   "
+                    "samples-to-incumbent %8.1f\n",
+                    name, r.qps(), r.percentile(0.5) * 1e3,
+                    r.percentile(0.95) * 1e3, r.percentile(0.99) * 1e3,
+                    r.exact_hits, r.latencies_s.size(),
+                    r.latencies_s.empty()
+                        ? 0.0
+                        : r.sum_samples_to_incumbent /
+                            static_cast<double>(r.latencies_s.size()));
+    };
+    show("cold", cold);
+    show("warm", warm);
+
+    const double cold_sti = cold.latencies_s.empty()
+        ? 0.0
+        : cold.sum_samples_to_incumbent /
+            static_cast<double>(cold.latencies_s.size());
+    const double warm_sti = warm.latencies_s.empty()
+        ? 0.0
+        : warm.sum_samples_to_incumbent /
+            static_cast<double>(warm.latencies_s.size());
+    std::printf("\nwarm-start win: samples-to-incumbent %.1f -> %.1f "
+                "(%.1fx fewer)\n",
+                cold_sti, warm_sti,
+                warm_sti > 0.0 ? cold_sti / warm_sti : 0.0);
+
+    // Grab the service's own metrics for the record.
+    JsonValue stats; // null until the stats request succeeds
+    {
+        const int fd = connectTcp("127.0.0.1", server.port(), &err);
+        if (fd >= 0) {
+            JsonValue req = JsonValue::object();
+            req["type"] = "stats";
+            std::string reply;
+            LineReader reader(fd);
+            if (sendLine(fd, req.dump()) &&
+                reader.readLine(&reply, 60000) ==
+                    LineReader::Status::Line) {
+                if (auto doc = parseJson(reply))
+                    if (const JsonValue *s = doc->find("stats"))
+                        stats = *s;
+            }
+            closeSocket(fd);
+        }
+    }
+    server.stop();
+
+    JsonValue doc = JsonValue::object();
+    doc["samples_per_request"] = static_cast<uint64_t>(samples);
+    doc["layers"] = static_cast<uint64_t>(stream.size());
+    doc["repeats"] = static_cast<uint64_t>(repeats);
+    doc["requests_per_pass"] = static_cast<uint64_t>(lines.size());
+    JsonValue &passes = doc["passes"];
+    passes["cold"] = passJson(cold);
+    passes["warm"] = passJson(warm);
+    JsonValue &win = doc["warm_vs_cold"];
+    win["mean_samples_to_incumbent_cold"] = cold_sti;
+    win["mean_samples_to_incumbent_warm"] = warm_sti;
+    win["samples_to_incumbent_speedup"] =
+        warm_sti > 0.0 ? cold_sti / warm_sti : 0.0;
+    win["qps_ratio"] =
+        cold.qps() > 0.0 ? warm.qps() / cold.qps() : 0.0;
+    doc["service_stats"] = stats;
+    bench::writeBenchJson("BENCH_service_throughput.json", doc);
+
+    const bool ok = cold.failures == 0 && warm.failures == 0 &&
+        warm.exact_hits == warm.latencies_s.size() &&
+        !warm.latencies_s.empty() && warm_sti <= cold_sti;
+    if (!ok)
+        std::fprintf(stderr, "FAIL: warm pass did not beat cold\n");
+    return ok ? 0 : 1;
+}

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
+
 namespace mse::bench {
 
 /** Integer knob from the environment with a default. */
@@ -49,6 +51,21 @@ banner(const char *experiment, const char *description)
     std::printf("=====================================================\n");
     std::printf("%s\n%s\n", experiment, description);
     std::printf("=====================================================\n");
+}
+
+/**
+ * Emit one BENCH_*.json result document through the shared JSON layer
+ * (escaped strings, round-tripping numbers), warning on I/O failure.
+ */
+inline bool
+writeBenchJson(const std::string &path, const JsonValue &doc)
+{
+    if (!writeJsonFile(path, doc)) {
+        std::fprintf(stderr, "WARN: cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
 }
 
 /** Print one row of right-aligned scientific-notation cells. */

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running searches.
+ *
+ * A CancelToken is a shared flag between the owner of a search (a
+ * service request handler, a sweep driver) and the search itself. The
+ * owner flips it when the result is no longer wanted — the client
+ * disconnected, the request's deadline expired, the process is
+ * draining — and the search observes it at its next budget check
+ * (SearchTracker::exhausted(), i.e. between generations) and returns
+ * its best-so-far result instead of running out its sample budget.
+ *
+ * Cancellation is strictly cooperative and monotonic: once requested it
+ * never resets, and a search that was *not* cancelled is bit-identical
+ * to one run without a token attached (the check reads one relaxed
+ * atomic; it cannot perturb the candidate stream).
+ */
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace mse {
+
+/** Monotonic shared cancellation flag. */
+class CancelToken
+{
+  public:
+    /** Request cancellation; safe from any thread, idempotent. */
+    void requestCancel()
+    {
+        cancelled_.store(true, std::memory_order_relaxed);
+    }
+
+    bool cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+/** Owner-side handle (may cancel). */
+using CancelTokenPtr = std::shared_ptr<CancelToken>;
+
+/** Observer-side handle carried inside a SearchBudget. */
+using CancelTokenView = std::shared_ptr<const CancelToken>;
+
+} // namespace mse

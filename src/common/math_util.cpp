@@ -2,11 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/rng.hpp"
 
 namespace mse {
+
+std::string
+fnv1a64Hex(std::string_view s)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(s)));
+    return buf;
+}
 
 std::vector<int64_t>
 divisorsOf(int64_t n)

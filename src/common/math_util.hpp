@@ -10,11 +10,33 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace mse {
 
 class Rng;
+
+/**
+ * FNV-1a 64-bit hash of a byte string. Used wherever a stable,
+ * implementation-independent digest of a signature string is needed
+ * (per-job RNG seeds, store keys, short display ids) — std::hash is
+ * implementation-defined and would break cross-build reproducibility.
+ */
+constexpr uint64_t
+fnv1a64(std::string_view s)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** fnv1a64 rendered as a fixed-width 16-digit hex string. */
+std::string fnv1a64Hex(std::string_view s);
 
 /** All positive divisors of n, ascending. Requires n >= 1. */
 std::vector<int64_t> divisorsOf(int64_t n);

@@ -7,25 +7,13 @@
 #include <unordered_map>
 
 #include "common/csv.hpp"
+#include "common/json.hpp"
+#include "common/math_util.hpp"
 #include "common/thread_pool.hpp"
 
 namespace mse {
 
 namespace {
-
-/** FNV-1a, used to derive stable per-job RNG seeds from signatures
- *  (std::hash is implementation-defined and would break cross-build
- *  reproducibility of sweep results). */
-uint64_t
-fnv1a(const std::string &s)
-{
-    uint64_t h = 1469598103934665603ull;
-    for (const unsigned char c : s) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    return h;
-}
 
 double
 nowSeconds()
@@ -161,6 +149,12 @@ ModelSweep::run(const std::string &model_name,
     // effects; nested batch evaluation degrades to inline loops.
     const auto run_job = [&](size_t j) {
         Job &job = jobs[j];
+        // Cooperative cancellation: a not-yet-started job is skipped
+        // outright (its outcome stays invalid); a started job stops at
+        // its next budget check because the token rides in the layer
+        // budget the engine passes down to every SearchTracker.
+        if (opts.layer.budget.cancelRequested())
+            return;
         MseOptions layer_opts = opts.layer;
         layer_opts.update_replay = false;
         layer_opts.warm_start = WarmStartStrategy::None;
@@ -172,7 +166,7 @@ ModelSweep::run(const std::string &model_name,
             layer_opts.warm_start = WarmStartStrategy::BySimilarity;
         }
         const auto mapper = factory_();
-        Rng rng(opts.seed ^ fnv1a(job.signature));
+        Rng rng(opts.seed ^ fnv1a64(job.signature));
         job.outcome = engine.optimize(job.wl, *mapper, layer_opts, rng);
     };
     const auto run_wave = [&](const std::vector<size_t> &wave) {
@@ -291,10 +285,7 @@ fmt(double v)
 std::string
 sigId(const std::string &signature)
 {
-    char buf[20];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(fnv1a(signature)));
-    return buf;
+    return fnv1a64Hex(signature);
 }
 
 } // namespace
@@ -328,65 +319,49 @@ writeSweepCsv(const ModelSweepResult &result, const std::string &path)
 bool
 writeSweepJson(const ModelSweepResult &result, const std::string &path)
 {
-    FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        return false;
     const ModelSweepStats &st = result.stats;
-    std::fprintf(f,
-                 "{\n"
-                 "  \"model\": \"%s\",\n"
-                 "  \"arch\": \"%s\",\n"
-                 "  \"mapper\": \"%s\",\n",
-                 result.model.c_str(), result.arch.c_str(),
-                 result.mapper.c_str());
-    std::fprintf(
-        f,
-        "  \"stats\": {\n"
-        "    \"total_layers\": %zu,\n"
-        "    \"unique_jobs\": %zu,\n"
-        "    \"dedup_hits\": %zu,\n"
-        "    \"warm_jobs\": %zu,\n"
-        "    \"cold_jobs\": %zu,\n"
-        "    \"samples_spent\": %zu,\n"
-        "    \"samples_without_dedup\": %zu,\n"
-        "    \"eval_cache_hits\": %zu,\n"
-        "    \"eval_cache_misses\": %zu,\n"
-        "    \"mean_converge_samples_warm\": %.3f,\n"
-        "    \"mean_converge_samples_cold\": %.3f,\n"
-        "    \"wall_seconds\": %.4f\n"
-        "  },\n",
-        st.total_layers, st.unique_jobs, st.dedup_hits, st.warm_jobs,
-        st.cold_jobs, st.samples_spent, st.samples_without_dedup,
-        st.eval_cache_hits, st.eval_cache_misses,
-        st.mean_converge_samples_warm, st.mean_converge_samples_cold,
-        st.wall_seconds);
-    std::fprintf(f,
-                 "  \"total\": {\"energy_uj\": %.6e, "
-                 "\"latency_cycles\": %.6e, \"edp_sum\": %.6e},\n",
-                 result.totalEnergyUj(), result.totalLatencyCycles(),
-                 result.totalEdp());
-    std::fprintf(f, "  \"layers\": [\n");
-    for (size_t i = 0; i < result.layers.size(); ++i) {
-        const auto &r = result.layers[i];
-        std::fprintf(
-            f,
-            "    {\"index\": %zu, \"name\": \"%s\", \"sig\": \"%s\", "
-            "\"job\": %zu, \"deduped\": %s, \"warm\": %s, "
-            "\"warm_source_layer\": %d, \"warm_distance\": %.3f, "
-            "\"edp\": %.6e, \"energy_uj\": %.6e, "
-            "\"latency_cycles\": %.6e, \"samples\": %zu, "
-            "\"samples_to_converge\": %zu, \"cache_hit_rate\": %.4f}%s\n",
-            r.layer_index, r.layer_name.c_str(),
-            sigId(r.signature).c_str(), r.job, r.deduped ? "true" : "false",
-            r.warm_started ? "true" : "false", r.warm_source_layer,
-            r.warm_distance, r.best_cost.edp, r.best_cost.energy_uj,
-            r.best_cost.latency_cycles, r.samples, r.samples_to_converge,
-            r.eval_cache_hit_rate,
-            i + 1 < result.layers.size() ? "," : "");
+    JsonValue doc = JsonValue::object();
+    doc["model"] = result.model;
+    doc["arch"] = result.arch;
+    doc["mapper"] = result.mapper;
+    JsonValue &stats = doc["stats"];
+    stats["total_layers"] = st.total_layers;
+    stats["unique_jobs"] = st.unique_jobs;
+    stats["dedup_hits"] = st.dedup_hits;
+    stats["warm_jobs"] = st.warm_jobs;
+    stats["cold_jobs"] = st.cold_jobs;
+    stats["samples_spent"] = st.samples_spent;
+    stats["samples_without_dedup"] = st.samples_without_dedup;
+    stats["eval_cache_hits"] = st.eval_cache_hits;
+    stats["eval_cache_misses"] = st.eval_cache_misses;
+    stats["mean_converge_samples_warm"] = st.mean_converge_samples_warm;
+    stats["mean_converge_samples_cold"] = st.mean_converge_samples_cold;
+    stats["wall_seconds"] = st.wall_seconds;
+    JsonValue &total = doc["total"];
+    total["energy_uj"] = result.totalEnergyUj();
+    total["latency_cycles"] = result.totalLatencyCycles();
+    total["edp_sum"] = result.totalEdp();
+    JsonValue layers = JsonValue::array();
+    for (const auto &r : result.layers) {
+        JsonValue l = JsonValue::object();
+        l["index"] = r.layer_index;
+        l["name"] = r.layer_name;
+        l["sig"] = sigId(r.signature);
+        l["job"] = r.job;
+        l["deduped"] = r.deduped;
+        l["warm"] = r.warm_started;
+        l["warm_source_layer"] = r.warm_source_layer;
+        l["warm_distance"] = r.warm_distance;
+        l["edp"] = r.best_cost.edp;
+        l["energy_uj"] = r.best_cost.energy_uj;
+        l["latency_cycles"] = r.best_cost.latency_cycles;
+        l["samples"] = r.samples;
+        l["samples_to_converge"] = r.samples_to_converge;
+        l["cache_hit_rate"] = r.eval_cache_hit_rate;
+        layers.push(std::move(l));
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    return true;
+    doc["layers"] = std::move(layers);
+    return writeJsonFile(path, doc);
 }
 
 } // namespace mse

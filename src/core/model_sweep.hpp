@@ -74,7 +74,10 @@ struct ModelSweepOptions
 {
     /** Per-layer search options (budget, eval cache, sparse model).
      *  The warm_start strategy and update_replay fields are managed by
-     *  the sweep itself and need not be set. */
+     *  the sweep itself and need not be set. A CancelToken placed in
+     *  layer.budget.cancel cancels the whole sweep cooperatively:
+     *  running jobs stop at their next budget check and jobs that have
+     *  not started are skipped (their layer records stay invalid). */
     MseOptions layer;
 
     /** Warm-start propagation between similar unique layers. */

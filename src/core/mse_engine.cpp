@@ -85,6 +85,10 @@ MseEngine::optimize(const Workload &wl, Mapper &mapper,
         };
     }
 
+    // Re-target the scalar the mapper minimizes (identity for Edp).
+    // Outside the cache so memoized entries keep raw (energy, latency).
+    eval = makeObjectiveEvaluator(std::move(eval), opts.objective);
+
     MseOutcome outcome =
         optimizeWithEvaluator(space, eval, mapper, opts, rng);
     if (cache) {

@@ -17,6 +17,7 @@
 
 #include "common/pareto.hpp"
 #include "core/convergence.hpp"
+#include "core/objective.hpp"
 #include "core/replay_buffer.hpp"
 #include "core/warm_start.hpp"
 #include "mappers/mapper.hpp"
@@ -28,6 +29,16 @@ namespace mse {
 struct MseOptions
 {
     SearchBudget budget;
+
+    /**
+     * Scalar the mapper minimizes. Edp is the raw cost model; any other
+     * objective wraps the evaluator with makeObjectiveEvaluator *after*
+     * the eval cache, so cached entries stay objective-agnostic. With
+     * Edp the wrapper is the identity, so existing runs are unchanged
+     * bit for bit. Applies to optimize() only — callers of
+     * optimizeWithEvaluator compose their own evaluator.
+     */
+    Objective objective = Objective::Edp;
 
     /** Warm-start strategy (Sec. 5.1); None = random initialization. */
     WarmStartStrategy warm_start = WarmStartStrategy::None;

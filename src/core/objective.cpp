@@ -1,5 +1,7 @@
 #include "core/objective.hpp"
 
+#include <cctype>
+
 namespace mse {
 
 const char *
@@ -13,6 +15,27 @@ objectiveName(Objective o)
       case Objective::E2dp: return "E2DP";
     }
     return "unknown";
+}
+
+std::optional<Objective>
+objectiveFromName(const std::string &name)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (const char c : name)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (lower == "edp")
+        return Objective::Edp;
+    if (lower == "energy")
+        return Objective::Energy;
+    if (lower == "latency")
+        return Objective::Latency;
+    if (lower == "ed2p")
+        return Objective::Ed2p;
+    if (lower == "e2dp")
+        return Objective::E2dp;
+    return std::nullopt;
 }
 
 double

@@ -12,6 +12,9 @@
  */
 #pragma once
 
+#include <optional>
+#include <string>
+
 #include "mappers/mapper.hpp"
 
 namespace mse {
@@ -28,6 +31,13 @@ enum class Objective
 
 /** Printable name of an objective. */
 const char *objectiveName(Objective o);
+
+/**
+ * Inverse of objectiveName, case-insensitive ("edp", "ED2P", ...);
+ * nullopt for unknown names. Used by the wire protocol and the
+ * mapping store's on-disk records.
+ */
+std::optional<Objective> objectiveFromName(const std::string &name);
 
 /** The scalar score of a cost under an objective. */
 double objectiveScore(const CostResult &cost, Objective o);

@@ -55,6 +55,8 @@ SearchTracker::exhausted() const
 {
     if (log_.samples >= budget_.max_samples)
         return true;
+    if (budget_.cancelRequested())
+        return true;
     return elapsedSeconds() >= budget_.max_seconds;
 }
 

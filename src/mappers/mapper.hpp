@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/rng.hpp"
 #include "mapping/map_space.hpp"
 #include "model/cost_model.hpp"
@@ -47,6 +48,17 @@ struct SearchBudget
 
     /** Wall-clock limit in seconds (infinity = samples only). */
     double max_seconds = std::numeric_limits<double>::infinity();
+
+    /**
+     * Optional cooperative cancellation (dropped client, expired
+     * deadline). Checked wherever the sample/time budgets are — between
+     * generations — so a cancelled search stops promptly and returns
+     * best-so-far. Null = never cancelled.
+     */
+    CancelTokenView cancel;
+
+    /** True once cancellation has been requested (false without token). */
+    bool cancelRequested() const { return cancel && cancel->cancelled(); }
 };
 
 /** Convergence trace of one search run. */

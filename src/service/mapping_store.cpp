@@ -1,0 +1,320 @@
+#include "service/mapping_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/json.hpp"
+#include "common/math_util.hpp"
+#include "core/model_sweep.hpp"
+#include "mapping/mapping_io.hpp"
+#include "workload/workload_io.hpp"
+
+namespace mse {
+
+const char *
+storeHitName(StoreHit h)
+{
+    switch (h) {
+      case StoreHit::Miss: return "cold";
+      case StoreHit::Near: return "near";
+      case StoreHit::Exact: return "exact";
+    }
+    return "unknown";
+}
+
+MappingStore::MappingStore(std::string path) : path_(std::move(path))
+{
+    if (!path_.empty())
+        load();
+}
+
+namespace {
+
+std::string
+keyFromParts(const std::string &wl_sig_hex, const std::string &arch_sig,
+             Objective objective, bool sparse)
+{
+    return wl_sig_hex + "|" + arch_sig + "|" + objectiveName(objective) +
+        (sparse ? "|sparse" : "|dense");
+}
+
+} // namespace
+
+std::string
+MappingStore::keyOf(const Workload &wl, const ArchConfig &arch,
+                    Objective objective, bool sparse)
+{
+    return keyFromParts(fnv1a64Hex(wl.signature()),
+                        fnv1a64Hex(arch.signature()), objective, sparse);
+}
+
+std::string
+MappingStore::encodeEntry(const StoreEntry &e)
+{
+    JsonValue j = JsonValue::object();
+    j["v"] = 1;
+    j["objective"] = objectiveName(e.objective);
+    j["model"] = e.sparse ? "sparse" : "dense";
+    j["arch_sig"] = e.arch_sig;
+    j["workload"] = serializeWorkload(e.workload);
+    j["mapping"] = serializeMapping(e.mapping);
+    j["score"] = e.score;
+    j["energy_uj"] = e.energy_uj;
+    j["latency_cycles"] = e.latency_cycles;
+    j["samples"] = e.samples;
+    return j.dump();
+}
+
+std::optional<StoreEntry>
+MappingStore::decodeEntry(const std::string &line)
+{
+    const auto doc = parseJson(line);
+    if (!doc || !doc->isObject())
+        return std::nullopt;
+    if (doc->getInt("v", 0) != 1)
+        return std::nullopt;
+    const auto objective = objectiveFromName(
+        doc->getString("objective", ""));
+    if (!objective)
+        return std::nullopt;
+    const auto wl = parseWorkload(doc->getString("workload", ""));
+    if (!wl)
+        return std::nullopt;
+    const auto mapping = parseMapping(doc->getString("mapping", ""));
+    if (!mapping)
+        return std::nullopt;
+    const std::string model = doc->getString("model", "dense");
+    if (model != "dense" && model != "sparse")
+        return std::nullopt;
+    StoreEntry e;
+    e.workload = *wl;
+    e.arch_sig = doc->getString("arch_sig", "");
+    e.objective = *objective;
+    e.sparse = model == "sparse";
+    e.mapping = *mapping;
+    e.score = doc->getDouble("score", 0.0);
+    e.energy_uj = doc->getDouble("energy_uj", 0.0);
+    e.latency_cycles = doc->getDouble("latency_cycles", 0.0);
+    e.samples = static_cast<uint64_t>(doc->getInt("samples", 0));
+    if (e.arch_sig.size() != 16 || !(e.score > 0.0) ||
+        !std::isfinite(e.score))
+        return std::nullopt;
+    return e;
+}
+
+size_t
+MappingStore::load()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    best_.clear();
+    malformed_ = 0;
+    dead_ = 0;
+    tail_unterminated_ = false;
+    if (path_.empty())
+        return 0;
+    FILE *f = std::fopen(path_.c_str(), "r");
+    if (!f)
+        return 0; // Missing file = fresh store.
+    std::string line;
+    size_t lines = 0;
+    int c;
+    while (true) {
+        line.clear();
+        while ((c = std::fgetc(f)) != EOF && c != '\n')
+            line += static_cast<char>(c);
+        if (line.empty() && c == EOF)
+            break;
+        if (c == EOF && !line.empty())
+            tail_unterminated_ = true; // crash mid-append
+        ++lines;
+        const auto entry = decodeEntry(line);
+        if (!entry) {
+            // Torn tail or bit-rotted line: skip, keep the rest.
+            ++malformed_;
+            continue;
+        }
+        const std::string key =
+            keyFromParts(fnv1a64Hex(entry->workload.signature()),
+                         entry->arch_sig, entry->objective,
+                         entry->sparse);
+        const auto it = best_.find(key);
+        if (it == best_.end()) {
+            best_.emplace(key, *entry);
+        } else {
+            ++dead_;
+            if (entry->score < it->second.score)
+                it->second = *entry;
+        }
+        if (c == EOF)
+            break;
+    }
+    std::fclose(f);
+    (void)lines;
+    return best_.size();
+}
+
+MappingStore::Lookup
+MappingStore::lookup(const Workload &wl, const ArchConfig &arch,
+                     Objective objective, bool sparse,
+                     double max_distance) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    Lookup out;
+    const auto it = best_.find(keyOf(wl, arch, objective, sparse));
+    if (it != best_.end()) {
+        out.hit = StoreHit::Exact;
+        out.entry = it->second;
+        out.distance = 0.0;
+        return out;
+    }
+    // Nearest same-arch, same-objective neighbor whose mapping can seed
+    // this workload's map space (BoundRatio: total |log2| bound drift).
+    const std::string arch_sig = fnv1a64Hex(arch.signature());
+    double best_dist = std::numeric_limits<double>::infinity();
+    const StoreEntry *best_entry = nullptr;
+    for (const auto &kv : best_) {
+        const StoreEntry &e = kv.second;
+        if (e.arch_sig != arch_sig || e.objective != objective ||
+            e.sparse != sparse)
+            continue;
+        const double d = workloadDistance(SimilarityMetric::BoundRatio,
+                                          wl, e.workload);
+        if (d < best_dist) {
+            best_dist = d;
+            best_entry = &e;
+        }
+    }
+    if (best_entry && best_dist <= max_distance) {
+        out.hit = StoreHit::Near;
+        out.entry = *best_entry;
+        out.distance = best_dist;
+    }
+    return out;
+}
+
+bool
+MappingStore::appendLocked(const StoreEntry &e)
+{
+    if (path_.empty())
+        return true;
+    FILE *f = std::fopen(path_.c_str(), "a");
+    if (!f)
+        return false;
+    std::string line;
+    if (tail_unterminated_) {
+        // Seal the torn tail so this record starts on its own line
+        // (the half-line stays on disk and is skipped at load).
+        line += '\n';
+        tail_unterminated_ = false;
+    }
+    line += encodeEntry(e);
+    line += '\n';
+    const bool ok =
+        std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
+        std::fflush(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+bool
+MappingStore::recordIfBetter(const Workload &wl, const ArchConfig &arch,
+                             Objective objective, bool sparse,
+                             const Mapping &mapping, double score,
+                             double energy_uj, double latency_cycles,
+                             uint64_t samples)
+{
+    if (!(score > 0.0) || !std::isfinite(score))
+        return false;
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::string key = keyOf(wl, arch, objective, sparse);
+    const auto it = best_.find(key);
+    if (it != best_.end() && it->second.score <= score)
+        return false;
+
+    StoreEntry e;
+    e.workload = wl;
+    e.arch_sig = fnv1a64Hex(arch.signature());
+    e.objective = objective;
+    e.sparse = sparse;
+    e.mapping = mapping;
+    e.score = score;
+    e.energy_uj = energy_uj;
+    e.latency_cycles = latency_cycles;
+    e.samples = samples;
+
+    if (it != best_.end()) {
+        it->second = e;
+        ++dead_;
+    } else {
+        best_.emplace(key, e);
+    }
+    appendLocked(e);
+    if (dead_ > std::max<size_t>(16, best_.size()))
+        compactLocked();
+    return true;
+}
+
+bool
+MappingStore::compactLocked()
+{
+    if (path_.empty()) {
+        dead_ = 0;
+        return true;
+    }
+    const std::string tmp = path_ + ".tmp";
+    FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f)
+        return false;
+    bool ok = true;
+    for (const auto &kv : best_) {
+        const std::string line = encodeEntry(kv.second);
+        ok = ok &&
+            std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
+            std::fputc('\n', f) != EOF;
+    }
+    ok = std::fflush(f) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    dead_ = 0;
+    tail_unterminated_ = false;
+    return true;
+}
+
+bool
+MappingStore::compact()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return compactLocked();
+}
+
+size_t
+MappingStore::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return best_.size();
+}
+
+size_t
+MappingStore::malformedLines() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return malformed_;
+}
+
+size_t
+MappingStore::deadLines() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return dead_;
+}
+
+} // namespace mse

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Persistent store of best-known mappings.
+ *
+ * The paper's warm-start result (Sec. 5.1.3, Figs. 9-11) shows that
+ * seeding a search from a previously solved similar workload is the
+ * dominant lever for samples-to-quality. The MappingStore turns that
+ * from a per-process trick into a cross-run, cross-client capability:
+ * a database keyed by (workload signature, arch signature, objective)
+ * holding the best mapping ever found for each key, loaded at service
+ * startup and written back whenever a search improves on it.
+ *
+ * On-disk format: append-only line-delimited JSON. One record per line:
+ *
+ *   {"v":1,"objective":"EDP","arch_sig":"<16-hex fnv1a of
+ *    ArchConfig::signature()>","workload":"wl1;...","mapping":"v1;...",
+ *    "score":...,"energy_uj":...,"latency_cycles":...,"samples":N}
+ *
+ * Append-only makes every write crash-safe: a torn final line is
+ * dropped at the next load (the valid prefix survives), and a record
+ * is only ever superseded by a later, better record for the same key.
+ * load() keeps the best record per key; when the file accumulates too
+ * many superseded lines, compact() atomically rewrites it (temp file +
+ * rename) down to the live set.
+ *
+ * Thread safety: every public method locks the store mutex, so
+ * concurrent request handlers serialize their reads and write-backs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "core/objective.hpp"
+#include "mapping/mapping.hpp"
+#include "workload/workload.hpp"
+
+namespace mse {
+
+/** One best-known-mapping record. */
+struct StoreEntry
+{
+    Workload workload;       ///< Source workload (scaleFrom seed).
+    std::string arch_sig;    ///< fnv1a64Hex(arch.signature()).
+    Objective objective = Objective::Edp;
+    Mapping mapping;
+    double score = 0.0;      ///< Objective score (lower is better).
+    double energy_uj = 0.0;
+    double latency_cycles = 0.0;
+    uint64_t samples = 0;    ///< Search samples spent finding it.
+
+    /** Scored by the sparse cost model (separate key space: dense and
+     *  sparse scores are not comparable). */
+    bool sparse = false;
+};
+
+/** How a store lookup was satisfied. */
+enum class StoreHit
+{
+    Miss,  ///< Nothing usable: cold-start the search.
+    Near,  ///< Similar workload on the same arch: warm via scaleFrom.
+    Exact, ///< Same (workload, arch, objective): warm from the record.
+};
+
+/** Printable name ("cold" / "near" / "exact"). */
+const char *storeHitName(StoreHit h);
+
+/** Signature-keyed persistent map of best-known mappings. */
+class MappingStore
+{
+  public:
+    /** Empty path = purely in-memory (tests, benches). */
+    explicit MappingStore(std::string path = "");
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * Load (or re-load) the backing file, replacing in-memory contents.
+     * Malformed or truncated lines are skipped and counted; for each
+     * key the best-scoring record wins. Returns the number of live
+     * entries (0 for a missing file — a fresh store).
+     */
+    size_t load();
+
+    /** Result of a lookup: the entry plus how close it is. */
+    struct Lookup
+    {
+        StoreHit hit = StoreHit::Miss;
+        StoreEntry entry;        ///< Valid when hit != Miss.
+        double distance = -1.0;  ///< Workload distance (0 for Exact).
+    };
+
+    /**
+     * Best warm-start source for (wl, arch, objective, model): the
+     * exact key if present, else the nearest same-arch same-objective
+     * same-model entry with compatible dimensionality within
+     * max_distance (BoundRatio units, i.e. total |log2| bound drift).
+     */
+    Lookup lookup(const Workload &wl, const ArchConfig &arch,
+                  Objective objective, bool sparse,
+                  double max_distance) const;
+
+    /**
+     * Record a search outcome if it beats the stored best for its key
+     * (or the key is new). Appends one line to the backing file and
+     * returns true when the store was updated; a worse-or-equal score
+     * is a no-op. Triggers an automatic compact() when superseded
+     * lines outnumber max(16, live entries).
+     */
+    bool recordIfBetter(const Workload &wl, const ArchConfig &arch,
+                        Objective objective, bool sparse,
+                        const Mapping &mapping, double score,
+                        double energy_uj, double latency_cycles,
+                        uint64_t samples);
+
+    /**
+     * Atomically rewrite the backing file down to the live entries
+     * (write temp + rename). Returns false on I/O failure (the old
+     * file is left untouched).
+     */
+    bool compact();
+
+    size_t size() const;
+
+    /** Malformed lines skipped by the last load(). */
+    size_t malformedLines() const;
+
+    /** Lines on disk superseded by better records since the last
+     *  load/compact. */
+    size_t deadLines() const;
+
+    /** Stable store key of one (workload, arch, objective, model)
+     *  tuple. */
+    static std::string keyOf(const Workload &wl, const ArchConfig &arch,
+                             Objective objective, bool sparse);
+
+    /** Serialize / parse one record line (exposed for tests). */
+    static std::string encodeEntry(const StoreEntry &e);
+    static std::optional<StoreEntry> decodeEntry(const std::string &line);
+
+  private:
+    bool appendLocked(const StoreEntry &e);
+    bool compactLocked();
+
+    mutable std::mutex mu_;
+    std::string path_;
+    std::unordered_map<std::string, StoreEntry> best_;
+    size_t malformed_ = 0;
+    size_t dead_ = 0;
+
+    /** File ends in a torn (unterminated) line; the next append must
+     *  start on a fresh line or it would merge with the torn tail. */
+    bool tail_unterminated_ = false;
+};
+
+} // namespace mse

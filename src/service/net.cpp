@@ -1,0 +1,194 @@
+#include "service/net.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mse {
+
+namespace {
+
+void
+setError(std::string *err, const char *what)
+{
+    if (err)
+        *err = std::string(what) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+int
+listenTcp(uint16_t port, std::string *err)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(err, "socket");
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
+        0) {
+        setError(err, "bind");
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 16) != 0) {
+        setError(err, "listen");
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+uint16_t
+boundPort(int listen_fd)
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return 0;
+    return ntohs(addr.sin_port);
+}
+
+int
+acceptWithTimeout(int listen_fd, int timeout_ms)
+{
+    pollfd pfd{};
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0)
+        return -1;
+    if (rc < 0)
+        return errno == EINTR ? -1 : -2;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0)
+        return errno == EINTR || errno == ECONNABORTED ? -1 : -2;
+    return fd;
+}
+
+int
+connectTcp(const std::string &host, uint16_t port, std::string *err)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(err, "socket");
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        if (err)
+            *err = "bad address: " + host;
+        ::close(fd);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        setError(err, "connect");
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, const void *data, size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+bool
+sendLine(int fd, const std::string &line)
+{
+    std::string framed = line;
+    framed += '\n';
+    return sendAll(fd, framed.data(), framed.size());
+}
+
+void
+closeSocket(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+bool
+peerClosed(int fd)
+{
+    char c;
+    const ssize_t r =
+        ::recv(fd, &c, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (r == 0)
+        return true; // Orderly shutdown.
+    if (r < 0)
+        return errno != EAGAIN && errno != EWOULDBLOCK &&
+            errno != EINTR;
+    return false;
+}
+
+LineReader::Status
+LineReader::readLine(std::string *out, int timeout_ms)
+{
+    while (true) {
+        const size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            out->assign(buf_, 0, nl);
+            buf_.erase(0, nl + 1);
+            return Status::Line;
+        }
+        if (buf_.size() > max_line_)
+            return Status::TooLong;
+        if (eof_)
+            return buf_.empty() ? Status::Closed : Status::Error;
+
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc == 0)
+            return Status::Timeout;
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::Error;
+        }
+        char chunk[4096];
+        const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::Error;
+        }
+        if (r == 0) {
+            eof_ = true;
+            continue; // Flush any final unterminated partial line.
+        }
+        buf_.append(chunk, static_cast<size_t>(r));
+    }
+}
+
+} // namespace mse

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Line-delimited-JSON TCP front end over MseService.
+ *
+ * Thread-per-connection on loopback: the accept loop polls with a
+ * short timeout so a stop request (e.g. from a SIGINT/SIGTERM handler
+ * via requestStop(), which is async-signal-safe) is observed promptly.
+ * Connection threads likewise poll, so shutdown needs no thread
+ * cancellation.
+ *
+ * Robustness rules, per line:
+ *  - malformed JSON / bad request  -> structured error reply, keep
+ *    the connection (a client bug shouldn't cost the session);
+ *  - oversized line                -> structured error reply, close
+ *    (framing is lost, the rest of the stream is junk);
+ *  - peer silent past io_timeout   -> close (slow-loris guard);
+ *  - peer disconnects mid-search   -> the request's CancelToken fires
+ *    and the search stops at its next generation boundary.
+ *
+ * stop() drains: accepting stops first, live connections finish their
+ * in-flight request, then the service queue drains.
+ */
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace mse {
+
+/** TCP front-end configuration. */
+struct ServerConfig
+{
+    /** Listen port on 127.0.0.1; 0 = kernel-assigned (see port()). */
+    uint16_t port = 0;
+
+    /** Close a connection whose peer stays silent this long. */
+    int io_timeout_ms = 30000;
+
+    /** Hard cap on one request line (oversized => error + close). */
+    size_t max_line_bytes = 1 << 20;
+
+    /** Connections beyond this are refused with an error reply. */
+    size_t max_connections = 32;
+};
+
+/** The TCP server; owns the accept loop and connection threads. */
+class ServiceServer
+{
+  public:
+    ServiceServer(MseService &service, ServerConfig cfg = {});
+    ~ServiceServer();
+
+    ServiceServer(const ServiceServer &) = delete;
+    ServiceServer &operator=(const ServiceServer &) = delete;
+
+    /** Bind, listen, spawn the accept loop. False + *err on failure. */
+    bool start(std::string *err);
+
+    /** Actual listening port (after start; useful with cfg.port = 0). */
+    uint16_t port() const { return port_; }
+
+    /**
+     * Flag the server to stop. Async-signal-safe (only touches an
+     * atomic); the accept loop notices within one poll interval.
+     */
+    void requestStop() { stop_flag_.store(true); }
+
+    /** True once requestStop() fired (or stop() ran). */
+    bool stopRequested() const { return stop_flag_.load(); }
+
+    /** Stop accepting, join all threads, drain the service. */
+    void stop();
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+
+    /** Run one search, cancelling if the peer hangs up mid-search. */
+    SearchReply searchWatchingPeer(int fd, SearchRequest req);
+
+    MseService &service_;
+    ServerConfig cfg_;
+    int listen_fd_ = -1;
+    uint16_t port_ = 0;
+    std::atomic<bool> stop_flag_{false};
+    std::atomic<size_t> live_connections_{0};
+    std::thread accept_thread_;
+    std::mutex conn_mu_;
+    std::vector<std::thread> conn_threads_;
+};
+
+} // namespace mse

@@ -1,0 +1,321 @@
+#include "service/service.hpp"
+
+#include <chrono>
+
+#include "common/math_util.hpp"
+#include "core/model_sweep.hpp"
+#include "mapping/mapping_io.hpp"
+
+namespace mse {
+
+namespace {
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+SearchReply
+errorReply(const char *code, const std::string &message)
+{
+    SearchReply r;
+    r.ok = false;
+    r.error_code = code;
+    r.error_message = message;
+    return r;
+}
+
+/** A ticket whose future is already satisfied with `reply`. */
+MseService::Ticket
+immediateTicket(SearchReply reply)
+{
+    std::promise<SearchReply> p;
+    MseService::Ticket t;
+    t.reply = p.get_future();
+    t.cancel = std::make_shared<CancelToken>();
+    p.set_value(std::move(reply));
+    return t;
+}
+
+} // namespace
+
+MseService::MseService(ServiceConfig cfg)
+    : cfg_(std::move(cfg)), store_(cfg_.store_path),
+      start_time_(nowSeconds())
+{
+    executor_ = std::thread([this] { executorLoop(); });
+}
+
+MseService::~MseService()
+{
+    stop(true);
+    store_.compact();
+}
+
+MseService::Ticket
+MseService::submit(SearchRequest req)
+{
+    metrics_.onRequest("search");
+
+    // Validate before queueing so bad requests fail fast and never
+    // occupy a queue slot.
+    if (req.workload.numDims() <= 0 ||
+        req.workload.numTensors() <= 0) {
+        metrics_.onError("bad_workload");
+        return immediateTicket(
+            errorReply("bad_workload", "workload has no dimensions"));
+    }
+    if (req.arch.numLevels() <= 0) {
+        metrics_.onError("bad_arch");
+        return immediateTicket(
+            errorReply("bad_arch", "arch has no storage levels"));
+    }
+    if (!makeMapperFactory(req.mapper)) {
+        metrics_.onError("unknown_mapper");
+        return immediateTicket(errorReply(
+            "unknown_mapper", "no mapper named '" + req.mapper + "'"));
+    }
+
+    auto pending = std::make_unique<Pending>();
+    pending->req = std::move(req);
+    pending->cancel = std::make_shared<CancelToken>();
+    const double deadline = pending->req.deadline_seconds > 0.0
+        ? pending->req.deadline_seconds
+        : cfg_.default_deadline_seconds;
+    pending->deadline_abs = nowSeconds() + deadline;
+
+    Ticket t;
+    t.reply = pending->promise.get_future();
+    t.cancel = pending->cancel;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopping_) {
+            metrics_.onError("shutting_down");
+            return immediateTicket(
+                errorReply("shutting_down", "service is draining"));
+        }
+        if (queue_.size() >= cfg_.queue_capacity) {
+            metrics_.onRejectQueueFull();
+            return immediateTicket(errorReply(
+                "queue_full",
+                "request queue is at capacity (" +
+                    std::to_string(cfg_.queue_capacity) + ")"));
+        }
+        queue_.push_back(std::move(pending));
+        metrics_.onEnqueue();
+    }
+    queue_cv_.notify_one();
+    return t;
+}
+
+SearchReply
+MseService::search(SearchRequest req)
+{
+    return submit(std::move(req)).reply.get();
+}
+
+void
+MseService::executorLoop()
+{
+    while (true) {
+        std::unique_ptr<Pending> pending;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            queue_cv_.wait(lk, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (stopping_ && (!drain_on_stop_ || queue_.empty())) {
+                // Abandon what's left (non-drain stop only).
+                for (auto &p : queue_) {
+                    p->promise.set_value(errorReply(
+                        "shutting_down", "service stopped"));
+                }
+                queue_.clear();
+                return;
+            }
+            if (queue_.empty())
+                continue;
+            pending = std::move(queue_.front());
+            queue_.pop_front();
+            running_cancel_ = pending->cancel;
+        }
+        metrics_.onDequeue();
+
+        SearchReply reply;
+        if (pending->cancel->cancelled()) {
+            reply = errorReply("cancelled",
+                               "request cancelled while queued");
+            metrics_.onError("cancelled");
+        } else if (nowSeconds() >= pending->deadline_abs) {
+            reply = errorReply("deadline_exceeded",
+                               "deadline expired while queued");
+            metrics_.onError("deadline_exceeded");
+        } else {
+            reply = runSearch(pending->req, pending->cancel,
+                              pending->deadline_abs);
+        }
+        pending->promise.set_value(std::move(reply));
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            running_cancel_.reset();
+        }
+    }
+}
+
+SearchReply
+MseService::runSearch(const SearchRequest &req,
+                      const CancelTokenPtr &cancel, double deadline_abs)
+{
+    const double t0 = nowSeconds();
+
+    MseEngine engine(req.arch);
+    MseOptions opts;
+    opts.budget.max_samples =
+        req.max_samples > 0 ? req.max_samples : cfg_.default_samples;
+    opts.budget.max_seconds = deadline_abs - t0;
+    opts.budget.cancel = cancel;
+    opts.objective = req.objective;
+    opts.sparse = req.sparse;
+    opts.update_replay = false;
+    opts.warm_start = WarmStartStrategy::None;
+
+    // Store warm-start: seed the engine's replay buffer with the best
+    // known mapping for this key (or its nearest same-arch neighbor);
+    // warmStartSeeds then re-scales it into this map space via
+    // MapSpace::scaleFrom (Sec. 5.1.2).
+    MappingStore::Lookup lk;
+    if (req.warm_start) {
+        lk = store_.lookup(req.workload, req.arch, req.objective,
+                           req.sparse, cfg_.warm_max_distance);
+        if (lk.hit != StoreHit::Miss) {
+            CostResult seed_cost;
+            seed_cost.valid = true;
+            seed_cost.edp = lk.entry.score;
+            seed_cost.energy_uj = lk.entry.energy_uj;
+            seed_cost.latency_cycles = lk.entry.latency_cycles;
+            engine.replay().push(lk.entry.workload, lk.entry.mapping,
+                                 seed_cost);
+            opts.warm_start = WarmStartStrategy::BySimilarity;
+            opts.warm_seeds = req.warm_seeds;
+        }
+    }
+
+    const uint64_t seed = req.seed_set
+        ? req.seed
+        : fnv1a64(layerSignature(req.workload, req.arch));
+    Rng rng(seed);
+    const auto mapper = makeMapperFactory(req.mapper)();
+    const MseOutcome outcome =
+        engine.optimize(req.workload, *mapper, opts, rng);
+
+    SearchReply r;
+    r.wall_seconds = nowSeconds() - t0;
+    r.store_hit = lk.hit;
+    r.warm_distance = lk.distance;
+    r.samples = outcome.search.log.samples;
+    r.samples_to_converge = outcome.samples_to_converge;
+    r.samples_to_incumbent = r.samples_to_converge;
+    if (lk.hit != StoreHit::Miss) {
+        // How fast did the search reach the stored incumbent's quality?
+        const auto &trace = outcome.search.log.best_edp_per_sample;
+        const double target = lk.entry.score * (1.0 + 1e-9);
+        r.samples_to_incumbent = outcome.search.log.samples;
+        for (size_t i = 0; i < trace.size(); ++i) {
+            if (trace[i] <= target) {
+                r.samples_to_incumbent = i + 1;
+                break;
+            }
+        }
+    }
+    r.eval_cache_hits = outcome.eval_cache_hits;
+    r.eval_cache_misses = outcome.eval_cache_misses;
+    r.cancelled = cancel->cancelled();
+    r.timed_out = !r.cancelled && nowSeconds() >= deadline_abs;
+
+    if (!outcome.search.found()) {
+        r.ok = false;
+        if (r.cancelled) {
+            r.error_code = "cancelled";
+            r.error_message = "cancelled before any valid mapping";
+        } else if (r.timed_out) {
+            r.error_code = "deadline_exceeded";
+            r.error_message = "deadline before any valid mapping";
+        } else {
+            r.error_code = "no_valid_mapping";
+            r.error_message =
+                "search budget exhausted without a legal mapping";
+        }
+    } else {
+        r.ok = true;
+        r.mapping = serializeMapping(outcome.search.best_mapping);
+        r.score = outcome.search.best_cost.edp;
+        r.edp = outcome.search.best_cost.energy_uj *
+            outcome.search.best_cost.latency_cycles;
+        r.energy_uj = outcome.search.best_cost.energy_uj;
+        r.latency_cycles = outcome.search.best_cost.latency_cycles;
+        if (cfg_.store_writeback) {
+            r.store_improved = store_.recordIfBetter(
+                req.workload, req.arch, req.objective, req.sparse,
+                outcome.search.best_mapping, r.score, r.energy_uj,
+                r.latency_cycles, r.samples);
+        }
+    }
+
+    ServiceMetrics::SearchSample sample;
+    sample.latency_seconds = r.wall_seconds;
+    sample.store_kind = lk.hit == StoreHit::Exact ? 2
+        : lk.hit == StoreHit::Near                ? 1
+                                                  : 0;
+    sample.store_improved = r.store_improved;
+    sample.timed_out = r.timed_out;
+    sample.cancelled = r.cancelled;
+    sample.samples = r.samples;
+    sample.eval_cache_hits = r.eval_cache_hits;
+    sample.eval_cache_misses = r.eval_cache_misses;
+    metrics_.onSearchDone(sample);
+    if (!r.ok)
+        metrics_.onError(r.error_code.c_str());
+    return r;
+}
+
+void
+MseService::stop(bool drain)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopping_ && !executor_.joinable())
+            return;
+        stopping_ = true;
+        drain_on_stop_ = drain;
+        if (!drain && running_cancel_)
+            running_cancel_->requestCancel();
+    }
+    queue_cv_.notify_all();
+    if (executor_.joinable())
+        executor_.join();
+}
+
+JsonValue
+MseService::statsJson() const
+{
+    JsonValue j = metrics_.toJson();
+    j["uptime_seconds"] = nowSeconds() - start_time_;
+    JsonValue &store = j["store"]; // extends the hit-split block
+    store["entries"] = store_.size();
+    store["path"] = store_.path().empty() ? "(in-memory)"
+                                          : store_.path();
+    store["malformed_lines_skipped"] = store_.malformedLines();
+    store["superseded_lines"] = store_.deadLines();
+    JsonValue &cfg = j["config"];
+    cfg["queue_capacity"] = cfg_.queue_capacity;
+    cfg["default_deadline_seconds"] = cfg_.default_deadline_seconds;
+    cfg["default_samples"] = cfg_.default_samples;
+    cfg["warm_max_distance"] = cfg_.warm_max_distance;
+    cfg["store_writeback"] = cfg_.store_writeback;
+    return j;
+}
+
+} // namespace mse

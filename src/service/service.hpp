@@ -1,0 +1,211 @@
+/**
+ * @file
+ * MseService: the embeddable mapping-search service.
+ *
+ * The engine stack (ThreadPool / MseEngine / ModelSweep) was only
+ * reachable through one-shot bench binaries; every caller paid
+ * cold-start search cost and nothing persisted. MseService wraps that
+ * stack in a long-lived request loop:
+ *
+ *  - a *bounded request queue* feeding one executor thread. Exactly one
+ *    search runs at a time — by design: the search itself fans its
+ *    batched cost-model queries across ThreadPool::global() (whose
+ *    contract allows a single top-level parallelFor caller), so request
+ *    concurrency would only displace batch parallelism while breaking
+ *    the pool contract. Submitters get a future; a full queue rejects
+ *    immediately with a structured `queue_full` error.
+ *  - *per-request deadlines*: a request carries an absolute deadline
+ *    from the moment it is accepted. Expired while queued -> a
+ *    `deadline_exceeded` error without burning any search samples.
+ *    Expiring mid-search caps the search's wall-clock budget, so the
+ *    reply still carries the best-so-far mapping, flagged `timed_out`.
+ *  - *cancellation*: every ticket exposes a CancelToken. A dropped
+ *    client cancels its token; the running search observes it at the
+ *    next generation boundary and stops burning pool threads.
+ *  - *store warm-start*: each search consults the persistent
+ *    MappingStore. An exact (workload, arch, objective) hit or a near
+ *    same-arch neighbor seeds the search via the replay-buffer /
+ *    MapSpace::scaleFrom machinery (Sec. 5.1); improvements are
+ *    written back, so the store monotonically accumulates the best
+ *    known mapping per key across runs and clients.
+ *  - *metrics*: every request updates the shared ServiceMetrics
+ *    (queue depth, latency percentiles, store hit split, eval-cache
+ *    totals), served by statsJson() and dumped on shutdown.
+ *
+ * Determinism: a request with an explicit seed produces bit-identical
+ * results to a direct MseEngine::optimize run with the same options at
+ * any MSE_THREADS — the service adds no randomness and no extra
+ * cost-model queries (store seeding rides the standard warm-start
+ * path, which only alters the mapper's initial population).
+ */
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/metrics.hpp"
+#include "core/mse_engine.hpp"
+#include "core/objective.hpp"
+#include "service/mapping_store.hpp"
+
+namespace mse {
+
+/** Service-level configuration. */
+struct ServiceConfig
+{
+    /** Backing file of the mapping store; empty = in-memory only. */
+    std::string store_path;
+
+    /** Maximum queued (not yet running) requests. */
+    size_t queue_capacity = 64;
+
+    /** Deadline for requests that don't set one, seconds. */
+    double default_deadline_seconds = 300.0;
+
+    /** Maximum store distance for a near warm-start (BoundRatio
+     *  units: total |log2| bound drift across dimensions). */
+    double warm_max_distance = 8.0;
+
+    /** Sample budget for requests that don't set one. */
+    size_t default_samples = 2000;
+
+    /** Write improved mappings back to the store. */
+    bool store_writeback = true;
+};
+
+/** One mapping-search request. */
+struct SearchRequest
+{
+    Workload workload;
+    ArchConfig arch;
+    std::string mapper = "gamma";
+    Objective objective = Objective::Edp;
+
+    /** 0 = service default budget. */
+    size_t max_samples = 0;
+
+    /** Explicit RNG seed; when unset the seed derives from the layer
+     *  signature, so identical requests replay identically. */
+    uint64_t seed = 0;
+    bool seed_set = false;
+
+    /** Consult the mapping store for a warm start. */
+    bool warm_start = true;
+
+    /** Warm-seed copies injected into the initial population. */
+    size_t warm_seeds = 2;
+
+    /** Use the sparse cost model (densities off the workload). */
+    bool sparse = false;
+
+    /** Per-request deadline in seconds; 0 = service default. */
+    double deadline_seconds = 0.0;
+};
+
+/** Reply to one search request. */
+struct SearchReply
+{
+    bool ok = false;
+    std::string error_code;    ///< Set when !ok.
+    std::string error_message;
+
+    std::string mapping;       ///< serializeMapping() of the best.
+    double score = 0.0;        ///< Objective score of the best.
+    double edp = 0.0;
+    double energy_uj = 0.0;
+    double latency_cycles = 0.0;
+    size_t samples = 0;
+    size_t samples_to_converge = 0;
+
+    /** Samples spent reaching incumbent quality: for a store-warmed
+     *  search, the first sample whose best-so-far matched the stored
+     *  score; cold, same as samples_to_converge. The warm-start win
+     *  (paper Sec. 5.1) shows up as this collapsing on warm hits. */
+    size_t samples_to_incumbent = 0;
+    size_t eval_cache_hits = 0;
+    size_t eval_cache_misses = 0;
+
+    StoreHit store_hit = StoreHit::Miss;
+    double warm_distance = -1.0;
+    bool store_improved = false; ///< This run improved the stored best.
+
+    bool timed_out = false;  ///< Deadline expired mid-search.
+    bool cancelled = false;  ///< Token fired mid-search.
+    double wall_seconds = 0.0;
+};
+
+/** Embeddable mapping-search service. */
+class MseService
+{
+  public:
+    explicit MseService(ServiceConfig cfg = {});
+    ~MseService();
+
+    MseService(const MseService &) = delete;
+    MseService &operator=(const MseService &) = delete;
+
+    /** Handle to an accepted request. */
+    struct Ticket
+    {
+        std::future<SearchReply> reply;
+        CancelTokenPtr cancel; ///< Fire to abandon the request.
+    };
+
+    /**
+     * Enqueue a request. Always returns a ticket; rejected requests
+     * (full queue, unknown mapper, malformed workload/arch, stopping
+     * service) come back as an already-completed future carrying a
+     * structured error reply.
+     */
+    Ticket submit(SearchRequest req);
+
+    /** Synchronous convenience: submit and wait. */
+    SearchReply search(SearchRequest req);
+
+    /**
+     * Stop the executor. drain = finish queued requests first; without
+     * drain, queued requests fail with `shutting_down` and the running
+     * one is cancelled. Idempotent; called by the destructor (drain).
+     */
+    void stop(bool drain = true);
+
+    /** Stats snapshot: metrics + store + uptime (the `stats` reply). */
+    JsonValue statsJson() const;
+
+    MappingStore &store() { return store_; }
+    const ServiceConfig &config() const { return cfg_; }
+    ServiceMetrics &metrics() { return metrics_; }
+
+  private:
+    struct Pending
+    {
+        SearchRequest req;
+        std::promise<SearchReply> promise;
+        CancelTokenPtr cancel;
+        double deadline_abs = 0.0; ///< steady-clock seconds.
+    };
+
+    void executorLoop();
+    SearchReply runSearch(const SearchRequest &req,
+                          const CancelTokenPtr &cancel,
+                          double deadline_abs);
+
+    ServiceConfig cfg_;
+    MappingStore store_;
+    ServiceMetrics metrics_;
+    double start_time_ = 0.0;
+
+    std::mutex mu_;
+    std::condition_variable queue_cv_;
+    std::deque<std::unique_ptr<Pending>> queue_;
+    bool stopping_ = false;
+    bool drain_on_stop_ = true;
+    CancelTokenPtr running_cancel_; ///< Token of the in-flight search.
+    std::thread executor_;
+};
+
+} // namespace mse

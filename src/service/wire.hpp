@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Wire protocol of the mapping-search service: one JSON object per
+ * line, both directions.
+ *
+ * Requests:
+ *
+ *   {"type":"ping"}
+ *   {"type":"stats"}
+ *   {"type":"search",
+ *    "workload": "wl1;..."                       // workload_io string
+ *             | {"gemm":   {"b":16,"m":1024,"k":1024,"n":512}}
+ *             | {"conv2d": {"b":16,"k":128,"c":128,
+ *                           "y":28,"x":28,"r":3,"s":3}},
+ *    "arch": "accel-A" | "accel-B"
+ *          | {"npu": {"l2_bytes":..., "l1_bytes":...,
+ *                     "num_pes":..., "alus_per_pe":...}},
+ *    // all optional:
+ *    "mapper":"gamma", "objective":"edp", "max_samples":2000,
+ *    "seed":123, "warm_start":true, "warm_seeds":2, "sparse":false,
+ *    "densities": {"Weights":0.4, "Inputs":0.5}, "deadline_ms":60000}
+ *
+ * Replies always carry "ok". Success:
+ *
+ *   {"ok":true,"type":"search","mapping":"v1;...","score":...,
+ *    "edp":...,"energy_uj":...,"latency_cycles":...,"samples":N,
+ *    "samples_to_converge":N,"store":"cold"|"near"|"exact",
+ *    "warm_distance":...,"store_improved":bool,"timed_out":bool,
+ *    "cancelled":bool,"wall_ms":...,
+ *    "eval_cache":{"hits":N,"misses":N}}
+ *
+ * Failure (parse errors, rejections, search failures alike):
+ *
+ *   {"ok":false,"error":{"code":"bad_request","message":"..."}}
+ *
+ * The codec lives apart from the TCP server so tests (and the bench)
+ * can exercise request parsing and reply formatting without sockets.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/json.hpp"
+#include "service/service.hpp"
+
+namespace mse {
+
+/** A decoded request line. */
+struct WireRequest
+{
+    enum class Kind
+    {
+        Ping,
+        Stats,
+        Search,
+    };
+    Kind kind = Kind::Ping;
+    SearchRequest search; ///< Valid when kind == Search.
+};
+
+/**
+ * Decode one request line. On failure returns nullopt and fills
+ * error_code/error_message (suitable for wireError()).
+ */
+std::optional<WireRequest> parseWireRequest(const std::string &line,
+                                            std::string *error_code,
+                                            std::string *error_message);
+
+/** {"ok":false,"error":{"code":...,"message":...}} */
+JsonValue wireError(const std::string &code, const std::string &message);
+
+/** Encode a search reply (success or structured failure). */
+JsonValue searchReplyJson(const SearchReply &r);
+
+/** {"ok":true,"type":"stats","stats":<stats>} */
+JsonValue statsReplyJson(const JsonValue &stats);
+
+/** {"ok":true,"type":"ping"} */
+JsonValue pingReplyJson();
+
+} // namespace mse

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * MappingStore durability: record round-trip, reload-after-append,
+ * torn/corrupted-tail recovery, best-per-key semantics, compaction,
+ * and writer serialization under concurrency.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mapping/mapping_io.hpp"
+#include "service/mapping_store.hpp"
+#include "test_helpers.hpp"
+
+namespace mse {
+namespace {
+
+using test::miniNpu;
+using test::tinyConv;
+using test::tinyGemm;
+
+/** A legal mapping for (wl, arch): every loop at DRAM. */
+Mapping
+topMapping(const Workload &wl, const ArchConfig &arch)
+{
+    return test::allAtTop(wl, arch);
+}
+
+std::string
+tempStorePath(const char *tag)
+{
+    return testing::TempDir() + "/mse_store_" + tag + ".jsonl";
+}
+
+/** Raw file contents (for tail-corruption surgery). */
+std::string
+slurp(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string text;
+    int c;
+    while ((c = std::fgetc(f)) != EOF)
+        text += static_cast<char>(c);
+    std::fclose(f);
+    return text;
+}
+
+void
+spit(const std::string &path, const std::string &text)
+{
+    FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), f), text.size());
+    std::fclose(f);
+}
+
+TEST(MappingStore, EncodeDecodeRoundTrip)
+{
+    const Workload wl = tinyGemm();
+    const ArchConfig arch = miniNpu();
+    StoreEntry e;
+    e.workload = wl;
+    e.arch_sig = "0123456789abcdef";
+    e.objective = Objective::Latency;
+    e.sparse = true;
+    e.mapping = topMapping(wl, arch);
+    e.score = 1234.5;
+    e.energy_uj = 6.5;
+    e.latency_cycles = 190.0;
+    e.samples = 777;
+
+    const auto back = MappingStore::decodeEntry(
+        MappingStore::encodeEntry(e));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->workload.signature(), wl.signature());
+    EXPECT_EQ(back->arch_sig, e.arch_sig);
+    EXPECT_EQ(back->objective, Objective::Latency);
+    EXPECT_TRUE(back->sparse);
+    EXPECT_EQ(serializeMapping(back->mapping),
+              serializeMapping(e.mapping));
+    EXPECT_EQ(back->score, e.score);
+    EXPECT_EQ(back->samples, 777u);
+}
+
+TEST(MappingStore, DecodeRejectsGarbage)
+{
+    EXPECT_FALSE(MappingStore::decodeEntry("").has_value());
+    EXPECT_FALSE(MappingStore::decodeEntry("not json").has_value());
+    EXPECT_FALSE(MappingStore::decodeEntry("{}").has_value());
+    EXPECT_FALSE(
+        MappingStore::decodeEntry("{\"v\":2}").has_value());
+    // Valid JSON, wrong content.
+    EXPECT_FALSE(MappingStore::decodeEntry(
+                     "{\"v\":1,\"objective\":\"EDP\",\"arch_sig\":"
+                     "\"xyz\",\"workload\":\"junk\",\"mapping\":"
+                     "\"junk\",\"score\":1}")
+                     .has_value());
+}
+
+TEST(MappingStore, RecordLookupAndReload)
+{
+    const std::string path = tempStorePath("reload");
+    std::remove(path.c_str());
+    const Workload wl = tinyGemm();
+    const ArchConfig arch = miniNpu();
+    const Mapping m = topMapping(wl, arch);
+
+    {
+        MappingStore store(path);
+        EXPECT_EQ(store.size(), 0u);
+        EXPECT_TRUE(store.recordIfBetter(wl, arch, Objective::Edp,
+                                         false, m, 100.0, 1.0, 10.0,
+                                         50));
+        // Worse score: rejected, not persisted.
+        EXPECT_FALSE(store.recordIfBetter(wl, arch, Objective::Edp,
+                                          false, m, 200.0, 2.0, 20.0,
+                                          50));
+        // Better score: replaces.
+        EXPECT_TRUE(store.recordIfBetter(wl, arch, Objective::Edp,
+                                         false, m, 80.0, 0.8, 8.0,
+                                         60));
+        // Same workload, different objective: separate key.
+        EXPECT_TRUE(store.recordIfBetter(wl, arch, Objective::Latency,
+                                         false, m, 10.0, 1.0, 10.0,
+                                         5));
+        // Same key but sparse model: separate key again.
+        EXPECT_TRUE(store.recordIfBetter(wl, arch, Objective::Edp,
+                                         true, m, 55.0, 1.0, 10.0, 5));
+        EXPECT_EQ(store.size(), 3u);
+    }
+
+    // Fresh instance reloads from disk; best records win.
+    MappingStore store(path);
+    EXPECT_EQ(store.size(), 3u);
+    EXPECT_EQ(store.malformedLines(), 0u);
+    const auto hit =
+        store.lookup(wl, arch, Objective::Edp, false, 0.0);
+    ASSERT_EQ(hit.hit, StoreHit::Exact);
+    EXPECT_EQ(hit.entry.score, 80.0);
+    EXPECT_EQ(hit.entry.samples, 60u);
+    EXPECT_EQ(hit.distance, 0.0);
+    EXPECT_EQ(store
+                  .lookup(wl, arch, Objective::Latency, false, 0.0)
+                  .entry.score,
+              10.0);
+    EXPECT_EQ(store.lookup(wl, arch, Objective::Edp, true, 0.0)
+                  .entry.score,
+              55.0);
+    std::remove(path.c_str());
+}
+
+TEST(MappingStore, NearLookupFindsScaledNeighbor)
+{
+    MappingStore store; // in-memory
+    const ArchConfig arch = miniNpu();
+    const Workload small = makeGemm("g", 1, 8, 8, 8);
+    const Workload big = makeGemm("g", 1, 16, 8, 8);
+    const Workload far = makeGemm("g", 64, 512, 512, 512);
+    store.recordIfBetter(small, arch, Objective::Edp, false,
+                         topMapping(small, arch), 42.0, 1.0, 10.0, 9);
+
+    const auto near =
+        store.lookup(big, arch, Objective::Edp, false, 8.0);
+    ASSERT_EQ(near.hit, StoreHit::Near);
+    EXPECT_GT(near.distance, 0.0);
+    EXPECT_EQ(near.entry.score, 42.0);
+
+    // Beyond the distance budget: miss.
+    EXPECT_EQ(store.lookup(far, arch, Objective::Edp, false, 1.0).hit,
+              StoreHit::Miss);
+    // Different arch: never a neighbor.
+    EXPECT_EQ(store
+                  .lookup(big, test::flatArch(), Objective::Edp, false,
+                          100.0)
+                  .hit,
+              StoreHit::Miss);
+}
+
+TEST(MappingStore, TruncatedTailRecovery)
+{
+    const std::string path = tempStorePath("torn");
+    std::remove(path.c_str());
+    const ArchConfig arch = miniNpu();
+    const Workload a = tinyGemm();
+    const Workload b = tinyConv();
+    {
+        MappingStore store(path);
+        store.recordIfBetter(a, arch, Objective::Edp, false,
+                             topMapping(a, arch), 10.0, 1.0, 1.0, 1);
+        store.recordIfBetter(b, arch, Objective::Edp, false,
+                             topMapping(b, arch), 20.0, 2.0, 2.0, 2);
+    }
+
+    // Simulate a crash mid-append: chop the last record in half.
+    const std::string full = slurp(path);
+    const size_t second_line = full.find('\n') + 1;
+    const size_t cut =
+        second_line + (full.size() - second_line) / 2;
+    spit(path, full.substr(0, cut));
+
+    MappingStore store(path);
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.malformedLines(), 1u);
+    EXPECT_EQ(store.lookup(a, arch, Objective::Edp, false, 0.0).hit,
+              StoreHit::Exact);
+    EXPECT_EQ(store.lookup(b, arch, Objective::Edp, false, 0.0).hit,
+              StoreHit::Miss);
+
+    // The torn store still accepts appends afterwards.
+    EXPECT_TRUE(store.recordIfBetter(b, arch, Objective::Edp, false,
+                                     topMapping(b, arch), 20.0, 2.0,
+                                     2.0, 2));
+    MappingStore reloaded(path);
+    EXPECT_EQ(reloaded.size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(MappingStore, CorruptedMiddleLineSkippedRestKept)
+{
+    const std::string path = tempStorePath("corrupt");
+    std::remove(path.c_str());
+    const ArchConfig arch = miniNpu();
+    const Workload a = tinyGemm();
+    const Workload b = tinyConv();
+    {
+        MappingStore store(path);
+        store.recordIfBetter(a, arch, Objective::Edp, false,
+                             topMapping(a, arch), 10.0, 1.0, 1.0, 1);
+        store.recordIfBetter(b, arch, Objective::Edp, false,
+                             topMapping(b, arch), 20.0, 2.0, 2.0, 2);
+    }
+    // Bit-rot the first line (keep its length so line 2 is intact).
+    std::string full = slurp(path);
+    full[5] = '#';
+    spit(path, full);
+
+    MappingStore store(path);
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.malformedLines(), 1u);
+    EXPECT_EQ(store.lookup(b, arch, Objective::Edp, false, 0.0).hit,
+              StoreHit::Exact);
+    std::remove(path.c_str());
+}
+
+TEST(MappingStore, CompactRewritesToLiveSet)
+{
+    const std::string path = tempStorePath("compact");
+    std::remove(path.c_str());
+    const ArchConfig arch = miniNpu();
+    const Workload wl = tinyGemm();
+    MappingStore store(path);
+    // 10 strictly improving records = 1 live + 9 dead lines.
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(store.recordIfBetter(
+            wl, arch, Objective::Edp, false, topMapping(wl, arch),
+            100.0 - i, 1.0, 1.0, static_cast<uint64_t>(i)));
+    }
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.deadLines(), 9u);
+    EXPECT_TRUE(store.compact());
+    EXPECT_EQ(store.deadLines(), 0u);
+
+    // Exactly one line remains on disk, and it is the best record.
+    const std::string text = slurp(path);
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+    MappingStore reloaded(path);
+    EXPECT_EQ(reloaded.size(), 1u);
+    EXPECT_EQ(
+        reloaded.lookup(wl, arch, Objective::Edp, false, 0.0).entry
+            .score,
+        91.0);
+    std::remove(path.c_str());
+}
+
+TEST(MappingStore, ConcurrentWritersSerializeThroughLock)
+{
+    const std::string path = tempStorePath("race");
+    std::remove(path.c_str());
+    const ArchConfig arch = miniNpu();
+    {
+        MappingStore store(path);
+        // 4 threads x 50 improving writes to 4 distinct keys (by
+        // objective/model) plus a contended shared key.
+        const Workload wl = tinyGemm();
+        auto writer = [&](int tid) {
+            const Objective obj = tid % 2 ? Objective::Edp
+                                          : Objective::Latency;
+            const bool sparse = tid >= 2;
+            for (int i = 0; i < 50; ++i) {
+                store.recordIfBetter(
+                    wl, arch, obj, sparse, topMapping(wl, arch),
+                    1000.0 - i, 1.0, 1.0,
+                    static_cast<uint64_t>(tid * 1000 + i));
+                store.recordIfBetter(wl, arch, Objective::Ed2p, false,
+                                     topMapping(wl, arch),
+                                     2000.0 - tid * 50 - i, 1.0, 1.0,
+                                     1);
+            }
+        };
+        std::vector<std::thread> threads;
+        for (int t = 0; t < 4; ++t)
+            threads.emplace_back(writer, t);
+        for (auto &t : threads)
+            t.join();
+        EXPECT_EQ(store.size(), 5u);
+    }
+
+    // Every appended line must be intact (no interleaved writes), and
+    // each key's best must be the global minimum written.
+    MappingStore reloaded(path);
+    EXPECT_EQ(reloaded.malformedLines(), 0u);
+    EXPECT_EQ(reloaded.size(), 5u);
+    const Workload wl = tinyGemm();
+    EXPECT_EQ(
+        reloaded.lookup(wl, arch, Objective::Edp, false, 0.0).entry
+            .score,
+        951.0);
+    EXPECT_EQ(
+        reloaded.lookup(wl, arch, Objective::Ed2p, false, 0.0).entry
+            .score,
+        2000.0 - 3 * 50 - 49);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace mse

@@ -6,9 +6,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "common/thread_pool.hpp"
 #include "core/model_sweep.hpp"
@@ -229,6 +231,42 @@ TEST(ModelSweep, EmittersWriteParseableOutput)
 
     std::remove(csv_path.c_str());
     std::remove(json_path.c_str());
+}
+
+TEST(ModelSweep, PreCancelledTokenSkipsEveryJob)
+{
+    auto token = std::make_shared<CancelToken>();
+    token->requestCancel();
+    ModelSweepOptions opts = fastOptions();
+    opts.layer.budget.cancel = token;
+
+    ModelSweep sweep(test::miniNpu());
+    const auto res = sweep.run("toy", toyModel(), opts);
+    EXPECT_EQ(res.stats.samples_spent, 0u);
+    for (const auto &rec : res.layers)
+        EXPECT_EQ(rec.samples, 0u) << rec.layer_name;
+}
+
+TEST(ModelSweep, MidSweepCancellationStopsBurningBudget)
+{
+    auto token = std::make_shared<CancelToken>();
+    ModelSweepOptions opts = fastOptions();
+    opts.layer.budget.max_samples = 2000000; // far beyond a fast run
+    opts.layer.budget.cancel = token;
+    opts.parallel_layers = false; // serial: jobs observe the token one
+                                  // by one, deterministically cheap
+
+    std::thread firing([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        token->requestCancel();
+    });
+    ModelSweep sweep(test::miniNpu());
+    const auto res = sweep.run("toy", toyModel(), opts);
+    firing.join();
+
+    // The sweep returned long before exhausting 3 x 2M samples.
+    EXPECT_LT(res.stats.samples_spent,
+              res.stats.samples_without_dedup / 2);
 }
 
 } // namespace

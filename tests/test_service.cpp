@@ -1,0 +1,235 @@
+/**
+ * @file
+ * MseService behavior: end-to-end searches, store warm-starts,
+ * deadlines, cancellation, queue bounds, rejection paths, and the
+ * bit-identical-to-direct-engine guarantee.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "mapping/mapping_io.hpp"
+#include "mappers/mapper.hpp"
+#include "service/service.hpp"
+#include "test_helpers.hpp"
+
+namespace mse {
+namespace {
+
+SearchRequest
+gemmRequest(size_t samples = 400)
+{
+    SearchRequest req;
+    req.workload = makeGemm("svc_gemm", 8, 64, 64, 64);
+    req.arch = test::miniNpu();
+    req.max_samples = samples;
+    return req;
+}
+
+TEST(MseService, EndToEndSearchSucceeds)
+{
+    MseService service;
+    const SearchReply r = service.search(gemmRequest());
+    ASSERT_TRUE(r.ok) << r.error_code << ": " << r.error_message;
+    EXPECT_FALSE(r.mapping.empty());
+    EXPECT_GT(r.score, 0.0);
+    EXPECT_GT(r.energy_uj, 0.0);
+    EXPECT_GT(r.latency_cycles, 0.0);
+    EXPECT_EQ(r.samples, 400u);
+    EXPECT_EQ(r.store_hit, StoreHit::Miss);
+    EXPECT_TRUE(r.store_improved);
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_FALSE(r.cancelled);
+}
+
+TEST(MseService, SecondIdenticalRequestWarmHitsExactly)
+{
+    MseService service;
+    const SearchReply cold = service.search(gemmRequest());
+    ASSERT_TRUE(cold.ok);
+    const SearchReply warm = service.search(gemmRequest());
+    ASSERT_TRUE(warm.ok);
+    EXPECT_EQ(warm.store_hit, StoreHit::Exact);
+    EXPECT_EQ(warm.warm_distance, 0.0);
+    // The warm search starts from the stored incumbent, so it reaches
+    // incumbent quality immediately and never scores worse.
+    EXPECT_LT(warm.samples_to_incumbent, cold.samples_to_converge + 1);
+    EXPECT_LE(warm.samples_to_incumbent, 2u);
+    EXPECT_LE(warm.score, cold.score * (1.0 + 1e-9));
+}
+
+TEST(MseService, NearNeighborWarmsAcrossWorkloads)
+{
+    MseService service;
+    SearchRequest a = gemmRequest();
+    ASSERT_TRUE(service.search(a).ok);
+    SearchRequest b = a;
+    b.workload = makeGemm("svc_gemm_wide", 8, 128, 64, 64);
+    const SearchReply r = service.search(b);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.store_hit, StoreHit::Near);
+    EXPECT_GT(r.warm_distance, 0.0);
+}
+
+TEST(MseService, ResultsBitIdenticalToDirectEngineRun)
+{
+    SearchRequest req = gemmRequest(600);
+    req.seed = 0xfeedULL;
+    req.seed_set = true;
+    req.warm_start = false; // pure cold path, like a direct caller
+
+    MseService service;
+    const SearchReply via_service = service.search(req);
+    ASSERT_TRUE(via_service.ok);
+
+    MseEngine engine(req.arch);
+    MseOptions opts;
+    opts.budget.max_samples = 600;
+    opts.update_replay = false;
+    Rng rng(0xfeedULL);
+    const auto factory = makeMapperFactory("gamma");
+    auto mapper = factory();
+    const MseOutcome direct =
+        engine.optimize(req.workload, *mapper, opts, rng);
+    ASSERT_TRUE(direct.search.found());
+
+    EXPECT_EQ(via_service.score, direct.search.best_cost.edp);
+    EXPECT_EQ(via_service.energy_uj, direct.search.best_cost.energy_uj);
+    EXPECT_EQ(via_service.latency_cycles,
+              direct.search.best_cost.latency_cycles);
+    EXPECT_EQ(via_service.mapping,
+              serializeMapping(direct.search.best_mapping));
+    EXPECT_EQ(via_service.samples, direct.search.log.samples);
+}
+
+TEST(MseService, IdenticalRequestsAreDeterministicWithoutSeed)
+{
+    // Unset seed derives from the layer signature: two fresh services
+    // given the same request must agree bit for bit.
+    MseService s1, s2;
+    const SearchReply a = s1.search(gemmRequest());
+    const SearchReply b = s2.search(gemmRequest());
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    EXPECT_EQ(a.score, b.score);
+    EXPECT_EQ(a.mapping, b.mapping);
+}
+
+TEST(MseService, DeadlineExpiredInQueueReturnsStructuredError)
+{
+    ServiceConfig cfg;
+    MseService service(cfg);
+    // Occupy the executor with a long request, then enqueue one whose
+    // deadline dies while it waits.
+    SearchRequest slow = gemmRequest(60000);
+    SearchRequest doomed = gemmRequest(100);
+    doomed.deadline_seconds = 1e-3;
+    auto t_slow = service.submit(slow);
+    auto t_doomed = service.submit(doomed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    t_slow.cancel->requestCancel();
+    t_slow.reply.wait();
+    const SearchReply r = t_doomed.reply.get();
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error_code, "deadline_exceeded");
+}
+
+TEST(MseService, CancellationStopsSearchEarly)
+{
+    MseService service;
+    SearchRequest req = gemmRequest(2000000); // would run for a while
+    auto ticket = service.submit(req);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ticket.cancel->requestCancel();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    ASSERT_EQ(ticket.reply.wait_until(deadline),
+              std::future_status::ready);
+    const SearchReply r = ticket.reply.get();
+    EXPECT_TRUE(r.cancelled);
+    // Stopped at a generation boundary, far short of the budget.
+    EXPECT_LT(r.samples, 2000000u);
+}
+
+TEST(MseService, QueueFullRejectsImmediately)
+{
+    ServiceConfig cfg;
+    cfg.queue_capacity = 1;
+    MseService service(cfg);
+    SearchRequest slow = gemmRequest(60000);
+    auto running = service.submit(slow); // dequeued by the executor
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    auto queued = service.submit(gemmRequest(100)); // fills the queue
+    auto rejected = service.submit(gemmRequest(100));
+    const SearchReply r = rejected.reply.get();
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error_code, "queue_full");
+    running.cancel->requestCancel();
+    queued.cancel->requestCancel();
+    running.reply.wait();
+    queued.reply.wait();
+}
+
+TEST(MseService, BadRequestsFailFastWithoutQueueing)
+{
+    MseService service;
+    SearchRequest bad = gemmRequest();
+    bad.mapper = "no-such-mapper";
+    EXPECT_EQ(service.search(bad).error_code, "unknown_mapper");
+
+    SearchRequest empty;
+    empty.arch = test::miniNpu();
+    EXPECT_EQ(service.search(empty).error_code, "bad_workload");
+}
+
+TEST(MseService, StopWithoutDrainFailsQueuedRequests)
+{
+    MseService service;
+    auto a = service.submit(gemmRequest(60000));
+    auto b = service.submit(gemmRequest(60000));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    service.stop(/*drain=*/false);
+    const SearchReply rb = b.reply.get();
+    EXPECT_FALSE(rb.ok);
+    EXPECT_EQ(rb.error_code, "shutting_down");
+    // The running request was cancelled, not abandoned.
+    const SearchReply ra = a.reply.get();
+    EXPECT_TRUE(ra.cancelled || !ra.ok);
+}
+
+TEST(MseService, StatsReflectActivity)
+{
+    MseService service;
+    ASSERT_TRUE(service.search(gemmRequest()).ok);
+    ASSERT_TRUE(service.search(gemmRequest()).ok);
+    const JsonValue stats = service.statsJson();
+    EXPECT_EQ(stats.find("requests")->getInt("search", 0), 2);
+    EXPECT_EQ(stats.find("store")->getInt("exact_hits", -1), 1);
+    EXPECT_EQ(stats.find("store")->getInt("cold", -1), 1);
+    EXPECT_EQ(stats.find("store")->getInt("entries", -1), 1);
+    EXPECT_EQ(stats.find("latency")->getInt("count", 0), 2);
+    EXPECT_GT(stats.find("search")->getInt("samples_total", 0), 0);
+    EXPECT_GE(stats.getDouble("uptime_seconds", -1.0), 0.0);
+}
+
+TEST(MseService, ObjectiveChangesWhatIsMinimized)
+{
+    MseService service;
+    SearchRequest edp = gemmRequest();
+    SearchRequest lat = gemmRequest();
+    lat.objective = Objective::Latency;
+    const SearchReply r_edp = service.search(edp);
+    const SearchReply r_lat = service.search(lat);
+    ASSERT_TRUE(r_edp.ok);
+    ASSERT_TRUE(r_lat.ok);
+    // Objective evaluators put the objective score in `score`; the EDP
+    // run's score multiplies energy and delay instead.
+    EXPECT_EQ(r_lat.score, r_lat.latency_cycles);
+    EXPECT_NE(r_edp.score, r_edp.latency_cycles);
+    // The two objectives are separate store keys: both runs are cold.
+    EXPECT_EQ(r_lat.store_hit, StoreHit::Miss);
+}
+
+} // namespace
+} // namespace mse

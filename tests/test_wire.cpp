@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Wire protocol and TCP front end: request decoding, reply encoding,
+ * and the hostile-peer matrix (malformed JSON, oversized lines,
+ * mid-request disconnects, queued-deadline expiry) against a live
+ * loopback server.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "arch/arch.hpp"
+#include "service/net.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
+#include "workload/workload_io.hpp"
+
+namespace mse {
+namespace {
+
+// ---------------------------------------------------------------- codec
+
+std::optional<WireRequest>
+parse(const std::string &line, std::string *code = nullptr)
+{
+    std::string c, m;
+    const auto req = parseWireRequest(line, &c, &m);
+    if (code)
+        *code = c;
+    if (!req) {
+        EXPECT_FALSE(m.empty()) << line;
+    }
+    return req;
+}
+
+TEST(Wire, ParsesPingAndStats)
+{
+    auto ping = parse("{\"type\":\"ping\"}");
+    ASSERT_TRUE(ping.has_value());
+    EXPECT_EQ(ping->kind, WireRequest::Kind::Ping);
+    auto stats = parse(" {\"type\":\"stats\"} ");
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->kind, WireRequest::Kind::Stats);
+}
+
+TEST(Wire, ParsesFullSearchRequest)
+{
+    const auto req = parse(
+        "{\"type\":\"search\","
+        "\"workload\":{\"gemm\":{\"name\":\"g\",\"b\":2,\"m\":4,"
+        "\"k\":8,\"n\":16}},"
+        "\"arch\":\"accel-b\",\"mapper\":\"hill-climb\","
+        "\"objective\":\"latency\",\"max_samples\":123,\"seed\":7,"
+        "\"warm_start\":false,\"warm_seeds\":5,\"deadline_ms\":1500}");
+    ASSERT_TRUE(req.has_value());
+    ASSERT_EQ(req->kind, WireRequest::Kind::Search);
+    const SearchRequest &s = req->search;
+    EXPECT_EQ(serializeWorkload(s.workload),
+              serializeWorkload(makeGemm("g", 2, 4, 8, 16)));
+    EXPECT_EQ(s.arch.signature(), accelB().signature());
+    EXPECT_EQ(s.mapper, "hill-climb");
+    EXPECT_EQ(s.objective, Objective::Latency);
+    EXPECT_EQ(s.max_samples, 123u);
+    EXPECT_TRUE(s.seed_set);
+    EXPECT_EQ(s.seed, 7u);
+    EXPECT_FALSE(s.warm_start);
+    EXPECT_EQ(s.warm_seeds, 5u);
+    EXPECT_EQ(s.deadline_seconds, 1.5);
+}
+
+TEST(Wire, ParsesWorkloadStringArchObjectAndDensities)
+{
+    Workload ref = makeGemm("g", 1, 8, 8, 8);
+    const auto req = parse(
+        "{\"type\":\"search\","
+        "\"workload\":\"" + serializeWorkload(ref) + "\","
+        "\"arch\":{\"npu\":{\"l2_bytes\":8192,\"l1_bytes\":128,"
+        "\"num_pes\":4,\"alus_per_pe\":2}},"
+        "\"sparse\":true,\"densities\":{\"Weights\":0.25}}");
+    ASSERT_TRUE(req.has_value());
+    const SearchRequest &s = req->search;
+    EXPECT_TRUE(s.sparse);
+    EXPECT_EQ(s.workload.density("Weights"), 0.25);
+    EXPECT_EQ(s.workload.density("Inputs"), 1.0);
+    EXPECT_EQ(s.arch.signature(),
+              makeNpu("npu", 8192, 128, 4, 2).signature());
+}
+
+TEST(Wire, RejectsBadRequestsWithStructuredCodes)
+{
+    const char *kGemm =
+        "\"workload\":{\"gemm\":{\"b\":1,\"m\":8,\"k\":8,\"n\":8}}";
+    const struct
+    {
+        const char *line;
+        const char *code;
+    } cases[] = {
+        {"{oops", "bad_json"},
+        {"", "bad_json"},
+        {"42", "bad_request"},
+        {"[]", "bad_request"},
+        {"{}", "bad_request"},
+        {"{\"type\":\"shutdown\"}", "bad_request"},
+        {"{\"type\":\"search\"}", "bad_workload"},
+        {"{\"type\":\"search\",\"workload\":\"not-wl1\"}",
+         "bad_workload"},
+        {"{\"type\":\"search\",\"workload\":{\"gemm\":"
+         "{\"b\":0,\"m\":8,\"k\":8,\"n\":8}}}",
+         "bad_workload"},
+        {"{\"type\":\"search\",\"workload\":{\"gemm\":"
+         "{\"b\":1,\"m\":2.5,\"k\":8,\"n\":8}}}",
+         "bad_workload"},
+        {"{\"type\":\"search\",\"workload\":{\"fft\":{}}}",
+         "bad_workload"},
+    };
+    for (const auto &c : cases) {
+        std::string code;
+        EXPECT_FALSE(parse(c.line, &code).has_value()) << c.line;
+        EXPECT_EQ(code, c.code) << c.line;
+    }
+
+    const std::string base =
+        std::string("{\"type\":\"search\",") + kGemm;
+    const struct
+    {
+        const char *tail;
+        const char *code;
+    } tails[] = {
+        {"}", "bad_arch"},
+        {",\"arch\":\"tpu-v9\"}", "bad_arch"},
+        {",\"arch\":{\"npu\":{\"l2_bytes\":0,\"l1_bytes\":1,"
+         "\"num_pes\":1,\"alus_per_pe\":1}}}",
+         "bad_arch"},
+        {",\"arch\":\"accel-A\",\"objective\":\"speed\"}",
+         "bad_request"},
+        {",\"arch\":\"accel-A\",\"max_samples\":-1}", "bad_request"},
+        {",\"arch\":\"accel-A\",\"seed\":\"abc\"}", "bad_request"},
+        {",\"arch\":\"accel-A\",\"densities\":{\"Weights\":2}}",
+         "bad_request"},
+        {",\"arch\":\"accel-A\",\"deadline_ms\":-5}", "bad_request"},
+    };
+    for (const auto &t : tails) {
+        std::string code;
+        EXPECT_FALSE(parse(base + t.tail, &code).has_value()) << t.tail;
+        EXPECT_EQ(code, t.code) << t.tail;
+    }
+}
+
+TEST(Wire, ReplyEncoders)
+{
+    const JsonValue err = wireError("bad_json", "oops");
+    EXPECT_EQ(err.dump(),
+              "{\"ok\":false,\"error\":{\"code\":\"bad_json\","
+              "\"message\":\"oops\"}}");
+    EXPECT_FALSE(err.getBool("ok", true));
+    EXPECT_EQ(err.find("error")->getString("code", ""), "bad_json");
+
+    SearchReply fail;
+    fail.ok = false;
+    fail.error_code = "deadline_exceeded";
+    fail.error_message = "too late";
+    const JsonValue ferr = searchReplyJson(fail);
+    EXPECT_FALSE(ferr.getBool("ok", true));
+    EXPECT_EQ(ferr.find("error")->getString("code", ""),
+              "deadline_exceeded");
+
+    SearchReply okr;
+    okr.ok = true;
+    okr.mapping = "v1;x";
+    okr.score = 2.5;
+    okr.samples = 10;
+    okr.samples_to_incumbent = 3;
+    okr.store_hit = StoreHit::Near;
+    okr.warm_distance = 1.0;
+    okr.eval_cache_hits = 4;
+    const auto parsed = parseJson(searchReplyJson(okr).dump());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->getBool("ok", false));
+    EXPECT_EQ(parsed->getString("mapping", ""), "v1;x");
+    EXPECT_EQ(parsed->getDouble("score", 0.0), 2.5);
+    EXPECT_EQ(parsed->getInt("samples", 0), 10);
+    EXPECT_EQ(parsed->getInt("samples_to_incumbent", 0), 3);
+    EXPECT_EQ(parsed->getString("store", ""), "near");
+    EXPECT_EQ(parsed->find("eval_cache")->getInt("hits", 0), 4);
+
+    EXPECT_EQ(pingReplyJson().dump(), "{\"ok\":true,\"type\":\"ping\"}");
+    JsonValue stats = JsonValue::object();
+    stats["queue_depth"] = 0;
+    const JsonValue sr = statsReplyJson(stats);
+    EXPECT_TRUE(sr.getBool("ok", false));
+    EXPECT_EQ(sr.find("stats")->getInt("queue_depth", -1), 0);
+}
+
+// ----------------------------------------------------------- TCP server
+
+/** Live loopback server over a fast in-memory service. */
+class WireTcpTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        ServiceConfig scfg;
+        scfg.default_samples = 150;
+        service_ = std::make_unique<MseService>(scfg);
+        ServerConfig ncfg;
+        ncfg.max_line_bytes = 2048;
+        server_ = std::make_unique<ServiceServer>(*service_, ncfg);
+        std::string err;
+        ASSERT_TRUE(server_->start(&err)) << err;
+    }
+
+    void TearDown() override
+    {
+        server_->stop();
+    }
+
+    int connect()
+    {
+        std::string err;
+        const int fd = connectTcp("127.0.0.1", server_->port(), &err);
+        EXPECT_GE(fd, 0) << err;
+        return fd;
+    }
+
+    /** Send one line and read one reply line, parsed. */
+    JsonValue roundTrip(int fd, LineReader &r, const std::string &line,
+                        int timeout_ms = 60000)
+    {
+        EXPECT_TRUE(sendLine(fd, line));
+        std::string out;
+        EXPECT_EQ(r.readLine(&out, timeout_ms), LineReader::Status::Line)
+            << line;
+        const auto doc = parseJson(out);
+        EXPECT_TRUE(doc.has_value()) << out;
+        return doc ? *doc : JsonValue();
+    }
+
+    static std::string searchLine(const char *extra = "")
+    {
+        return std::string(
+                   "{\"type\":\"search\",\"workload\":{\"gemm\":"
+                   "{\"b\":1,\"m\":8,\"k\":8,\"n\":8}},"
+                   "\"arch\":{\"npu\":{\"l2_bytes\":8192,"
+                   "\"l1_bytes\":128,\"num_pes\":4,"
+                   "\"alus_per_pe\":2}}") +
+            extra + "}";
+    }
+
+    std::unique_ptr<MseService> service_;
+    std::unique_ptr<ServiceServer> server_;
+};
+
+TEST_F(WireTcpTest, PingStatsAndSearchRoundTrip)
+{
+    const int fd = connect();
+    LineReader reader(fd);
+
+    const JsonValue pong = roundTrip(fd, reader, "{\"type\":\"ping\"}");
+    EXPECT_TRUE(pong.getBool("ok", false));
+    EXPECT_EQ(pong.getString("type", ""), "ping");
+
+    const JsonValue cold = roundTrip(fd, reader, searchLine());
+    ASSERT_TRUE(cold.getBool("ok", false)) << cold.dump();
+    EXPECT_FALSE(cold.getString("mapping", "").empty());
+    EXPECT_EQ(cold.getString("store", ""), "cold");
+    EXPECT_EQ(cold.getInt("samples", 0), 150);
+
+    // Same request again: served warm out of the mapping store.
+    const JsonValue warm = roundTrip(fd, reader, searchLine());
+    ASSERT_TRUE(warm.getBool("ok", false));
+    EXPECT_EQ(warm.getString("store", ""), "exact");
+    EXPECT_EQ(warm.getDouble("warm_distance", -1.0), 0.0);
+    EXPECT_LE(warm.getInt("samples_to_incumbent", 1 << 20),
+              warm.getInt("samples", 0));
+    EXPECT_LE(warm.getDouble("score", 1e300),
+              cold.getDouble("score", 0.0) * (1.0 + 1e-9));
+
+    const JsonValue stats =
+        roundTrip(fd, reader, "{\"type\":\"stats\"}");
+    ASSERT_TRUE(stats.getBool("ok", false));
+    const JsonValue *body = stats.find("stats");
+    ASSERT_NE(body, nullptr);
+    EXPECT_EQ(body->find("requests")->getInt("search", 0), 2);
+    EXPECT_EQ(body->find("store")->getInt("exact_hits", 0), 1);
+    closeSocket(fd);
+}
+
+TEST_F(WireTcpTest, MalformedJsonGetsErrorAndConnectionSurvives)
+{
+    const int fd = connect();
+    LineReader reader(fd);
+    const JsonValue err = roundTrip(fd, reader, "{\"type\":oops");
+    EXPECT_FALSE(err.getBool("ok", true));
+    EXPECT_EQ(err.find("error")->getString("code", ""), "bad_json");
+
+    const JsonValue err2 =
+        roundTrip(fd, reader, "{\"type\":\"selfdestruct\"}");
+    EXPECT_EQ(err2.find("error")->getString("code", ""), "bad_request");
+
+    // Same connection still serves valid requests.
+    const JsonValue pong = roundTrip(fd, reader, "{\"type\":\"ping\"}");
+    EXPECT_TRUE(pong.getBool("ok", false));
+    closeSocket(fd);
+}
+
+TEST_F(WireTcpTest, OversizedLineGetsErrorThenClose)
+{
+    const int fd = connect();
+    LineReader reader(fd);
+    // 4 KiB of junk against a 2 KiB cap: framing is unrecoverable, so
+    // the server must answer with a structured error and hang up.
+    std::string huge(4096, 'x');
+    sendLine(fd, huge); // may fail mid-send if the server closes early
+    std::string out;
+    ASSERT_EQ(reader.readLine(&out, 60000), LineReader::Status::Line);
+    const auto doc = parseJson(out);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("error")->getString("code", ""),
+              "request_too_large");
+    // The server hangs up; closing with unread junk queued may surface
+    // as a reset (Error) rather than a clean EOF (Closed).
+    const auto st = reader.readLine(&out, 60000);
+    EXPECT_TRUE(st == LineReader::Status::Closed ||
+                st == LineReader::Status::Error);
+    closeSocket(fd);
+}
+
+TEST_F(WireTcpTest, MidRequestDisconnectLeavesServerHealthy)
+{
+    const int fd = connect();
+    // Half a request, no newline, then vanish.
+    const std::string partial = "{\"type\":\"sea";
+    ASSERT_TRUE(sendAll(fd, partial.data(), partial.size()));
+    closeSocket(fd);
+
+    // The server shrugged it off and serves the next client.
+    const int fd2 = connect();
+    LineReader reader(fd2);
+    const JsonValue pong = roundTrip(fd2, reader, "{\"type\":\"ping\"}");
+    EXPECT_TRUE(pong.getBool("ok", false));
+    closeSocket(fd2);
+}
+
+TEST_F(WireTcpTest, DisconnectCancelsSearchAndQueuedDeadlineExpires)
+{
+    // Client 1 starts a huge search, client 2 queues behind it with a
+    // deadline that dies in the queue. Client 1 then hangs up: the
+    // server must cancel its running search (freeing the executor) and
+    // client 2 must get a deadline_exceeded error, not a search.
+    const int fd1 = connect();
+    ASSERT_TRUE(
+        sendLine(fd1, searchLine(",\"max_samples\":50000000")));
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+    const int fd2 = connect();
+    LineReader reader2(fd2);
+    ASSERT_TRUE(sendLine(fd2, searchLine(",\"deadline_ms\":1")));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    closeSocket(fd1); // peerClosed() fires the running CancelToken
+
+    std::string out;
+    ASSERT_EQ(reader2.readLine(&out, 60000), LineReader::Status::Line);
+    const auto doc = parseJson(out);
+    ASSERT_TRUE(doc.has_value()) << out;
+    EXPECT_FALSE(doc->getBool("ok", true));
+    EXPECT_EQ(doc->find("error")->getString("code", ""),
+              "deadline_exceeded");
+    closeSocket(fd2);
+}
+
+} // namespace
+} // namespace mse

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * mse_client: command-line client for the mapping-search daemon.
+ *
+ * Builds one request (search / stats / ping, or a raw JSON line),
+ * sends it to mse_serve, prints the reply JSON on stdout, and exits 0
+ * iff the reply carries "ok": true.
+ *
+ * Usage:
+ *   mse_client --port N --gemm B,M,K,N [options]
+ *   mse_client --port N --conv2d B,K,C,Y,X,R,S [options]
+ *   mse_client --port N --stats | --ping
+ *   mse_client --port N --raw '<one JSON request line>'
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "service/net.hpp"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --port N [--host H] REQUEST [options]\n"
+        "requests:\n"
+        "  --gemm B,M,K,N         search a batched GEMM layer\n"
+        "  --conv2d B,K,C,Y,X,R,S search a CONV2D layer\n"
+        "  --stats                fetch service metrics\n"
+        "  --ping                 liveness check\n"
+        "  --raw JSON             send one raw request line\n"
+        "search options:\n"
+        "  --arch NAME            accel-A (default) or accel-B\n"
+        "  --mapper NAME          gamma (default), standard-ga, ...\n"
+        "  --objective NAME       edp (default), energy, latency, ...\n"
+        "  --samples N            sample budget\n"
+        "  --seed N               explicit RNG seed\n"
+        "  --deadline-ms N        per-request deadline\n"
+        "  --no-warm              skip the mapping-store warm start\n"
+        "  --timeout-ms N         client-side reply timeout "
+        "(default 120000)\n",
+        argv0);
+}
+
+std::vector<int64_t>
+parseInts(const std::string &csv)
+{
+    std::vector<int64_t> out;
+    size_t pos = 0;
+    while (pos <= csv.size()) {
+        const size_t comma = csv.find(',', pos);
+        const std::string tok =
+            csv.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+        if (tok.empty())
+            return {};
+        char *end = nullptr;
+        const int64_t v = std::strtoll(tok.c_str(), &end, 10);
+        if (!end || *end != '\0' || v <= 0)
+            return {};
+        out.push_back(v);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    int port = 0;
+    int timeout_ms = 120000;
+    std::string raw;
+    mse::JsonValue req = mse::JsonValue::object();
+    bool have_request = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--host" && val) {
+            host = val;
+            ++i;
+        } else if (arg == "--port" && val) {
+            port = std::atoi(val);
+            ++i;
+        } else if (arg == "--timeout-ms" && val) {
+            timeout_ms = std::atoi(val);
+            ++i;
+        } else if (arg == "--gemm" && val) {
+            const auto d = parseInts(val);
+            if (d.size() != 4) {
+                std::fprintf(stderr, "--gemm wants B,M,K,N\n");
+                return 2;
+            }
+            req["type"] = "search";
+            mse::JsonValue &g = req["workload"]["gemm"];
+            g["b"] = d[0];
+            g["m"] = d[1];
+            g["k"] = d[2];
+            g["n"] = d[3];
+            have_request = true;
+            ++i;
+        } else if (arg == "--conv2d" && val) {
+            const auto d = parseInts(val);
+            if (d.size() != 7) {
+                std::fprintf(stderr,
+                             "--conv2d wants B,K,C,Y,X,R,S\n");
+                return 2;
+            }
+            req["type"] = "search";
+            mse::JsonValue &c = req["workload"]["conv2d"];
+            c["b"] = d[0];
+            c["k"] = d[1];
+            c["c"] = d[2];
+            c["y"] = d[3];
+            c["x"] = d[4];
+            c["r"] = d[5];
+            c["s"] = d[6];
+            have_request = true;
+            ++i;
+        } else if (arg == "--stats") {
+            req["type"] = "stats";
+            have_request = true;
+        } else if (arg == "--ping") {
+            req["type"] = "ping";
+            have_request = true;
+        } else if (arg == "--raw" && val) {
+            raw = val;
+            have_request = true;
+            ++i;
+        } else if (arg == "--arch" && val) {
+            req["arch"] = val;
+            ++i;
+        } else if (arg == "--mapper" && val) {
+            req["mapper"] = val;
+            ++i;
+        } else if (arg == "--objective" && val) {
+            req["objective"] = val;
+            ++i;
+        } else if (arg == "--samples" && val) {
+            req["max_samples"] = static_cast<int64_t>(std::atoll(val));
+            ++i;
+        } else if (arg == "--seed" && val) {
+            req["seed"] = static_cast<int64_t>(std::atoll(val));
+            ++i;
+        } else if (arg == "--deadline-ms" && val) {
+            req["deadline_ms"] = static_cast<int64_t>(std::atoll(val));
+            ++i;
+        } else if (arg == "--no-warm") {
+            req["warm_start"] = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (port <= 0 || port > 65535 || !have_request) {
+        usage(argv[0]);
+        return 2;
+    }
+    if (req["type"].asString("") == "search" && !req.find("arch"))
+        req["arch"] = "accel-A";
+
+    std::string err;
+    const int fd =
+        mse::connectTcp(host, static_cast<uint16_t>(port), &err);
+    if (fd < 0) {
+        std::fprintf(stderr, "mse_client: %s\n", err.c_str());
+        return 1;
+    }
+    const std::string line = raw.empty() ? req.dump() : raw;
+    if (!mse::sendLine(fd, line)) {
+        std::fprintf(stderr, "mse_client: send failed\n");
+        mse::closeSocket(fd);
+        return 1;
+    }
+
+    mse::LineReader reader(fd);
+    std::string reply;
+    const auto status = reader.readLine(&reply, timeout_ms);
+    mse::closeSocket(fd);
+    if (status != mse::LineReader::Status::Line) {
+        std::fprintf(stderr, "mse_client: no reply (%s)\n",
+                     status == mse::LineReader::Status::Timeout
+                         ? "timeout"
+                         : "connection lost");
+        return 1;
+    }
+    std::printf("%s\n", reply.c_str());
+    const auto doc = mse::parseJson(reply);
+    return doc && doc->getBool("ok", false) ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * mse_serve: the mapping-search daemon.
+ *
+ * Listens on 127.0.0.1 for line-delimited-JSON requests (see
+ * src/service/wire.hpp for the protocol), runs searches on the shared
+ * engine stack, and persists best-known mappings to the store file.
+ * Prints "LISTENING <port>" on stdout once ready (so scripts can grab
+ * an ephemeral port), serves until SIGINT/SIGTERM, then drains and
+ * dumps final stats to stderr.
+ *
+ * Usage:
+ *   mse_serve [--port N] [--store FILE] [--samples N]
+ *             [--deadline-s S] [--queue N]
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "service/server.hpp"
+
+namespace {
+
+// Written by the signal handler, read by the main wait loop.
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--port N] [--store FILE] [--samples N]\n"
+        "          [--deadline-s S] [--queue N]\n"
+        "  --port N        listen port on 127.0.0.1 (default: "
+        "ephemeral)\n"
+        "  --store FILE    mapping-store backing file (default: "
+        "in-memory)\n"
+        "  --samples N     default per-request sample budget\n"
+        "  --deadline-s S  default per-request deadline, seconds\n"
+        "  --queue N       request queue capacity\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    mse::ServiceConfig svc_cfg;
+    mse::ServerConfig srv_cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--port" && val) {
+            srv_cfg.port = static_cast<uint16_t>(std::atoi(val));
+            ++i;
+        } else if (arg == "--store" && val) {
+            svc_cfg.store_path = val;
+            ++i;
+        } else if (arg == "--samples" && val) {
+            svc_cfg.default_samples =
+                static_cast<size_t>(std::atoll(val));
+            ++i;
+        } else if (arg == "--deadline-s" && val) {
+            svc_cfg.default_deadline_seconds = std::atof(val);
+            ++i;
+        } else if (arg == "--queue" && val) {
+            svc_cfg.queue_capacity =
+                static_cast<size_t>(std::atoll(val));
+            ++i;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    mse::MseService service(svc_cfg);
+    mse::ServiceServer server(service, srv_cfg);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "mse_serve: %s\n", err.c_str());
+        return 1;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    std::printf("LISTENING %u\n", server.port());
+    std::fflush(stdout);
+    if (!service.store().path().empty()) {
+        std::fprintf(stderr, "store: %s (%zu entries)\n",
+                     service.store().path().c_str(),
+                     service.store().size());
+    }
+
+    while (!g_stop && !server.stopRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    std::fprintf(stderr, "shutting down...\n");
+    server.stop(); // Joins connections, drains the queue.
+    std::fprintf(stderr, "%s\n", service.statsJson().dump(2).c_str());
+    return 0;
+}

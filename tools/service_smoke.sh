@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Smoke test for the mapping-search service: start mse_serve on an
+# ephemeral loopback port with a store file, search the same GEMM twice
+# (the second must be answered warm out of the store), fetch stats, then
+# SIGTERM the daemon and require a clean drain.
+#
+# Usage: tools/service_smoke.sh BUILD_DIR
+# Exits non-zero on the first broken expectation.
+set -u
+
+BUILD_DIR="${1:-build}"
+SERVE="$BUILD_DIR/tools/mse_serve"
+CLIENT="$BUILD_DIR/tools/mse_client"
+WORK_DIR="$(mktemp -d)"
+STORE="$WORK_DIR/mappings.jsonl"
+SERVE_LOG="$WORK_DIR/serve.log"
+SERVE_PID=""
+
+fail() {
+    echo "SMOKE FAIL: $*" >&2
+    [ -f "$SERVE_LOG" ] && sed 's/^/  serve| /' "$SERVE_LOG" >&2
+    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null
+    exit 1
+}
+
+[ -x "$SERVE" ] || fail "missing $SERVE (build first)"
+[ -x "$CLIENT" ] || fail "missing $CLIENT (build first)"
+
+"$SERVE" --store "$STORE" --samples 300 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+trap '[ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null; rm -rf "$WORK_DIR"' EXIT
+
+# Wait for "LISTENING <port>" (the daemon binds an ephemeral port).
+PORT=""
+for _ in $(seq 1 100); do
+    PORT=$(awk '/^LISTENING/ {print $2; exit}' "$SERVE_LOG" 2>/dev/null)
+    [ -n "$PORT" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "daemon died on startup"
+    sleep 0.1
+done
+[ -n "$PORT" ] && [ "$PORT" -gt 0 ] || fail "daemon never reported its port"
+echo "daemon up on port $PORT (pid $SERVE_PID)"
+
+run_client() {
+    timeout 120 "$CLIENT" --port "$PORT" "$@"
+}
+
+run_client --ping | grep -q '"ok":true' || fail "ping failed"
+
+COLD=$(run_client --gemm 4,64,64,64 --samples 300) || fail "cold search failed: $COLD"
+echo "$COLD" | grep -q '"store":"cold"' || fail "first search was not cold: $COLD"
+
+WARM=$(run_client --gemm 4,64,64,64 --samples 300) || fail "warm search failed: $WARM"
+echo "$WARM" | grep -q '"store":"exact"' || fail "second search missed the store: $WARM"
+
+# The warm search must reach the stored incumbent's quality almost
+# immediately (that is the whole point of the store).
+WARM_STI=$(echo "$WARM" | sed -n 's/.*"samples_to_incumbent":\([0-9]*\).*/\1/p')
+[ -n "$WARM_STI" ] && [ "$WARM_STI" -le 10 ] ||
+    fail "warm samples_to_incumbent=$WARM_STI, expected <= 10: $WARM"
+
+STATS=$(run_client --stats) || fail "stats request failed"
+echo "$STATS" | grep -q '"exact_hits":1' || fail "stats missing the store hit: $STATS"
+echo "$STATS" | grep -q '"entries":1' || fail "stats missing the store entry: $STATS"
+
+[ -s "$STORE" ] || fail "store file was never written"
+
+kill -TERM "$SERVE_PID"
+DRAINED=1
+for _ in $(seq 1 100); do
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        DRAINED=0
+        break
+    fi
+    sleep 0.1
+done
+[ "$DRAINED" -eq 0 ] || fail "daemon did not exit within 10s of SIGTERM"
+wait "$SERVE_PID" 2>/dev/null
+RC=$?
+[ "$RC" -eq 0 ] || fail "daemon exited with status $RC"
+grep -q 'shutting down' "$SERVE_LOG" || fail "daemon skipped its drain path"
+SERVE_PID=""
+
+echo "service smoke OK: cold -> exact warm hit (samples_to_incumbent=$WARM_STI), clean SIGTERM drain"
