@@ -82,7 +82,7 @@ LatencyHistogram::toJson() const
 void
 ServiceMetrics::onRequest(const char *type)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ++requests_total_;
     if (std::strcmp(type, "search") == 0)
         ++requests_search_;
@@ -98,14 +98,14 @@ void
 ServiceMetrics::onError(const char *code)
 {
     (void)code;
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ++errors_total_;
 }
 
 void
 ServiceMetrics::onRejectQueueFull()
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ++rejected_queue_full_;
     ++errors_total_;
 }
@@ -113,21 +113,21 @@ ServiceMetrics::onRejectQueueFull()
 void
 ServiceMetrics::onEnqueue()
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ++enqueued_;
 }
 
 void
 ServiceMetrics::onDequeue()
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ++dequeued_;
 }
 
 void
 ServiceMetrics::onSearchDone(const SearchSample &s)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     search_latency_.record(s.latency_seconds);
     switch (s.store_kind) {
       case 2: ++store_exact_; break;
@@ -148,14 +148,14 @@ ServiceMetrics::onSearchDone(const SearchSample &s)
 uint64_t
 ServiceMetrics::queueDepth() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return enqueued_ >= dequeued_ ? enqueued_ - dequeued_ : 0;
 }
 
 JsonValue
 ServiceMetrics::toJson() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     JsonValue j = JsonValue::object();
     JsonValue &req = j["requests"];
     req["total"] = requests_total_;

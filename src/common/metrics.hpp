@@ -13,9 +13,9 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
 #include "common/json.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace mse {
 
@@ -63,13 +63,15 @@ class ServiceMetrics
 {
   public:
     /** Request accounting. */
-    void onRequest(const char *type); ///< "search", "stats", "ping", ...
-    void onError(const char *code);   ///< structured error sent back
-    void onRejectQueueFull();
+    void onRequest(const char *type)
+        EXCLUDES(mu_); ///< "search", "stats", "ping", ...
+    void onError(const char *code)
+        EXCLUDES(mu_); ///< structured error sent back
+    void onRejectQueueFull() EXCLUDES(mu_);
 
     /** Queue lifecycle (depth gauge). */
-    void onEnqueue();
-    void onDequeue();
+    void onEnqueue() EXCLUDES(mu_);
+    void onDequeue() EXCLUDES(mu_);
 
     /** One completed search request. */
     struct SearchSample
@@ -84,35 +86,35 @@ class ServiceMetrics
         uint64_t eval_cache_hits = 0;
         uint64_t eval_cache_misses = 0;
     };
-    void onSearchDone(const SearchSample &s);
+    void onSearchDone(const SearchSample &s) EXCLUDES(mu_);
 
     /** Current queue depth (enqueued - dequeued). */
-    uint64_t queueDepth() const;
+    uint64_t queueDepth() const EXCLUDES(mu_);
 
     /** Full snapshot as a JSON object (the `stats` reply body). */
-    JsonValue toJson() const;
+    JsonValue toJson() const EXCLUDES(mu_);
 
   private:
-    mutable std::mutex mu_;
-    uint64_t requests_total_ = 0;
-    uint64_t requests_search_ = 0;
-    uint64_t requests_stats_ = 0;
-    uint64_t requests_ping_ = 0;
-    uint64_t requests_other_ = 0;
-    uint64_t errors_total_ = 0;
-    uint64_t rejected_queue_full_ = 0;
-    uint64_t enqueued_ = 0;
-    uint64_t dequeued_ = 0;
-    uint64_t store_cold_ = 0;
-    uint64_t store_near_ = 0;
-    uint64_t store_exact_ = 0;
-    uint64_t store_improved_ = 0;
-    uint64_t timed_out_ = 0;
-    uint64_t cancelled_ = 0;
-    uint64_t samples_total_ = 0;
-    uint64_t eval_cache_hits_ = 0;
-    uint64_t eval_cache_misses_ = 0;
-    LatencyHistogram search_latency_;
+    mutable Mutex mu_;
+    uint64_t requests_total_ GUARDED_BY(mu_) = 0;
+    uint64_t requests_search_ GUARDED_BY(mu_) = 0;
+    uint64_t requests_stats_ GUARDED_BY(mu_) = 0;
+    uint64_t requests_ping_ GUARDED_BY(mu_) = 0;
+    uint64_t requests_other_ GUARDED_BY(mu_) = 0;
+    uint64_t errors_total_ GUARDED_BY(mu_) = 0;
+    uint64_t rejected_queue_full_ GUARDED_BY(mu_) = 0;
+    uint64_t enqueued_ GUARDED_BY(mu_) = 0;
+    uint64_t dequeued_ GUARDED_BY(mu_) = 0;
+    uint64_t store_cold_ GUARDED_BY(mu_) = 0;
+    uint64_t store_near_ GUARDED_BY(mu_) = 0;
+    uint64_t store_exact_ GUARDED_BY(mu_) = 0;
+    uint64_t store_improved_ GUARDED_BY(mu_) = 0;
+    uint64_t timed_out_ GUARDED_BY(mu_) = 0;
+    uint64_t cancelled_ GUARDED_BY(mu_) = 0;
+    uint64_t samples_total_ GUARDED_BY(mu_) = 0;
+    uint64_t eval_cache_hits_ GUARDED_BY(mu_) = 0;
+    uint64_t eval_cache_misses_ GUARDED_BY(mu_) = 0;
+    LatencyHistogram search_latency_ GUARDED_BY(mu_);
 };
 
 } // namespace mse

@@ -30,6 +30,10 @@ ThreadPool::inTask()
 unsigned
 ThreadPool::configuredThreads()
 {
+    // getenv is safe here despite concurrency-mt-unsafe: nothing in
+    // this process calls setenv/putenv, so the environment is
+    // effectively immutable after main() starts.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char *env = std::getenv("MSE_THREADS")) {
         char *end = nullptr;
         const long v = std::strtol(env, &end, 10);
@@ -52,7 +56,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         stop_ = true;
     }
     job_cv_.notify_all();
@@ -73,7 +77,7 @@ ThreadPool::runJob(const std::function<void(size_t)> *fn, size_t n)
         }
         if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
             // Last item: wake the caller (lock pairs the predicate).
-            std::lock_guard<std::mutex> lk(mu_);
+            MutexLock lk(mu_);
             done_cv_.notify_all();
         }
     }
@@ -87,10 +91,12 @@ ThreadPool::workerLoop()
         const std::function<void(size_t)> *fn = nullptr;
         size_t n = 0;
         {
-            std::unique_lock<std::mutex> lk(mu_);
-            job_cv_.wait(lk, [&] {
-                return stop_ || (job_id_ != seen && job_fn_ != nullptr);
-            });
+            MutexUniqueLock lk(mu_);
+            // Wait predicate written as an explicit loop so the guarded
+            // reads stay in this function's scope for the thread-safety
+            // analysis (lock state does not propagate into lambdas).
+            while (!stop_ && !(job_id_ != seen && job_fn_ != nullptr))
+                job_cv_.wait(lk.native());
             if (stop_)
                 return;
             seen = job_id_;
@@ -100,7 +106,7 @@ ThreadPool::workerLoop()
         }
         runJob(fn, n);
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            MutexLock lk(mu_);
             --active_workers_;
         }
         done_cv_.notify_all();
@@ -121,7 +127,7 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
         return;
     }
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         job_fn_ = &fn;
         job_n_ = n;
         next_.store(0, std::memory_order_relaxed);
@@ -132,50 +138,43 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
     runJob(&fn, n);
     // Wait until every item completed AND every worker has left runJob,
     // so the next parallelFor cannot race a straggler's index fetch.
-    std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [&] {
-        return completed_.load(std::memory_order_acquire) == job_n_ &&
-               active_workers_ == 0;
-    });
+    MutexUniqueLock lk(mu_);
+    while (!(completed_.load(std::memory_order_acquire) == job_n_ &&
+             active_workers_ == 0))
+        done_cv_.wait(lk.native());
     job_fn_ = nullptr;
     job_n_ = 0;
 }
 
 namespace {
 
-std::unique_ptr<ThreadPool> &
-globalPoolSlot()
+/** The process-wide pool slot and the mutex guarding its pointer. */
+struct GlobalPool
 {
-    static std::unique_ptr<ThreadPool> pool;
-    return pool;
-}
+    static Mutex mu;
+    static std::unique_ptr<ThreadPool> slot GUARDED_BY(mu);
+};
 
-std::mutex &
-globalPoolMutex()
-{
-    static std::mutex mu;
-    return mu;
-}
+Mutex GlobalPool::mu;
+std::unique_ptr<ThreadPool> GlobalPool::slot;
 
 } // namespace
 
 ThreadPool &
 ThreadPool::global()
 {
-    std::lock_guard<std::mutex> lk(globalPoolMutex());
-    auto &slot = globalPoolSlot();
-    if (!slot)
-        slot = std::make_unique<ThreadPool>(0);
-    return *slot;
+    MutexLock lk(GlobalPool::mu);
+    if (!GlobalPool::slot)
+        GlobalPool::slot = std::make_unique<ThreadPool>(0);
+    return *GlobalPool::slot;
 }
 
 void
 ThreadPool::setGlobalThreads(unsigned threads)
 {
-    std::lock_guard<std::mutex> lk(globalPoolMutex());
-    auto &slot = globalPoolSlot();
-    slot.reset();
-    slot = std::make_unique<ThreadPool>(threads);
+    MutexLock lk(GlobalPool::mu);
+    GlobalPool::slot.reset();
+    GlobalPool::slot = std::make_unique<ThreadPool>(threads);
 }
 
 } // namespace mse

@@ -28,9 +28,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace mse {
 
@@ -67,7 +68,8 @@ class ThreadPool
      * published as a job — nesting therefore cannot deadlock, and the
      * outermost parallelFor level owns all the pool's parallelism.
      */
-    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn)
+        EXCLUDES(mu_);
 
     /** True while the calling thread is executing a pool task. */
     static bool inTask();
@@ -89,22 +91,23 @@ class ThreadPool
     static unsigned configuredThreads();
 
   private:
-    void workerLoop();
-    void runJob(const std::function<void(size_t)> *fn, size_t n);
+    void workerLoop() EXCLUDES(mu_);
+    void runJob(const std::function<void(size_t)> *fn, size_t n)
+        EXCLUDES(mu_);
 
     std::vector<std::thread> workers_;
 
-    std::mutex mu_;
+    Mutex mu_;
     std::condition_variable job_cv_;  ///< wakes workers on a new job
     std::condition_variable done_cv_; ///< wakes the caller on completion
 
     // Current job, guarded by mu_ for publication; next_/completed_ are
     // the hot counters workers hit lock-free.
-    const std::function<void(size_t)> *job_fn_ = nullptr;
-    size_t job_n_ = 0;
-    uint64_t job_id_ = 0;
-    unsigned active_workers_ = 0;
-    bool stop_ = false;
+    const std::function<void(size_t)> *job_fn_ GUARDED_BY(mu_) = nullptr;
+    size_t job_n_ GUARDED_BY(mu_) = 0;
+    uint64_t job_id_ GUARDED_BY(mu_) = 0;
+    unsigned active_workers_ GUARDED_BY(mu_) = 0;
+    bool stop_ GUARDED_BY(mu_) = false;
     std::atomic<size_t> next_{0};
     std::atomic<size_t> completed_{0};
 };

@@ -1,8 +1,8 @@
 #include "core/mse_engine.hpp"
 
 #include <memory>
-#include <mutex>
 
+#include "common/thread_annotations.hpp"
 #include "model/eval_cache.hpp"
 
 namespace mse {
@@ -20,11 +20,11 @@ MseEngine::optimizeWithEvaluator(const MapSpace &space, const EvalFn &eval,
     // final (energy, latency) content is order-independent; only the
     // payload sample indices can differ between thread counts.
     size_t sample_index = 0;
-    std::mutex pareto_mu;
+    Mutex pareto_mu;
     EvalFn tracked = [&](const Mapping &m) {
         const CostResult c = eval(m);
         {
-            std::lock_guard<std::mutex> lk(pareto_mu);
+            MutexLock lk(pareto_mu);
             if (c.valid) {
                 outcome.pareto.insert(c.energy_uj, c.latency_cycles,
                                       sample_index);

@@ -35,7 +35,7 @@ EvalCache::getOrComputeHashed(uint64_t h, const Mapping &m,
 {
     Shard &shard = shardFor(h);
     {
-        std::lock_guard<std::mutex> lk(shard.mu);
+        MutexLock lk(shard.mu);
         auto it = shard.map.find(h);
         if (it != shard.map.end() && it->second.key == m) {
             hits_.fetch_add(1, std::memory_order_relaxed);
@@ -49,7 +49,7 @@ EvalCache::getOrComputeHashed(uint64_t h, const Mapping &m,
     CostResult result = inner(m);
     misses_.fetch_add(1, std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lk(shard.mu);
+        MutexLock lk(shard.mu);
         shard.map.try_emplace(h, Entry{m, result});
     }
     return result;
@@ -76,7 +76,7 @@ EvalCache::size() const
 {
     size_t n = 0;
     for (const auto &s : shards_) {
-        std::lock_guard<std::mutex> lk(s->mu);
+        MutexLock lk(s->mu);
         n += s->map.size();
     }
     return n;
@@ -86,7 +86,7 @@ void
 EvalCache::clear()
 {
     for (const auto &s : shards_) {
-        std::lock_guard<std::mutex> lk(s->mu);
+        MutexLock lk(s->mu);
         s->map.clear();
     }
     hits_.store(0, std::memory_order_relaxed);

@@ -31,10 +31,10 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "mapping/mapping.hpp"
 #include "model/cost_model.hpp"
 
@@ -106,8 +106,9 @@ class EvalCache
 
     struct Shard
     {
-        std::mutex mu;
-        std::unordered_map<uint64_t, Entry, IdentityHash> map;
+        Mutex mu;
+        std::unordered_map<uint64_t, Entry, IdentityHash> map
+            GUARDED_BY(mu);
     };
 
     Shard &shardFor(uint64_t hash)

@@ -107,7 +107,7 @@ MappingStore::decodeEntry(const std::string &line)
 size_t
 MappingStore::load()
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     best_.clear();
     malformed_ = 0;
     dead_ = 0;
@@ -160,7 +160,7 @@ MappingStore::lookup(const Workload &wl, const ArchConfig &arch,
                      Objective objective, bool sparse,
                      double max_distance) const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     Lookup out;
     const auto it = best_.find(keyOf(wl, arch, objective, sparse));
     if (it != best_.end()) {
@@ -174,6 +174,10 @@ MappingStore::lookup(const Workload &wl, const ArchConfig &arch,
     const std::string arch_sig = fnv1a64Hex(arch.signature());
     double best_dist = std::numeric_limits<double>::infinity();
     const StoreEntry *best_entry = nullptr;
+    const std::string *best_key = nullptr;
+    // Min-reduction with a total order (distance, then key), so the
+    // chosen neighbor is independent of hash-map iteration order.
+    // mse-lint: allow(unordered-iter) order-independent min-reduction
     for (const auto &kv : best_) {
         const StoreEntry &e = kv.second;
         if (e.arch_sig != arch_sig || e.objective != objective ||
@@ -181,9 +185,11 @@ MappingStore::lookup(const Workload &wl, const ArchConfig &arch,
             continue;
         const double d = workloadDistance(SimilarityMetric::BoundRatio,
                                           wl, e.workload);
-        if (d < best_dist) {
+        if (d < best_dist ||
+            (d == best_dist && best_key && kv.first < *best_key)) {
             best_dist = d;
             best_entry = &e;
+            best_key = &kv.first;
         }
     }
     if (best_entry && best_dist <= max_distance) {
@@ -227,7 +233,7 @@ MappingStore::recordIfBetter(const Workload &wl, const ArchConfig &arch,
 {
     if (!(score > 0.0) || !std::isfinite(score))
         return false;
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     const std::string key = keyOf(wl, arch, objective, sparse);
     const auto it = best_.find(key);
     if (it != best_.end() && it->second.score <= score)
@@ -268,8 +274,20 @@ MappingStore::compactLocked()
     if (!f)
         return false;
     bool ok = true;
-    for (const auto &kv : best_) {
-        const std::string line = encodeEntry(kv.second);
+    // Write records in sorted key order: the compacted file's bytes
+    // must not depend on hash-map iteration order, so two stores that
+    // hold identical entries compact to identical files.
+    std::vector<const std::string *> keys;
+    keys.reserve(best_.size());
+    // mse-lint: allow(unordered-iter) keys are sorted before use
+    for (const auto &kv : best_)
+        keys.push_back(&kv.first);
+    std::sort(keys.begin(), keys.end(),
+              [](const std::string *a, const std::string *b) {
+                  return *a < *b;
+              });
+    for (const std::string *key : keys) {
+        const std::string line = encodeEntry(best_.at(*key));
         ok = ok &&
             std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
             std::fputc('\n', f) != EOF;
@@ -292,28 +310,28 @@ MappingStore::compactLocked()
 bool
 MappingStore::compact()
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return compactLocked();
 }
 
 size_t
 MappingStore::size() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return best_.size();
 }
 
 size_t
 MappingStore::malformedLines() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return malformed_;
 }
 
 size_t
 MappingStore::deadLines() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return dead_;
 }
 

@@ -29,13 +29,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "arch/arch.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/objective.hpp"
 #include "mapping/mapping.hpp"
 #include "workload/workload.hpp"
@@ -85,7 +85,7 @@ class MappingStore
      * key the best-scoring record wins. Returns the number of live
      * entries (0 for a missing file — a fresh store).
      */
-    size_t load();
+    size_t load() EXCLUDES(mu_);
 
     /** Result of a lookup: the entry plus how close it is. */
     struct Lookup
@@ -103,7 +103,7 @@ class MappingStore
      */
     Lookup lookup(const Workload &wl, const ArchConfig &arch,
                   Objective objective, bool sparse,
-                  double max_distance) const;
+                  double max_distance) const EXCLUDES(mu_);
 
     /**
      * Record a search outcome if it beats the stored best for its key
@@ -116,23 +116,23 @@ class MappingStore
                         Objective objective, bool sparse,
                         const Mapping &mapping, double score,
                         double energy_uj, double latency_cycles,
-                        uint64_t samples);
+                        uint64_t samples) EXCLUDES(mu_);
 
     /**
      * Atomically rewrite the backing file down to the live entries
      * (write temp + rename). Returns false on I/O failure (the old
      * file is left untouched).
      */
-    bool compact();
+    bool compact() EXCLUDES(mu_);
 
-    size_t size() const;
+    size_t size() const EXCLUDES(mu_);
 
     /** Malformed lines skipped by the last load(). */
-    size_t malformedLines() const;
+    size_t malformedLines() const EXCLUDES(mu_);
 
     /** Lines on disk superseded by better records since the last
      *  load/compact. */
-    size_t deadLines() const;
+    size_t deadLines() const EXCLUDES(mu_);
 
     /** Stable store key of one (workload, arch, objective, model)
      *  tuple. */
@@ -144,18 +144,18 @@ class MappingStore
     static std::optional<StoreEntry> decodeEntry(const std::string &line);
 
   private:
-    bool appendLocked(const StoreEntry &e);
-    bool compactLocked();
+    bool appendLocked(const StoreEntry &e) REQUIRES(mu_);
+    bool compactLocked() REQUIRES(mu_);
 
-    mutable std::mutex mu_;
-    std::string path_;
-    std::unordered_map<std::string, StoreEntry> best_;
-    size_t malformed_ = 0;
-    size_t dead_ = 0;
+    mutable Mutex mu_;
+    std::string path_; ///< Immutable after construction (unguarded).
+    std::unordered_map<std::string, StoreEntry> best_ GUARDED_BY(mu_);
+    size_t malformed_ GUARDED_BY(mu_) = 0;
+    size_t dead_ GUARDED_BY(mu_) = 0;
 
     /** File ends in a torn (unterminated) line; the next append must
      *  start on a fresh line or it would merge with the torn tail. */
-    bool tail_unterminated_ = false;
+    bool tail_unterminated_ GUARDED_BY(mu_) = false;
 };
 
 } // namespace mse

@@ -43,7 +43,7 @@ ServiceServer::stop()
         accept_thread_.join();
     std::vector<std::thread> threads;
     {
-        std::lock_guard<std::mutex> lk(conn_mu_);
+        MutexLock lk(conn_mu_);
         threads.swap(conn_threads_);
     }
     for (auto &t : threads)
@@ -74,7 +74,7 @@ ServiceServer::acceptLoop()
             continue;
         }
         ++live_connections_;
-        std::lock_guard<std::mutex> lk(conn_mu_);
+        MutexLock lk(conn_mu_);
         conn_threads_.emplace_back(
             [this, fd] { handleConnection(fd); });
     }

@@ -24,11 +24,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "service/service.hpp"
 
 namespace mse {
@@ -75,10 +75,10 @@ class ServiceServer
     bool stopRequested() const { return stop_flag_.load(); }
 
     /** Stop accepting, join all threads, drain the service. */
-    void stop();
+    void stop() EXCLUDES(conn_mu_);
 
   private:
-    void acceptLoop();
+    void acceptLoop() EXCLUDES(conn_mu_);
     void handleConnection(int fd);
 
     /** Run one search, cancelling if the peer hangs up mid-search. */
@@ -91,8 +91,8 @@ class ServiceServer
     std::atomic<bool> stop_flag_{false};
     std::atomic<size_t> live_connections_{0};
     std::thread accept_thread_;
-    std::mutex conn_mu_;
-    std::vector<std::thread> conn_threads_;
+    Mutex conn_mu_;
+    std::vector<std::thread> conn_threads_ GUARDED_BY(conn_mu_);
 };
 
 } // namespace mse

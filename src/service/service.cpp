@@ -91,7 +91,7 @@ MseService::submit(SearchRequest req)
     t.reply = pending->promise.get_future();
     t.cancel = pending->cancel;
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         if (stopping_) {
             metrics_.onError("shutting_down");
             return immediateTicket(
@@ -123,10 +123,11 @@ MseService::executorLoop()
     while (true) {
         std::unique_ptr<Pending> pending;
         {
-            std::unique_lock<std::mutex> lk(mu_);
-            queue_cv_.wait(lk, [this] {
-                return stopping_ || !queue_.empty();
-            });
+            MutexUniqueLock lk(mu_);
+            // Explicit wait loop: guarded reads stay in this scope for
+            // the thread-safety analysis (lambdas lose lock state).
+            while (!stopping_ && queue_.empty())
+                queue_cv_.wait(lk.native());
             if (stopping_ && (!drain_on_stop_ || queue_.empty())) {
                 // Abandon what's left (non-drain stop only).
                 for (auto &p : queue_) {
@@ -159,7 +160,7 @@ MseService::executorLoop()
         }
         pending->promise.set_value(std::move(reply));
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            MutexLock lk(mu_);
             running_cancel_.reset();
         }
     }
@@ -285,7 +286,7 @@ void
 MseService::stop(bool drain)
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         if (stopping_ && !executor_.joinable())
             return;
         stopping_ = true;

@@ -48,6 +48,7 @@
 #include <thread>
 
 #include "common/metrics.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/mse_engine.hpp"
 #include "core/objective.hpp"
 #include "service/mapping_store.hpp"
@@ -161,17 +162,17 @@ class MseService
      * service) come back as an already-completed future carrying a
      * structured error reply.
      */
-    Ticket submit(SearchRequest req);
+    Ticket submit(SearchRequest req) EXCLUDES(mu_);
 
     /** Synchronous convenience: submit and wait. */
-    SearchReply search(SearchRequest req);
+    SearchReply search(SearchRequest req) EXCLUDES(mu_);
 
     /**
      * Stop the executor. drain = finish queued requests first; without
      * drain, queued requests fail with `shutting_down` and the running
      * one is cancelled. Idempotent; called by the destructor (drain).
      */
-    void stop(bool drain = true);
+    void stop(bool drain = true) EXCLUDES(mu_);
 
     /** Stats snapshot: metrics + store + uptime (the `stats` reply). */
     JsonValue statsJson() const;
@@ -189,22 +190,23 @@ class MseService
         double deadline_abs = 0.0; ///< steady-clock seconds.
     };
 
-    void executorLoop();
+    void executorLoop() EXCLUDES(mu_);
     SearchReply runSearch(const SearchRequest &req,
                           const CancelTokenPtr &cancel,
                           double deadline_abs);
 
     ServiceConfig cfg_;
-    MappingStore store_;
-    ServiceMetrics metrics_;
-    double start_time_ = 0.0;
+    MappingStore store_;   ///< Internally synchronized.
+    ServiceMetrics metrics_; ///< Internally synchronized.
+    double start_time_ = 0.0; ///< Immutable after construction.
 
-    std::mutex mu_;
+    Mutex mu_;
     std::condition_variable queue_cv_;
-    std::deque<std::unique_ptr<Pending>> queue_;
-    bool stopping_ = false;
-    bool drain_on_stop_ = true;
-    CancelTokenPtr running_cancel_; ///< Token of the in-flight search.
+    std::deque<std::unique_ptr<Pending>> queue_ GUARDED_BY(mu_);
+    bool stopping_ GUARDED_BY(mu_) = false;
+    bool drain_on_stop_ GUARDED_BY(mu_) = true;
+    /** Token of the in-flight search. */
+    CancelTokenPtr running_cancel_ GUARDED_BY(mu_);
     std::thread executor_;
 };
 

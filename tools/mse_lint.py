@@ -1,0 +1,335 @@
+#!/usr/bin/env python3
+"""mse-lint: repo-specific static analysis for the MSE codebase.
+
+Enforces invariants the compiler cannot see — mostly determinism and
+concurrency discipline that the "bit-identical results at any
+MSE_THREADS" guarantee rests on:
+
+  json-emit      JSON may only be produced through src/common/json
+                 (JsonValue::dump / writeJsonFile). Hand-formatted JSON
+                 string literals elsewhere drift from the escaping and
+                 ordering rules the store and the wire protocol rely on.
+  nondet-seed    std::random_device / rand() / srand() are banned
+                 everywhere in src/: all randomness must flow through
+                 the deterministic, explicitly seeded mse::Rng.
+  wallclock-seed Wall-clock reads (now(), time()) must not feed RNG
+                 seeds in deterministic engine paths. Clock reads for
+                 budgets/latency are fine; a seed derived from one is
+                 not reproducible.
+  unordered-iter Iterating an unordered_map/unordered_set is
+                 order-unspecified; feeding that order into output,
+                 hashes, or tie-broken reductions is a determinism bug.
+                 Sites that are genuinely order-independent carry an
+                 allow comment saying why.
+  lock-across-parallelfor
+                 Holding a lock across ThreadPool::parallelFor or
+                 evaluateBatch serializes the batch at best and
+                 deadlocks at worst (workers may need the same lock).
+  raw-mutex      src/ must use the annotated mse::Mutex / MutexLock /
+                 MutexUniqueLock wrappers (common/thread_annotations.hpp)
+                 so every lock participates in Clang Thread Safety
+                 Analysis; bare std::mutex & friends are invisible to it.
+
+Escape hatch: a finding on line N is suppressed by an allow comment on
+that line (or the line above):   // mse-lint: allow(<rule>) <reason>
+
+Usage:
+  tools/mse_lint.py [--format {text,github}] [paths...]
+
+Paths default to src/ tools/ bench/ (tests/ is exempt: test fixtures
+legitimately contain literal JSON, raw mutexes, and hostile snippets).
+Exits 1 if any finding survives suppression, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+RULES = (
+    "json-emit",
+    "nondet-seed",
+    "wallclock-seed",
+    "unordered-iter",
+    "lock-across-parallelfor",
+    "raw-mutex",
+)
+
+CPP_EXTS = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h"}
+
+ALLOW_RE = re.compile(r"//\s*mse-lint:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+
+# A string literal containing the opening of a JSON object/field, e.g.
+# "{\"type\":..." — the signature of hand-rolled JSON emission.
+JSON_LITERAL_RE = re.compile(r'"[^"\n]*\{\\"')
+
+NONDET_RE = re.compile(r"std::random_device|random_device\s*\(|[^\w.:]s?rand\s*\(")
+
+CLOCK_RE = re.compile(r"::now\s*\(|[^\w.:]time\s*\(\s*(?:NULL|nullptr|0)?\s*\)")
+SEEDISH_RE = re.compile(r"[Ss]eed|\bRng\s*(?:\w+\s*)?[({]")
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*\*?(\w+)\s*\)")
+
+LOCK_DECL_RE = re.compile(
+    r"\b(?:std::lock_guard|std::unique_lock|std::scoped_lock|"
+    r"MutexLock|MutexUniqueLock)\b[^;]*\("
+)
+PARALLEL_CALL_RE = re.compile(r"\b(?:parallelFor|evaluateBatch)\s*\(")
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|shared_mutex|"
+    r"lock_guard|unique_lock|scoped_lock)\b"
+)
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def format(self, fmt: str) -> str:
+        if fmt == "github":
+            return (
+                f"::error file={self.path},line={self.line},"
+                f"title=mse-lint {self.rule}::{self.message}"
+            )
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Code content of a line for structural rules (keeps length rough)."""
+    line = re.sub(r'"(?:\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"'(?:\\.|[^'\\])*'", "''", line)
+    return re.sub(r"//.*", "", line)
+
+
+def allowed_rules(lines: list[str], idx: int) -> set[str]:
+    """Rules suppressed at line index idx (same line or the line above)."""
+    out: set[str] = set()
+    for look in (idx, idx - 1):
+        if 0 <= look < len(lines):
+            m = ALLOW_RE.search(lines[look])
+            if m:
+                out.update(r.strip() for r in m.group(1).split(","))
+    return out
+
+
+def norm(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def in_dir(path: str, prefix: str) -> bool:
+    return norm(path).startswith(prefix) or ("/" + prefix) in norm(path)
+
+
+class FileLinter:
+    def __init__(self, path: str, text: str,
+                 extra_unordered: set[str] | None = None):
+        self.path = path
+        self.lines = text.splitlines()
+        self.code = [strip_comments_and_strings(l) for l in self.lines]
+        self.extra_unordered = extra_unordered or set()
+        self.findings: list[Finding] = []
+
+    def report(self, idx: int, rule: str, message: str) -> None:
+        if rule in allowed_rules(self.lines, idx):
+            return
+        self.findings.append(Finding(self.path, idx + 1, rule, message))
+
+    # -- json-emit ----------------------------------------------------
+    def check_json_emit(self) -> None:
+        if in_dir(self.path, "src/common/json"):
+            return
+        for i, line in enumerate(self.lines):
+            if JSON_LITERAL_RE.search(line):
+                self.report(
+                    i, "json-emit",
+                    "hand-formatted JSON literal; build it with "
+                    "JsonValue (src/common/json) instead",
+                )
+
+    # -- nondet-seed --------------------------------------------------
+    def check_nondet_seed(self) -> None:
+        if not in_dir(self.path, "src/"):
+            return
+        for i, code in enumerate(self.code):
+            if NONDET_RE.search(code):
+                self.report(
+                    i, "nondet-seed",
+                    "nondeterministic randomness source; use the "
+                    "explicitly seeded mse::Rng",
+                )
+
+    # -- wallclock-seed -----------------------------------------------
+    def check_wallclock_seed(self) -> None:
+        if not in_dir(self.path, "src/"):
+            return
+        for i, code in enumerate(self.code):
+            if CLOCK_RE.search(code) and SEEDISH_RE.search(code):
+                self.report(
+                    i, "wallclock-seed",
+                    "wall-clock value appears to feed an RNG seed; "
+                    "derive seeds from stable signatures",
+                )
+
+    # -- unordered-iter -----------------------------------------------
+    def check_unordered_iter(self) -> None:
+        unordered: set[str] = set(self.extra_unordered)
+        for code in self.code:
+            for m in UNORDERED_DECL_RE.finditer(code):
+                unordered.add(m.group(1))
+        if not unordered:
+            return
+        for i, code in enumerate(self.code):
+            m = RANGE_FOR_RE.search(code)
+            if m and m.group(1) in unordered:
+                self.report(
+                    i, "unordered-iter",
+                    f"iteration over unordered container "
+                    f"'{m.group(1)}' is order-unspecified; sort first "
+                    f"or justify with an allow comment",
+                )
+
+    # -- lock-across-parallelfor --------------------------------------
+    def check_lock_across_parallelfor(self) -> None:
+        # Character-exact scope tracking: a scoped lock declared at
+        # brace depth d is live until depth drops below d; reaching a
+        # parallelFor/evaluateBatch call while any lock is live is a
+        # finding.
+        depth = 0
+        live: list[tuple[int, int]] = []  # (decl depth, decl line)
+        for i, code in enumerate(self.code):
+            events = [(m.start(), "lock")
+                      for m in LOCK_DECL_RE.finditer(code)]
+            events += [(m.start(), "par")
+                       for m in PARALLEL_CALL_RE.finditer(code)]
+            events.sort()
+            ei = 0
+            for pos in range(len(code) + 1):
+                while ei < len(events) and events[ei][0] == pos:
+                    if events[ei][1] == "lock":
+                        live.append((depth, i))
+                    elif live:
+                        self.report(
+                            i, "lock-across-parallelfor",
+                            f"parallelFor/evaluateBatch reached while "
+                            f"the lock declared on line "
+                            f"{live[-1][1] + 1} is held; workers "
+                            f"contending for it serialize or deadlock "
+                            f"the batch",
+                        )
+                    ei += 1
+                if pos < len(code):
+                    c = code[pos]
+                    if c == "{":
+                        depth += 1
+                    elif c == "}":
+                        depth -= 1
+                        live = [x for x in live if x[0] <= depth]
+
+    # -- raw-mutex ----------------------------------------------------
+    def check_raw_mutex(self) -> None:
+        if not in_dir(self.path, "src/"):
+            return
+        if in_dir(self.path, "src/common/thread_annotations"):
+            return
+        for i, code in enumerate(self.code):
+            m = RAW_MUTEX_RE.search(code)
+            if m:
+                self.report(
+                    i, "raw-mutex",
+                    f"'{m.group(0)}' bypasses Clang Thread Safety "
+                    f"Analysis; use mse::Mutex / MutexLock / "
+                    f"MutexUniqueLock (common/thread_annotations.hpp)",
+                )
+
+    def run(self) -> list[Finding]:
+        self.check_json_emit()
+        self.check_nondet_seed()
+        self.check_wallclock_seed()
+        self.check_unordered_iter()
+        self.check_lock_across_parallelfor()
+        self.check_raw_mutex()
+        return self.findings
+
+
+def header_unordered_members(path: str) -> set[str]:
+    """Unordered-container member names declared in a .cpp's header, so
+    iteration in the .cpp over a header-declared member is caught."""
+    stem, ext = os.path.splitext(path)
+    if ext not in {".cpp", ".cc", ".cxx"}:
+        return set()
+    out: set[str] = set()
+    for hdr_ext in (".hpp", ".hh", ".h"):
+        hdr = stem + hdr_ext
+        if os.path.isfile(hdr):
+            with open(hdr, "r", encoding="utf-8",
+                      errors="replace") as f:
+                for line in f:
+                    for m in UNORDERED_DECL_RE.finditer(
+                            strip_comments_and_strings(line)):
+                        out.add(m.group(1))
+    return out
+
+
+def lint_file(path: str, text: str | None = None) -> list[Finding]:
+    if text is None:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    return FileLinter(norm(path), text,
+                      header_unordered_members(path)).run()
+
+
+def collect_files(paths: list[str]) -> list[str]:
+    out: list[str] = []
+    for p in paths:
+        if os.path.isfile(p):
+            if os.path.splitext(p)[1] in CPP_EXTS:
+                out.append(p)
+        else:
+            for root, dirs, files in os.walk(p):
+                dirs[:] = sorted(d for d in dirs if not d.startswith("."))
+                for f in sorted(files):
+                    if os.path.splitext(f)[1] in CPP_EXTS:
+                        out.append(os.path.join(root, f))
+    return out
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories (default: src tools bench)")
+    ap.add_argument("--format", choices=("text", "github"), default="text",
+                    help="finding output format")
+    args = ap.parse_args(argv)
+
+    roots = args.paths or ["src", "tools", "bench"]
+    files = collect_files(roots)
+    if not files:
+        print("mse-lint: no C++ files found under", " ".join(roots),
+              file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path))
+
+    for f in findings:
+        print(f.format(args.format))
+    summary = (f"mse-lint: {len(findings)} finding(s) in "
+               f"{len(files)} file(s)")
+    print(summary if args.format == "text" else f"::notice::{summary}",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -25,12 +25,45 @@
 namespace {
 
 // Written by the signal handler, read by the main wait loop.
+// `volatile sig_atomic_t` is the only object type the C++ standard
+// guarantees a signal handler may write (glibc additionally makes the
+// store atomic with respect to the polling read in main()).
 volatile std::sig_atomic_t g_stop = 0;
 
-void
+extern "C" void
 onSignal(int)
 {
+    // Async-signal-safety contract: this handler runs at arbitrary
+    // points, possibly mid-malloc or mid-printf on the interrupted
+    // thread. It must therefore touch nothing but g_stop and call
+    // only async-signal-safe functions (_Exit is on that list;
+    // printf/fprintf/exit and anything that locks or allocates are
+    // not). The graceful drain — server.stop(), stats dump — happens
+    // in main(), outside signal context.
+    if (g_stop) {
+        // Second SIGINT/SIGTERM: the drain is stuck (or the operator
+        // is impatient). Hard-exit without running atexit handlers or
+        // flushing stdio; 130 = 128 + SIGINT, the conventional
+        // killed-by-signal status.
+        std::_Exit(130);
+    }
     g_stop = 1;
+}
+
+void
+installSignalHandlers()
+{
+    // sigaction over std::signal: defined semantics for the handler's
+    // disposition after delivery (no SysV reset-to-default race) and
+    // explicit SA_RESTART, so the server's blocking accept()/read()
+    // calls on other threads are restarted rather than failing with
+    // EINTR mid-request.
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
 }
 
 void
@@ -96,8 +129,7 @@ main(int argc, char **argv)
         return 1;
     }
 
-    std::signal(SIGINT, onSignal);
-    std::signal(SIGTERM, onSignal);
+    installSignalHandlers();
 
     std::printf("LISTENING %u\n", server.port());
     std::fflush(stdout);

@@ -5,10 +5,17 @@
 # SIGTERM the daemon and require a clean drain.
 #
 # Usage: tools/service_smoke.sh BUILD_DIR
+#
+# Every wait (port report, client calls, drain) is bounded by
+# SMOKE_WAIT_S (default 30s) so a wedged daemon fails the test instead
+# of hanging CI. Sanitizer builds are slow — the TSan job exports
+# SMOKE_WAIT_S=120.
+#
 # Exits non-zero on the first broken expectation.
-set -u
+set -euo pipefail
 
 BUILD_DIR="${1:-build}"
+SMOKE_WAIT_S="${SMOKE_WAIT_S:-30}"
 SERVE="$BUILD_DIR/tools/mse_serve"
 CLIENT="$BUILD_DIR/tools/mse_client"
 WORK_DIR="$(mktemp -d)"
@@ -23,6 +30,20 @@ fail() {
     exit 1
 }
 
+# wait_until DESCRIPTION COMMAND...: poll COMMAND every 0.1s until it
+# succeeds or SMOKE_WAIT_S elapses; fail loudly on timeout.
+wait_until() {
+    local what="$1"
+    shift
+    local deadline=$(($(date +%s) + SMOKE_WAIT_S))
+    until "$@"; do
+        if [ "$(date +%s)" -ge "$deadline" ]; then
+            fail "timed out after ${SMOKE_WAIT_S}s waiting for $what"
+        fi
+        sleep 0.1
+    done
+}
+
 [ -x "$SERVE" ] || fail "missing $SERVE (build first)"
 [ -x "$CLIENT" ] || fail "missing $CLIENT (build first)"
 
@@ -30,19 +51,19 @@ fail() {
 SERVE_PID=$!
 trap '[ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null; rm -rf "$WORK_DIR"' EXIT
 
-# Wait for "LISTENING <port>" (the daemon binds an ephemeral port).
-PORT=""
-for _ in $(seq 1 100); do
-    PORT=$(awk '/^LISTENING/ {print $2; exit}' "$SERVE_LOG" 2>/dev/null)
-    [ -n "$PORT" ] && break
+# Wait for "LISTENING <port>" (the daemon binds an ephemeral port),
+# failing immediately if the daemon dies instead of reporting one.
+port_reported() {
     kill -0 "$SERVE_PID" 2>/dev/null || fail "daemon died on startup"
-    sleep 0.1
-done
-[ -n "$PORT" ] && [ "$PORT" -gt 0 ] || fail "daemon never reported its port"
+    grep -q '^LISTENING' "$SERVE_LOG" 2>/dev/null
+}
+wait_until "the daemon to report its port" port_reported
+PORT=$(awk '/^LISTENING/ {print $2; exit}' "$SERVE_LOG")
+[ -n "$PORT" ] && [ "$PORT" -gt 0 ] || fail "daemon reported a bad port: '$PORT'"
 echo "daemon up on port $PORT (pid $SERVE_PID)"
 
 run_client() {
-    timeout 120 "$CLIENT" --port "$PORT" "$@"
+    timeout "$((SMOKE_WAIT_S * 4))" "$CLIENT" --port "$PORT" "$@"
 }
 
 run_client --ping | grep -q '"ok":true' || fail "ping failed"
@@ -66,17 +87,10 @@ echo "$STATS" | grep -q '"entries":1' || fail "stats missing the store entry: $S
 [ -s "$STORE" ] || fail "store file was never written"
 
 kill -TERM "$SERVE_PID"
-DRAINED=1
-for _ in $(seq 1 100); do
-    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
-        DRAINED=0
-        break
-    fi
-    sleep 0.1
-done
-[ "$DRAINED" -eq 0 ] || fail "daemon did not exit within 10s of SIGTERM"
-wait "$SERVE_PID" 2>/dev/null
-RC=$?
+daemon_gone() { ! kill -0 "$SERVE_PID" 2>/dev/null; }
+wait_until "the daemon to drain after SIGTERM" daemon_gone
+RC=0
+wait "$SERVE_PID" 2>/dev/null || RC=$?
 [ "$RC" -eq 0 ] || fail "daemon exited with status $RC"
 grep -q 'shutting down' "$SERVE_LOG" || fail "daemon skipped its drain path"
 SERVE_PID=""

@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/mse_lint.py.
+
+Each rule is exercised on fixture snippets twice: once proving it fires
+on the violating pattern, once proving the `// mse-lint: allow(<rule>)`
+escape hatch suppresses exactly that finding. Run directly or via ctest
+(registered as `mse_lint_selftest`).
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import mse_lint  # noqa: E402
+
+
+def lint(path: str, text: str):
+    return mse_lint.lint_file(path, text)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class JsonEmitTest(unittest.TestCase):
+    SNIPPET = r'''
+void dump() {
+    printf("{\"ok\":true}\n");
+}
+'''
+
+    def test_fires_outside_json_layer(self):
+        self.assertEqual(rules_of(lint("src/core/x.cpp", self.SNIPPET)),
+                         ["json-emit"])
+
+    def test_quiet_inside_json_layer(self):
+        self.assertEqual(lint("src/common/json.cpp", self.SNIPPET), [])
+
+    def test_allow_comment_suppresses(self):
+        snippet = self.SNIPPET.replace(
+            "printf(",
+            "// mse-lint: allow(json-emit) protocol frame, not a doc\n"
+            "    printf(")
+        self.assertEqual(lint("src/core/x.cpp", snippet), [])
+
+    def test_jsonvalue_dump_is_clean(self):
+        code = 'void f() { printf("%s", j.dump().c_str()); }'
+        self.assertEqual(lint("src/core/x.cpp", code), [])
+
+
+class NondetSeedTest(unittest.TestCase):
+    def test_random_device_fires(self):
+        code = "uint64_t s = std::random_device{}();"
+        self.assertEqual(rules_of(lint("src/mappers/m.cpp", code)),
+                         ["nondet-seed"])
+
+    def test_rand_fires(self):
+        code = "int r = rand() % 7;"
+        self.assertEqual(rules_of(lint("src/core/e.cpp", code)),
+                         ["nondet-seed"])
+
+    def test_srand_fires(self):
+        code = "void f() { srand(42); }"
+        self.assertEqual(rules_of(lint("src/core/e.cpp", code)),
+                         ["nondet-seed"])
+
+    def test_identifier_containing_rand_is_clean(self):
+        code = "double v = quick_rand(rng);"
+        self.assertEqual(lint("src/core/e.cpp", code), [])
+
+    def test_outside_src_is_exempt(self):
+        code = "int r = rand();"
+        self.assertEqual(lint("bench/b.cpp", code), [])
+
+    def test_allow_comment_suppresses(self):
+        code = ("int r = rand(); "
+                "// mse-lint: allow(nondet-seed) fixture only")
+        self.assertEqual(lint("src/core/e.cpp", code), [])
+
+
+class WallclockSeedTest(unittest.TestCase):
+    def test_now_feeding_seed_fires(self):
+        code = ("Rng rng(static_cast<uint64_t>("
+                "std::chrono::steady_clock::now()"
+                ".time_since_epoch().count()));")
+        self.assertEqual(rules_of(lint("src/core/e.cpp", code)),
+                         ["wallclock-seed"])
+
+    def test_time_null_seed_fires(self):
+        code = "uint64_t seed = time(nullptr);"
+        self.assertEqual(rules_of(lint("src/core/e.cpp", code)),
+                         ["wallclock-seed"])
+
+    def test_budget_timing_is_clean(self):
+        code = ("const double t0 = std::chrono::duration<double>("
+                "clock::now().time_since_epoch()).count();")
+        self.assertEqual(lint("src/core/e.cpp", code), [])
+
+    def test_allow_comment_suppresses(self):
+        code = ("uint64_t seed = time(nullptr); "
+                "// mse-lint: allow(wallclock-seed)")
+        self.assertEqual(lint("src/core/e.cpp", code), [])
+
+
+class UnorderedIterTest(unittest.TestCase):
+    SNIPPET = """
+std::unordered_map<std::string, int> counts;
+void emit() {
+    for (const auto &kv : counts)
+        print(kv);
+}
+"""
+
+    def test_iteration_fires(self):
+        self.assertEqual(rules_of(lint("src/core/x.cpp", self.SNIPPET)),
+                         ["unordered-iter"])
+
+    def test_lookup_only_is_clean(self):
+        code = ("std::unordered_map<std::string, int> counts;\n"
+                "int get(const std::string &k) "
+                "{ return counts.at(k); }\n")
+        self.assertEqual(lint("src/core/x.cpp", code), [])
+
+    def test_ordered_map_is_clean(self):
+        code = ("std::map<std::string, int> counts;\n"
+                "void emit() { for (const auto &kv : counts) "
+                "print(kv); }\n")
+        self.assertEqual(lint("src/core/x.cpp", code), [])
+
+    def test_allow_comment_on_previous_line_suppresses(self):
+        snippet = self.SNIPPET.replace(
+            "    for (",
+            "    // mse-lint: allow(unordered-iter) order-independent\n"
+            "    for (")
+        self.assertEqual(lint("src/core/x.cpp", snippet), [])
+
+    def test_member_declared_in_header(self):
+        with tempfile.TemporaryDirectory() as d:
+            hpp = os.path.join(d, "store.hpp")
+            cpp = os.path.join(d, "store.cpp")
+            with open(hpp, "w") as f:
+                f.write("std::unordered_map<std::string, E> best_ "
+                        "GUARDED_BY(mu_);\n")
+            with open(cpp, "w") as f:
+                f.write("void S::dump() {\n"
+                        "    for (const auto &kv : best_) emit(kv);\n"
+                        "}\n")
+            self.assertEqual(rules_of(mse_lint.lint_file(cpp)),
+                             ["unordered-iter"])
+
+
+class LockAcrossParallelForTest(unittest.TestCase):
+    def test_lock_held_across_parallelfor_fires(self):
+        code = """
+void f() {
+    MutexLock lk(mu_);
+    pool.parallelFor(n, fn);
+}
+"""
+        self.assertEqual(rules_of(lint("src/core/x.cpp", code)),
+                         ["lock-across-parallelfor"])
+
+    def test_std_lock_guard_also_fires_outside_src(self):
+        code = """
+void f() {
+    std::lock_guard<std::mutex> lk(mu_);
+    tracker.evaluateBatch(batch);
+}
+"""
+        self.assertEqual(rules_of(lint("bench/b.cpp", code)),
+                         ["lock-across-parallelfor"])
+
+    def test_lock_released_before_parallelfor_is_clean(self):
+        code = """
+void f() {
+    {
+        MutexLock lk(mu_);
+        prepare();
+    }
+    pool.parallelFor(n, fn);
+}
+"""
+        self.assertEqual(lint("src/core/x.cpp", code), [])
+
+    def test_same_line_scope_is_clean(self):
+        code = """
+void f() {
+    { MutexLock lk(mu_); prepare(); }
+    pool.parallelFor(n, fn);
+}
+"""
+        self.assertEqual(lint("src/core/x.cpp", code), [])
+
+    def test_allow_comment_suppresses(self):
+        code = """
+void f() {
+    MutexLock lk(mu_);
+    // mse-lint: allow(lock-across-parallelfor) single-thread mode
+    pool.parallelFor(n, fn);
+}
+"""
+        self.assertEqual(lint("src/core/x.cpp", code), [])
+
+
+class RawMutexTest(unittest.TestCase):
+    def test_std_mutex_fires_in_src(self):
+        code = "std::mutex mu_;"
+        self.assertEqual(rules_of(lint("src/core/x.hpp", code)),
+                         ["raw-mutex"])
+
+    def test_lock_guard_fires_in_src(self):
+        code = "std::lock_guard<std::mutex> lk(mu_);"
+        self.assertEqual(rules_of(lint("src/core/x.cpp", code)),
+                         ["raw-mutex"])  # one finding per line
+
+    def test_thread_annotations_header_exempt(self):
+        code = "std::mutex mu_;"
+        self.assertEqual(
+            lint("src/common/thread_annotations.hpp", code), [])
+
+    def test_tests_and_bench_exempt(self):
+        code = "std::mutex mu_;"
+        self.assertEqual(lint("tests/test_x.cpp", code), [])
+        self.assertEqual(lint("bench/b.cpp", code), [])
+
+    def test_annotated_wrappers_are_clean(self):
+        code = ("Mutex mu_;\nvoid f() { MutexLock lk(mu_); x_++; }\n")
+        self.assertEqual(lint("src/core/x.cpp", code), [])
+
+    def test_allow_comment_suppresses(self):
+        code = ("std::mutex mu_; "
+                "// mse-lint: allow(raw-mutex) interop with external lib")
+        self.assertEqual(lint("src/core/x.hpp", code), [])
+
+
+class SuppressionHygieneTest(unittest.TestCase):
+    def test_allow_only_suppresses_named_rule(self):
+        code = ("int r = rand(); "
+                "// mse-lint: allow(json-emit) wrong rule name")
+        self.assertEqual(rules_of(lint("src/core/e.cpp", code)),
+                         ["nondet-seed"])
+
+    def test_allow_list_suppresses_multiple_rules(self):
+        code = ("std::mutex mu_; int r = rand(); "
+                "// mse-lint: allow(raw-mutex, nondet-seed)")
+        self.assertEqual(lint("src/core/e.cpp", code), [])
+
+    def test_comment_content_not_linted(self):
+        code = "// std::mutex example in a comment, rand() too"
+        self.assertEqual(lint("src/core/e.cpp", code), [])
+
+    def test_string_content_not_structurally_linted(self):
+        code = 'const char *doc = "call rand() for chaos";'
+        self.assertEqual(lint("src/core/e.cpp", code), [])
+
+
+class RepoIsCleanTest(unittest.TestCase):
+    def test_whole_repo_has_zero_findings(self):
+        repo = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+        roots = [os.path.join(repo, d) for d in ("src", "tools", "bench")]
+        findings = []
+        for path in mse_lint.collect_files(roots):
+            findings.extend(mse_lint.lint_file(path))
+        self.assertEqual(findings, [],
+                         "repo must lint clean: " +
+                         "; ".join(f.format("text") for f in findings))
+
+
+if __name__ == "__main__":
+    unittest.main()
