@@ -269,10 +269,20 @@ main(int argc, char **argv)
     doc["service_stats"] = stats;
     bench::writeBenchJson("BENCH_service_throughput.json", doc);
 
+    // A store that degraded mid-bench (or a run with faults armed)
+    // invalidates the warm-pass numbers — fail loudly, don't publish.
+    bool tainted = false;
+    if (const JsonValue *st = stats.find("store"))
+        tainted = st->getBool("degraded", false);
+    tainted = tainted || stats.find("faults") != nullptr;
+
     const bool ok = cold.failures == 0 && warm.failures == 0 &&
         warm.exact_hits == warm.latencies_s.size() &&
-        !warm.latencies_s.empty() && warm_sti <= cold_sti;
-    if (!ok)
+        !warm.latencies_s.empty() && warm_sti <= cold_sti && !tainted;
+    if (tainted)
+        std::fprintf(stderr, "FAIL: store degraded or faults armed "
+                             "during the bench\n");
+    else if (!ok)
         std::fprintf(stderr, "FAIL: warm pass did not beat cold\n");
     return ok ? 0 : 1;
 }

@@ -1,0 +1,271 @@
+#include "common/fault_injection.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/math_util.hpp"
+
+namespace mse {
+
+namespace {
+
+/** Split on a delimiter; empty tokens preserved. */
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (true) {
+        const size_t next = s.find(delim, pos);
+        out.push_back(s.substr(
+            pos, next == std::string::npos ? std::string::npos
+                                           : next - pos));
+        if (next == std::string::npos)
+            break;
+        pos = next + 1;
+    }
+    return out;
+}
+
+bool
+parseU64(const std::string &s, uint64_t *out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || !end || *end != '\0')
+        return false;
+    *out = static_cast<uint64_t>(v);
+    return true;
+}
+
+bool
+parseProb(const std::string &s, double *out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (!end || *end != '\0' || !(v >= 0.0) || !(v <= 1.0))
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+setErr(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = msg;
+    return false;
+}
+
+} // namespace
+
+int
+FaultInjector::errnoFromName(const std::string &name)
+{
+    struct NameVal
+    {
+        const char *name;
+        int value;
+    };
+    static const NameVal kNames[] = {
+        {"EIO", EIO},           {"ENOSPC", ENOSPC},
+        {"EINTR", EINTR},       {"EAGAIN", EAGAIN},
+        {"EPIPE", EPIPE},       {"ECONNRESET", ECONNRESET},
+        {"EBADF", EBADF},       {"EMFILE", EMFILE},
+        {"ENOMEM", ENOMEM},     {"EACCES", EACCES},
+        {"ENOENT", ENOENT},     {"EDQUOT", EDQUOT},
+        {"ETIMEDOUT", ETIMEDOUT},
+    };
+    for (const auto &nv : kNames)
+        if (name == nv.name)
+            return nv.value;
+    uint64_t num = 0;
+    if (parseU64(name, &num) && num > 0 && num < 4096)
+        return static_cast<int>(num);
+    return 0;
+}
+
+std::optional<FaultSpec>
+FaultInjector::parseSpec(const std::string &spec, std::string *err)
+{
+    const auto parts = split(spec, ':');
+    FaultSpec out;
+    if (parts.empty() || parts[0].empty()) {
+        setErr(err, "empty fault spec");
+        return std::nullopt;
+    }
+    const std::string &mode = parts[0];
+    if (mode == "every" || mode == "once") {
+        // every:N[:ERR]  /  once:N[:ERR]
+        if (parts.size() < 2 || parts.size() > 3) {
+            setErr(err, "'" + mode + "' wants " + mode +
+                       ":N[:ERRNO], got '" + spec + "'");
+            return std::nullopt;
+        }
+        out.mode = mode == "every" ? FaultSpec::Mode::EveryN
+                                   : FaultSpec::Mode::Once;
+        if (!parseU64(parts[1], &out.n) || out.n == 0) {
+            setErr(err, "'" + mode + "' wants a positive call count, "
+                       "got '" + parts[1] + "'");
+            return std::nullopt;
+        }
+        if (parts.size() == 3) {
+            out.error = errnoFromName(parts[2]);
+            if (out.error == 0) {
+                setErr(err, "unknown errno '" + parts[2] + "'");
+                return std::nullopt;
+            }
+        }
+        return out;
+    }
+    if (mode == "p") {
+        // p:PROB:SEED[:ERR]
+        if (parts.size() < 3 || parts.size() > 4) {
+            setErr(err,
+                   "'p' wants p:PROB:SEED[:ERRNO], got '" + spec + "'");
+            return std::nullopt;
+        }
+        out.mode = FaultSpec::Mode::Probability;
+        if (!parseProb(parts[1], &out.p)) {
+            setErr(err, "probability must be in [0, 1], got '" +
+                       parts[1] + "'");
+            return std::nullopt;
+        }
+        if (!parseU64(parts[2], &out.seed)) {
+            setErr(err, "'p' wants an integer seed, got '" + parts[2] +
+                       "'");
+            return std::nullopt;
+        }
+        if (parts.size() == 4) {
+            out.error = errnoFromName(parts[3]);
+            if (out.error == 0) {
+                setErr(err, "unknown errno '" + parts[3] + "'");
+                return std::nullopt;
+            }
+        }
+        return out;
+    }
+    setErr(err, "unknown fault mode '" + mode +
+               "' (want every, once, or p)");
+    return std::nullopt;
+}
+
+bool
+FaultInjector::configure(const std::string &config, std::string *err)
+{
+    std::unordered_map<std::string, Site> sites;
+    if (!config.empty()) {
+        for (const std::string &entry : split(config, ',')) {
+            if (entry.empty())
+                continue;
+            const size_t colon = entry.find(':');
+            if (colon == std::string::npos || colon == 0)
+                return setErr(err, "fault entry needs 'site:spec', "
+                                   "got '" + entry + "'");
+            const std::string site = entry.substr(0, colon);
+            const auto spec =
+                parseSpec(entry.substr(colon + 1), err);
+            if (!spec)
+                return false;
+            Site s;
+            s.spec = *spec;
+            // Per-site stream: the same seed drives independent,
+            // reproducible sequences at every site.
+            s.rng.seed(spec->seed ^ fnv1a64(site));
+            sites.emplace(site, std::move(s));
+        }
+    }
+    MutexLock lk(mu_);
+    sites_ = std::move(sites);
+    total_injected_.store(0, std::memory_order_relaxed);
+    armed_.store(!sites_.empty(), std::memory_order_relaxed);
+    return true;
+}
+
+void
+FaultInjector::clear()
+{
+    MutexLock lk(mu_);
+    sites_.clear();
+    total_injected_.store(0, std::memory_order_relaxed);
+    armed_.store(false, std::memory_order_relaxed);
+}
+
+int
+FaultInjector::check(const char *site)
+{
+    if (!armed_.load(std::memory_order_relaxed))
+        return 0;
+    MutexLock lk(mu_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end())
+        return 0;
+    Site &s = it->second;
+    ++s.calls;
+    bool fire = false;
+    switch (s.spec.mode) {
+      case FaultSpec::Mode::EveryN:
+        fire = s.calls % s.spec.n == 0;
+        break;
+      case FaultSpec::Mode::Once:
+        fire = s.calls == s.spec.n;
+        break;
+      case FaultSpec::Mode::Probability:
+        fire = s.rng.chance(s.spec.p);
+        break;
+    }
+    if (!fire)
+        return 0;
+    ++s.injected;
+    total_injected_.fetch_add(1, std::memory_order_relaxed);
+    return s.spec.error;
+}
+
+uint64_t
+FaultInjector::calls(const std::string &site) const
+{
+    MutexLock lk(mu_);
+    const auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.calls;
+}
+
+uint64_t
+FaultInjector::injected(const std::string &site) const
+{
+    MutexLock lk(mu_);
+    const auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.injected;
+}
+
+FaultInjector &
+FaultInjector::global()
+{
+    // Configured from the environment exactly once, at first use.
+    // A malformed MSE_FAULTS aborts: silently running *without* the
+    // faults the operator asked for would fake robustness test passes.
+    static FaultInjector *g = [] {
+        auto *inj = new FaultInjector();
+        // getenv is safe here despite concurrency-mt-unsafe: this
+        // initializer runs once (magic static) and nothing in this
+        // process calls setenv.
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
+        if (const char *env = std::getenv("MSE_FAULTS")) {
+            std::string err;
+            if (!inj->configure(env, &err)) {
+                std::fprintf(stderr, "MSE_FAULTS: %s\n", err.c_str());
+                std::abort();
+            }
+        }
+        return inj;
+    }();
+    return *g;
+}
+
+} // namespace mse

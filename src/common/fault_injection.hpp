@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for robustness testing.
+ *
+ * A long-lived service's failure behavior is untestable if the only way
+ * to provoke a failure is to actually fill the disk or yank a cable.
+ * This subsystem lets tests and the chaos harness inject errno-level
+ * failures at named *sites* — code locations that opted in by calling
+ * faultCheck("site.name") before a syscall (the sys_io seam does this
+ * for every wrapped call). Which sites fail, when, and with what errno
+ * is configured by the MSE_FAULTS environment variable (or
+ * programmatically from tests):
+ *
+ *   MSE_FAULTS="site:MODE:ARGS...:ERRNO[,site:MODE:...]"
+ *
+ * Modes (all deterministic — identical configs replay identical
+ * failure sequences, which is what makes failure bugs debuggable):
+ *
+ *   every:N:ERR     fail calls N, 2N, 3N, ... at this site
+ *   once:N:ERR      fail exactly the Nth call (1-based), then never
+ *   p:PROB:SEED:ERR fail each call with probability PROB, drawn from
+ *                   an mse::Rng seeded with SEED ^ fnv1a64(site) —
+ *                   per-site streams, reproducible run-to-run
+ *
+ * ERR is an errno name (ENOSPC, EIO, EINTR, EAGAIN, EPIPE, ECONNRESET,
+ * EBADF, EMFILE, ENOMEM, EACCES) or a plain decimal number. Example:
+ *
+ *   MSE_FAULTS="store.append:every:3:ENOSPC,net.recv:p:0.01:42:EIO"
+ *
+ * Zero overhead when disabled: faultCheck() is a single relaxed atomic
+ * load when no faults are configured (the common production case).
+ * Per-site call counters are kept under a mutex, so concurrent callers
+ * of the *same* site serialize on injection bookkeeping only while
+ * faults are armed.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace mse {
+
+/** One parsed site fault specification. */
+struct FaultSpec
+{
+    enum class Mode
+    {
+        EveryN,      ///< Fail calls N, 2N, 3N, ...
+        Once,        ///< Fail exactly the Nth call.
+        Probability, ///< Fail each call with seeded probability p.
+    };
+    Mode mode = Mode::EveryN;
+    uint64_t n = 1;      ///< Period (EveryN) or call index (Once).
+    double p = 0.0;      ///< Probability (Probability mode).
+    uint64_t seed = 0;   ///< RNG seed (Probability mode).
+    int error = 5;       ///< errno to inject (default EIO).
+};
+
+/**
+ * Registry of fault sites. One process-global instance (global()) is
+ * configured from MSE_FAULTS at first use; tests may reconfigure it or
+ * use private instances.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+
+    /** Process-global injector, configured once from MSE_FAULTS. */
+    static FaultInjector &global();
+
+    /**
+     * Replace the configuration from an MSE_FAULTS-grammar string.
+     * Empty string disarms. Returns false (and fills *err, config
+     * unchanged) on a malformed spec.
+     */
+    bool configure(const std::string &config,
+                   std::string *err = nullptr) EXCLUDES(mu_);
+
+    /** Drop all sites and disarm. Counters reset. */
+    void clear() EXCLUDES(mu_);
+
+    /**
+     * The injection point: returns 0 to proceed, or the errno to
+     * inject at this call. Cheap when disarmed (one atomic load).
+     */
+    int check(const char *site) EXCLUDES(mu_);
+
+    /** True when at least one site is configured. */
+    bool armed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /** Calls seen at a site (0 for unknown sites). */
+    uint64_t calls(const std::string &site) const EXCLUDES(mu_);
+
+    /** Faults injected at a site (0 for unknown sites). */
+    uint64_t injected(const std::string &site) const EXCLUDES(mu_);
+
+    /** Faults injected across all sites since configure/clear. */
+    uint64_t totalInjected() const
+    {
+        return total_injected_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Parse one "MODE:ARGS...:ERRNO" spec (the part after "site:").
+     * Exposed for tests. Returns nullopt and fills *err on failure.
+     */
+    static std::optional<FaultSpec> parseSpec(const std::string &spec,
+                                              std::string *err);
+
+    /** Map an errno name ("ENOSPC") or decimal string to a value;
+     *  0 = unknown. */
+    static int errnoFromName(const std::string &name);
+
+  private:
+    struct Site
+    {
+        FaultSpec spec;
+        uint64_t calls = 0;
+        uint64_t injected = 0;
+        Rng rng; ///< Probability mode stream (seed ^ fnv1a64(site)).
+    };
+
+    mutable Mutex mu_;
+    std::unordered_map<std::string, Site> sites_ GUARDED_BY(mu_);
+    std::atomic<bool> armed_{false};
+    std::atomic<uint64_t> total_injected_{0};
+};
+
+/**
+ * The one-liner used at injection sites: 0 = proceed, else the errno
+ * to inject. Compiles to an atomic load + branch when no faults are
+ * configured.
+ */
+inline int
+faultCheck(const char *site)
+{
+    FaultInjector &g = FaultInjector::global();
+    if (!g.armed())
+        return 0;
+    return g.check(site);
+}
+
+} // namespace mse

@@ -145,6 +145,13 @@ ServiceMetrics::onSearchDone(const SearchSample &s)
     eval_cache_misses_ += s.eval_cache_misses;
 }
 
+void
+ServiceMetrics::onStoreDegraded()
+{
+    MutexLock lk(mu_);
+    ++store_degraded_events_;
+}
+
 uint64_t
 ServiceMetrics::queueDepth() const
 {
@@ -172,6 +179,7 @@ ServiceMetrics::toJson() const
     store["near_hits"] = store_near_;
     store["cold"] = store_cold_;
     store["improvements_written"] = store_improved_;
+    store["degraded_events"] = store_degraded_events_;
     JsonValue &search = j["search"];
     search["timed_out"] = timed_out_;
     search["cancelled"] = cancelled_;

@@ -88,6 +88,9 @@ class ServiceMetrics
     };
     void onSearchDone(const SearchSample &s) EXCLUDES(mu_);
 
+    /** The mapping store entered degraded (read-only) mode. */
+    void onStoreDegraded() EXCLUDES(mu_);
+
     /** Current queue depth (enqueued - dequeued). */
     uint64_t queueDepth() const EXCLUDES(mu_);
 
@@ -109,6 +112,7 @@ class ServiceMetrics
     uint64_t store_near_ GUARDED_BY(mu_) = 0;
     uint64_t store_exact_ GUARDED_BY(mu_) = 0;
     uint64_t store_improved_ GUARDED_BY(mu_) = 0;
+    uint64_t store_degraded_events_ GUARDED_BY(mu_) = 0;
     uint64_t timed_out_ GUARDED_BY(mu_) = 0;
     uint64_t cancelled_ GUARDED_BY(mu_) = 0;
     uint64_t samples_total_ GUARDED_BY(mu_) = 0;

@@ -1,0 +1,242 @@
+#include "common/sys_io.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/fault_injection.hpp"
+
+namespace mse {
+
+namespace {
+
+/** Steady-clock milliseconds, for re-arming poll timeouts. */
+int64_t
+nowMs()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+int
+sysOpen(const char *path, int flags, int mode, const char *site)
+{
+    while (true) {
+        const int inj = faultCheck(site);
+        int fd;
+        if (inj) {
+            errno = inj;
+            fd = -1;
+        } else {
+            fd = ::open(path, flags, mode);
+        }
+        if (fd < 0 && errno == EINTR)
+            continue;
+        return fd;
+    }
+}
+
+int
+sysClose(int fd)
+{
+    const int rc = ::close(fd);
+    if (rc != 0 && errno == EINTR)
+        return 0; // fd state unspecified; do not retry (double close).
+    return rc;
+}
+
+ssize_t
+sysRead(int fd, void *buf, size_t n, const char *site)
+{
+    while (true) {
+        const int inj = faultCheck(site);
+        ssize_t r;
+        if (inj) {
+            errno = inj;
+            r = -1;
+        } else {
+            r = ::read(fd, buf, n);
+        }
+        if (r < 0 && errno == EINTR)
+            continue;
+        return r;
+    }
+}
+
+bool
+sysWriteAll(int fd, const void *data, size_t n, const char *site)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        const int inj = faultCheck(site);
+        ssize_t w;
+        if (inj) {
+            errno = inj;
+            w = -1;
+        } else {
+            w = ::write(fd, p, n);
+        }
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+int
+sysFsync(int fd, const char *site)
+{
+    while (true) {
+        const int inj = faultCheck(site);
+        int rc;
+        if (inj) {
+            errno = inj;
+            rc = -1;
+        } else {
+            rc = ::fsync(fd);
+        }
+        if (rc != 0 && errno == EINTR)
+            continue;
+        return rc;
+    }
+}
+
+int
+sysRename(const char *from, const char *to, const char *site)
+{
+    const int inj = faultCheck(site);
+    if (inj) {
+        errno = inj;
+        return -1;
+    }
+    return ::rename(from, to);
+}
+
+int
+sysUnlink(const char *path, const char *site)
+{
+    const int inj = faultCheck(site);
+    if (inj) {
+        errno = inj;
+        return -1;
+    }
+    const int rc = ::unlink(path);
+    if (rc != 0 && errno == ENOENT)
+        return 0;
+    return rc;
+}
+
+int
+sysPoll(struct pollfd *fds, unsigned long n, int timeout_ms,
+        const char *site)
+{
+    // Re-arm against a deadline so EINTR storms cannot extend the wait.
+    const bool bounded = timeout_ms >= 0;
+    const int64_t deadline = bounded ? nowMs() + timeout_ms : 0;
+    int remaining = timeout_ms;
+    while (true) {
+        const int inj = faultCheck(site);
+        int rc;
+        if (inj) {
+            errno = inj;
+            rc = -1;
+        } else {
+            rc = ::poll(fds, static_cast<nfds_t>(n), remaining);
+        }
+        if (rc < 0 && errno == EINTR) {
+            if (bounded) {
+                const int64_t left = deadline - nowMs();
+                if (left <= 0)
+                    return 0; // Deadline passed: report timeout.
+                remaining = static_cast<int>(left);
+            }
+            continue;
+        }
+        return rc;
+    }
+}
+
+int
+sysAccept(int fd, const char *site)
+{
+    while (true) {
+        const int inj = faultCheck(site);
+        int conn;
+        if (inj) {
+            errno = inj;
+            conn = -1;
+        } else {
+            conn = ::accept(fd, nullptr, nullptr);
+        }
+        // ECONNABORTED is NOT retried here: with no other pending
+        // connection a blocking re-accept would wedge the accept loop
+        // past its stop-flag checks. The caller re-polls instead.
+        if (conn < 0 && errno == EINTR)
+            continue;
+        return conn;
+    }
+}
+
+ssize_t
+sysSend(int fd, const void *buf, size_t n, int flags, const char *site)
+{
+    while (true) {
+        const int inj = faultCheck(site);
+        ssize_t w;
+        if (inj) {
+            errno = inj;
+            w = -1;
+        } else {
+            w = ::send(fd, buf, n, flags);
+        }
+        if (w < 0 && errno == EINTR)
+            continue;
+        return w;
+    }
+}
+
+bool
+sysSendAll(int fd, const void *data, size_t n, int flags,
+           const char *site)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        const ssize_t w = sysSend(fd, p, n, flags, site);
+        if (w < 0)
+            return false;
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+ssize_t
+sysRecv(int fd, void *buf, size_t n, int flags, const char *site)
+{
+    while (true) {
+        const int inj = faultCheck(site);
+        ssize_t r;
+        if (inj) {
+            errno = inj;
+            r = -1;
+        } else {
+            r = ::recv(fd, buf, n, flags);
+        }
+        if (r < 0 && errno == EINTR)
+            continue;
+        return r;
+    }
+}
+
+} // namespace mse

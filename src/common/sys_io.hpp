@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The injectable I/O seam: every syscall the service layer makes goes
+ * through these wrappers.
+ *
+ * Two jobs, one seam:
+ *
+ *  1. *Correct syscall hygiene in one place.* EINTR is retried (with
+ *     the poll timeout re-armed against a steady-clock deadline so a
+ *     signal storm cannot extend a wait), short writes are resumed,
+ *     and errno is preserved across cleanup paths. The service layer
+ *     had these loops scattered per call site; now a signal during
+ *     poll/read/send can never kill a healthy connection because no
+ *     raw call site exists to get it wrong (enforced by the mse-lint
+ *     `raw-syscall` rule).
+ *
+ *  2. *Deterministic fault injection.* Each wrapper takes a site name
+ *     and consults faultCheck(site) before issuing the real syscall;
+ *     a configured fault makes the wrapper fail with the injected
+ *     errno exactly as the kernel would. An injected EINTR exercises
+ *     the retry loop itself (the wrapper retries it like a real
+ *     signal); injected ENOSPC/EIO/ECONNRESET surface to the caller.
+ *
+ * Return conventions mirror POSIX (fd or -1, ssize_t or -1, 0 or -1)
+ * so call sites read like the raw calls they replace.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <sys/types.h>
+
+struct pollfd;
+
+namespace mse {
+
+/** open(2) with EINTR retry. Site example: "store.open". */
+int sysOpen(const char *path, int flags, int mode, const char *site);
+
+/** close(2); EINTR treated as closed (POSIX leaves the fd state
+ *  unspecified — retrying risks closing a reused fd). */
+int sysClose(int fd);
+
+/** read(2) with EINTR retry. */
+ssize_t sysRead(int fd, void *buf, size_t n, const char *site);
+
+/**
+ * write(2) until the whole buffer is on its way: EINTR retried, short
+ * writes resumed. False on error (errno set; a short write due to
+ * ENOSPC leaves errno = ENOSPC).
+ */
+bool sysWriteAll(int fd, const void *data, size_t n, const char *site);
+
+/** fsync(2) with EINTR retry. */
+int sysFsync(int fd, const char *site);
+
+/** rename(2). */
+int sysRename(const char *from, const char *to, const char *site);
+
+/** unlink(2); ENOENT is not an error (idempotent cleanup). */
+int sysUnlink(const char *path, const char *site);
+
+/**
+ * poll(2) with EINTR retry against a steady-clock deadline: a signal
+ * mid-wait resumes the poll with the *remaining* timeout, so total
+ * wait never exceeds timeout_ms (negative timeout_ms = infinite).
+ */
+int sysPoll(struct pollfd *fds, unsigned long n, int timeout_ms,
+            const char *site);
+
+/** accept(2) with EINTR retry (ECONNABORTED is returned so the
+ *  caller's poll loop re-arms instead of blocking in re-accept). */
+int sysAccept(int fd, const char *site);
+
+/** send(2) with EINTR retry (one attempt's worth; short sends are the
+ *  caller's loop — see sysSendAll). */
+ssize_t sysSend(int fd, const void *buf, size_t n, int flags,
+                const char *site);
+
+/** send(2) until the whole buffer is written; false on error. */
+bool sysSendAll(int fd, const void *data, size_t n, int flags,
+                const char *site);
+
+/** recv(2) with EINTR retry. */
+ssize_t sysRecv(int fd, void *buf, size_t n, int flags,
+                const char *site);
+
+} // namespace mse

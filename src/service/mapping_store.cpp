@@ -1,12 +1,14 @@
 #include "service/mapping_store.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
-#include <cstdio>
+#include <fcntl.h>
 #include <limits>
 
 #include "common/json.hpp"
 #include "common/math_util.hpp"
+#include "common/sys_io.hpp"
 #include "core/model_sweep.hpp"
 #include "mapping/mapping_io.hpp"
 #include "workload/workload_io.hpp"
@@ -24,7 +26,8 @@ storeHitName(StoreHit h)
     return "unknown";
 }
 
-MappingStore::MappingStore(std::string path) : path_(std::move(path))
+MappingStore::MappingStore(std::string path, bool fsync_each)
+    : path_(std::move(path)), fsync_each_(fsync_each)
 {
     if (!path_.empty())
         load();
@@ -104,6 +107,28 @@ MappingStore::decodeEntry(const std::string &line)
     return e;
 }
 
+void
+MappingStore::ingestLineLocked(const std::string &line)
+{
+    const auto entry = decodeEntry(line);
+    if (!entry) {
+        // Torn tail or bit-rotted line: skip, keep the rest.
+        ++malformed_;
+        return;
+    }
+    const std::string key =
+        keyFromParts(fnv1a64Hex(entry->workload.signature()),
+                     entry->arch_sig, entry->objective, entry->sparse);
+    const auto it = best_.find(key);
+    if (it == best_.end()) {
+        best_.emplace(key, *entry);
+    } else {
+        ++dead_;
+        if (entry->score < it->second.score)
+            it->second = *entry;
+    }
+}
+
 size_t
 MappingStore::load()
 {
@@ -111,47 +136,52 @@ MappingStore::load()
     best_.clear();
     malformed_ = 0;
     dead_ = 0;
+    append_failures_ = 0;
+    degraded_ = false;
     tail_unterminated_ = false;
     if (path_.empty())
         return 0;
-    FILE *f = std::fopen(path_.c_str(), "r");
-    if (!f)
+    const int fd = sysOpen(path_.c_str(), O_RDONLY, 0, "store.open");
+    if (fd < 0) {
+        if (errno != ENOENT) {
+            // Exists but unreadable (EIO, EACCES, ...): appending to a
+            // file we cannot read risks clobbering records we never
+            // saw — serve empty, read-only.
+            degraded_ = true;
+        }
         return 0; // Missing file = fresh store.
-    std::string line;
-    size_t lines = 0;
-    int c;
-    while (true) {
-        line.clear();
-        while ((c = std::fgetc(f)) != EOF && c != '\n')
-            line += static_cast<char>(c);
-        if (line.empty() && c == EOF)
-            break;
-        if (c == EOF && !line.empty())
-            tail_unterminated_ = true; // crash mid-append
-        ++lines;
-        const auto entry = decodeEntry(line);
-        if (!entry) {
-            // Torn tail or bit-rotted line: skip, keep the rest.
-            ++malformed_;
-            continue;
-        }
-        const std::string key =
-            keyFromParts(fnv1a64Hex(entry->workload.signature()),
-                         entry->arch_sig, entry->objective,
-                         entry->sparse);
-        const auto it = best_.find(key);
-        if (it == best_.end()) {
-            best_.emplace(key, *entry);
-        } else {
-            ++dead_;
-            if (entry->score < it->second.score)
-                it->second = *entry;
-        }
-        if (c == EOF)
-            break;
     }
-    std::fclose(f);
-    (void)lines;
+    std::string pending; // Bytes read, not yet terminated by '\n'.
+    char chunk[1 << 16];
+    while (true) {
+        const ssize_t r =
+            sysRead(fd, chunk, sizeof(chunk), "store.read");
+        if (r < 0) {
+            // Mid-file read error: keep the parsed prefix, go
+            // read-only (appending after an unknown suffix could
+            // shadow or merge with records we never saw).
+            degraded_ = true;
+            pending.clear();
+            break;
+        }
+        if (r == 0)
+            break;
+        pending.append(chunk, static_cast<size_t>(r));
+        size_t start = 0;
+        while (true) {
+            const size_t nl = pending.find('\n', start);
+            if (nl == std::string::npos)
+                break;
+            ingestLineLocked(pending.substr(start, nl - start));
+            start = nl + 1;
+        }
+        pending.erase(0, start);
+    }
+    if (!pending.empty()) {
+        tail_unterminated_ = true; // crash mid-append
+        ingestLineLocked(pending);
+    }
+    sysClose(fd);
     return best_.size();
 }
 
@@ -205,9 +235,21 @@ MappingStore::appendLocked(const StoreEntry &e)
 {
     if (path_.empty())
         return true;
-    FILE *f = std::fopen(path_.c_str(), "a");
-    if (!f)
+    if (degraded_) {
+        // Read-only mode: the disk already failed us once; do not
+        // keep hammering it (or risk interleaving with whatever the
+        // failure left behind). tryRecover() is the way back.
+        ++append_failures_;
         return false;
+    }
+    const int fd = sysOpen(path_.c_str(),
+                           O_WRONLY | O_APPEND | O_CREAT, 0644,
+                           "store.open");
+    if (fd < 0) {
+        ++append_failures_;
+        degraded_ = true;
+        return false;
+    }
     std::string line;
     if (tail_unterminated_) {
         // Seal the torn tail so this record starts on its own line
@@ -217,10 +259,20 @@ MappingStore::appendLocked(const StoreEntry &e)
     }
     line += encodeEntry(e);
     line += '\n';
-    const bool ok =
-        std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
-        std::fflush(f) == 0;
-    std::fclose(f);
+    // One write() per record: a SIGKILL between syscalls can at worst
+    // truncate this record (handled at load), never merge two.
+    bool ok = sysWriteAll(fd, line.data(), line.size(),
+                          "store.append");
+    if (ok && fsync_each_)
+        ok = sysFsync(fd, "store.fsync") == 0;
+    sysClose(fd);
+    if (!ok) {
+        // The record may be partially on disk: treat the tail as torn
+        // so a same-process retry would seal it first.
+        tail_unterminated_ = true;
+        ++append_failures_;
+        degraded_ = true;
+    }
     return ok;
 }
 
@@ -257,7 +309,7 @@ MappingStore::recordIfBetter(const Workload &wl, const ArchConfig &arch,
         best_.emplace(key, e);
     }
     appendLocked(e);
-    if (dead_ > std::max<size_t>(16, best_.size()))
+    if (!degraded_ && dead_ > std::max<size_t>(16, best_.size()))
         compactLocked();
     return true;
 }
@@ -270,8 +322,10 @@ MappingStore::compactLocked()
         return true;
     }
     const std::string tmp = path_ + ".tmp";
-    FILE *f = std::fopen(tmp.c_str(), "w");
-    if (!f)
+    const int fd = sysOpen(tmp.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC, 0644,
+                           "store.compact");
+    if (fd < 0)
         return false;
     bool ok = true;
     // Write records in sorted key order: the compacted file's bytes
@@ -287,19 +341,21 @@ MappingStore::compactLocked()
                   return *a < *b;
               });
     for (const std::string *key : keys) {
-        const std::string line = encodeEntry(best_.at(*key));
-        ok = ok &&
-            std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
-            std::fputc('\n', f) != EOF;
+        std::string line = encodeEntry(best_.at(*key));
+        line += '\n';
+        ok = ok && sysWriteAll(fd, line.data(), line.size(),
+                               "store.compact");
     }
-    ok = std::fflush(f) == 0 && ok;
-    ok = std::fclose(f) == 0 && ok;
+    // fsync before rename: the rename must never make a half-written
+    // compaction the only copy of the store.
+    ok = ok && sysFsync(fd, "store.fsync") == 0;
+    ok = sysClose(fd) == 0 && ok;
     if (!ok) {
-        std::remove(tmp.c_str());
+        sysUnlink(tmp.c_str(), "store.unlink");
         return false;
     }
-    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-        std::remove(tmp.c_str());
+    if (sysRename(tmp.c_str(), path_.c_str(), "store.rename") != 0) {
+        sysUnlink(tmp.c_str(), "store.unlink");
         return false;
     }
     dead_ = 0;
@@ -333,6 +389,35 @@ MappingStore::deadLines() const
 {
     MutexLock lk(mu_);
     return dead_;
+}
+
+bool
+MappingStore::degraded() const
+{
+    MutexLock lk(mu_);
+    return degraded_;
+}
+
+size_t
+MappingStore::appendFailures() const
+{
+    MutexLock lk(mu_);
+    return append_failures_;
+}
+
+bool
+MappingStore::tryRecover()
+{
+    MutexLock lk(mu_);
+    if (!degraded_)
+        return true;
+    // The in-memory live set is a superset of everything disk lost
+    // (appends kept updating it while degraded), so a successful
+    // atomic rewrite both repairs the file and catches it up.
+    if (!compactLocked())
+        return false;
+    degraded_ = false;
+    return true;
 }
 
 } // namespace mse

@@ -25,6 +25,13 @@
  *
  * Thread safety: every public method locks the store mutex, so
  * concurrent request handlers serialize their reads and write-backs.
+ *
+ * Failure behavior (see DESIGN.md Sec. 9): all disk I/O goes through
+ * the sys_io seam, so ENOSPC/EIO (real or injected via MSE_FAULTS)
+ * surface here instead of aborting. A failed append flips the store
+ * into *degraded* read-only mode: in-memory bests keep updating and
+ * lookups keep answering, but the disk is left alone until
+ * tryRecover() succeeds. The service surfaces degraded() in stats.
  */
 #pragma once
 
@@ -74,8 +81,13 @@ const char *storeHitName(StoreHit h);
 class MappingStore
 {
   public:
-    /** Empty path = purely in-memory (tests, benches). */
-    explicit MappingStore(std::string path = "");
+    /**
+     * Empty path = purely in-memory (tests, benches). fsync_each
+     * makes every append durable against machine crash (not just
+     * process death) at a large throughput cost.
+     */
+    explicit MappingStore(std::string path = "",
+                          bool fsync_each = false);
 
     const std::string &path() const { return path_; }
 
@@ -134,6 +146,23 @@ class MappingStore
      *  load/compact. */
     size_t deadLines() const EXCLUDES(mu_);
 
+    /**
+     * True when disk I/O has failed (ENOSPC/EIO/unreadable file) and
+     * the store is in read-only degraded mode: lookups and in-memory
+     * updates continue, appends and auto-compaction stop.
+     */
+    bool degraded() const EXCLUDES(mu_);
+
+    /** Appends that failed (and were dropped from disk, not memory). */
+    size_t appendFailures() const EXCLUDES(mu_);
+
+    /**
+     * Attempt to leave degraded mode by atomically rewriting the
+     * backing file from the in-memory live set (which is a superset
+     * of what disk lost). True = healthy again.
+     */
+    bool tryRecover() EXCLUDES(mu_);
+
     /** Stable store key of one (workload, arch, objective, model)
      *  tuple. */
     static std::string keyOf(const Workload &wl, const ArchConfig &arch,
@@ -144,14 +173,18 @@ class MappingStore
     static std::optional<StoreEntry> decodeEntry(const std::string &line);
 
   private:
+    void ingestLineLocked(const std::string &line) REQUIRES(mu_);
     bool appendLocked(const StoreEntry &e) REQUIRES(mu_);
     bool compactLocked() REQUIRES(mu_);
 
     mutable Mutex mu_;
     std::string path_; ///< Immutable after construction (unguarded).
+    bool fsync_each_;  ///< Immutable after construction (unguarded).
     std::unordered_map<std::string, StoreEntry> best_ GUARDED_BY(mu_);
     size_t malformed_ GUARDED_BY(mu_) = 0;
     size_t dead_ GUARDED_BY(mu_) = 0;
+    bool degraded_ GUARDED_BY(mu_) = false;
+    size_t append_failures_ GUARDED_BY(mu_) = 0;
 
     /** File ends in a torn (unterminated) line; the next append must
      *  start on a fresh line or it would merge with the torn tail. */

@@ -9,6 +9,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/sys_io.hpp"
+
 namespace mse {
 
 namespace {
@@ -39,12 +41,12 @@ listenTcp(uint16_t port, std::string *err)
     if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
         0) {
         setError(err, "bind");
-        ::close(fd);
+        sysClose(fd);
         return -1;
     }
     if (::listen(fd, 16) != 0) {
         setError(err, "listen");
-        ::close(fd);
+        sysClose(fd);
         return -1;
     }
     return fd;
@@ -67,14 +69,16 @@ acceptWithTimeout(int listen_fd, int timeout_ms)
     pollfd pfd{};
     pfd.fd = listen_fd;
     pfd.events = POLLIN;
-    const int rc = ::poll(&pfd, 1, timeout_ms);
+    // sysPoll retries EINTR against the deadline, so a signal during
+    // the wait reads as a (shorter) timeout, never as a dead listener.
+    const int rc = sysPoll(&pfd, 1, timeout_ms, "net.accept.poll");
     if (rc == 0)
         return -1;
     if (rc < 0)
-        return errno == EINTR ? -1 : -2;
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
+        return -2;
+    const int fd = sysAccept(listen_fd, "net.accept");
     if (fd < 0)
-        return errno == EINTR || errno == ECONNABORTED ? -1 : -2;
+        return errno == ECONNABORTED ? -1 : -2;
     return fd;
 }
 
@@ -92,13 +96,30 @@ connectTcp(const std::string &host, uint16_t port, std::string *err)
     if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
         if (err)
             *err = "bad address: " + host;
-        ::close(fd);
+        sysClose(fd);
         return -1;
     }
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
+        // A signal can interrupt a blocking connect; the handshake
+        // keeps going in the kernel, so finish it by waiting for
+        // writability and reading the final status from SO_ERROR —
+        // retrying connect() here would fail with EALREADY/EISCONN.
+        if (errno == EINTR) {
+            pollfd pfd{};
+            pfd.fd = fd;
+            pfd.events = POLLOUT;
+            int so_err = 0;
+            socklen_t len = sizeof(so_err);
+            if (sysPoll(&pfd, 1, -1, "net.connect.poll") > 0 &&
+                ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_err,
+                             &len) == 0 &&
+                so_err == 0)
+                return fd;
+            errno = so_err != 0 ? so_err : ECONNABORTED;
+        }
         setError(err, "connect");
-        ::close(fd);
+        sysClose(fd);
         return -1;
     }
     return fd;
@@ -107,18 +128,7 @@ connectTcp(const std::string &host, uint16_t port, std::string *err)
 bool
 sendAll(int fd, const void *data, size_t n)
 {
-    const char *p = static_cast<const char *>(data);
-    while (n > 0) {
-        const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
-        if (w < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        p += w;
-        n -= static_cast<size_t>(w);
-    }
-    return true;
+    return sysSendAll(fd, data, n, MSG_NOSIGNAL, "net.send");
 }
 
 bool
@@ -133,7 +143,7 @@ void
 closeSocket(int fd)
 {
     if (fd >= 0)
-        ::close(fd);
+        sysClose(fd);
 }
 
 bool
@@ -141,12 +151,11 @@ peerClosed(int fd)
 {
     char c;
     const ssize_t r =
-        ::recv(fd, &c, 1, MSG_PEEK | MSG_DONTWAIT);
+        sysRecv(fd, &c, 1, MSG_PEEK | MSG_DONTWAIT, "net.peek");
     if (r == 0)
         return true; // Orderly shutdown.
     if (r < 0)
-        return errno != EAGAIN && errno != EWOULDBLOCK &&
-            errno != EINTR;
+        return errno != EAGAIN && errno != EWOULDBLOCK;
     return false;
 }
 
@@ -168,21 +177,16 @@ LineReader::readLine(std::string *out, int timeout_ms)
         pollfd pfd{};
         pfd.fd = fd_;
         pfd.events = POLLIN;
-        const int rc = ::poll(&pfd, 1, timeout_ms);
+        const int rc = sysPoll(&pfd, 1, timeout_ms, "net.poll");
         if (rc == 0)
             return Status::Timeout;
-        if (rc < 0) {
-            if (errno == EINTR)
-                continue;
+        if (rc < 0)
             return Status::Error;
-        }
         char chunk[4096];
-        const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
-        if (r < 0) {
-            if (errno == EINTR)
-                continue;
+        const ssize_t r =
+            sysRecv(fd_, chunk, sizeof(chunk), 0, "net.recv");
+        if (r < 0)
             return Status::Error;
-        }
         if (r == 0) {
             eof_ = true;
             continue; // Flush any final unterminated partial line.

@@ -68,7 +68,8 @@ ServiceServer::acceptLoop()
         if (live_connections_.load() >= cfg_.max_connections) {
             sendLine(fd,
                      wireError("too_many_connections",
-                               "server connection limit reached")
+                               "server connection limit reached",
+                               service_.config().retry_hint_ms)
                          .dump());
             closeSocket(fd);
             continue;

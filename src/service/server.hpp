@@ -11,9 +11,10 @@
  * Robustness rules, per line:
  *  - malformed JSON / bad request  -> structured error reply, keep
  *    the connection (a client bug shouldn't cost the session);
- *  - oversized line                -> structured error reply, close
- *    (framing is lost, the rest of the stream is junk);
- *  - peer silent past io_timeout   -> close (slow-loris guard);
+ *  - oversized line                -> structured error reply, then
+ *    drop the session (framing is lost, the rest of the stream is
+ *    junk);
+ *  - peer silent past io_timeout   -> hang up (slow-loris guard);
  *  - peer disconnects mid-search   -> the request's CancelToken fires
  *    and the search stops at its next generation boundary.
  *

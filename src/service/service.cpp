@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/fault_injection.hpp"
 #include "common/math_util.hpp"
 #include "core/model_sweep.hpp"
 #include "mapping/mapping_io.hpp"
@@ -19,12 +20,14 @@ nowSeconds()
 }
 
 SearchReply
-errorReply(const char *code, const std::string &message)
+errorReply(const char *code, const std::string &message,
+           int retry_after_ms = 0)
 {
     SearchReply r;
     r.ok = false;
     r.error_code = code;
     r.error_message = message;
+    r.retry_after_ms = retry_after_ms;
     return r;
 }
 
@@ -43,7 +46,7 @@ immediateTicket(SearchReply reply)
 } // namespace
 
 MseService::MseService(ServiceConfig cfg)
-    : cfg_(std::move(cfg)), store_(cfg_.store_path),
+    : cfg_(std::move(cfg)), store_(cfg_.store_path, cfg_.store_fsync),
       start_time_(nowSeconds())
 {
     executor_ = std::thread([this] { executorLoop(); });
@@ -95,14 +98,16 @@ MseService::submit(SearchRequest req)
         if (stopping_) {
             metrics_.onError("shutting_down");
             return immediateTicket(
-                errorReply("shutting_down", "service is draining"));
+                errorReply("shutting_down", "service is draining",
+                           cfg_.retry_hint_ms));
         }
         if (queue_.size() >= cfg_.queue_capacity) {
             metrics_.onRejectQueueFull();
             return immediateTicket(errorReply(
                 "queue_full",
                 "request queue is at capacity (" +
-                    std::to_string(cfg_.queue_capacity) + ")"));
+                    std::to_string(cfg_.queue_capacity) + ")",
+                cfg_.retry_hint_ms));
         }
         queue_.push_back(std::move(pending));
         metrics_.onEnqueue();
@@ -265,6 +270,14 @@ MseService::runSearch(const SearchRequest &req,
         }
     }
 
+    // Degraded-store transition (disk append failed, store went
+    // read-only): count it once; the service keeps answering — cold
+    // and in-memory-warm searches don't need the disk.
+    if (store_.degraded() && !store_degraded_noted_) {
+        store_degraded_noted_ = true;
+        metrics_.onStoreDegraded();
+    }
+
     ServiceMetrics::SearchSample sample;
     sample.latency_seconds = r.wall_seconds;
     sample.store_kind = lk.hit == StoreHit::Exact ? 2
@@ -310,6 +323,17 @@ MseService::statsJson() const
                                           : store_.path();
     store["malformed_lines_skipped"] = store_.malformedLines();
     store["superseded_lines"] = store_.deadLines();
+    store["degraded"] = store_.degraded();
+    store["append_failures"] = store_.appendFailures();
+    const FaultInjector &faults = FaultInjector::global();
+    if (faults.armed()) {
+        // Make injected-fault runs self-identifying in dashboards and
+        // harness logs: a degraded store with faults armed is a test,
+        // without them an incident.
+        JsonValue &f = j["faults"];
+        f["armed"] = true;
+        f["injected_total"] = faults.totalInjected();
+    }
     JsonValue &cfg = j["config"];
     cfg["queue_capacity"] = cfg_.queue_capacity;
     cfg["default_deadline_seconds"] = cfg_.default_deadline_seconds;

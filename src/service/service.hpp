@@ -76,6 +76,17 @@ struct ServiceConfig
 
     /** Write improved mappings back to the store. */
     bool store_writeback = true;
+
+    /** fsync every store append (durable against machine crash, not
+     *  just process death; costs throughput). */
+    bool store_fsync = false;
+
+    /**
+     * retry_after_ms hint attached to retryable rejections
+     * (queue_full, shutting_down): how long a well-behaved client
+     * should back off before resubmitting.
+     */
+    int retry_hint_ms = 1000;
 };
 
 /** One mapping-search request. */
@@ -113,6 +124,10 @@ struct SearchReply
     bool ok = false;
     std::string error_code;    ///< Set when !ok.
     std::string error_message;
+
+    /** For retryable errors (queue_full, shutting_down): suggested
+     *  client backoff before resubmitting; 0 = not retryable. */
+    int retry_after_ms = 0;
 
     std::string mapping;       ///< serializeMapping() of the best.
     double score = 0.0;        ///< Objective score of the best.
@@ -207,6 +222,10 @@ class MseService
     bool drain_on_stop_ GUARDED_BY(mu_) = true;
     /** Token of the in-flight search. */
     CancelTokenPtr running_cancel_ GUARDED_BY(mu_);
+
+    /** Degraded-store transition already counted in metrics. Touched
+     *  only by the executor thread (no lock needed). */
+    bool store_degraded_noted_ = false;
     std::thread executor_;
 };
 

@@ -237,13 +237,16 @@ parseWireRequest(const std::string &line, std::string *error_code,
 }
 
 JsonValue
-wireError(const std::string &code, const std::string &message)
+wireError(const std::string &code, const std::string &message,
+          int retry_after_ms)
 {
     JsonValue j = JsonValue::object();
     j["ok"] = false;
     JsonValue &e = j["error"];
     e["code"] = code;
     e["message"] = message;
+    if (retry_after_ms > 0)
+        e["retry_after_ms"] = retry_after_ms;
     return j;
 }
 
@@ -251,7 +254,8 @@ JsonValue
 searchReplyJson(const SearchReply &r)
 {
     if (!r.ok)
-        return wireError(r.error_code, r.error_message);
+        return wireError(r.error_code, r.error_message,
+                         r.retry_after_ms);
     JsonValue j = JsonValue::object();
     j["ok"] = true;
     j["type"] = "search";

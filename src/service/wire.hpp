@@ -67,8 +67,15 @@ std::optional<WireRequest> parseWireRequest(const std::string &line,
                                             std::string *error_code,
                                             std::string *error_message);
 
-/** {"ok":false,"error":{"code":...,"message":...}} */
-JsonValue wireError(const std::string &code, const std::string &message);
+/**
+ * {"ok":false,"error":{"code":...,"message":...}}. A positive
+ * retry_after_ms adds "retry_after_ms" to the error object: the
+ * server-suggested client backoff for retryable codes (queue_full,
+ * shutting_down, too_many_connections). The full code taxonomy is
+ * documented in DESIGN.md Sec. 9.
+ */
+JsonValue wireError(const std::string &code, const std::string &message,
+                    int retry_after_ms = 0);
 
 /** Encode a search reply (success or structured failure). */
 JsonValue searchReplyJson(const SearchReply &r);

@@ -165,6 +165,8 @@ TEST(MseService, QueueFullRejectsImmediately)
     const SearchReply r = rejected.reply.get();
     EXPECT_FALSE(r.ok);
     EXPECT_EQ(r.error_code, "queue_full");
+    // Load-shedding rejections tell the client when to come back.
+    EXPECT_EQ(r.retry_after_ms, cfg.retry_hint_ms);
     running.cancel->requestCancel();
     queued.cancel->requestCancel();
     running.reply.wait();

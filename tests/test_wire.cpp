@@ -185,6 +185,23 @@ TEST(Wire, ReplyEncoders)
     EXPECT_EQ(parsed->find("eval_cache")->getInt("hits", 0), 4);
 
     EXPECT_EQ(pingReplyJson().dump(), "{\"ok\":true,\"type\":\"ping\"}");
+
+    // Retryable rejections carry a machine-readable retry_after_ms
+    // hint inside the error object (DESIGN.md Sec. 9); terminal
+    // errors omit it entirely.
+    const JsonValue busy = wireError("queue_full", "try later", 750);
+    EXPECT_EQ(busy.find("error")->getInt("retry_after_ms", -1), 750);
+    EXPECT_EQ(err.find("error")->find("retry_after_ms"), nullptr);
+    SearchReply shed;
+    shed.ok = false;
+    shed.error_code = "queue_full";
+    shed.error_message = "queue at capacity";
+    shed.retry_after_ms = 1000;
+    EXPECT_EQ(searchReplyJson(shed).find("error")->getInt(
+                  "retry_after_ms", -1),
+              1000);
+
+
     JsonValue stats = JsonValue::object();
     stats["queue_depth"] = 0;
     const JsonValue sr = statsReplyJson(stats);

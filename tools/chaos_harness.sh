@@ -1,0 +1,169 @@
+#!/usr/bin/env bash
+# Crash/chaos harness for the mapping-search service.
+#
+# Phase 1 (kill loop): repeatedly start mse_serve against one shared
+# store file, throw a few distinct GEMM searches at it, and SIGKILL
+# the daemon at a random-but-deterministic point mid-work. After every
+# kill, store_check must certify the store file: every complete line
+# is a valid record or an allowed torn prefix, no merged lines, and
+# per-key scores never regress. One corrupted record fails the run.
+#
+# Phase 2 (clean recovery): start the battered store one more time,
+# verify the daemon loads it, answers a warm search from it, and
+# drains cleanly on SIGTERM.
+#
+# Phase 3 (degraded mode): start a fresh daemon with
+# MSE_FAULTS="store.append:every:1:ENOSPC" so every store append
+# fails. The daemon must stay up, keep answering search and stats,
+# and stats must report the store degraded with the fault counter
+# armed.
+#
+# Usage: tools/chaos_harness.sh BUILD_DIR [CYCLES]
+#
+# CYCLES defaults to 30 (the CI acceptance floor). CHAOS_WAIT_S bounds
+# every individual wait (default 30s) so a wedged daemon fails fast
+# instead of hanging CI. The kill delays are derived from the cycle
+# number, so a failing cycle replays with the same timing.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CYCLES="${2:-30}"
+CHAOS_WAIT_S="${CHAOS_WAIT_S:-30}"
+SERVE="$BUILD_DIR/tools/mse_serve"
+CLIENT="$BUILD_DIR/tools/mse_client"
+CHECK="$BUILD_DIR/tools/store_check"
+WORK_DIR="$(mktemp -d)"
+STORE="$WORK_DIR/mappings.jsonl"
+SERVE_LOG="$WORK_DIR/serve.log"
+SERVE_PID=""
+
+fail() {
+    echo "CHAOS FAIL: $*" >&2
+    [ -f "$SERVE_LOG" ] && sed 's/^/  serve| /' "$SERVE_LOG" >&2
+    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null
+    exit 1
+}
+
+wait_until() {
+    local what="$1"
+    shift
+    local deadline=$(($(date +%s) + CHAOS_WAIT_S))
+    until "$@"; do
+        if [ "$(date +%s)" -ge "$deadline" ]; then
+            fail "timed out after ${CHAOS_WAIT_S}s waiting for $what"
+        fi
+        sleep 0.1
+    done
+}
+
+[ -x "$SERVE" ] || fail "missing $SERVE (build first)"
+[ -x "$CLIENT" ] || fail "missing $CLIENT (build first)"
+[ -x "$CHECK" ] || fail "missing $CHECK (build first)"
+
+port_reported() {
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "daemon died on startup"
+    grep -q '^LISTENING' "$SERVE_LOG" 2>/dev/null
+}
+
+start_serve() { # start_serve [extra serve args...]
+    : >"$SERVE_LOG"
+    "$SERVE" --store "$STORE" --samples 200 "$@" >"$SERVE_LOG" 2>&1 &
+    SERVE_PID=$!
+    wait_until "the daemon to report its port" port_reported
+    PORT=$(awk '/^LISTENING/ {print $2; exit}' "$SERVE_LOG")
+    [ -n "$PORT" ] && [ "$PORT" -gt 0 ] ||
+        fail "daemon reported a bad port: '$PORT'"
+}
+
+trap '[ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null; rm -rf "$WORK_DIR"' EXIT
+
+echo "chaos: $CYCLES SIGKILL cycles against $STORE"
+
+for ((cycle = 1; cycle <= CYCLES; ++cycle)); do
+    start_serve
+
+    # Fire a burst of searches in the background. The M dimension
+    # varies with the cycle so appends keep landing on fresh keys
+    # (new keys = guaranteed store writes to kill in the middle of);
+    # repeating a key from an earlier cycle exercises the
+    # better-score-only append path instead.
+    for i in 1 2 3; do
+        M=$((32 + ((cycle * 3 + i) % 8) * 16))
+        timeout "$CHAOS_WAIT_S" "$CLIENT" --port "$PORT" \
+            --gemm "4,$M,64,64" --samples 200 --retries 0 \
+            >/dev/null 2>&1 &
+    done
+
+    # Deterministic kill point: 10-190 ms after launch, swept across
+    # cycles so kills land before, during, and after the appends.
+    DELAY_MS=$((10 + (cycle * 37) % 180))
+    sleep "0.$(printf '%03d' "$DELAY_MS")"
+    kill -9 "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+    SERVE_PID=""
+    wait # reap the client jobs (failures expected: their server died)
+
+    REPORT=$("$CHECK" "$STORE") ||
+        fail "cycle $cycle: store corrupted after SIGKILL: $REPORT"
+done
+
+VALID=$(echo "$REPORT" | sed -n 's/.*"valid_records":\([0-9]*\).*/\1/p')
+TORN=$(echo "$REPORT" | sed -n 's/.*"torn_lines":\([0-9]*\).*/\1/p')
+echo "chaos: $CYCLES cycles clean (${VALID:-0} records, ${TORN:-0} torn lines sealed)"
+[ "${VALID:-0}" -gt 0 ] ||
+    fail "no append ever survived a kill — the kill window never overlapped a write, harness proves nothing"
+
+# --- Phase 2: the battered store must still load and serve warm. ---
+start_serve
+# Every cycle searched 4,M,64,64 shapes, so any surviving record gives
+# this search at least a near (scaleFrom) warm start; which exact keys
+# survived depends on where the kills landed.
+WARM=$(timeout "$CHAOS_WAIT_S" "$CLIENT" --port "$PORT" \
+    --gemm 4,96,64,64 --samples 200) ||
+    fail "recovery search failed: $WARM"
+echo "$WARM" | grep -Eq '"store":"(exact|near)"' ||
+    fail "recovery search was not warm-started from the store: $WARM"
+kill -TERM "$SERVE_PID"
+daemon_gone() { ! kill -0 "$SERVE_PID" 2>/dev/null; }
+wait_until "the daemon to drain after SIGTERM" daemon_gone
+RC=0
+wait "$SERVE_PID" 2>/dev/null || RC=$?
+[ "$RC" -eq 0 ] || fail "recovery daemon exited with status $RC"
+SERVE_PID=""
+echo "chaos: recovery OK (warm hit on surviving store)"
+
+# --- Phase 3: injected ENOSPC must degrade, not kill, the service. ---
+DEG_STORE="$WORK_DIR/degraded.jsonl"
+: >"$SERVE_LOG"
+MSE_FAULTS="store.append:every:1:ENOSPC" \
+    "$SERVE" --store "$DEG_STORE" --samples 200 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+wait_until "the fault-armed daemon to report its port" port_reported
+PORT=$(awk '/^LISTENING/ {print $2; exit}' "$SERVE_LOG")
+
+OUT=$(timeout "$CHAOS_WAIT_S" "$CLIENT" --port "$PORT" \
+    --gemm 4,64,64,64 --samples 200) ||
+    fail "search under injected ENOSPC failed: $OUT"
+echo "$OUT" | grep -q '"ok":true' ||
+    fail "search under injected ENOSPC not ok: $OUT"
+
+STATS=$(timeout "$CHAOS_WAIT_S" "$CLIENT" --port "$PORT" --stats) ||
+    fail "stats under injected ENOSPC failed"
+echo "$STATS" | grep -q '"degraded":true' ||
+    fail "stats does not report the store degraded: $STATS"
+echo "$STATS" | grep -q '"armed":true' ||
+    fail "stats does not report fault injection armed: $STATS"
+if [ -s "$DEG_STORE" ]; then
+    fail "degraded store was written to disk despite ENOSPC on every append"
+fi
+
+# Still answering after the degradation was noticed.
+timeout "$CHAOS_WAIT_S" "$CLIENT" --port "$PORT" --ping |
+    grep -q '"ok":true' || fail "daemon stopped answering after degrading"
+
+kill -TERM "$SERVE_PID"
+wait_until "the degraded daemon to drain after SIGTERM" daemon_gone
+SERVE_PID=""
+echo "chaos: degraded-mode OK (server survived ENOSPC on every append)"
+
+echo "chaos harness OK: $CYCLES kill cycles, zero corrupted records, clean recovery, graceful degradation"

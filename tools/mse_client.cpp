@@ -6,19 +6,31 @@
  * sends it to mse_serve, prints the reply JSON on stdout, and exits 0
  * iff the reply carries "ok": true.
  *
+ * Transient failures are retried with capped exponential backoff and
+ * deterministic jitter: a refused/reset connection, a connection lost
+ * before the reply, and the server's retryable rejections (queue_full,
+ * shutting_down, too_many_connections — which carry a retry_after_ms
+ * hint the client honors). A reply *timeout* is never retried: the
+ * server is alive and still working, so a resend would double the
+ * load. The exit summary reports how many retries were spent.
+ *
  * Usage:
  *   mse_client --port N --gemm B,M,K,N [options]
  *   mse_client --port N --conv2d B,K,C,Y,X,R,S [options]
  *   mse_client --port N --stats | --ping
  *   mse_client --port N --raw '<one JSON request line>'
  */
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/math_util.hpp"
 #include "service/net.hpp"
 
 namespace {
@@ -44,8 +56,46 @@ usage(const char *argv0)
         "  --deadline-ms N        per-request deadline\n"
         "  --no-warm              skip the mapping-store warm start\n"
         "  --timeout-ms N         client-side reply timeout "
-        "(default 120000)\n",
+        "(default 120000)\n"
+        "retry options:\n"
+        "  --retries N            retry budget for refused/reset\n"
+        "                         connections and retryable server\n"
+        "                         rejections (default 4, 0 = fail "
+        "fast)\n"
+        "  --backoff-ms N         base backoff, doubled per retry "
+        "with\n"
+        "                         deterministic jitter (default 200)\n"
+        "  --backoff-cap-ms N     backoff ceiling (default 5000)\n"
+        "  --retry-seed N         jitter seed (default 1)\n",
         argv0);
+}
+
+/**
+ * Backoff before retry `attempt` (0-based): min(cap, base * 2^attempt)
+ * scaled into [75%, 125%) by a jitter drawn from fnv1a64(seed,
+ * attempt). Same seed => same delays, so flake reports replay.
+ */
+int
+backoffMs(int attempt, int base_ms, int cap_ms, uint64_t seed)
+{
+    double d = static_cast<double>(base_ms);
+    for (int i = 0; i < attempt && d < cap_ms; ++i)
+        d *= 2.0;
+    d = std::min(d, static_cast<double>(cap_ms));
+    const std::string key =
+        std::to_string(seed) + "/" + std::to_string(attempt);
+    const double frac =
+        static_cast<double>(mse::fnv1a64(key) % 1024) / 1024.0;
+    return std::max(1, static_cast<int>(d * (0.75 + 0.5 * frac)));
+}
+
+/** Server rejections worth resubmitting (load/lifecycle, not the
+ *  request's fault). */
+bool
+retryableCode(const std::string &code)
+{
+    return code == "queue_full" || code == "shutting_down" ||
+        code == "too_many_connections";
 }
 
 std::vector<int64_t>
@@ -80,6 +130,10 @@ main(int argc, char **argv)
     std::string host = "127.0.0.1";
     int port = 0;
     int timeout_ms = 120000;
+    int retries = 4;
+    int backoff_ms = 200;
+    int backoff_cap_ms = 5000;
+    uint64_t retry_seed = 1;
     std::string raw;
     mse::JsonValue req = mse::JsonValue::object();
     bool have_request = false;
@@ -95,6 +149,18 @@ main(int argc, char **argv)
             ++i;
         } else if (arg == "--timeout-ms" && val) {
             timeout_ms = std::atoi(val);
+            ++i;
+        } else if (arg == "--retries" && val) {
+            retries = std::atoi(val);
+            ++i;
+        } else if (arg == "--backoff-ms" && val) {
+            backoff_ms = std::max(1, std::atoi(val));
+            ++i;
+        } else if (arg == "--backoff-cap-ms" && val) {
+            backoff_cap_ms = std::max(1, std::atoi(val));
+            ++i;
+        } else if (arg == "--retry-seed" && val) {
+            retry_seed = static_cast<uint64_t>(std::atoll(val));
             ++i;
         } else if (arg == "--gemm" && val) {
             const auto d = parseInts(val);
@@ -175,32 +241,91 @@ main(int argc, char **argv)
     if (req["type"].asString("") == "search" && !req.find("arch"))
         req["arch"] = "accel-A";
 
-    std::string err;
-    const int fd =
-        mse::connectTcp(host, static_cast<uint16_t>(port), &err);
-    if (fd < 0) {
-        std::fprintf(stderr, "mse_client: %s\n", err.c_str());
-        return 1;
-    }
     const std::string line = raw.empty() ? req.dump() : raw;
-    if (!mse::sendLine(fd, line)) {
-        std::fprintf(stderr, "mse_client: send failed\n");
-        mse::closeSocket(fd);
-        return 1;
-    }
+    int retries_used = 0;
 
-    mse::LineReader reader(fd);
-    std::string reply;
-    const auto status = reader.readLine(&reply, timeout_ms);
-    mse::closeSocket(fd);
-    if (status != mse::LineReader::Status::Line) {
-        std::fprintf(stderr, "mse_client: no reply (%s)\n",
-                     status == mse::LineReader::Status::Timeout
-                         ? "timeout"
-                         : "connection lost");
-        return 1;
+    // One attempt per loop iteration; `why` collects the transient
+    // failure that justifies the next retry.
+    for (int attempt = 0;; ++attempt) {
+        std::string why;
+        std::string err;
+        const int fd =
+            mse::connectTcp(host, static_cast<uint16_t>(port), &err);
+        if (fd < 0) {
+            why = err; // Refused/reset/unreachable: retryable.
+        } else if (!mse::sendLine(fd, line)) {
+            // The request may not have reached the server; resending
+            // is the right bet (at worst it redoes a search).
+            why = "send failed";
+            mse::closeSocket(fd);
+        } else {
+            mse::LineReader reader(fd);
+            std::string reply;
+            const auto status = reader.readLine(&reply, timeout_ms);
+            mse::closeSocket(fd);
+            if (status == mse::LineReader::Status::Timeout) {
+                // Server alive but slow: retrying duplicates work.
+                std::fprintf(stderr,
+                             "mse_client: no reply (timeout), "
+                             "retries used: %d\n",
+                             retries_used);
+                return 1;
+            }
+            if (status != mse::LineReader::Status::Line) {
+                why = "connection lost before reply";
+            } else {
+                const auto doc = mse::parseJson(reply);
+                const bool ok = doc && doc->getBool("ok", false);
+                std::string code;
+                int hint_ms = 0;
+                if (doc) {
+                    if (const mse::JsonValue *e = doc->find("error")) {
+                        code = e->getString("code", "");
+                        hint_ms = static_cast<int>(
+                            e->getDouble("retry_after_ms", 0.0));
+                    }
+                }
+                if (!ok && retryableCode(code) &&
+                    attempt < retries) {
+                    // Honor the server's hint when it out-waits our
+                    // own backoff schedule.
+                    const int wait = std::max(
+                        hint_ms, backoffMs(attempt, backoff_ms,
+                                           backoff_cap_ms,
+                                           retry_seed));
+                    std::fprintf(stderr,
+                                 "mse_client: %s, retrying in %d ms "
+                                 "(attempt %d/%d)\n",
+                                 code.c_str(), wait, attempt + 1,
+                                 retries);
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(wait));
+                    ++retries_used;
+                    continue;
+                }
+                std::printf("%s\n", reply.c_str());
+                if (retries_used > 0)
+                    std::fprintf(stderr,
+                                 "mse_client: retries used: %d\n",
+                                 retries_used);
+                return ok ? 0 : 1;
+            }
+        }
+        if (attempt >= retries) {
+            std::fprintf(stderr,
+                         "mse_client: %s; giving up after %d "
+                         "retr%s\n",
+                         why.c_str(), retries_used,
+                         retries_used == 1 ? "y" : "ies");
+            return 1;
+        }
+        const int wait =
+            backoffMs(attempt, backoff_ms, backoff_cap_ms, retry_seed);
+        std::fprintf(stderr,
+                     "mse_client: %s, retrying in %d ms "
+                     "(attempt %d/%d)\n",
+                     why.c_str(), wait, attempt + 1, retries);
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+        ++retries_used;
     }
-    std::printf("%s\n", reply.c_str());
-    const auto doc = mse::parseJson(reply);
-    return doc && doc->getBool("ok", false) ? 0 : 1;
 }

@@ -29,6 +29,12 @@ MSE_THREADS" guarantee rests on:
                  MutexUniqueLock wrappers (common/thread_annotations.hpp)
                  so every lock participates in Clang Thread Safety
                  Analysis; bare std::mutex & friends are invisible to it.
+  raw-syscall    src/service/ must do file and socket I/O through the
+                 sys_io seam (common/sys_io.hpp): the wrappers own the
+                 EINTR/short-write discipline and are the only place
+                 deterministic fault injection (MSE_FAULTS) can
+                 intercept. A raw write()/fsync()/rename()/recv() here
+                 is I/O the chaos harness cannot test.
 
 Escape hatch: a finding on line N is suppressed by an allow comment on
 that line (or the line above):   // mse-lint: allow(<rule>) <reason>
@@ -56,6 +62,7 @@ RULES = (
     "unordered-iter",
     "lock-across-parallelfor",
     "raw-mutex",
+    "raw-syscall",
 )
 
 CPP_EXTS = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h"}
@@ -85,6 +92,22 @@ PARALLEL_CALL_RE = re.compile(r"\b(?:parallelFor|evaluateBatch)\s*\(")
 RAW_MUTEX_RE = re.compile(
     r"std::(?:mutex|timed_mutex|recursive_mutex|shared_mutex|"
     r"lock_guard|unique_lock|scoped_lock)\b"
+)
+
+# A call to a POSIX/stdio I/O primitive that has a sys_io wrapper. The
+# lookbehind rejects member calls (.read, ->read), qualified names
+# (LineReader::readLine), and suffix matches (sysRead); `::open(` still
+# matches because the lookbehind lands before the `::`. Socket setup
+# calls (socket/bind/listen/connect/setsockopt/...) are deliberately
+# not listed: they run once at startup, not on fault-relevant paths.
+RAW_SYSCALL_RE = re.compile(
+    r"(?<![\w.>])(?:::)?"
+    r"(open|openat|creat|read|pread|readv|write|pwrite|writev|"
+    r"fsync|fdatasync|rename|renameat|unlink|unlinkat|remove|"
+    r"poll|ppoll|select|accept|accept4|send|sendto|sendmsg|"
+    r"recv|recvfrom|recvmsg|close|"
+    r"fopen|fclose|fread|fwrite|fflush|fgets|fputs|fprintf)"
+    r"\s*\("
 )
 
 
@@ -251,6 +274,21 @@ class FileLinter:
                     f"MutexUniqueLock (common/thread_annotations.hpp)",
                 )
 
+    # -- raw-syscall ---------------------------------------------------
+    def check_raw_syscall(self) -> None:
+        if not in_dir(self.path, "src/service/"):
+            return
+        for i, code in enumerate(self.code):
+            m = RAW_SYSCALL_RE.search(code)
+            if m:
+                self.report(
+                    i, "raw-syscall",
+                    f"raw '{m.group(1)}()' bypasses the sys_io seam "
+                    f"(common/sys_io.hpp): no EINTR/short-write "
+                    f"handling, invisible to MSE_FAULTS fault "
+                    f"injection",
+                )
+
     def run(self) -> list[Finding]:
         self.check_json_emit()
         self.check_nondet_seed()
@@ -258,6 +296,7 @@ class FileLinter:
         self.check_unordered_iter()
         self.check_lock_across_parallelfor()
         self.check_raw_mutex()
+        self.check_raw_syscall()
         return self.findings
 
 

@@ -72,14 +72,18 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--port N] [--store FILE] [--samples N]\n"
-        "          [--deadline-s S] [--queue N]\n"
+        "          [--deadline-s S] [--queue N] [--fsync]\n"
         "  --port N        listen port on 127.0.0.1 (default: "
         "ephemeral)\n"
         "  --store FILE    mapping-store backing file (default: "
         "in-memory)\n"
         "  --samples N     default per-request sample budget\n"
         "  --deadline-s S  default per-request deadline, seconds\n"
-        "  --queue N       request queue capacity\n",
+        "  --queue N       request queue capacity\n"
+        "  --fsync         fsync every store append (durable vs "
+        "machine crash)\n"
+        "env: MSE_FAULTS=\"site:spec,...\" arms deterministic fault\n"
+        "injection (see src/common/fault_injection.hpp)\n",
         argv0);
 }
 
@@ -111,6 +115,8 @@ main(int argc, char **argv)
             svc_cfg.queue_capacity =
                 static_cast<size_t>(std::atoll(val));
             ++i;
+        } else if (arg == "--fsync") {
+            svc_cfg.store_fsync = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * store_check: crash-consistency verifier for a MappingStore file.
+ *
+ * The chaos harness SIGKILLs mse_serve mid-append over many cycles;
+ * after every kill this tool decides whether the store file is still
+ * within its crash contract. The contract (mapping_store.hpp):
+ *
+ *  - every *complete* line is either a valid v1 record or a torn
+ *    write: a strict prefix of a record (the half-line a kill left
+ *    behind, later sealed by the next append's leading newline);
+ *  - the final line may be unterminated (kill between the record and
+ *    its newline) but must still be prefix-shaped;
+ *  - records are never *merged*: a valid record contains exactly one
+ *    '{' (all values are scalars), so any line with two opening
+ *    braces means two appends interleaved — the bug class the
+ *    store's single-write append discipline exists to prevent;
+ *  - per key, scores are monotonically non-increasing in file order
+ *    (recordIfBetter only appends improvements; compaction rewrites
+ *    one best line per key), so a reload can never resurrect a worse
+ *    mapping.
+ *
+ * Prints a JSON summary and exits 0 iff the file honors the contract
+ * (a missing file is a fresh store and passes).
+ *
+ * Usage: store_check FILE
+ */
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/math_util.hpp"
+#include "core/objective.hpp"
+#include "service/mapping_store.hpp"
+
+namespace {
+
+/** A line that looks like the left part of a record a kill truncated:
+ *  starts like a record, holds no second record, parses as nothing. */
+bool
+tornShaped(const std::string &line)
+{
+    if (line.empty())
+        return true; // A sealing '\n' against an already-sealed tail.
+    // mse-lint: allow(json-emit) format-prefix comparison, not emission
+    const std::string prefix = "{\"v\":1,";
+    if (line.size() >= prefix.size()) {
+        if (line.compare(0, prefix.size(), prefix) != 0)
+            return false;
+    } else if (prefix.compare(0, line.size(), line) != 0) {
+        return false;
+    }
+    // Exactly one '{' (valid records have no nested objects), so a
+    // second one means two appends merged into one line.
+    size_t braces = 0;
+    for (const char c : line)
+        if (c == '{')
+            ++braces;
+    return braces == 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s STORE_FILE\n", argv[0]);
+        return 2;
+    }
+    const char *path = argv[1];
+
+    mse::JsonValue report = mse::JsonValue::object();
+    report["path"] = path;
+
+    FILE *f = std::fopen(path, "rb");
+    if (!f) {
+        // Missing file = fresh store: consistent by definition.
+        report["present"] = false;
+        report["ok"] = true;
+        std::printf("%s\n", report.dump().c_str());
+        return 0;
+    }
+    std::string bytes;
+    char chunk[1 << 16];
+    size_t r;
+    while ((r = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        bytes.append(chunk, r);
+    std::fclose(f);
+
+    size_t lines = 0, valid = 0, torn = 0;
+    bool tail_unterminated = false;
+    std::vector<std::string> problems;
+    std::unordered_map<std::string, double> last_score;
+
+    size_t pos = 0;
+    size_t line_no = 0;
+    while (pos < bytes.size()) {
+        const size_t nl = bytes.find('\n', pos);
+        const bool terminated = nl != std::string::npos;
+        const std::string line = bytes.substr(
+            pos, terminated ? nl - pos : std::string::npos);
+        pos = terminated ? nl + 1 : bytes.size();
+        ++line_no;
+        ++lines;
+        if (!terminated)
+            tail_unterminated = true;
+
+        const auto entry = mse::MappingStore::decodeEntry(line);
+        if (entry) {
+            ++valid;
+            // The store key, built from the record's *stored* arch
+            // signature (keyOf would need the full ArchConfig, which a
+            // record doesn't carry). Mirrors keyFromParts() in
+            // mapping_store.cpp.
+            const std::string key =
+                mse::fnv1a64Hex(entry->workload.signature()) + "|" +
+                entry->arch_sig + "|" +
+                mse::objectiveName(entry->objective) +
+                (entry->sparse ? "|sparse" : "|dense");
+            const auto it = last_score.find(key);
+            if (it != last_score.end() && entry->score > it->second) {
+                problems.push_back(
+                    "line " + std::to_string(line_no) +
+                    ": score regressed for key " + key + " (" +
+                    std::to_string(it->second) + " -> " +
+                    std::to_string(entry->score) + ")");
+            }
+            last_score[key] = entry->score;
+            continue;
+        }
+        if (tornShaped(line)) {
+            ++torn;
+            continue;
+        }
+        std::string preview = line.substr(0, 80);
+        problems.push_back("line " + std::to_string(line_no) +
+                           ": corrupted (not a record, not a torn "
+                           "prefix): " + preview);
+    }
+
+    report["present"] = true;
+    report["lines"] = static_cast<uint64_t>(lines);
+    report["valid_records"] = static_cast<uint64_t>(valid);
+    report["torn_lines"] = static_cast<uint64_t>(torn);
+    report["tail_unterminated"] = tail_unterminated;
+    report["live_keys"] = static_cast<uint64_t>(last_score.size());
+    const bool ok = problems.empty();
+    report["ok"] = ok;
+    if (!ok) {
+        mse::JsonValue &p = report["problems"];
+        p = mse::JsonValue::array();
+        for (const auto &msg : problems)
+            p.push(mse::JsonValue(msg));
+    }
+    std::printf("%s\n", report.dump().c_str());
+    return ok ? 0 : 1;
+}

@@ -236,6 +236,52 @@ class RawMutexTest(unittest.TestCase):
         self.assertEqual(lint("src/core/x.hpp", code), [])
 
 
+class RawSyscallTest(unittest.TestCase):
+    def test_raw_write_fires_in_service(self):
+        code = "ssize_t n = write(fd, buf, len);"
+        self.assertEqual(rules_of(lint("src/service/store.cpp", code)),
+                         ["raw-syscall"])
+
+    def test_global_qualified_call_fires(self):
+        code = "if (::fsync(fd) != 0) bail();"
+        self.assertEqual(rules_of(lint("src/service/store.cpp", code)),
+                         ["raw-syscall"])
+
+    def test_stdio_fires(self):
+        code = 'FILE *f = fopen(path, "r");'
+        self.assertEqual(rules_of(lint("src/service/store.cpp", code)),
+                         ["raw-syscall"])
+
+    def test_sys_io_wrappers_are_clean(self):
+        code = ("if (sysWriteAll(fd, p, n, \"store.append\") < 0)\n"
+                "    sysRename(a, b, \"store.rename\");\n"
+                "sysClose(fd);\n")
+        self.assertEqual(lint("src/service/store.cpp", code), [])
+
+    def test_member_and_qualified_names_are_clean(self):
+        code = ("reader.readLine(&line, ms);\n"
+                "conn->send(msg);\n"
+                "LineReader::Status s = LineReader::readLine(x);\n"
+                "closeSocket(fd);\n")
+        self.assertEqual(lint("src/service/net_user.cpp", code), [])
+
+    def test_outside_service_is_exempt(self):
+        code = "ssize_t n = write(fd, buf, len);"
+        self.assertEqual(lint("src/common/sys_io.cpp", code), [])
+        self.assertEqual(lint("tools/t.cpp", code), [])
+
+    def test_socket_setup_calls_are_clean(self):
+        code = ("int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n"
+                "::bind(fd, addr, len);\n"
+                "::listen(fd, 64);\n")
+        self.assertEqual(lint("src/service/net.cpp", code), [])
+
+    def test_allow_comment_suppresses(self):
+        code = ("::fsync(fd); "
+                "// mse-lint: allow(raw-syscall) pre-seam bootstrap")
+        self.assertEqual(lint("src/service/store.cpp", code), [])
+
+
 class SuppressionHygieneTest(unittest.TestCase):
     def test_allow_only_suppresses_named_rule(self):
         code = ("int r = rand(); "
