@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,7 +21,9 @@
 #include "common/thread_pool.hpp"
 #include "mappers/gamma.hpp"
 #include "mappers/random_pruned.hpp"
+#include "model/batch_eval.hpp"
 #include "model/eval_cache.hpp"
+#include "model/eval_plan.hpp"
 #include "sparse/sparse_model.hpp"
 #include "workload/model_zoo.hpp"
 
@@ -148,6 +152,89 @@ BM_EvalCacheHit(benchmark::State &state)
 BENCHMARK(BM_EvalCacheHit);
 
 void
+BM_PlannedEvalConv(benchmark::State &state)
+{
+    // The scalar planned path: same analytical model as
+    // BM_DenseCostModelConv, but with workload/arch constants folded
+    // into an EvalPlan once and scratch reused across evaluations.
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    const EvalPlan plan = EvalPlan::build(wl, arch);
+    MapSpace space(wl, arch);
+    Rng rng(1); // same stream as BM_DenseCostModelConv
+    std::vector<Mapping> pool;
+    for (int i = 0; i < 64; ++i)
+        pool.push_back(space.randomMapping(rng));
+    EvalScratch scratch;
+    CostResult out;
+    size_t i = 0;
+    for (auto _ : state) {
+        evaluatePlanned(plan, pool[i++ % pool.size()], scratch, out);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_PlannedEvalConv);
+
+void
+BM_SoABatchEvalConv(benchmark::State &state)
+{
+    // The SoA kernel over a population-sized batch; the reported time
+    // is per batch, items-per-second is per evaluation.
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    const EvalPlan plan = EvalPlan::build(wl, arch);
+    MapSpace space(wl, arch);
+    Rng rng(1);
+    std::vector<Mapping> pool;
+    for (int i = 0; i < 128; ++i)
+        pool.push_back(space.randomMapping(rng));
+    std::vector<CostResult> out(pool.size());
+    for (auto _ : state) {
+        evaluateBatchSoA(plan, pool, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(pool.size()));
+}
+BENCHMARK(BM_SoABatchEvalConv);
+
+void
+BM_IncrementalEvalChild(benchmark::State &state)
+{
+    // Offspring re-evaluation against memoized parent rows: a pool of
+    // mutateTile children, each re-costed from its parent's access
+    // rows (with the provability check on the hot path; children whose
+    // delta is not provable fall back to a full planned evaluation,
+    // exactly as in the pipeline).
+    const Workload wl = resnetConv4();
+    const ArchConfig arch = accelB();
+    const EvalPlan plan = EvalPlan::build(wl, arch);
+    MapSpace space(wl, arch);
+    Rng rng(9);
+    const Mapping parent = space.randomMapping(rng);
+    EvalScratch scratch;
+    CostResult out;
+    std::vector<TensorLevelAccess> parent_rows;
+    evaluatePlanned(plan, parent, scratch, out, &parent_rows);
+    std::vector<Mapping> children;
+    for (int i = 0; i < 64; ++i) {
+        Mapping child = parent;
+        GammaMapper::mutateTile(space, child, rng);
+        space.repair(child);
+        children.push_back(std::move(child));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        const Mapping &child = children[i++ % children.size()];
+        if (!evaluateIncremental(plan, child, parent,
+                                 parent_rows.data(), scratch, out))
+            evaluatePlanned(plan, child, scratch, out);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_IncrementalEvalChild);
+
+void
 BM_MappingValidation(benchmark::State &state)
 {
     const Workload wl = resnetConv4();
@@ -196,9 +283,10 @@ struct ThroughputSample
 {
     unsigned threads = 1;
     bool cache = false;
+    bool plan = false; ///< pipelined (EvalPlan+SoA) vs. legacy per-mapping
     double evals_per_sec = 0.0;
     double hit_rate = 0.0;
-    double speedup = 1.0; ///< vs. 1 thread, no cache
+    double speedup = 1.0; ///< vs. 1 thread, no cache, legacy
 };
 
 std::vector<Mapping>
@@ -235,34 +323,52 @@ gaPopulationStream(const MapSpace &space, size_t generations,
 
 ThroughputSample
 measureThroughput(const std::vector<Mapping> &stream, const Workload &wl,
-                  const ArchConfig &arch, unsigned threads, bool use_cache)
+                  const ArchConfig &arch, unsigned threads, bool use_cache,
+                  bool use_plan)
 {
     ThreadPool::setGlobalThreads(threads);
-    EvalFn base = [&wl, &arch](const Mapping &m) {
-        return CostModel::evaluate(wl, arch, m);
-    };
     EvalCache cache(16);
-    EvalFn eval = base;
-    if (use_cache) {
-        eval = [&cache, base](const Mapping &m) {
-            return cache.getOrCompute(m, base);
+    BatchCostEvaluator::Options popts;
+    popts.use_cache = use_cache;
+    // The replayed stream carries no parent hints, so incremental
+    // re-evaluation could never fire here; keep it off so the plan rows
+    // measure the SoA+store pipeline without dead row-keeping work.
+    popts.use_incremental = false;
+    BatchCostEvaluator pipeline(wl, arch, popts);
+
+    EvalFn eval;
+    if (use_plan) {
+        eval = BatchableEval{&pipeline};
+    } else {
+        EvalFn base = [&wl, &arch](const Mapping &m) {
+            return CostModel::evaluate(wl, arch, m);
         };
+        eval = base;
+        if (use_cache) {
+            eval = [&cache, base](const Mapping &m) {
+                return cache.getOrCompute(m, base);
+            };
+        }
     }
     SearchBudget budget;
     budget.max_samples = stream.size();
     SearchTracker tracker(eval, budget);
 
-    // Pre-split the stream so chunk copying stays outside the timing.
-    const size_t batch = 64;
-    std::vector<std::vector<Mapping>> chunks;
-    for (size_t i = 0; i < stream.size(); i += batch) {
-        chunks.emplace_back(stream.begin() + i,
-                            stream.begin() +
-                                std::min(stream.size(), i + batch));
-    }
+    // Replay the stream generation-by-generation through one reusable
+    // buffer, the way a real GA hands candidates to evaluateBatch:
+    // freshly written by the search thread and therefore cache-hot.
+    // (Walking a pre-materialized multi-megabyte stream instead would
+    // charge both paths a cold-memory tax no actual search pays.) The
+    // per-generation copy stands in for candidate construction and is
+    // deliberately inside the timed region.
+    const size_t batch = 128; // gaPopulationStream's pop_size
+    std::vector<Mapping> gen;
     const auto t0 = std::chrono::steady_clock::now();
-    for (const auto &chunk : chunks)
-        tracker.evaluateBatch(chunk);
+    for (size_t i = 0; i < stream.size(); i += batch) {
+        const size_t n = std::min(batch, stream.size() - i);
+        gen.assign(stream.begin() + i, stream.begin() + i + n);
+        tracker.evaluateBatch(gen);
+    }
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
@@ -271,11 +377,70 @@ measureThroughput(const std::vector<Mapping> &stream, const Workload &wl,
     ThroughputSample s;
     s.threads = threads;
     s.cache = use_cache;
+    s.plan = use_plan;
     s.evals_per_sec =
         secs > 0.0 ? static_cast<double>(stream.size()) / secs : 0.0;
-    s.hit_rate = use_cache ? cache.hitRate() : 0.0;
+    if (use_cache)
+        s.hit_rate = use_plan ? pipeline.cacheHitRate() : cache.hitRate();
     return s;
 }
+
+/**
+ * Raw evaluator throughput: the cost kernel alone — no tracker, no
+ * store, no search bookkeeping — evaluating one generation-sized
+ * candidate buffer repeatedly. A steady-state GA's working set is its
+ * population, rewritten in place each generation and therefore
+ * cache-resident; repeated evaluation of a hot 128-candidate buffer is
+ * that configuration, and isolates the number the eval-plan rewrite
+ * targets. (The sweep rows above stream 16K distinct candidates and so
+ * also pay the harness's cold-memory traffic, identically per path.)
+ */
+double
+measureKernelRate(const std::vector<Mapping> &stream, const Workload &wl,
+                  const ArchConfig &arch, bool soa)
+{
+    const EvalPlan plan = EvalPlan::build(wl, arch);
+    const size_t n = std::min<size_t>(128, stream.size());
+    // Mid-stream slice: generation 0 is uniformly random and mostly
+    // invalid; later generations have been repaired, matching a
+    // steady-state population.
+    const size_t at = (stream.size() - n) / 2;
+    const std::vector<Mapping> gen(stream.begin() + at,
+                                   stream.begin() + at + n);
+    std::vector<CostResult> out(n);
+    const size_t passes = std::max<size_t>(1, stream.size() / n);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t p = 0; p < passes; ++p) {
+        if (soa) {
+            evaluateBatchSoA(plan,
+                             std::span<const Mapping>(gen.data(), n),
+                             std::span<CostResult>(out.data(), n));
+        } else {
+            for (const Mapping &m : gen) {
+                CostResult r = CostModel::evaluate(wl, arch, m);
+                benchmark::DoNotOptimize(r);
+            }
+        }
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return secs > 0.0
+               ? static_cast<double>(passes * n) / secs
+               : 0.0;
+}
+
+// Single-thread plan-path numbers of this run, consumed by the gate.
+double g_plan_uncached = 0.0;
+double g_plan_cached = 0.0;
+// In-run legacy-vs-planned speedup ratios (machine-independent).
+double g_speedup_uncached = 0.0;
+double g_speedup_cached = 0.0;
+// Raw scalar-vs-SoA kernel rates and their in-run ratio.
+double g_kernel_scalar = 0.0;
+double g_kernel_soa = 0.0;
+double g_kernel_speedup = 0.0;
 
 void
 runThroughputSweep()
@@ -299,22 +464,65 @@ runThroughputSweep()
     }
 
     std::vector<ThroughputSample> samples;
-    for (const bool use_cache : {false, true}) {
-        for (const unsigned threads : thread_counts) {
-            // Warm-up pass to populate caches and park worker threads.
-            measureThroughput(stream, wl, arch, threads, use_cache);
-            samples.push_back(
-                measureThroughput(stream, wl, arch, threads, use_cache));
+    for (const bool use_plan : {false, true}) {
+        for (const bool use_cache : {false, true}) {
+            for (const unsigned threads : thread_counts) {
+                // Warm-up pass to populate caches and park workers.
+                measureThroughput(stream, wl, arch, threads, use_cache,
+                                  use_plan);
+                // Best-of-N: on a contended box a single pass can land
+                // in a noisy scheduling window; the max over a few
+                // passes is the closest observable to the machine's
+                // actual capability, and taking it for every row keeps
+                // the speedup ratios like-for-like.
+                ThroughputSample best;
+                for (size_t rep = 0;
+                     rep < bench::envSize("MSE_BENCH_REPS", 3); ++rep) {
+                    ThroughputSample cur = measureThroughput(
+                        stream, wl, arch, threads, use_cache, use_plan);
+                    if (cur.evals_per_sec > best.evals_per_sec)
+                        best = cur;
+                }
+                samples.push_back(best);
+            }
         }
     }
     ThreadPool::setGlobalThreads(0); // back to auto
+
+    // Raw kernel pair, best-of-N like the sweep rows.
+    double kernel_scalar = 0.0;
+    double kernel_soa = 0.0;
+    for (const bool soa : {false, true}) {
+        measureKernelRate(stream, wl, arch, soa); // warm-up
+        double best = 0.0;
+        for (size_t rep = 0; rep < bench::envSize("MSE_BENCH_REPS", 3);
+             ++rep)
+            best = std::max(best,
+                            measureKernelRate(stream, wl, arch, soa));
+        (soa ? kernel_soa : kernel_scalar) = best;
+    }
 
     const double baseline = samples.front().evals_per_sec;
     for (auto &s : samples)
         s.speedup = baseline > 0.0 ? s.evals_per_sec / baseline : 1.0;
 
+    // Single-thread rows of each (plan, cache) corner, measured in this
+    // very run — the speedup factors below always compare numbers from
+    // the same binary on the same machine.
+    auto single = [&](bool plan, bool cache) {
+        for (const auto &s : samples) {
+            if (s.threads == 1 && s.plan == plan && s.cache == cache)
+                return s.evals_per_sec;
+        }
+        return 0.0;
+    };
+    const double legacy_uncached = single(false, false);
+    const double legacy_cached = single(false, true);
+    const double plan_uncached = single(true, false);
+    const double plan_cached = single(true, true);
+
     std::printf("\nEval throughput (GA-population stream, %zu "
-                "candidates, batch 64, resnet_conv4 on accel-B, "
+                "candidates, batch 128, resnet_conv4 on accel-B, "
                 "%u detected core%s)\n",
                 stream.size(), detected_cores,
                 detected_cores == 1 ? "" : "s");
@@ -323,26 +531,51 @@ runThroughputSweep()
                     "only restate the %u-core ceiling)\n",
                     detected_cores, detected_cores);
     }
-    std::printf("%8s %6s %14s %9s %9s\n", "threads", "cache",
-                "evals/sec", "hit-rate", "speedup");
+    std::printf("%8s %6s %6s %14s %9s %9s\n", "path", "threads",
+                "cache", "evals/sec", "hit-rate", "speedup");
     for (const auto &s : samples) {
-        std::printf("%8u %6s %14.0f %8.1f%% %8.2fx\n", s.threads,
+        std::printf("%8s %6u %6s %14.0f %8.1f%% %8.2fx\n",
+                    s.plan ? "plan" : "legacy", s.threads,
                     s.cache ? "on" : "off", s.evals_per_sec,
                     100.0 * s.hit_rate, s.speedup);
     }
+    std::printf("single-thread plan speedup: %.2fx uncached, "
+                "%.2fx cached\n",
+                legacy_uncached > 0.0 ? plan_uncached / legacy_uncached
+                                      : 0.0,
+                legacy_cached > 0.0 ? plan_cached / legacy_cached : 0.0);
+    std::printf("raw kernel (no tracker): scalar %.0f evals/s, SoA %.0f "
+                "evals/s, speedup %.2fx\n",
+                kernel_scalar, kernel_soa,
+                kernel_scalar > 0.0 ? kernel_soa / kernel_scalar : 0.0);
 
     JsonValue doc = JsonValue::object();
     doc["workload"] = "resnet_conv4";
     doc["arch"] = "accel-B";
     doc["candidates"] = static_cast<uint64_t>(stream.size());
-    doc["batch_size"] = 64;
+    doc["batch_size"] = 128;
     doc["hardware_threads"] =
         static_cast<uint64_t>(ThreadPool::configuredThreads());
     doc["detected_cores"] = static_cast<uint64_t>(detected_cores);
+    JsonValue &st = doc["single_thread"];
+    st = JsonValue::object();
+    st["legacy_uncached_evals_per_sec"] = legacy_uncached;
+    st["legacy_cached_evals_per_sec"] = legacy_cached;
+    st["plan_uncached_evals_per_sec"] = plan_uncached;
+    st["plan_cached_evals_per_sec"] = plan_cached;
+    st["plan_speedup_uncached"] =
+        legacy_uncached > 0.0 ? plan_uncached / legacy_uncached : 0.0;
+    st["plan_speedup_cached"] =
+        legacy_cached > 0.0 ? plan_cached / legacy_cached : 0.0;
+    st["kernel_scalar_evals_per_sec"] = kernel_scalar;
+    st["kernel_soa_evals_per_sec"] = kernel_soa;
+    st["kernel_speedup"] =
+        kernel_scalar > 0.0 ? kernel_soa / kernel_scalar : 0.0;
     JsonValue &results = doc["results"];
     results = JsonValue::array();
     for (const auto &s : samples) {
         JsonValue row = JsonValue::object();
+        row["path"] = s.plan ? "plan" : "legacy";
         row["threads"] = static_cast<uint64_t>(s.threads);
         row["cache"] = s.cache;
         row["evals_per_sec"] = s.evals_per_sec;
@@ -351,6 +584,85 @@ runThroughputSweep()
         results.push(std::move(row));
     }
     bench::writeBenchJson("BENCH_eval_throughput.json", doc);
+
+    g_plan_uncached = plan_uncached;
+    g_plan_cached = plan_cached;
+    g_speedup_uncached =
+        legacy_uncached > 0.0 ? plan_uncached / legacy_uncached : 0.0;
+    g_speedup_cached =
+        legacy_cached > 0.0 ? plan_cached / legacy_cached : 0.0;
+    g_kernel_scalar = kernel_scalar;
+    g_kernel_soa = kernel_soa;
+    g_kernel_speedup =
+        kernel_scalar > 0.0 ? kernel_soa / kernel_scalar : 0.0;
+}
+
+/**
+ * Perf-regression gate: compare this run's single-thread numbers
+ * against the checked-in baseline
+ * (bench/baselines/eval_throughput.json, overridable via
+ * MSE_PERF_BASELINE). The primary checks are the in-run
+ * legacy-vs-planned *speedup ratios*, which cancel machine speed and
+ * load, so the gate is meaningful on CI boxes unlike the baseline
+ * machine's absolute rates; set MSE_PERF_ABSOLUTE=1 to also gate the
+ * absolute evals/s (same-machine tracking). A generous tolerance
+ * (default 30%, override via MSE_PERF_TOLERANCE) absorbs residual
+ * noise while still catching a real pipeline regression. Missing
+ * baseline = skip (new machines and local runs shouldn't fail),
+ * regression = nonzero exit so CI fails.
+ */
+int
+perfRegressionGate()
+{
+    const char *env = std::getenv("MSE_PERF_BASELINE");
+    const std::string path =
+        env ? env : "bench/baselines/eval_throughput.json";
+    std::ifstream in(path);
+    if (!in) {
+        std::printf("perf gate: no baseline at %s, skipping\n",
+                    path.c_str());
+        return 0;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const auto doc = parseJson(ss.str());
+    if (!doc || !doc->isObject()) {
+        std::fprintf(stderr, "perf gate: cannot parse %s\n",
+                     path.c_str());
+        return 1;
+    }
+    const JsonValue *st = doc->find("single_thread");
+    const double tol = bench::envDouble("MSE_PERF_TOLERANCE", 0.30);
+    const bool absolute = bench::envSize("MSE_PERF_ABSOLUTE", 0) != 0;
+    int failures = 0;
+    const struct
+    {
+        const char *key;
+        double current;
+        bool ratio; ///< machine-independent; always gated
+    } checks[] = {
+        {"kernel_speedup", g_kernel_speedup, true},
+        {"plan_speedup_uncached", g_speedup_uncached, true},
+        {"plan_speedup_cached", g_speedup_cached, true},
+        {"plan_uncached_evals_per_sec", g_plan_uncached, false},
+        {"plan_cached_evals_per_sec", g_plan_cached, false},
+    };
+    for (const auto &c : checks) {
+        if (!c.ratio && !absolute)
+            continue;
+        const double base = st ? st->getDouble(c.key, 0.0) : 0.0;
+        if (base <= 0.0)
+            continue;
+        const double floor = base * (1.0 - tol);
+        const bool ok = c.current >= floor;
+        std::printf("perf gate: %s %.3g vs baseline %.3g "
+                    "(floor %.3g, tolerance %.0f%%) %s\n",
+                    c.key, c.current, base, floor, 100.0 * tol,
+                    ok ? "OK" : "REGRESSION");
+        if (!ok)
+            ++failures;
+    }
+    return failures > 0 ? 1 : 0;
 }
 
 } // namespace
@@ -364,5 +676,5 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     runThroughputSweep();
-    return 0;
+    return perfRegressionGate();
 }

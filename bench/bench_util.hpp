@@ -53,14 +53,52 @@ banner(const char *experiment, const char *description)
     std::printf("=====================================================\n");
 }
 
+// Toolchain identity of this binary, injected by bench/CMakeLists.txt.
+// The "unknown" fallbacks keep standalone compiles (clang-tidy, IDE
+// stubs) building; real bench binaries always get the definitions.
+#ifndef MSE_BUILD_COMPILER_ID
+#define MSE_BUILD_COMPILER_ID "unknown"
+#endif
+#ifndef MSE_BUILD_COMPILER_VERSION
+#define MSE_BUILD_COMPILER_VERSION "unknown"
+#endif
+#ifndef MSE_BUILD_TYPE
+#define MSE_BUILD_TYPE "unknown"
+#endif
+#ifndef MSE_BUILD_CXX_FLAGS
+#define MSE_BUILD_CXX_FLAGS "unknown"
+#endif
+
+/**
+ * The compiler id/version/flags this bench binary was built with.
+ * Attached to every BENCH_*.json so throughput numbers always carry the
+ * toolchain that produced them — a perf comparison across differing
+ * "build" blocks is not like-for-like.
+ */
+inline JsonValue
+buildInfo()
+{
+    JsonValue b = JsonValue::object();
+    b["compiler_id"] = MSE_BUILD_COMPILER_ID;
+    b["compiler_version"] = MSE_BUILD_COMPILER_VERSION;
+    b["build_type"] = MSE_BUILD_TYPE;
+    b["cxx_flags"] = MSE_BUILD_CXX_FLAGS;
+    return b;
+}
+
 /**
  * Emit one BENCH_*.json result document through the shared JSON layer
  * (escaped strings, round-tripping numbers), warning on I/O failure.
+ * Stamps the toolchain block (see buildInfo) under "build" unless the
+ * caller already provided one.
  */
 inline bool
 writeBenchJson(const std::string &path, const JsonValue &doc)
 {
-    if (!writeJsonFile(path, doc)) {
+    JsonValue stamped = doc;
+    if (!stamped.find("build"))
+        stamped["build"] = buildInfo();
+    if (!writeJsonFile(path, stamped)) {
         std::fprintf(stderr, "WARN: cannot write %s\n", path.c_str());
         return false;
     }

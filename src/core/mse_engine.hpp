@@ -65,6 +65,24 @@ struct MseOptions
 
     /** Lock shards of the eval cache (rounded up to a power of two). */
     size_t eval_cache_shards = 16;
+
+    /**
+     * Route dense-model optimize() runs through the pipelined batch
+     * evaluator (model/batch_eval.hpp): one EvalPlan per run, SoA batch
+     * kernel, memoization store honoring use_eval_cache. Results, logs,
+     * and cache accounting are bit-identical to the legacy per-mapping
+     * path; off = the legacy path (also used whenever sparse is set,
+     * since the plan mirrors the dense model only).
+     */
+    bool use_eval_plan = true;
+
+    /**
+     * Within the pipeline, re-evaluate GA offspring incrementally
+     * against their hinted parents' memoized access rows (provably
+     * bit-identical, with automatic fallback to full evaluation).
+     * Ignored on the legacy path.
+     */
+    bool use_incremental = true;
 };
 
 /** Outcome of one MSE run. */
@@ -126,6 +144,17 @@ class MseEngine
                                      const MseOptions &opts, Rng &rng);
 
   private:
+    /**
+     * Shared tail of both optimize paths: warm-start seeding, the
+     * mapper run under `eval` (which already carries any Pareto/
+     * objective wrapping), convergence accounting, and the replay
+     * update. The Pareto archive is filled by the caller's evaluator
+     * wrapper, not here.
+     */
+    MseOutcome runSearch(const MapSpace &space, const EvalFn &eval,
+                         Mapper &mapper, const MseOptions &opts,
+                         Rng &rng);
+
     ArchConfig arch_;
     SparseCostModel sparse_model_;
     ReplayBuffer replay_;

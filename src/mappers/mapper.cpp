@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.hpp"
 #include "mappers/gamma.hpp"
+#include "model/batch_eval.hpp"
 #include "mappers/local_search.hpp"
 #include "mappers/random_pruned.hpp"
 #include "mappers/standard_ga.hpp"
@@ -63,6 +64,13 @@ SearchTracker::exhausted() const
 void
 SearchTracker::record(const Mapping &m, const CostResult &cost)
 {
+    record(m, cost, elapsedSeconds());
+}
+
+void
+SearchTracker::record(const Mapping &m, const CostResult &cost,
+                      double secs)
+{
     ++log_.samples;
     if (cost.valid && cost.edp < best_edp_) {
         best_edp_ = cost.edp;
@@ -70,7 +78,7 @@ SearchTracker::record(const Mapping &m, const CostResult &cost)
         best_cost_ = cost;
     }
     log_.best_edp_per_sample.push_back(best_edp_);
-    log_.seconds_per_sample.push_back(elapsedSeconds());
+    log_.seconds_per_sample.push_back(secs);
 }
 
 const CostResult &
@@ -82,7 +90,8 @@ SearchTracker::evaluate(const Mapping &m)
 }
 
 const std::vector<CostResult> &
-SearchTracker::evaluateBatch(const std::vector<Mapping> &batch)
+SearchTracker::evaluateBatch(const std::vector<Mapping> &batch,
+                             const std::vector<EvalHint> *hints)
 {
     // Truncate to the remaining sample budget so batch-converted mappers
     // never overshoot max_samples; the candidate sequence (and thus the
@@ -91,6 +100,24 @@ SearchTracker::evaluateBatch(const std::vector<Mapping> &batch)
         ? budget_.max_samples - log_.samples
         : 0;
     const size_t n = std::min(batch.size(), remaining);
+
+    if (const BatchableEval *be = eval_.target<BatchableEval>()) {
+        // Pipelined batch evaluator: hand the whole batch (and hints)
+        // over in one call; it fans out internally and writes every
+        // slot, so resize-without-clearing reuses result capacity.
+        batch_results_.resize(n);
+        const EvalHint *h =
+            hints && hints->size() >= n ? hints->data() : nullptr;
+        be->impl->evaluateBatch(batch.data(), h, n,
+                                batch_results_.data());
+        const double secs = elapsedSeconds();
+        for (size_t i = 0; i < n; ++i)
+            record(batch[i], batch_results_[i], secs);
+        if (n > 0)
+            last_cost_ = batch_results_[n - 1];
+        return batch_results_;
+    }
+
     batch_results_.assign(n, CostResult{});
 
     ThreadPool &pool = ThreadPool::global();
@@ -103,8 +130,9 @@ SearchTracker::evaluateBatch(const std::vector<Mapping> &batch)
             batch_results_[i] = eval_(batch[i]);
     }
     // Deterministic reduce in submission order.
+    const double secs = elapsedSeconds();
     for (size_t i = 0; i < n; ++i)
-        record(batch[i], batch_results_[i]);
+        record(batch[i], batch_results_[i], secs);
     if (n > 0)
         last_cost_ = batch_results_[n - 1];
     return batch_results_;

@@ -24,6 +24,8 @@
 
 namespace mse {
 
+struct EvalHint; // model/batch_eval.hpp
+
 /**
  * Evaluation callback: mapping -> cost (infinite EDP when illegal).
  *
@@ -152,9 +154,17 @@ class SearchTracker
      * call) may thus be shorter than the batch. The wall-clock budget
      * is checked at batch granularity, never mid-batch, to keep the
      * candidate sequence deterministic.
+     *
+     * When the evaluator is a BatchableEval (the engine's pipelined
+     * batch evaluator), the whole batch — plus the optional per-
+     * candidate hints, parallel to the batch — is handed to the
+     * pipeline in one call; otherwise candidates are fanned out to the
+     * callback one at a time and hints are ignored. Results are
+     * bit-identical either way, so mappers pass hints unconditionally.
      */
     const std::vector<CostResult> &
-    evaluateBatch(const std::vector<Mapping> &batch);
+    evaluateBatch(const std::vector<Mapping> &batch,
+                  const std::vector<EvalHint> *hints = nullptr);
 
     /** Seconds since construction. */
     double elapsedSeconds() const;
@@ -170,6 +180,15 @@ class SearchTracker
   private:
     /** Ordered reduce: fold one evaluated candidate into the logs. */
     void record(const Mapping &m, const CostResult &cost);
+
+    /**
+     * Same, with the timestamp supplied by the caller — evaluateBatch
+     * reads the clock once per batch (the whole batch was evaluated by
+     * the time the reduce loop runs, so per-sample reads would differ
+     * only by the reduce loop's own microseconds) and hands the shared
+     * value here.
+     */
+    void record(const Mapping &m, const CostResult &cost, double secs);
 
     const EvalFn &eval_;
     SearchBudget budget_;

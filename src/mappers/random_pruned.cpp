@@ -36,7 +36,9 @@ RandomPrunedMapper::search(const MapSpace &space, const EvalFn &eval,
             }
             batch.push_back(std::move(m));
         }
-        tracker.evaluateBatch(batch);
+        // Random samples have no parents: explicitly no eval hints (the
+        // batch still flows through the pipelined SoA evaluator).
+        tracker.evaluateBatch(batch, nullptr);
     }
     tracker.endGeneration();
     return tracker.takeResult();

@@ -38,7 +38,7 @@ EvalCache::getOrComputeHashed(uint64_t h, const Mapping &m,
         MutexLock lk(shard.mu);
         auto it = shard.map.find(h);
         if (it != shard.map.end() && it->second.key == m) {
-            hits_.fetch_add(1, std::memory_order_relaxed);
+            ++shard.hits;
             return it->second.cost;
         }
     }
@@ -47,9 +47,9 @@ EvalCache::getOrComputeHashed(uint64_t h, const Mapping &m,
     // 64-bit collision (different mapping, same hash) keeps the first
     // entry and recomputes the loser — a pure miss, never a wrong cost.
     CostResult result = inner(m);
-    misses_.fetch_add(1, std::memory_order_relaxed);
     {
         MutexLock lk(shard.mu);
+        ++shard.misses;
         shard.map.try_emplace(h, Entry{m, result});
     }
     return result;
@@ -61,6 +61,28 @@ EvalCache::wrap(CostEvalFn inner)
     return [this, inner = std::move(inner)](const Mapping &m) {
         return getOrCompute(m, inner);
     };
+}
+
+size_t
+EvalCache::hits() const
+{
+    size_t n = 0;
+    for (const auto &s : shards_) {
+        MutexLock lk(s->mu);
+        n += s->hits;
+    }
+    return n;
+}
+
+size_t
+EvalCache::misses() const
+{
+    size_t n = 0;
+    for (const auto &s : shards_) {
+        MutexLock lk(s->mu);
+        n += s->misses;
+    }
+    return n;
 }
 
 double
@@ -88,9 +110,9 @@ EvalCache::clear()
     for (const auto &s : shards_) {
         MutexLock lk(s->mu);
         s->map.clear();
+        s->hits = 0;
+        s->misses = 0;
     }
-    hits_.store(0, std::memory_order_relaxed);
-    misses_.store(0, std::memory_order_relaxed);
 }
 
 } // namespace mse

@@ -27,7 +27,6 @@
  */
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -69,11 +68,9 @@ class EvalCache
      */
     CostEvalFn wrap(CostEvalFn inner);
 
-    size_t hits() const { return hits_.load(std::memory_order_relaxed); }
-    size_t misses() const
-    {
-        return misses_.load(std::memory_order_relaxed);
-    }
+    /** Total hits/misses, aggregated over the per-shard counters. */
+    size_t hits() const;
+    size_t misses() const;
 
     /** hits / (hits + misses); 0 when never queried. */
     double hitRate() const;
@@ -109,6 +106,15 @@ class EvalCache
         Mutex mu;
         std::unordered_map<uint64_t, Entry, IdentityHash> map
             GUARDED_BY(mu);
+        /**
+         * Hit/miss counters live per shard, bumped under the shard
+         * lock the probe/insert already holds and aggregated only when
+         * hits()/misses() is read. Shared atomics here would put every
+         * worker's counter increment on one contended cache line — the
+         * one false-sharing hotspot in an otherwise sharded structure.
+         */
+        size_t hits GUARDED_BY(mu) = 0;
+        size_t misses GUARDED_BY(mu) = 0;
     };
 
     Shard &shardFor(uint64_t hash)
@@ -118,8 +124,6 @@ class EvalCache
     }
 
     std::vector<std::unique_ptr<Shard>> shards_;
-    std::atomic<size_t> hits_{0};
-    std::atomic<size_t> misses_{0};
 };
 
 } // namespace mse

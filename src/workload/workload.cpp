@@ -18,14 +18,18 @@ Workload::Workload(std::string name, std::vector<std::string> dim_names,
         if (b < 1)
             throw std::invalid_argument("workload: bounds must be >= 1");
     }
+    if (bounds_.size() > 32) {
+        // Relevance is a per-tensor uint32_t bitmask; every real DNN
+        // operator here has <= 7 loop dimensions.
+        throw std::invalid_argument("workload: more than 32 dimensions");
+    }
     buildCaches();
 }
 
 void
 Workload::buildCaches()
 {
-    relevance_.assign(tensors_.size(),
-                      std::vector<bool>(bounds_.size(), false));
+    relevance_.assign(tensors_.size(), 0u);
     output_tensor_ = -1;
     for (size_t t = 0; t < tensors_.size(); ++t) {
         for (const auto &rank : tensors_[t].projection) {
@@ -33,7 +37,7 @@ Workload::buildCaches()
                 if (term.dim < 0 || term.dim >= numDims())
                     throw std::invalid_argument(
                         "workload: projection references bad dim");
-                relevance_[t][term.dim] = true;
+                relevance_[t] |= 1u << static_cast<unsigned>(term.dim);
             }
         }
         if (tensors_[t].kind == TensorKind::Output) {
@@ -48,7 +52,7 @@ Workload::buildCaches()
 
     reduction_dims_.clear();
     for (int d = 0; d < numDims(); ++d) {
-        if (!relevance_[output_tensor_][d])
+        if (!isRelevant(output_tensor_, d))
             reduction_dims_.push_back(d);
     }
 }

@@ -79,7 +79,20 @@ class Workload
     int outputTensor() const { return output_tensor_; }
 
     /** True iff dimension dim appears in tensor t's projection. */
-    bool isRelevant(int t, int dim) const { return relevance_[t][dim]; }
+    bool
+    isRelevant(int t, int dim) const
+    {
+        return (relevance_[t] >> static_cast<unsigned>(dim)) & 1u;
+    }
+
+    /**
+     * Relevance of all dimensions to tensor t as a bitmask: bit d set
+     * iff dimension d appears in t's projection. Hot-path form of
+     * isRelevant (the cost model tests one register against a shifted
+     * bit instead of chasing a nested vector). Workloads are capped at
+     * 32 dimensions so the mask always fits.
+     */
+    uint32_t relevanceMask(int t) const { return relevance_[t]; }
 
     /**
      * Dimensions not relevant to the output tensor: iterating them
@@ -125,7 +138,8 @@ class Workload
     std::vector<int64_t> bounds_;
     std::vector<TensorSpec> tensors_;
     int output_tensor_ = -1;
-    std::vector<std::vector<bool>> relevance_;
+    /** Per-tensor dimension-relevance bitmasks (see relevanceMask). */
+    std::vector<uint32_t> relevance_;
     std::vector<int> reduction_dims_;
 };
 
