@@ -17,14 +17,25 @@
  * collapse on the warm pass, mirroring the paper's Sec. 5.1 result at
  * service granularity. Emits BENCH_service_throughput.json.
  *
+ * A second section sweeps the *front end* itself: ping streams over
+ * 1/32/256 (full mode: +1024, event only) concurrent connections,
+ * with and without request pipelining, against both server backends.
+ * Pings cost the service nothing, so the sweep isolates what the
+ * paper's service layer adds around the search: connection handling,
+ * framing, and reply dispatch. The headline figure is the
+ * event-vs-threaded QPS ratio at high connection counts.
+ *
  * `bench_service_throughput smoke` (or MSE_BENCH_SMOKE=1) shrinks the
  * stream and budgets for CI.
  */
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -149,6 +160,134 @@ passJson(const PassResult &r)
     return j;
 }
 
+// ------------------------------------------------- concurrency sweep
+
+/** One cell of the front-end sweep. */
+struct SweepCell
+{
+    const char *backend = "";
+    size_t conns = 0;
+    size_t pipeline = 0;
+    size_t requests = 0;
+    size_t failures = 0;
+    double wall_seconds = 0.0;
+
+    double qps() const
+    {
+        return wall_seconds > 0.0
+            ? static_cast<double>(requests) / wall_seconds
+            : 0.0;
+    }
+};
+
+/**
+ * Ping `conns` concurrent connections, `pipeline` requests per batch,
+ * `batches` batches per connection, against a fresh server of the
+ * given backend. Client side: min(8, conns) threads, each owning an
+ * equal slice of the connections and playing batched
+ * send-P-then-read-P rounds over every owned connection.
+ */
+SweepCell
+runSweepCell(ServerConfig::Backend backend, size_t conns,
+             size_t pipeline, size_t batches)
+{
+    SweepCell cell;
+    cell.backend =
+        backend == ServerConfig::Backend::Event ? "event" : "threaded";
+    cell.conns = conns;
+    cell.pipeline = pipeline;
+
+    ServiceConfig scfg;
+    MseService service(scfg);
+    ServerConfig ncfg;
+    ncfg.backend = backend;
+    ncfg.max_connections = conns + 8;
+    ServiceServer server(service, ncfg);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "sweep server start failed: %s\n",
+                     err.c_str());
+        cell.failures = conns * pipeline * batches;
+        return cell;
+    }
+
+    JsonValue ping = JsonValue::object();
+    ping["type"] = "ping";
+    std::string payload;
+    for (size_t i = 0; i < pipeline; ++i) {
+        payload += ping.dump();
+        payload += '\n';
+    }
+
+    const size_t n_threads = std::min<size_t>(8, conns);
+    std::vector<std::vector<int>> owned(n_threads);
+    std::atomic<size_t> failures{0};
+    size_t connected = 0;
+    for (size_t i = 0; i < conns; ++i) {
+        const int fd = connectTcp("127.0.0.1", server.port(), &err);
+        if (fd < 0) {
+            failures += pipeline * batches;
+            continue;
+        }
+        owned[i % n_threads].push_back(fd);
+        ++connected;
+    }
+
+    const double t0 = nowSeconds();
+    std::vector<std::thread> clients;
+    clients.reserve(n_threads);
+    for (size_t t = 0; t < n_threads; ++t) {
+        clients.emplace_back([&, t] {
+            std::vector<std::unique_ptr<LineReader>> readers;
+            readers.reserve(owned[t].size());
+            for (const int fd : owned[t])
+                readers.push_back(std::make_unique<LineReader>(fd));
+            for (size_t b = 0; b < batches; ++b) {
+                // All owned connections keep `pipeline` requests in
+                // flight at once: write every batch, then read every
+                // batch, so the server sees the full concurrency.
+                for (const int fd : owned[t])
+                    if (!sendAll(fd, payload.data(), payload.size()))
+                        failures += pipeline;
+                for (size_t c = 0; c < owned[t].size(); ++c) {
+                    for (size_t k = 0; k < pipeline; ++k) {
+                        std::string reply;
+                        if (readers[c]->readLine(&reply, 60000) !=
+                            LineReader::Status::Line)
+                            ++failures;
+                    }
+                }
+            }
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+    cell.wall_seconds = nowSeconds() - t0;
+    for (auto &fds : owned)
+        for (const int fd : fds)
+            closeSocket(fd);
+    server.stop();
+
+    const size_t attempted = connected * pipeline * batches;
+    const size_t failed = failures.load();
+    cell.requests = attempted > failed ? attempted - failed : 0;
+    cell.failures = failed + (conns - connected) * pipeline * batches;
+    return cell;
+}
+
+JsonValue
+sweepCellJson(const SweepCell &c)
+{
+    JsonValue j = JsonValue::object();
+    j["backend"] = c.backend;
+    j["connections"] = static_cast<uint64_t>(c.conns);
+    j["pipeline"] = static_cast<uint64_t>(c.pipeline);
+    j["requests"] = static_cast<uint64_t>(c.requests);
+    j["failures"] = static_cast<uint64_t>(c.failures);
+    j["qps"] = c.qps();
+    return j;
+}
+
 } // namespace
 
 int
@@ -251,6 +390,64 @@ main(int argc, char **argv)
     }
     server.stop();
 
+    // Front-end sweep: cheap pings isolate connection handling,
+    // framing, and dispatch from search cost.
+    std::printf("\nfront-end sweep (ping, batched):\n");
+    const size_t batches =
+        bench::envSize("MSE_BENCH_SWEEP_BATCHES", smoke ? 3 : 20);
+    std::vector<size_t> conn_counts = {1, 32, 256};
+    std::vector<size_t> pipelines = {1, 16};
+    std::vector<SweepCell> cells;
+    for (const size_t conns : conn_counts) {
+        for (const size_t p : pipelines) {
+            for (const auto backend :
+                 {ServerConfig::Backend::Event,
+                  ServerConfig::Backend::Threaded}) {
+                const SweepCell cell =
+                    runSweepCell(backend, conns, p, batches);
+                std::printf("  %-8s conns %4zu  pipeline %2zu  qps "
+                            "%9.0f  failures %zu\n",
+                            cell.backend, cell.conns, cell.pipeline,
+                            cell.qps(), cell.failures);
+                cells.push_back(cell);
+            }
+        }
+    }
+    if (!smoke) {
+        // 1024 connections: event loop only. A thread per connection
+        // at that scale measures the scheduler, not the server.
+        for (const size_t p : pipelines) {
+            const SweepCell cell = runSweepCell(
+                ServerConfig::Backend::Event, 1024, p, batches);
+            std::printf("  %-8s conns %4zu  pipeline %2zu  qps "
+                        "%9.0f  failures %zu\n",
+                        cell.backend, cell.conns, cell.pipeline,
+                        cell.qps(), cell.failures);
+            cells.push_back(cell);
+        }
+        std::printf("  (threaded backend capped at 256 connections)\n");
+    } else {
+        std::printf("  (smoke mode: 1024-connection cells skipped)\n");
+    }
+
+    // Headline ratio: event vs threaded at the highest shared
+    // connection count, pipelined.
+    double event_qps_256 = 0.0, threaded_qps_256 = 0.0;
+    for (const SweepCell &c : cells) {
+        if (c.conns == 256 && c.pipeline == 16) {
+            if (std::strcmp(c.backend, "event") == 0)
+                event_qps_256 = c.qps();
+            else
+                threaded_qps_256 = c.qps();
+        }
+    }
+    const double ratio_256 = threaded_qps_256 > 0.0
+        ? event_qps_256 / threaded_qps_256
+        : 0.0;
+    std::printf("  event/threaded qps ratio @256 conns, pipeline 16: "
+                "%.2fx\n",
+                ratio_256);
+
     JsonValue doc = JsonValue::object();
     doc["samples_per_request"] = static_cast<uint64_t>(samples);
     doc["layers"] = static_cast<uint64_t>(stream.size());
@@ -267,6 +464,18 @@ main(int argc, char **argv)
     win["qps_ratio"] =
         cold.qps() > 0.0 ? warm.qps() / cold.qps() : 0.0;
     doc["service_stats"] = stats;
+    JsonValue &sweep = doc["frontend_sweep"];
+    sweep["batches_per_connection"] = static_cast<uint64_t>(batches);
+    JsonValue &cells_json = sweep["cells"];
+    cells_json = JsonValue::array();
+    size_t sweep_failures = 0;
+    for (const SweepCell &c : cells) {
+        cells_json.push(sweepCellJson(c));
+        sweep_failures += c.failures;
+    }
+    sweep["event_qps_at_256x16"] = event_qps_256;
+    sweep["threaded_qps_at_256x16"] = threaded_qps_256;
+    sweep["event_vs_threaded_qps_ratio_at_256x16"] = ratio_256;
     bench::writeBenchJson("BENCH_service_throughput.json", doc);
 
     // A store that degraded mid-bench (or a run with faults armed)
@@ -278,7 +487,11 @@ main(int argc, char **argv)
 
     const bool ok = cold.failures == 0 && warm.failures == 0 &&
         warm.exact_hits == warm.latencies_s.size() &&
-        !warm.latencies_s.empty() && warm_sti <= cold_sti && !tainted;
+        !warm.latencies_s.empty() && warm_sti <= cold_sti &&
+        sweep_failures == 0 && !tainted;
+    if (sweep_failures != 0)
+        std::fprintf(stderr, "FAIL: %zu front-end sweep failures\n",
+                     sweep_failures);
     if (tainted)
         std::fprintf(stderr, "FAIL: store degraded or faults armed "
                              "during the bench\n");

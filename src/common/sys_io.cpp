@@ -7,6 +7,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
 #include "common/fault_injection.hpp"
 
 namespace mse {
@@ -238,5 +242,77 @@ sysRecv(int fd, void *buf, size_t n, int flags, const char *site)
         return r;
     }
 }
+
+#ifdef __linux__
+
+int
+sysEpollCreate(const char *site)
+{
+    while (true) {
+        const int inj = faultCheck(site);
+        int fd;
+        if (inj) {
+            errno = inj;
+            fd = -1;
+        } else {
+            fd = ::epoll_create1(0);
+        }
+        if (fd < 0 && errno == EINTR)
+            continue;
+        return fd;
+    }
+}
+
+int
+sysEpollCtl(int epfd, int op, int fd, struct epoll_event *ev,
+            const char *site)
+{
+    while (true) {
+        const int inj = faultCheck(site);
+        int rc;
+        if (inj) {
+            errno = inj;
+            rc = -1;
+        } else {
+            rc = ::epoll_ctl(epfd, op, fd, ev);
+        }
+        if (rc != 0 && errno == EINTR)
+            continue;
+        return rc;
+    }
+}
+
+int
+sysEpollWait(int epfd, struct epoll_event *events, int maxevents,
+             int timeout_ms, const char *site)
+{
+    // Re-arm against a deadline so EINTR storms cannot extend the
+    // wait past timeout_ms (same contract as sysPoll above).
+    const bool bounded = timeout_ms >= 0;
+    const int64_t deadline = bounded ? nowMs() + timeout_ms : 0;
+    int remaining = timeout_ms;
+    while (true) {
+        const int inj = faultCheck(site);
+        int rc;
+        if (inj) {
+            errno = inj;
+            rc = -1;
+        } else {
+            rc = ::epoll_wait(epfd, events, maxevents, remaining);
+        }
+        if (rc < 0 && errno == EINTR) {
+            if (bounded) {
+                const int64_t left = deadline - nowMs();
+                if (left <= 0)
+                    return 0; // Deadline passed: report timeout.
+                remaining = static_cast<int>(left);
+            }
+            continue;
+        }
+        return rc;
+    }
+}
+
+#endif // __linux__
 
 } // namespace mse

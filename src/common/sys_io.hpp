@@ -31,6 +31,9 @@
 #include <sys/types.h>
 
 struct pollfd;
+#ifdef __linux__
+struct epoll_event;
+#endif
 
 namespace mse {
 
@@ -84,5 +87,24 @@ bool sysSendAll(int fd, const void *data, size_t n, int flags,
 /** recv(2) with EINTR retry. */
 ssize_t sysRecv(int fd, void *buf, size_t n, int flags,
                 const char *site);
+
+#ifdef __linux__
+/** epoll_create1(2) with EINTR retry (paranoia; not specified to
+ *  EINTR, but the injected form can). */
+int sysEpollCreate(const char *site);
+
+/** epoll_ctl(2); EINTR retried. */
+int sysEpollCtl(int epfd, int op, int fd, struct epoll_event *ev,
+                const char *site);
+
+/**
+ * epoll_wait(2) with EINTR retry against a steady-clock deadline,
+ * mirroring sysPoll: a signal (or injected EINTR) mid-wait resumes
+ * with the *remaining* timeout, so total wait never exceeds
+ * timeout_ms (negative timeout_ms = infinite).
+ */
+int sysEpollWait(int epfd, struct epoll_event *events, int maxevents,
+                 int timeout_ms, const char *site);
+#endif
 
 } // namespace mse

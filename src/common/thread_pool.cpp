@@ -27,6 +27,16 @@ ThreadPool::inTask()
     return t_in_pool_task;
 }
 
+ThreadPool::ScopedInline::ScopedInline() : prev_(t_in_pool_task)
+{
+    t_in_pool_task = true;
+}
+
+ThreadPool::ScopedInline::~ScopedInline()
+{
+    t_in_pool_task = prev_;
+}
+
 unsigned
 ThreadPool::configuredThreads()
 {

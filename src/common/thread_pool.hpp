@@ -75,6 +75,29 @@ class ThreadPool
     static bool inTask();
 
     /**
+     * Marks the current thread as pool-task context for its lifetime,
+     * so every parallelFor it issues (at any depth) runs inline.
+     *
+     * This is how N independent top-level threads — e.g. the service's
+     * executor workers — can each drive searches concurrently without
+     * violating the one-top-level-caller contract of parallelFor: each
+     * worker wraps its job in a ScopedInline and evaluates serially on
+     * its own lane. Results stay bit-identical by the pool-size
+     * determinism contract (inline == pool of size 1).
+     */
+    class ScopedInline
+    {
+      public:
+        ScopedInline();
+        ~ScopedInline();
+        ScopedInline(const ScopedInline &) = delete;
+        ScopedInline &operator=(const ScopedInline &) = delete;
+
+      private:
+        bool prev_;
+    };
+
+    /**
      * Process-wide pool used by SearchTracker::evaluateBatch. Created
      * on first use with configuredThreads() lanes.
      */

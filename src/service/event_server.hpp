@@ -1,0 +1,140 @@
+/**
+ * @file
+ * EventServer: the epoll/poll event-loop backend of ServiceServer.
+ *
+ * One loop thread multiplexes the listening socket, a self-wake pipe,
+ * and every client connection (all non-blocking, level-triggered via
+ * Poller). Searches never run on the loop thread: they are submitted
+ * to MseService's executor workers with a completion hook that pushes
+ * the connection id onto a queue and pokes the wake pipe, so the loop
+ * wakes exactly when a reply becomes writable.
+ *
+ * Per-connection state machine (full invariants in DESIGN.md Sec. 11):
+ *
+ *   bytes -> in buffer -> line framing -> reply slots (FIFO) ->
+ *   out buffer -> socket
+ *
+ *  - *Pipelining*: each parsed line appends one reply slot; slots are
+ *    flushed strictly from the front, so replies leave in request
+ *    order no matter which executor finishes first.
+ *  - *Backpressure*: when a connection has max_pipeline in-flight
+ *    slots or max_buffered_bytes pending output, the loop stops
+ *    reading that socket (level-triggered readiness keeps the
+ *    residual bytes claimable later); a full send buffer parks the
+ *    remaining output and arms write interest. The loop itself never
+ *    blocks on any one connection.
+ *  - *Idle deadlines*: each connection carries an absolute
+ *    steady-clock deadline, refreshed on any byte of progress; the
+ *    wait timeout is the nearest deadline, so timeouts fire on time
+ *    rather than in kPollMs increments. A connection with requests in
+ *    flight is never idle.
+ *  - *Disconnect*: EOF/error cancels the connection's in-flight
+ *    searches (their executor slots finish early and are dropped on
+ *    the floor); other connections are untouched.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "service/poller.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+
+namespace mse {
+
+/** Event-loop server backend (see file comment). */
+class EventServer : public ServerBackend
+{
+  public:
+    EventServer(MseService &service, ServerConfig cfg);
+    ~EventServer() override;
+
+    bool start(std::string *err) override;
+    void stop() override;
+    uint16_t port() const override { return port_; }
+    void requestStop() override;
+    bool stopRequested() const override { return stop_flag_.load(); }
+
+  private:
+    /** One queued reply, kept in request order. */
+    struct Slot
+    {
+        bool done = false;   ///< reply is final (immediate or fetched).
+        std::string reply;   ///< framed JSON, no trailing newline.
+        std::future<SearchReply> fut; ///< valid while a search runs.
+        CancelTokenPtr cancel;        ///< cancels that search.
+    };
+
+    /** Per-connection state. */
+    struct Conn
+    {
+        int fd = -1;
+        uint64_t id = 0;       ///< monotonic; survives fd reuse.
+        std::string in;        ///< unparsed request bytes.
+        std::string out;       ///< unsent reply bytes.
+        size_t out_off = 0;    ///< sent prefix of out.
+        std::deque<Slot> slots;
+        int64_t idle_deadline_ms = 0; ///< steady clock, absolute.
+        bool want_close = false; ///< close after out drains.
+        bool paused = false;     ///< read interest dropped (backpressure).
+        bool write_armed = false;
+        bool dead = false;       ///< awaiting reap (fd still open).
+    };
+
+    void loop();
+    void acceptReady();
+    void drainWake();
+    void drainCompletions();
+    /** Read until EAGAIN, parse lines, enqueue slots. */
+    void readInput(Conn *c);
+    /** Frame complete lines out of c->in into slots. */
+    void parseLines(Conn *c);
+    void handleLine(Conn *c, const std::string &line);
+    /** Serialize ready head-of-line slots and write until EAGAIN. */
+    void flushOut(Conn *c);
+    /** parse/flush/resume fixpoint after any progress on c. */
+    void pump(Conn *c);
+    void pushDone(Conn *c, std::string reply);
+    void setPaused(Conn *c, bool paused);
+    void destroyConn(Conn *c, bool cancel_inflight);
+    void expireIdle(int64_t now_ms);
+    void reapDead();
+    int64_t nextTimeoutMs(int64_t now_ms) const;
+    void touch(Conn *c);
+    /** Wake the loop from another thread (completion, stop). */
+    void wakeLoop();
+
+    MseService &service_;
+    ServerConfig cfg_;
+    int listen_fd_ = -1;
+    uint16_t port_ = 0;
+    std::atomic<bool> stop_flag_{false};
+    int wake_r_ = -1;
+    std::atomic<int> wake_w_{-1}; ///< atomic: requestStop is signal ctx.
+    Poller poller_;
+    std::thread loop_thread_;
+
+    // Loop-thread-only state. conns_ is an ordered map: the loop
+    // iterates it (idle scan, drain), and deterministic fd order keeps
+    // those passes reproducible under MSE_FAULTS replay.
+    uint64_t next_conn_id_ = 1;
+    std::map<int, std::unique_ptr<Conn>> conns_; ///< by fd.
+    std::unordered_map<uint64_t, Conn *> by_id_; ///< never iterated.
+    std::vector<std::unique_ptr<Conn>> dead_; ///< closed at reap.
+    std::vector<Poller::Event> events_;
+
+    // Executor -> loop handoff: connection ids with a finished search.
+    Mutex done_mu_;
+    std::vector<uint64_t> done_ids_ GUARDED_BY(done_mu_);
+};
+
+} // namespace mse

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -44,7 +45,9 @@ listenTcp(uint16_t port, std::string *err)
         sysClose(fd);
         return -1;
     }
-    if (::listen(fd, 16) != 0) {
+    // Backlog sized for connect storms (the bench opens hundreds of
+    // connections at once); the kernel clamps to net.core.somaxconn.
+    if (::listen(fd, 1024) != 0) {
         setError(err, "listen");
         sysClose(fd);
         return -1;
@@ -137,6 +140,17 @@ sendLine(int fd, const std::string &line)
     std::string framed = line;
     framed += '\n';
     return sendAll(fd, framed.data(), framed.size());
+}
+
+bool
+setNonBlocking(int fd)
+{
+    // fcntl is socket setup, not data-path I/O: no fault site, same
+    // category as the socket()/setsockopt() calls above.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
 void

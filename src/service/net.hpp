@@ -41,6 +41,9 @@ bool sendAll(int fd, const void *data, size_t n);
 /** sendAll of line + '\n'. */
 bool sendLine(int fd, const std::string &line);
 
+/** Put fd into O_NONBLOCK mode; false on error. */
+bool setNonBlocking(int fd);
+
 /** Close a socket fd (ignores errors). */
 void closeSocket(int fd);
 

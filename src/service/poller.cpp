@@ -1,0 +1,182 @@
+#include "service/poller.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "common/sys_io.hpp"
+
+namespace mse {
+
+namespace {
+
+#ifdef __linux__
+uint32_t
+epollMask(bool read, bool write)
+{
+    uint32_t ev = 0;
+    if (read)
+        ev |= EPOLLIN;
+    if (write)
+        ev |= EPOLLOUT;
+    return ev;
+}
+#endif
+
+short
+pollMask(bool read, bool write)
+{
+    short ev = 0;
+    if (read)
+        ev |= POLLIN;
+    if (write)
+        ev |= POLLOUT;
+    return ev;
+}
+
+} // namespace
+
+Poller::~Poller()
+{
+    if (epfd_ >= 0)
+        sysClose(epfd_);
+}
+
+bool
+Poller::init(Kind kind, std::string *err)
+{
+    if (kind == Kind::Auto) {
+        // getenv is safe here: nothing in this process calls
+        // setenv/putenv after main() starts.
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
+        const char *env = std::getenv("MSE_EVENT_BACKEND");
+        if (env != nullptr && std::strcmp(env, "poll") == 0)
+            kind = Kind::Poll;
+    }
+#ifdef __linux__
+    if (kind != Kind::Poll) {
+        epfd_ = sysEpollCreate("server.epoll.create");
+        if (epfd_ < 0) {
+            if (err)
+                *err = std::string("epoll_create1: ") +
+                       std::strerror(errno);
+            return false;
+        }
+        return true;
+    }
+#else
+    if (kind == Kind::Epoll) {
+        if (err)
+            *err = "epoll backend unavailable on this platform";
+        return false;
+    }
+#endif
+    return true; // poll backend needs no setup.
+}
+
+bool
+Poller::add(int fd, bool read, bool write)
+{
+#ifdef __linux__
+    if (epfd_ >= 0) {
+        struct epoll_event ev{};
+        ev.events = epollMask(read, write);
+        ev.data.fd = fd;
+        return sysEpollCtl(epfd_, EPOLL_CTL_ADD, fd, &ev,
+                           "server.epoll.ctl") == 0;
+    }
+#endif
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = pollMask(read, write);
+    index_[fd] = pfds_.size();
+    pfds_.push_back(pfd);
+    return true;
+}
+
+bool
+Poller::mod(int fd, bool read, bool write)
+{
+#ifdef __linux__
+    if (epfd_ >= 0) {
+        struct epoll_event ev{};
+        ev.events = epollMask(read, write);
+        ev.data.fd = fd;
+        return sysEpollCtl(epfd_, EPOLL_CTL_MOD, fd, &ev,
+                           "server.epoll.ctl") == 0;
+    }
+#endif
+    const auto it = index_.find(fd);
+    if (it == index_.end())
+        return false;
+    pfds_[it->second].events = pollMask(read, write);
+    return true;
+}
+
+void
+Poller::del(int fd)
+{
+#ifdef __linux__
+    if (epfd_ >= 0) {
+        struct epoll_event ev{}; // non-null for pre-2.6.9 kernels.
+        sysEpollCtl(epfd_, EPOLL_CTL_DEL, fd, &ev, "server.epoll.ctl");
+        return;
+    }
+#endif
+    const auto it = index_.find(fd);
+    if (it == index_.end())
+        return;
+    const size_t i = it->second;
+    const size_t last = pfds_.size() - 1;
+    if (i != last) {
+        pfds_[i] = pfds_[last];
+        index_[pfds_[i].fd] = i;
+    }
+    pfds_.pop_back();
+    index_.erase(it);
+}
+
+int
+Poller::wait(int timeout_ms, std::vector<Event> *out)
+{
+    out->clear();
+#ifdef __linux__
+    if (epfd_ >= 0) {
+        struct epoll_event evs[64];
+        const int rc = sysEpollWait(epfd_, evs, 64, timeout_ms,
+                                    "server.epoll.wait");
+        for (int i = 0; i < rc; ++i) {
+            Event e;
+            e.fd = evs[i].data.fd;
+            e.readable = (evs[i].events & EPOLLIN) != 0;
+            e.writable = (evs[i].events & EPOLLOUT) != 0;
+            e.error = (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+            out->push_back(e);
+        }
+        return rc;
+    }
+#endif
+    const int rc = sysPoll(pfds_.data(), pfds_.size(), timeout_ms,
+                           "server.poll.wait");
+    if (rc <= 0)
+        return rc;
+    for (const pollfd &p : pfds_) {
+        if (p.revents == 0)
+            continue;
+        Event e;
+        e.fd = p.fd;
+        e.readable = (p.revents & POLLIN) != 0;
+        e.writable = (p.revents & POLLOUT) != 0;
+        e.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+        out->push_back(e);
+        if (static_cast<int>(out->size()) == rc)
+            break;
+    }
+    return static_cast<int>(out->size());
+}
+
+} // namespace mse

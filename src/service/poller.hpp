@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Readiness-notification abstraction for the event-loop server.
+ *
+ * One interface, two backends:
+ *
+ *  - **epoll** (Linux): O(1) per-event dispatch; the fd set lives in
+ *    the kernel, so a wait over thousands of idle connections costs
+ *    nothing per idle fd.
+ *  - **plain poll** (portable fallback): the fd set is a flat
+ *    vector<pollfd> rescanned per wait — O(n) but dependency-free.
+ *
+ * Both are *level-triggered*: a ready fd is re-reported on every wait
+ * until drained, so the server may stop reading/writing mid-buffer
+ * (backpressure, fairness) without losing the wakeup. All syscalls go
+ * through the sys_io seam (sites "server.epoll.*" / "server.poll.wait"),
+ * so fault injection covers the event loop the same way it covered the
+ * thread-per-connection reader.
+ *
+ * Not thread-safe: a Poller belongs to exactly one loop thread.
+ */
+#pragma once
+
+#include <poll.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mse {
+
+class Poller
+{
+  public:
+    enum class Kind
+    {
+        Auto,  ///< epoll on Linux (unless MSE_EVENT_BACKEND=poll), else poll.
+        Epoll, ///< epoll; open() fails on non-Linux builds.
+        Poll,  ///< portable poll(2) backend.
+    };
+
+    struct Event
+    {
+        int fd = -1;
+        bool readable = false;
+        bool writable = false;
+        bool error = false; ///< EPOLLERR/EPOLLHUP (peer gone or socket error).
+    };
+
+    Poller() = default;
+    ~Poller();
+
+    Poller(const Poller &) = delete;
+    Poller &operator=(const Poller &) = delete;
+
+    /** Pick + initialize a backend. False with *err set on failure. */
+    bool init(Kind kind, std::string *err);
+
+    /** True when the epoll backend is active (after init). */
+    bool usingEpoll() const { return epfd_ >= 0; }
+
+    /** Start watching fd. read/write select the interest set. */
+    bool add(int fd, bool read, bool write);
+
+    /** Change fd's interest set. */
+    bool mod(int fd, bool read, bool write);
+
+    /** Stop watching fd; do this before closing the fd. */
+    void del(int fd);
+
+    /**
+     * Wait up to timeout_ms (-1 = infinite) and append ready fds to
+     * *out (cleared first). Returns the event count, 0 on timeout, -1
+     * on a non-EINTR wait error (EINTR is retried against a
+     * steady-clock deadline inside sys_io).
+     */
+    int wait(int timeout_ms, std::vector<Event> *out);
+
+  private:
+    int epfd_ = -1; // epoll backend (Linux); -1 = poll backend.
+
+    // poll(2) backend state: flat pollfd array + fd -> index map for
+    // O(1) mod/del (del swap-erases and patches the moved entry).
+    std::vector<pollfd> pfds_;
+    std::unordered_map<int, size_t> index_;
+};
+
+} // namespace mse

@@ -1,7 +1,12 @@
 #include "service/server.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <thread>
+#include <vector>
 
+#include "common/thread_annotations.hpp"
+#include "service/event_server.hpp"
 #include "service/net.hpp"
 #include "service/wire.hpp"
 
@@ -9,14 +14,188 @@ namespace mse {
 
 namespace {
 
-/** Poll interval for stop-flag checks, ms. */
+/** Poll interval for stop-flag checks, ms (threaded backend only;
+ *  the event backend uses exact steady-clock deadlines instead). */
 constexpr int kPollMs = 200;
+
+/**
+ * The original thread-per-connection backend: an accept loop spawning
+ * one blocking reader thread per connection. Kept as the behavioral
+ * reference for the event loop (tests diff the two reply streams) and
+ * as the bench baseline the event backend's QPS is gated against.
+ */
+class ThreadedServer : public ServerBackend
+{
+  public:
+    ThreadedServer(MseService &service, ServerConfig cfg)
+        : service_(service), cfg_(cfg)
+    {
+    }
+
+    ~ThreadedServer() override { stop(); }
+
+    bool start(std::string *err) override
+    {
+        listen_fd_ = listenTcp(cfg_.port, err);
+        if (listen_fd_ < 0)
+            return false;
+        port_ = boundPort(listen_fd_);
+        accept_thread_ = std::thread([this] { acceptLoop(); });
+        return true;
+    }
+
+    void stop() override EXCLUDES(conn_mu_)
+    {
+        stop_flag_.store(true);
+        if (accept_thread_.joinable())
+            accept_thread_.join();
+        std::vector<std::thread> threads;
+        {
+            MutexLock lk(conn_mu_);
+            threads.swap(conn_threads_);
+        }
+        for (auto &t : threads)
+            if (t.joinable())
+                t.join();
+        if (listen_fd_ >= 0) {
+            closeSocket(listen_fd_);
+            listen_fd_ = -1;
+        }
+        service_.stop(true);
+    }
+
+    uint16_t port() const override { return port_; }
+    void requestStop() override { stop_flag_.store(true); }
+    bool stopRequested() const override { return stop_flag_.load(); }
+
+  private:
+    void acceptLoop() EXCLUDES(conn_mu_)
+    {
+        while (!stop_flag_.load()) {
+            const int fd = acceptWithTimeout(listen_fd_, kPollMs);
+            if (fd == -1)
+                continue;
+            if (fd == -2)
+                break;
+            if (live_connections_.load() >= cfg_.max_connections) {
+                sendLine(fd,
+                         wireError("too_many_connections",
+                                   "server connection limit reached",
+                                   service_.config().retry_hint_ms)
+                             .dump());
+                closeSocket(fd);
+                continue;
+            }
+            ++live_connections_;
+            MutexLock lk(conn_mu_);
+            conn_threads_.emplace_back(
+                [this, fd] { handleConnection(fd); });
+        }
+    }
+
+    /** Run one search, cancelling if the peer hangs up mid-search. */
+    SearchReply searchWatchingPeer(int fd, SearchRequest req)
+    {
+        auto ticket = service_.submit(std::move(req));
+        // Wait on the reply in short slices so a dropped peer or a
+        // server stop cancels the search instead of burning the whole
+        // budget.
+        while (ticket.reply.wait_for(std::chrono::milliseconds(
+                   kPollMs)) != std::future_status::ready) {
+            if (stop_flag_.load() || peerClosed(fd))
+                ticket.cancel->requestCancel();
+        }
+        return ticket.reply.get();
+    }
+
+    void handleConnection(int fd)
+    {
+        LineReader reader(fd, cfg_.max_line_bytes);
+        std::string line;
+        int idle_ms = 0;
+        while (!stop_flag_.load()) {
+            const auto status = reader.readLine(&line, kPollMs);
+            if (status == LineReader::Status::Timeout) {
+                idle_ms += kPollMs;
+                if (idle_ms >= cfg_.io_timeout_ms) {
+                    sendLine(fd,
+                             wireError("idle_timeout",
+                                       "no request received in time")
+                                 .dump());
+                    break;
+                }
+                continue;
+            }
+            idle_ms = 0;
+            if (status == LineReader::Status::TooLong) {
+                // Framing is gone; nothing on this stream is
+                // trustworthy.
+                sendLine(
+                    fd,
+                    wireError("request_too_large",
+                              "request line exceeds " +
+                                  std::to_string(cfg_.max_line_bytes) +
+                                  " bytes")
+                        .dump());
+                break;
+            }
+            if (status != LineReader::Status::Line)
+                break; // Closed or Error: peer is gone.
+            if (line.empty())
+                continue;
+
+            std::string code, message;
+            const auto req = parseWireRequest(line, &code, &message);
+            if (!req) {
+                service_.metrics().onError(code.c_str());
+                if (!sendLine(fd, wireError(code, message).dump()))
+                    break;
+                continue; // Malformed input costs the line, not the
+                          // session.
+            }
+
+            std::string reply;
+            switch (req->kind) {
+              case WireRequest::Kind::Ping:
+                service_.metrics().onRequest("ping");
+                reply = pingReplyJson().dump();
+                break;
+              case WireRequest::Kind::Stats:
+                service_.metrics().onRequest("stats");
+                reply = statsReplyJson(service_.statsJson()).dump();
+                break;
+              case WireRequest::Kind::Search:
+                reply = searchReplyJson(
+                            searchWatchingPeer(fd, req->search))
+                            .dump();
+                break;
+            }
+            if (!sendLine(fd, reply))
+                break;
+        }
+        closeSocket(fd);
+        --live_connections_;
+    }
+
+    MseService &service_;
+    ServerConfig cfg_;
+    int listen_fd_ = -1;
+    uint16_t port_ = 0;
+    std::atomic<bool> stop_flag_{false};
+    std::atomic<size_t> live_connections_{0};
+    std::thread accept_thread_;
+    Mutex conn_mu_;
+    std::vector<std::thread> conn_threads_ GUARDED_BY(conn_mu_);
+};
 
 } // namespace
 
 ServiceServer::ServiceServer(MseService &service, ServerConfig cfg)
-    : service_(service), cfg_(cfg)
 {
+    if (cfg.backend == ServerConfig::Backend::Threaded)
+        impl_ = std::make_unique<ThreadedServer>(service, cfg);
+    else
+        impl_ = std::make_unique<EventServer>(service, cfg);
 }
 
 ServiceServer::~ServiceServer()
@@ -27,139 +206,13 @@ ServiceServer::~ServiceServer()
 bool
 ServiceServer::start(std::string *err)
 {
-    listen_fd_ = listenTcp(cfg_.port, err);
-    if (listen_fd_ < 0)
-        return false;
-    port_ = boundPort(listen_fd_);
-    accept_thread_ = std::thread([this] { acceptLoop(); });
-    return true;
+    return impl_->start(err);
 }
 
 void
 ServiceServer::stop()
 {
-    stop_flag_.store(true);
-    if (accept_thread_.joinable())
-        accept_thread_.join();
-    std::vector<std::thread> threads;
-    {
-        MutexLock lk(conn_mu_);
-        threads.swap(conn_threads_);
-    }
-    for (auto &t : threads)
-        if (t.joinable())
-            t.join();
-    if (listen_fd_ >= 0) {
-        closeSocket(listen_fd_);
-        listen_fd_ = -1;
-    }
-    service_.stop(true);
-}
-
-void
-ServiceServer::acceptLoop()
-{
-    while (!stop_flag_.load()) {
-        const int fd = acceptWithTimeout(listen_fd_, kPollMs);
-        if (fd == -1)
-            continue;
-        if (fd == -2)
-            break;
-        if (live_connections_.load() >= cfg_.max_connections) {
-            sendLine(fd,
-                     wireError("too_many_connections",
-                               "server connection limit reached",
-                               service_.config().retry_hint_ms)
-                         .dump());
-            closeSocket(fd);
-            continue;
-        }
-        ++live_connections_;
-        MutexLock lk(conn_mu_);
-        conn_threads_.emplace_back(
-            [this, fd] { handleConnection(fd); });
-    }
-}
-
-SearchReply
-ServiceServer::searchWatchingPeer(int fd, SearchRequest req)
-{
-    auto ticket = service_.submit(std::move(req));
-    // Wait on the reply in short slices so a dropped peer or a server
-    // stop cancels the search instead of burning the whole budget.
-    while (ticket.reply.wait_for(std::chrono::milliseconds(kPollMs)) !=
-           std::future_status::ready) {
-        if (stop_flag_.load() || peerClosed(fd))
-            ticket.cancel->requestCancel();
-    }
-    return ticket.reply.get();
-}
-
-void
-ServiceServer::handleConnection(int fd)
-{
-    LineReader reader(fd, cfg_.max_line_bytes);
-    std::string line;
-    int idle_ms = 0;
-    while (!stop_flag_.load()) {
-        const auto status = reader.readLine(&line, kPollMs);
-        if (status == LineReader::Status::Timeout) {
-            idle_ms += kPollMs;
-            if (idle_ms >= cfg_.io_timeout_ms) {
-                sendLine(fd,
-                         wireError("idle_timeout",
-                                   "no request received in time")
-                             .dump());
-                break;
-            }
-            continue;
-        }
-        idle_ms = 0;
-        if (status == LineReader::Status::TooLong) {
-            // Framing is gone; nothing on this stream is trustworthy.
-            sendLine(fd,
-                     wireError("request_too_large",
-                               "request line exceeds " +
-                                   std::to_string(cfg_.max_line_bytes) +
-                                   " bytes")
-                         .dump());
-            break;
-        }
-        if (status != LineReader::Status::Line)
-            break; // Closed or Error: peer is gone.
-        if (line.empty())
-            continue;
-
-        std::string code, message;
-        const auto req = parseWireRequest(line, &code, &message);
-        if (!req) {
-            service_.metrics().onError(code.c_str());
-            if (!sendLine(fd, wireError(code, message).dump()))
-                break;
-            continue; // Malformed input costs the line, not the session.
-        }
-
-        std::string reply;
-        switch (req->kind) {
-          case WireRequest::Kind::Ping:
-            service_.metrics().onRequest("ping");
-            reply = pingReplyJson().dump();
-            break;
-          case WireRequest::Kind::Stats:
-            service_.metrics().onRequest("stats");
-            reply = statsReplyJson(service_.statsJson()).dump();
-            break;
-          case WireRequest::Kind::Search:
-            reply =
-                searchReplyJson(searchWatchingPeer(fd, req->search))
-                    .dump();
-            break;
-        }
-        if (!sendLine(fd, reply))
-            break;
-    }
-    closeSocket(fd);
-    --live_connections_;
+    impl_->stop();
 }
 
 } // namespace mse

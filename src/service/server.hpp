@@ -2,13 +2,21 @@
  * @file
  * Line-delimited-JSON TCP front end over MseService.
  *
- * Thread-per-connection on loopback: the accept loop polls with a
- * short timeout so a stop request (e.g. from a SIGINT/SIGTERM handler
- * via requestStop(), which is async-signal-safe) is observed promptly.
- * Connection threads likewise poll, so shutdown needs no thread
- * cancellation.
+ * Two interchangeable backends behind one facade (ServerConfig::
+ * backend), serving the identical wire protocol:
  *
- * Robustness rules, per line:
+ *  - **Event** (default): a single-threaded epoll/poll event loop
+ *    (src/service/event_server.cpp) multiplexing every connection —
+ *    non-blocking accept, per-connection read/write buffers with a
+ *    line-framing state machine, request pipelining with replies in
+ *    request order, steady-clock idle deadlines, and searches executed
+ *    by MseService's executor workers. Scales to thousands of mostly
+ *    idle connections at one thread of front-end cost.
+ *  - **Threaded**: the original thread-per-connection implementation,
+ *    kept as the behavioral reference — tests assert the two backends
+ *    produce byte-identical reply streams (modulo timing fields).
+ *
+ * Robustness rules, per line (both backends):
  *  - malformed JSON / bad request  -> structured error reply, keep
  *    the connection (a client bug shouldn't cost the session);
  *  - oversized line                -> structured error reply, then
@@ -18,18 +26,16 @@
  *  - peer disconnects mid-search   -> the request's CancelToken fires
  *    and the search stops at its next generation boundary.
  *
- * stop() drains: accepting stops first, live connections finish their
- * in-flight request, then the service queue drains.
+ * stop() drains: accepting stops first, in-flight requests are
+ * cancelled (best-so-far replies still go out), then the service
+ * queue drains.
  */
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <string>
-#include <thread>
-#include <vector>
 
-#include "common/thread_annotations.hpp"
+#include "service/poller.hpp"
 #include "service/service.hpp"
 
 namespace mse {
@@ -48,9 +54,44 @@ struct ServerConfig
 
     /** Connections beyond this are refused with an error reply. */
     size_t max_connections = 32;
+
+    /** Front-end implementation. */
+    enum class Backend
+    {
+        Event,    ///< epoll/poll event loop (default).
+        Threaded, ///< thread-per-connection reference implementation.
+    };
+    Backend backend = Backend::Event;
+
+    /** Readiness backend for Backend::Event (Auto = epoll on Linux
+     *  unless MSE_EVENT_BACKEND=poll). */
+    Poller::Kind poller = Poller::Kind::Auto;
+
+    /**
+     * Pipelining cap: in-flight requests per connection before the
+     * server pauses reading that socket (backpressure; nothing is
+     * dropped — bytes queue in the kernel and the client blocks).
+     */
+    size_t max_pipeline = 64;
+
+    /** Pending reply bytes per connection before reads pause (slow-
+     *  reader guard; the loop itself never blocks on a full socket). */
+    size_t max_buffered_bytes = 4u << 20;
 };
 
-/** The TCP server; owns the accept loop and connection threads. */
+/** Internal server implementation interface (one per Backend). */
+class ServerBackend
+{
+  public:
+    virtual ~ServerBackend() = default;
+    virtual bool start(std::string *err) = 0;
+    virtual void stop() = 0;
+    virtual uint16_t port() const = 0;
+    virtual void requestStop() = 0; ///< Async-signal-safe.
+    virtual bool stopRequested() const = 0;
+};
+
+/** The TCP server facade; owns whichever backend cfg selects. */
 class ServiceServer
 {
   public:
@@ -60,40 +101,26 @@ class ServiceServer
     ServiceServer(const ServiceServer &) = delete;
     ServiceServer &operator=(const ServiceServer &) = delete;
 
-    /** Bind, listen, spawn the accept loop. False + *err on failure. */
+    /** Bind, listen, spawn the backend. False + *err on failure. */
     bool start(std::string *err);
 
     /** Actual listening port (after start; useful with cfg.port = 0). */
-    uint16_t port() const { return port_; }
+    uint16_t port() const { return impl_->port(); }
 
     /**
-     * Flag the server to stop. Async-signal-safe (only touches an
-     * atomic); the accept loop notices within one poll interval.
+     * Flag the server to stop. Async-signal-safe (an atomic store
+     * plus, for the event backend, one byte written to a wake pipe).
      */
-    void requestStop() { stop_flag_.store(true); }
+    void requestStop() { impl_->requestStop(); }
 
     /** True once requestStop() fired (or stop() ran). */
-    bool stopRequested() const { return stop_flag_.load(); }
+    bool stopRequested() const { return impl_->stopRequested(); }
 
-    /** Stop accepting, join all threads, drain the service. */
-    void stop() EXCLUDES(conn_mu_);
+    /** Stop accepting, drain in-flight work, stop the service. */
+    void stop();
 
   private:
-    void acceptLoop() EXCLUDES(conn_mu_);
-    void handleConnection(int fd);
-
-    /** Run one search, cancelling if the peer hangs up mid-search. */
-    SearchReply searchWatchingPeer(int fd, SearchRequest req);
-
-    MseService &service_;
-    ServerConfig cfg_;
-    int listen_fd_ = -1;
-    uint16_t port_ = 0;
-    std::atomic<bool> stop_flag_{false};
-    std::atomic<size_t> live_connections_{0};
-    std::thread accept_thread_;
-    Mutex conn_mu_;
-    std::vector<std::thread> conn_threads_ GUARDED_BY(conn_mu_);
+    std::unique_ptr<ServerBackend> impl_; ///< Never null after ctor.
 };
 
 } // namespace mse

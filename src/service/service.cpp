@@ -1,9 +1,11 @@
 #include "service/service.hpp"
 
 #include <chrono>
+#include <cstdlib>
 
 #include "common/fault_injection.hpp"
 #include "common/math_util.hpp"
+#include "common/thread_pool.hpp"
 #include "core/model_sweep.hpp"
 #include "mapping/mapping_io.hpp"
 
@@ -45,11 +47,32 @@ immediateTicket(SearchReply reply)
 
 } // namespace
 
+size_t
+MseService::defaultExecutors()
+{
+    // getenv is safe here: nothing in this process calls
+    // setenv/putenv after main() starts.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    if (const char *env = std::getenv("MSE_EXECUTORS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && v >= 1)
+            return static_cast<size_t>(v > 64 ? 64 : v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
 MseService::MseService(ServiceConfig cfg)
     : cfg_(std::move(cfg)), store_(cfg_.store_path, cfg_.store_fsync),
       start_time_(nowSeconds())
 {
-    executor_ = std::thread([this] { executorLoop(); });
+    n_executors_ = cfg_.executors < 1 ? 1
+        : cfg_.executors > 64        ? 64
+                                     : cfg_.executors;
+    executors_.reserve(n_executors_);
+    for (size_t i = 0; i < n_executors_; ++i)
+        executors_.emplace_back([this] { executorLoop(); });
 }
 
 MseService::~MseService()
@@ -59,32 +82,43 @@ MseService::~MseService()
 }
 
 MseService::Ticket
-MseService::submit(SearchRequest req)
+MseService::submit(SearchRequest req, CompletionFn on_complete)
 {
     metrics_.onRequest("search");
+
+    // Rejections resolve the future before returning, so the
+    // completion hook can fire synchronously right here — the
+    // "after the future is ready" contract holds on both paths.
+    const auto reject = [&](SearchReply reply) {
+        Ticket t = immediateTicket(std::move(reply));
+        if (on_complete)
+            on_complete();
+        return t;
+    };
 
     // Validate before queueing so bad requests fail fast and never
     // occupy a queue slot.
     if (req.workload.numDims() <= 0 ||
         req.workload.numTensors() <= 0) {
         metrics_.onError("bad_workload");
-        return immediateTicket(
+        return reject(
             errorReply("bad_workload", "workload has no dimensions"));
     }
     if (req.arch.numLevels() <= 0) {
         metrics_.onError("bad_arch");
-        return immediateTicket(
+        return reject(
             errorReply("bad_arch", "arch has no storage levels"));
     }
     if (!makeMapperFactory(req.mapper)) {
         metrics_.onError("unknown_mapper");
-        return immediateTicket(errorReply(
+        return reject(errorReply(
             "unknown_mapper", "no mapper named '" + req.mapper + "'"));
     }
 
     auto pending = std::make_unique<Pending>();
     pending->req = std::move(req);
     pending->cancel = std::make_shared<CancelToken>();
+    pending->on_complete = std::move(on_complete);
     const double deadline = pending->req.deadline_seconds > 0.0
         ? pending->req.deadline_seconds
         : cfg_.default_deadline_seconds;
@@ -97,13 +131,15 @@ MseService::submit(SearchRequest req)
         MutexLock lk(mu_);
         if (stopping_) {
             metrics_.onError("shutting_down");
-            return immediateTicket(
+            on_complete = std::move(pending->on_complete);
+            return reject(
                 errorReply("shutting_down", "service is draining",
                            cfg_.retry_hint_ms));
         }
         if (queue_.size() >= cfg_.queue_capacity) {
             metrics_.onRejectQueueFull();
-            return immediateTicket(errorReply(
+            on_complete = std::move(pending->on_complete);
+            return reject(errorReply(
                 "queue_full",
                 "request queue is at capacity (" +
                     std::to_string(cfg_.queue_capacity) + ")",
@@ -123,10 +159,19 @@ MseService::search(SearchRequest req)
 }
 
 void
+MseService::finish(Pending &p, SearchReply reply)
+{
+    p.promise.set_value(std::move(reply));
+    if (p.on_complete)
+        p.on_complete();
+}
+
+void
 MseService::executorLoop()
 {
     while (true) {
         std::unique_ptr<Pending> pending;
+        std::vector<std::unique_ptr<Pending>> abandoned;
         {
             MutexUniqueLock lk(mu_);
             // Explicit wait loop: guarded reads stay in this scope for
@@ -134,19 +179,25 @@ MseService::executorLoop()
             while (!stopping_ && queue_.empty())
                 queue_cv_.wait(lk.native());
             if (stopping_ && (!drain_on_stop_ || queue_.empty())) {
-                // Abandon what's left (non-drain stop only).
-                for (auto &p : queue_) {
-                    p->promise.set_value(errorReply(
-                        "shutting_down", "service stopped"));
-                }
+                // Abandon what's left (non-drain stop only); replies
+                // and completion hooks fire outside the lock.
+                abandoned.reserve(queue_.size());
+                for (auto &p : queue_)
+                    abandoned.push_back(std::move(p));
                 queue_.clear();
-                return;
+            } else {
+                if (queue_.empty())
+                    continue;
+                pending = std::move(queue_.front());
+                queue_.pop_front();
+                running_.push_back(pending->cancel);
             }
-            if (queue_.empty())
-                continue;
-            pending = std::move(queue_.front());
-            queue_.pop_front();
-            running_cancel_ = pending->cancel;
+        }
+        if (!pending) {
+            for (auto &p : abandoned)
+                finish(*p, errorReply("shutting_down",
+                                      "service stopped"));
+            return;
         }
         metrics_.onDequeue();
 
@@ -159,15 +210,28 @@ MseService::executorLoop()
             reply = errorReply("deadline_exceeded",
                                "deadline expired while queued");
             metrics_.onError("deadline_exceeded");
+        } else if (n_executors_ > 1) {
+            // N concurrent searches must not each claim the global
+            // pool (one-top-level-caller contract): pin this worker's
+            // evaluation inline on its own lane. Bit-identical by the
+            // pool-size determinism contract.
+            ThreadPool::ScopedInline inline_scope;
+            reply = runSearch(pending->req, pending->cancel,
+                              pending->deadline_abs);
         } else {
             reply = runSearch(pending->req, pending->cancel,
                               pending->deadline_abs);
         }
-        pending->promise.set_value(std::move(reply));
         {
             MutexLock lk(mu_);
-            running_cancel_.reset();
+            for (auto it = running_.begin(); it != running_.end(); ++it) {
+                if (*it == pending->cancel) {
+                    running_.erase(it);
+                    break;
+                }
+            }
         }
+        finish(*pending, std::move(reply));
     }
 }
 
@@ -271,12 +335,11 @@ MseService::runSearch(const SearchRequest &req,
     }
 
     // Degraded-store transition (disk append failed, store went
-    // read-only): count it once; the service keeps answering — cold
-    // and in-memory-warm searches don't need the disk.
-    if (store_.degraded() && !store_degraded_noted_) {
-        store_degraded_noted_ = true;
+    // read-only): count it once — exchange() arbitrates when several
+    // executors observe the transition together. The service keeps
+    // answering; cold and in-memory-warm searches don't need the disk.
+    if (store_.degraded() && !store_degraded_noted_.exchange(true))
         metrics_.onStoreDegraded();
-    }
 
     ServiceMetrics::SearchSample sample;
     sample.latency_seconds = r.wall_seconds;
@@ -298,18 +361,24 @@ MseService::runSearch(const SearchRequest &req,
 void
 MseService::stop(bool drain)
 {
+    bool joinable = false;
+    for (auto &t : executors_)
+        joinable = joinable || t.joinable();
     {
         MutexLock lk(mu_);
-        if (stopping_ && !executor_.joinable())
+        if (stopping_ && !joinable)
             return;
         stopping_ = true;
         drain_on_stop_ = drain;
-        if (!drain && running_cancel_)
-            running_cancel_->requestCancel();
+        if (!drain) {
+            for (auto &c : running_)
+                c->requestCancel();
+        }
     }
     queue_cv_.notify_all();
-    if (executor_.joinable())
-        executor_.join();
+    for (auto &t : executors_)
+        if (t.joinable())
+            t.join();
 }
 
 JsonValue
@@ -334,7 +403,14 @@ MseService::statsJson() const
         f["armed"] = true;
         f["injected_total"] = faults.totalInjected();
     }
+    {
+        MutexLock lock(mu_);
+        JsonValue &q = j["queue"];
+        q["depth"] = queue_.size();
+        q["running"] = running_.size();
+    }
     JsonValue &cfg = j["config"];
+    cfg["executors"] = n_executors_;
     cfg["queue_capacity"] = cfg_.queue_capacity;
     cfg["default_deadline_seconds"] = cfg_.default_deadline_seconds;
     cfg["default_samples"] = cfg_.default_samples;

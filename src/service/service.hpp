@@ -7,13 +7,18 @@
  * cold-start search cost and nothing persisted. MseService wraps that
  * stack in a long-lived request loop:
  *
- *  - a *bounded request queue* feeding one executor thread. Exactly one
- *    search runs at a time — by design: the search itself fans its
- *    batched cost-model queries across ThreadPool::global() (whose
- *    contract allows a single top-level parallelFor caller), so request
- *    concurrency would only displace batch parallelism while breaking
- *    the pool contract. Submitters get a future; a full queue rejects
- *    immediately with a structured `queue_full` error.
+ *  - a *bounded request queue* feeding a pool of N executor workers
+ *    (ServiceConfig::executors; MseService::defaultExecutors() resolves
+ *    the daemon's MSE_EXECUTORS knob). With one executor the search
+ *    fans its batched cost-model queries across ThreadPool::global();
+ *    with N > 1 each worker wraps its search in
+ *    ThreadPool::ScopedInline so evaluation runs serially on that
+ *    worker's lane — N concurrent searches instead of one parallel
+ *    one, without breaking the pool's one-top-level-caller contract.
+ *    Either way per-request results are bit-identical (the pool-size
+ *    determinism contract: inline == pool of 1). Submitters get a
+ *    future; a full queue rejects immediately with a structured
+ *    `queue_full` error.
  *  - *per-request deadlines*: a request carries an absolute deadline
  *    from the moment it is accepted. Expired while queued -> a
  *    `deadline_exceeded` error without burning any search samples.
@@ -40,12 +45,14 @@
  */
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/metrics.hpp"
 #include "common/thread_annotations.hpp"
@@ -87,6 +94,17 @@ struct ServiceConfig
      * should back off before resubmitting.
      */
     int retry_hint_ms = 1000;
+
+    /**
+     * Executor workers draining the queue (clamped to [1, 64]). The
+     * library default stays 1 (single deterministic drain order, the
+     * behavior every embedded caller had before); the daemon resolves
+     * its default via MseService::defaultExecutors() (MSE_EXECUTORS
+     * env, else hardware_concurrency). Per-request *results* are
+     * bit-identical at any value; cross-request *interleaving* (store
+     * warm-hit timing, queue order) is concurrent at N > 1.
+     */
+    size_t executors = 1;
 };
 
 /** One mapping-search request. */
@@ -172,12 +190,33 @@ class MseService
     };
 
     /**
+     * Completion hook for event-driven callers: invoked exactly once
+     * per submit, *after* the ticket's future is ready. Fires on an
+     * executor thread for queued requests and synchronously inside
+     * submit() for immediate rejections, so the caller must tolerate
+     * both (the event server just enqueues a wakeup either way). Must
+     * not block and must not call back into MseService.
+     */
+    using CompletionFn = std::function<void()>;
+
+    /**
      * Enqueue a request. Always returns a ticket; rejected requests
      * (full queue, unknown mapper, malformed workload/arch, stopping
      * service) come back as an already-completed future carrying a
-     * structured error reply.
+     * structured error reply (on_complete still fires, synchronously).
      */
-    Ticket submit(SearchRequest req) EXCLUDES(mu_);
+    Ticket submit(SearchRequest req,
+                  CompletionFn on_complete = nullptr) EXCLUDES(mu_);
+
+    /** Resolved executor-worker count. */
+    size_t executors() const { return n_executors_; }
+
+    /**
+     * The daemon-side default executor count: MSE_EXECUTORS env
+     * (clamped to [1, 64]), else hardware_concurrency. Library users
+     * get ServiceConfig's explicit default (1) unless they opt in.
+     */
+    static size_t defaultExecutors();
 
     /** Synchronous convenience: submit and wait. */
     SearchReply search(SearchRequest req) EXCLUDES(mu_);
@@ -190,7 +229,10 @@ class MseService
     void stop(bool drain = true) EXCLUDES(mu_);
 
     /** Stats snapshot: metrics + store + uptime (the `stats` reply). */
-    JsonValue statsJson() const;
+    /** Counters, latency histogram, store/queue state. The `queue`
+     *  block (depth, running) is a live snapshot — ops dashboards and
+     *  tests can watch executor occupancy without racing it. */
+    JsonValue statsJson() const EXCLUDES(mu_);
 
     MappingStore &store() { return store_; }
     const ServiceConfig &config() const { return cfg_; }
@@ -202,10 +244,13 @@ class MseService
         SearchRequest req;
         std::promise<SearchReply> promise;
         CancelTokenPtr cancel;
+        CompletionFn on_complete; ///< Fired after the promise is set.
         double deadline_abs = 0.0; ///< steady-clock seconds.
     };
 
     void executorLoop() EXCLUDES(mu_);
+    /** Set the reply, then fire the completion hook. */
+    static void finish(Pending &p, SearchReply reply);
     SearchReply runSearch(const SearchRequest &req,
                           const CancelTokenPtr &cancel,
                           double deadline_abs);
@@ -215,18 +260,20 @@ class MseService
     ServiceMetrics metrics_; ///< Internally synchronized.
     double start_time_ = 0.0; ///< Immutable after construction.
 
-    Mutex mu_;
+    mutable Mutex mu_; ///< mutable: statsJson() is logically const.
     std::condition_variable queue_cv_;
     std::deque<std::unique_ptr<Pending>> queue_ GUARDED_BY(mu_);
     bool stopping_ GUARDED_BY(mu_) = false;
     bool drain_on_stop_ GUARDED_BY(mu_) = true;
-    /** Token of the in-flight search. */
-    CancelTokenPtr running_cancel_ GUARDED_BY(mu_);
+    /** Tokens of the in-flight searches (one slot per busy executor);
+     *  a non-drain stop cancels all of them. */
+    std::vector<CancelTokenPtr> running_ GUARDED_BY(mu_);
 
-    /** Degraded-store transition already counted in metrics. Touched
-     *  only by the executor thread (no lock needed). */
-    bool store_degraded_noted_ = false;
-    std::thread executor_;
+    /** Degraded-store transition already counted in metrics (any
+     *  executor can observe the transition first). */
+    std::atomic<bool> store_degraded_noted_{false};
+    size_t n_executors_ = 1; ///< Immutable after construction.
+    std::vector<std::thread> executors_;
 };
 
 } // namespace mse

@@ -11,8 +11,15 @@
 #include <cerrno>
 #include <fcntl.h>
 #include <poll.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <string>
 #include <vector>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
 
 #include "common/fault_injection.hpp"
 #include "common/sys_io.hpp"
@@ -289,6 +296,70 @@ TEST(SysIoFaults, InjectedEintrOnPollHonorsDeadline)
     EXPECT_EQ(sysPoll(nullptr, 0, 30, "test.poll"), 0);
     EXPECT_GT(FaultInjector::global().injected("test.poll"), 0u);
 }
+
+#ifdef __linux__
+
+TEST(SysIoFaults, InjectedEintrOnEpollWaitHonorsDeadline)
+{
+    // Same deadline contract as sysPoll, for the epoll wrapper: EINTR
+    // on every attempt must degrade to a timely 0-return (timeout),
+    // never a spin or an over-wait.
+    const int epfd = sysEpollCreate("test.epcreate");
+    ASSERT_GE(epfd, 0);
+    GlobalFaultGuard guard("test.epwait:every:1:EINTR");
+    ASSERT_TRUE(guard.ok());
+    struct epoll_event evs[4];
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(sysEpollWait(epfd, evs, 4, 40, "test.epwait"), 0);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_GE(elapsed, 35);
+    EXPECT_LE(elapsed, 2000);
+    EXPECT_GT(FaultInjector::global().injected("test.epwait"), 0u);
+    sysClose(epfd);
+}
+
+TEST(SysIoFaults, InjectedEpollCreateFailure)
+{
+    GlobalFaultGuard guard("test.epcreate:once:1:EMFILE");
+    ASSERT_TRUE(guard.ok());
+    errno = 0;
+    EXPECT_LT(sysEpollCreate("test.epcreate"), 0);
+    EXPECT_EQ(errno, EMFILE);
+    // once:1 spent: the next create succeeds.
+    const int epfd = sysEpollCreate("test.epcreate");
+    EXPECT_GE(epfd, 0);
+    sysClose(epfd);
+}
+
+TEST(SysIoFaults, InjectedEpollCtlFailureSurfacesErrno)
+{
+    const int epfd = sysEpollCreate("test.epcreate");
+    ASSERT_GE(epfd, 0);
+    int pipefds[2];
+    ASSERT_EQ(::pipe(pipefds), 0);
+    GlobalFaultGuard guard("test.epctl:once:1:ENOMEM");
+    ASSERT_TRUE(guard.ok());
+    struct epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = pipefds[0];
+    errno = 0;
+    EXPECT_NE(sysEpollCtl(epfd, EPOLL_CTL_ADD, pipefds[0], &ev,
+                          "test.epctl"),
+              0);
+    EXPECT_EQ(errno, ENOMEM);
+    // Spent: the same registration now succeeds.
+    EXPECT_EQ(sysEpollCtl(epfd, EPOLL_CTL_ADD, pipefds[0], &ev,
+                          "test.epctl"),
+              0);
+    ::close(pipefds[0]);
+    ::close(pipefds[1]);
+    sysClose(epfd);
+}
+
+#endif // __linux__
 
 TEST(SysIoFaults, InjectedOpenFailure)
 {

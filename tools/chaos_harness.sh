@@ -18,6 +18,11 @@
 # and stats must report the store degraded with the fault counter
 # armed.
 #
+# Phase 4 (event-loop faults): arm faults at the event loop's own
+# sys_io sites — EINTR storms on the readiness wait, a transient
+# EAGAIN mid-reply, a failed accept — and require pipelined pings and
+# a search to still succeed, then a clean drain.
+#
 # Usage: tools/chaos_harness.sh BUILD_DIR [CYCLES]
 #
 # CYCLES defaults to 30 (the CI acceptance floor). CHAOS_WAIT_S bounds
@@ -166,4 +171,34 @@ wait_until "the degraded daemon to drain after SIGTERM" daemon_gone
 SERVE_PID=""
 echo "chaos: degraded-mode OK (server survived ENOSPC on every append)"
 
-echo "chaos harness OK: $CYCLES kill cycles, zero corrupted records, clean recovery, graceful degradation"
+# --- Phase 4: faults at the event loop's own sys_io sites. ---
+: >"$SERVE_LOG"
+MSE_FAULTS="server.epoll.wait:every:2:EINTR,server.poll.wait:every:2:EINTR,server.send:once:3:EAGAIN,server.accept:once:1:EIO" \
+    "$SERVE" --store "$WORK_DIR/evfaults.jsonl" --samples 200 \
+    >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+wait_until "the event-fault daemon to report its port" port_reported
+PORT=$(awk '/^LISTENING/ {print $2; exit}' "$SERVE_LOG")
+
+PIPE=$(timeout "$CHAOS_WAIT_S" "$CLIENT" --port "$PORT" \
+    --ping --pipeline 8) ||
+    fail "pipelined ping under event-loop faults failed: $PIPE"
+PIPE_OK=$(echo "$PIPE" | grep -c '"ok":true')
+[ "$PIPE_OK" -eq 8 ] ||
+    fail "expected 8 pipelined replies under faults, got $PIPE_OK"
+
+OUT=$(timeout "$CHAOS_WAIT_S" "$CLIENT" --port "$PORT" \
+    --gemm 4,64,64,64 --samples 200) ||
+    fail "search under event-loop faults failed: $OUT"
+echo "$OUT" | grep -q '"ok":true' ||
+    fail "search under event-loop faults not ok: $OUT"
+
+kill -TERM "$SERVE_PID"
+wait_until "the event-fault daemon to drain after SIGTERM" daemon_gone
+RC=0
+wait "$SERVE_PID" 2>/dev/null || RC=$?
+[ "$RC" -eq 0 ] || fail "event-fault daemon exited with status $RC"
+SERVE_PID=""
+echo "chaos: event-loop fault injection OK (EINTR storm, EAGAIN send, failed accept)"
+
+echo "chaos harness OK: $CYCLES kill cycles, zero corrupted records, clean recovery, graceful degradation, event-loop faults absorbed"

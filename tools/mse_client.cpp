@@ -14,11 +14,19 @@
  * server is alive and still working, so a resend would double the
  * load. The exit summary reports how many retries were spent.
  *
+ * With --pipeline K the client sends K copies of the request on one
+ * connection before reading any reply, then reads K replies back
+ * (exercising the server's request pipelining); replies are printed
+ * in order and the exit status reflects the worst one. Pipelined runs
+ * only retry while nothing has been sent — once bytes are on the
+ * wire, a mid-stream failure is reported, not resent.
+ *
  * Usage:
  *   mse_client --port N --gemm B,M,K,N [options]
  *   mse_client --port N --conv2d B,K,C,Y,X,R,S [options]
  *   mse_client --port N --stats | --ping
  *   mse_client --port N --raw '<one JSON request line>'
+ *   mse_client --port N --ping --pipeline 16
  */
 #include <algorithm>
 #include <chrono>
@@ -57,6 +65,11 @@ usage(const char *argv0)
         "  --no-warm              skip the mapping-store warm start\n"
         "  --timeout-ms N         client-side reply timeout "
         "(default 120000)\n"
+        "  --pipeline K           send K copies of the request on "
+        "one\n"
+        "                         connection before reading; K "
+        "replies\n"
+        "                         come back in request order\n"
         "retry options:\n"
         "  --retries N            retry budget for refused/reset\n"
         "                         connections and retryable server\n"
@@ -130,6 +143,7 @@ main(int argc, char **argv)
     std::string host = "127.0.0.1";
     int port = 0;
     int timeout_ms = 120000;
+    int pipeline = 1;
     int retries = 4;
     int backoff_ms = 200;
     int backoff_cap_ms = 5000;
@@ -149,6 +163,9 @@ main(int argc, char **argv)
             ++i;
         } else if (arg == "--timeout-ms" && val) {
             timeout_ms = std::atoi(val);
+            ++i;
+        } else if (arg == "--pipeline" && val) {
+            pipeline = std::max(1, std::atoi(val));
             ++i;
         } else if (arg == "--retries" && val) {
             retries = std::atoi(val);
@@ -253,6 +270,55 @@ main(int argc, char **argv)
             mse::connectTcp(host, static_cast<uint16_t>(port), &err);
         if (fd < 0) {
             why = err; // Refused/reset/unreachable: retryable.
+        } else if (pipeline > 1) {
+            // Pipelined mode: K requests down one connection before
+            // any read, then K replies in request order. Once bytes
+            // are on the wire a failure is final — a resend could
+            // duplicate searches the server already ran.
+            int sent = 0;
+            while (sent < pipeline && mse::sendLine(fd, line))
+                ++sent;
+            if (sent == 0) {
+                why = "send failed";
+                mse::closeSocket(fd);
+            } else if (sent < pipeline) {
+                std::fprintf(stderr,
+                             "mse_client: send failed after %d/%d "
+                             "pipelined requests\n",
+                             sent, pipeline);
+                mse::closeSocket(fd);
+                return 1;
+            } else {
+                mse::LineReader reader(fd);
+                bool all_ok = true;
+                for (int k = 0; k < pipeline; ++k) {
+                    std::string reply;
+                    const auto status =
+                        reader.readLine(&reply, timeout_ms);
+                    if (status != mse::LineReader::Status::Line) {
+                        std::fprintf(
+                            stderr,
+                            "mse_client: %s after %d/%d pipelined "
+                            "replies\n",
+                            status == mse::LineReader::Status::Timeout
+                                ? "timeout"
+                                : "connection lost",
+                            k, pipeline);
+                        mse::closeSocket(fd);
+                        return 1;
+                    }
+                    const auto doc = mse::parseJson(reply);
+                    if (!doc || !doc->getBool("ok", false))
+                        all_ok = false;
+                    std::printf("%s\n", reply.c_str());
+                }
+                mse::closeSocket(fd);
+                if (retries_used > 0)
+                    std::fprintf(stderr,
+                                 "mse_client: retries used: %d\n",
+                                 retries_used);
+                return all_ok ? 0 : 1;
+            }
         } else if (!mse::sendLine(fd, line)) {
             // The request may not have reached the server; resending
             // is the right bet (at worst it redoes a search).

@@ -34,7 +34,9 @@ MSE_THREADS" guarantee rests on:
                  EINTR/short-write discipline and are the only place
                  deterministic fault injection (MSE_FAULTS) can
                  intercept. A raw write()/fsync()/rename()/recv() here
-                 is I/O the chaos harness cannot test.
+                 is I/O the chaos harness cannot test. Covers the epoll
+                 family too (epoll_create1/ctl/wait): the event loop's
+                 readiness waits must stay injectable.
 
 Escape hatch: a finding on line N is suppressed by an allow comment on
 that line (or the line above):   // mse-lint: allow(<rule>) <reason>
@@ -105,6 +107,7 @@ RAW_SYSCALL_RE = re.compile(
     r"(open|openat|creat|read|pread|readv|write|pwrite|writev|"
     r"fsync|fdatasync|rename|renameat|unlink|unlinkat|remove|"
     r"poll|ppoll|select|accept|accept4|send|sendto|sendmsg|"
+    r"epoll_create|epoll_create1|epoll_ctl|epoll_wait|epoll_pwait|"
     r"recv|recvfrom|recvmsg|close|"
     r"fopen|fclose|fread|fwrite|fflush|fgets|fputs|fprintf)"
     r"\s*\("

@@ -11,8 +11,10 @@
  *
  * Usage:
  *   mse_serve [--port N] [--store FILE] [--samples N]
- *             [--deadline-s S] [--queue N]
+ *             [--deadline-s S] [--queue N] [--executors N]
+ *             [--max-conns N] [--threaded]
  */
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -73,6 +75,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--port N] [--store FILE] [--samples N]\n"
         "          [--deadline-s S] [--queue N] [--fsync]\n"
+        "          [--executors N] [--max-conns N] [--threaded]\n"
         "  --port N        listen port on 127.0.0.1 (default: "
         "ephemeral)\n"
         "  --store FILE    mapping-store backing file (default: "
@@ -82,8 +85,19 @@ usage(const char *argv0)
         "  --queue N       request queue capacity\n"
         "  --fsync         fsync every store append (durable vs "
         "machine crash)\n"
+        "  --executors N   search worker threads (default: "
+        "MSE_EXECUTORS\n"
+        "                  env, else hardware concurrency); "
+        "per-request\n"
+        "                  results are bit-identical at any value\n"
+        "  --max-conns N   concurrent connection cap (default: 32)\n"
+        "  --threaded      thread-per-connection front end instead "
+        "of\n"
+        "                  the event loop (reference implementation)\n"
         "env: MSE_FAULTS=\"site:spec,...\" arms deterministic fault\n"
-        "injection (see src/common/fault_injection.hpp)\n",
+        "injection (see src/common/fault_injection.hpp);\n"
+        "MSE_EVENT_BACKEND=poll forces the poll(2) readiness "
+        "backend\n",
         argv0);
 }
 
@@ -94,6 +108,10 @@ main(int argc, char **argv)
 {
     mse::ServiceConfig svc_cfg;
     mse::ServerConfig srv_cfg;
+    // The daemon (not the library) resolves the executor default, so
+    // embedded/test uses of MseService stay single-executor unless
+    // they opt in.
+    svc_cfg.executors = mse::MseService::defaultExecutors();
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -117,6 +135,16 @@ main(int argc, char **argv)
             ++i;
         } else if (arg == "--fsync") {
             svc_cfg.store_fsync = true;
+        } else if (arg == "--executors" && val) {
+            svc_cfg.executors = static_cast<size_t>(
+                std::max<long long>(1, std::atoll(val)));
+            ++i;
+        } else if (arg == "--max-conns" && val) {
+            srv_cfg.max_connections = static_cast<size_t>(
+                std::max<long long>(1, std::atoll(val)));
+            ++i;
+        } else if (arg == "--threaded") {
+            srv_cfg.backend = mse::ServerConfig::Backend::Threaded;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -139,6 +167,12 @@ main(int argc, char **argv)
 
     std::printf("LISTENING %u\n", server.port());
     std::fflush(stdout);
+    std::fprintf(stderr, "backend: %s, executors: %zu\n",
+                 srv_cfg.backend ==
+                         mse::ServerConfig::Backend::Threaded
+                     ? "threaded"
+                     : "event",
+                 service.executors());
     if (!service.store().path().empty()) {
         std::fprintf(stderr, "store: %s (%zu entries)\n",
                      service.store().path().c_str(),

@@ -67,6 +67,15 @@ run_client() {
 }
 
 run_client --ping | grep -q '"ok":true' || fail "ping failed"
+grep -q '^backend: event' "$SERVE_LOG" ||
+    fail "daemon did not report the event backend"
+
+# Pipelined requests: 8 pings down one connection before any read;
+# all 8 replies must come back (the client prints them in order).
+PIPE=$(run_client --ping --pipeline 8) || fail "pipelined ping failed"
+PIPE_OK=$(echo "$PIPE" | grep -c '"ok":true')
+[ "$PIPE_OK" -eq 8 ] ||
+    fail "expected 8 pipelined replies, got $PIPE_OK: $PIPE"
 
 COLD=$(run_client --gemm 4,64,64,64 --samples 300) || fail "cold search failed: $COLD"
 echo "$COLD" | grep -q '"store":"cold"' || fail "first search was not cold: $COLD"

@@ -270,6 +270,27 @@ class RawSyscallTest(unittest.TestCase):
         self.assertEqual(lint("src/common/sys_io.cpp", code), [])
         self.assertEqual(lint("tools/t.cpp", code), [])
 
+    def test_raw_epoll_calls_fire_in_service(self):
+        for call in ("epoll_create1(EPOLL_CLOEXEC)",
+                     "epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev)",
+                     "epoll_wait(ep, evs, 64, ms)",
+                     "::epoll_pwait(ep, evs, 64, ms, nullptr)"):
+            code = f"int r = {call};"
+            self.assertEqual(rules_of(lint("src/service/loop.cpp", code)),
+                             ["raw-syscall"], call)
+
+    def test_epoll_seam_wrappers_are_clean(self):
+        code = ("int ep = sysEpollCreate(\"server.epoll.create\");\n"
+                "sysEpollCtl(ep, EPOLL_CTL_ADD, fd, &ev, \"server.epoll.ctl\");\n"
+                "int n = sysEpollWait(ep, evs, 64, ms, \"server.epoll.wait\");\n"
+                "struct epoll_event ev{};\n")
+        self.assertEqual(lint("src/service/loop.cpp", code), [])
+
+    def test_raw_epoll_allow_comment_suppresses(self):
+        code = ("epoll_create1(0); "
+                "// mse-lint: allow(raw-syscall) platform probe")
+        self.assertEqual(lint("src/service/loop.cpp", code), [])
+
     def test_socket_setup_calls_are_clean(self):
         code = ("int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n"
                 "::bind(fd, addr, len);\n"
