@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Cluster throughput bench: routed search streams over 1/2/4-daemon
+ * consistent-hash clusters, plus the failover warm hit.
+ *
+ * Builds each fleet in-process exactly like mse_serve wires a daemon
+ * (MseService + ServiceServer + ReplicationAgent, hooks from one
+ * shared ClusterConfig) and plays a stream of distinct GEMM layers
+ * through ClusterClient from several client threads:
+ *
+ *   pass 1 (cold):  empty stores — the ring spreads the cold search
+ *                   work across the daemons;
+ *   pass 2 (warm):  every request must be an exact store hit on the
+ *                   key's owner (warm-hit rate 1.0).
+ *
+ * Then, on the largest fleet, the replication payoff: after the ship
+ * queues drain, the owner of the first key is stopped and the warm
+ * pass replays against the full node list. Keys the dead daemon owned
+ * must fail over to their ring successor and *still* hit exact — the
+ * acknowledged record outlives its owner. Emits
+ * BENCH_cluster_throughput.json.
+ *
+ * `bench_cluster_throughput smoke` (or MSE_BENCH_SMOKE=1) shrinks the
+ * stream and budgets for CI.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/cluster_client.hpp"
+#include "cluster/replication.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
+#include "workload/workload_io.hpp"
+
+using namespace mse;
+
+namespace {
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+/** One request line of the bench stream. */
+std::string
+searchRequestLine(const Workload &wl, size_t samples)
+{
+    JsonValue req = JsonValue::object();
+    req["type"] = "search";
+    req["workload"] = serializeWorkload(wl);
+    req["arch"] = "accel-A";
+    req["max_samples"] = static_cast<uint64_t>(samples);
+    return req.dump();
+}
+
+// ------------------------------------------------- in-process fleet
+
+/** One daemon, wired exactly like mse_serve does it. */
+struct DaemonNode
+{
+    // Destruction order is the reverse of declaration: server first
+    // (no new requests), then service (executors may still call
+    // on_improved), then the agent they call into.
+    std::unique_ptr<ReplicationAgent> agent;
+    std::unique_ptr<MseService> service;
+    std::unique_ptr<ServiceServer> server;
+    std::string addr;
+    bool stopped = false;
+};
+
+/** An N-daemon loopback cluster sharing one ring. */
+struct Fleet
+{
+    std::vector<std::unique_ptr<DaemonNode>> nodes;
+    ClusterConfig cluster;
+
+    bool
+    build(size_t n, size_t replicas)
+    {
+        cluster = ClusterConfig{};
+        cluster.replication = replicas;
+        // Phase 1: listen everywhere on ephemeral ports to learn the
+        // node list (nothing can reach a node before its address is
+        // handed out, so wiring the hooks after start() is race-free).
+        for (size_t i = 0; i < n; ++i) {
+            auto node = std::make_unique<DaemonNode>();
+            ServiceConfig scfg;
+            // Several services in one process need the ScopedInline
+            // executor path (ThreadPool one-top-level-caller
+            // contract), i.e. executors >= 2.
+            scfg.executors = 2;
+            node->service = std::make_unique<MseService>(scfg);
+            node->server = std::make_unique<ServiceServer>(
+                *node->service, ServerConfig{});
+            std::string err;
+            if (!node->server->start(&err)) {
+                std::fprintf(stderr, "server start failed: %s\n",
+                             err.c_str());
+                return false;
+            }
+            node->addr =
+                "127.0.0.1:" + std::to_string(node->server->port());
+            cluster.nodes.push_back(node->addr);
+            nodes.push_back(std::move(node));
+        }
+        // Phase 2: every node gets the full ring + its agent.
+        const ShardRing ring = cluster.ring();
+        const size_t reps = cluster.replicationClamped();
+        for (auto &node : nodes) {
+            ClusterConfig mine = cluster;
+            mine.self = node->addr;
+            node->agent = std::make_unique<ReplicationAgent>(mine);
+            MseService::ClusterHooks hooks;
+            hooks.self = node->addr;
+            const std::string self = node->addr;
+            hooks.accepts_key = [ring, self,
+                                 reps](const std::string &key) {
+                return ring.isReplica(key, self, reps);
+            };
+            hooks.owner_of = [ring](const std::string &key) {
+                return ring.ownerOf(key);
+            };
+            ReplicationAgent *agent = node->agent.get();
+            hooks.on_improved = [agent](const StoreEntry &e) {
+                agent->enqueue(e);
+            };
+            hooks.augment_stats = [agent](JsonValue &j) {
+                j["replication"] = agent->statsJson();
+            };
+            node->service->setClusterHooks(std::move(hooks));
+        }
+        return true;
+    }
+
+    void
+    stopNode(const std::string &addr)
+    {
+        for (auto &node : nodes) {
+            if (node->addr != addr || node->stopped)
+                continue;
+            node->server->stop();
+            node->agent->stop();
+            node->stopped = true;
+        }
+    }
+
+    /** True once every live agent's ship queue is empty. */
+    bool
+    replicationDrained() const
+    {
+        for (const auto &node : nodes)
+            if (!node->stopped && node->agent->queueDepth() != 0)
+                return false;
+        return true;
+    }
+
+    void
+    shutdown()
+    {
+        for (auto &node : nodes)
+            stopNode(node->addr);
+        nodes.clear();
+    }
+};
+
+// ------------------------------------------------------ pass runner
+
+/** Client-side measurements of one pass over the stream. */
+struct PassResult
+{
+    std::vector<double> latencies_s; // per request, sorted afterwards
+    double wall_seconds = 0.0;
+    double sum_samples_to_incumbent = 0.0;
+    size_t exact_hits = 0;
+    size_t failures = 0;
+    size_t redirects = 0;
+    size_t failover_legs = 0; ///< Requests needing >1 node.
+    std::set<std::string> servers;
+
+    double qps() const
+    {
+        return wall_seconds > 0.0
+            ? static_cast<double>(latencies_s.size()) / wall_seconds
+            : 0.0;
+    }
+
+    double
+    percentile(double p) const
+    {
+        if (latencies_s.empty())
+            return 0.0;
+        const double idx =
+            p * static_cast<double>(latencies_s.size() - 1);
+        const size_t lo = static_cast<size_t>(idx);
+        const size_t hi = std::min(lo + 1, latencies_s.size() - 1);
+        const double frac = idx - static_cast<double>(lo);
+        return latencies_s[lo] * (1.0 - frac) + latencies_s[hi] * frac;
+    }
+
+    double warmHitRate() const
+    {
+        return latencies_s.empty()
+            ? 0.0
+            : static_cast<double>(exact_hits) /
+                static_cast<double>(latencies_s.size());
+    }
+};
+
+/**
+ * Play the stream once through `n_threads` routing clients, each
+ * owning an interleaved slice (slices are disjoint, so every key is
+ * searched exactly once per pass).
+ */
+PassResult
+runPass(const ClusterConfig &ccfg,
+        const std::vector<std::string> &lines, size_t n_threads)
+{
+    PassResult out;
+    std::mutex mu;
+    const double t0 = nowSeconds();
+    std::vector<std::thread> clients;
+    clients.reserve(n_threads);
+    for (size_t t = 0; t < n_threads; ++t) {
+        clients.emplace_back([&, t] {
+            ClusterClient client(ccfg);
+            PassResult local;
+            for (size_t i = t; i < lines.size(); i += n_threads) {
+                const double r0 = nowSeconds();
+                const auto res = client.request(lines[i]);
+                const double lat = nowSeconds() - r0;
+                const auto doc =
+                    res.ok ? parseJson(res.reply) : nullptr;
+                if (!doc || !doc->getBool("ok", false)) {
+                    ++local.failures;
+                    continue;
+                }
+                local.latencies_s.push_back(lat);
+                local.sum_samples_to_incumbent += static_cast<double>(
+                    doc->getInt("samples_to_incumbent", 0));
+                if (doc->getString("store", "") == "exact")
+                    ++local.exact_hits;
+                if (res.redirected)
+                    ++local.redirects;
+                if (res.nodes_tried > 1)
+                    ++local.failover_legs;
+                if (!res.served_by.empty())
+                    local.servers.insert(res.served_by);
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            out.latencies_s.insert(out.latencies_s.end(),
+                                   local.latencies_s.begin(),
+                                   local.latencies_s.end());
+            out.sum_samples_to_incumbent +=
+                local.sum_samples_to_incumbent;
+            out.exact_hits += local.exact_hits;
+            out.failures += local.failures;
+            out.redirects += local.redirects;
+            out.failover_legs += local.failover_legs;
+            out.servers.insert(local.servers.begin(),
+                               local.servers.end());
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+    out.wall_seconds = nowSeconds() - t0;
+    std::sort(out.latencies_s.begin(), out.latencies_s.end());
+    return out;
+}
+
+JsonValue
+passJson(const PassResult &r)
+{
+    JsonValue j = JsonValue::object();
+    const size_t n = r.latencies_s.size();
+    j["requests_ok"] = static_cast<uint64_t>(n);
+    j["failures"] = static_cast<uint64_t>(r.failures);
+    j["qps"] = r.qps();
+    j["p50_ms"] = r.percentile(0.50) * 1e3;
+    j["p95_ms"] = r.percentile(0.95) * 1e3;
+    j["p99_ms"] = r.percentile(0.99) * 1e3;
+    j["warm_hit_rate"] = r.warmHitRate();
+    j["mean_samples_to_incumbent"] =
+        n ? r.sum_samples_to_incumbent / static_cast<double>(n) : 0.0;
+    j["redirects"] = static_cast<uint64_t>(r.redirects);
+    j["failover_legs"] = static_cast<uint64_t>(r.failover_legs);
+    j["daemons_answering"] = static_cast<uint64_t>(r.servers.size());
+    return j;
+}
+
+bool
+waitFor(const Fleet &fleet, int timeout_ms)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (fleet.replicationDrained())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return fleet.replicationDrained();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke =
+        (argc > 1 && std::strcmp(argv[1], "smoke") == 0) ||
+        bench::envSize("MSE_BENCH_SMOKE", 0) != 0;
+    bench::banner("Sharded cluster throughput",
+                  "routed search streams over 1/2/4-daemon rings, "
+                  "replication, and the failover warm hit");
+
+    const size_t samples =
+        bench::envSize("MSE_BENCH_SAMPLES", smoke ? 200 : 1000);
+    const size_t layers =
+        bench::envSize("MSE_BENCH_LAYERS", smoke ? 6 : 12);
+    const size_t n_threads =
+        bench::envSize("MSE_BENCH_CLIENTS", smoke ? 2 : 4);
+    const size_t replicas = 2;
+
+    // Distinct M per layer = distinct store keys, so the ring spreads
+    // them across the fleet.
+    std::vector<std::string> lines;
+    for (size_t i = 0; i < layers; ++i)
+        lines.push_back(searchRequestLine(
+            makeGemm("L" + std::to_string(i), 4,
+                     32 + 16 * static_cast<int>(i), 64, 64),
+            samples));
+    std::printf("stream: %zu layers, %zu samples each, %zu client "
+                "threads, replication factor %zu\n\n",
+                layers, samples, n_threads, replicas);
+
+    struct FleetNumbers
+    {
+        size_t daemons = 0;
+        PassResult cold, warm;
+    };
+    std::vector<FleetNumbers> fleets;
+    bool build_failed = false;
+
+    for (const size_t n : {size_t(1), size_t(2), size_t(4)}) {
+        Fleet fleet;
+        if (!fleet.build(n, replicas)) {
+            build_failed = true;
+            break;
+        }
+        FleetNumbers fn;
+        fn.daemons = n;
+        fn.cold = runPass(fleet.cluster, lines, n_threads);
+        fn.warm = runPass(fleet.cluster, lines, n_threads);
+        fleet.shutdown();
+        std::printf("fleet %zu: cold qps %6.2f (p95 %7.2f ms, %zu "
+                    "daemons answered)   warm qps %7.2f (p95 %6.2f "
+                    "ms, hit rate %.2f)\n",
+                    n, fn.cold.qps(), fn.cold.percentile(0.95) * 1e3,
+                    fn.cold.servers.size(), fn.warm.qps(),
+                    fn.warm.percentile(0.95) * 1e3,
+                    fn.warm.warmHitRate());
+        fleets.push_back(std::move(fn));
+    }
+
+    // Failover: rebuild the largest fleet, warm it, let replication
+    // drain, stop the owner of the first key, and replay the warm
+    // pass. Keys the dead daemon owned must fail over to their ring
+    // successor and still hit exact.
+    PassResult fo;
+    std::string victim;
+    bool drained = false;
+    if (!build_failed) {
+        Fleet fleet;
+        if (fleet.build(4, replicas)) {
+            (void)runPass(fleet.cluster, lines, n_threads);
+            drained = waitFor(fleet, 30000);
+            ClusterClient router(fleet.cluster);
+            const auto route = router.routeOf(lines[0]);
+            victim = route.empty() ? fleet.nodes[0]->addr : route[0];
+            fleet.stopNode(victim);
+            fo = runPass(fleet.cluster, lines, n_threads);
+            fleet.shutdown();
+            std::printf("\nfailover: stopped %s; warm replay qps "
+                        "%6.2f, hit rate %.2f, %zu/%zu requests took "
+                        "a failover hop\n",
+                        victim.c_str(), fo.qps(), fo.warmHitRate(),
+                        fo.failover_legs, fo.latencies_s.size());
+        } else {
+            build_failed = true;
+        }
+    }
+
+    JsonValue doc = JsonValue::object();
+    doc["samples_per_request"] = static_cast<uint64_t>(samples);
+    doc["layers"] = static_cast<uint64_t>(layers);
+    doc["client_threads"] = static_cast<uint64_t>(n_threads);
+    doc["replication_factor"] = static_cast<uint64_t>(replicas);
+    JsonValue &fleets_json = doc["fleets"];
+    fleets_json = JsonValue::array();
+    const double base_cold_qps =
+        fleets.empty() ? 0.0 : fleets[0].cold.qps();
+    for (const FleetNumbers &fn : fleets) {
+        JsonValue j = JsonValue::object();
+        j["daemons"] = static_cast<uint64_t>(fn.daemons);
+        j["cold"] = passJson(fn.cold);
+        j["warm"] = passJson(fn.warm);
+        j["cold_qps_vs_one_daemon"] = base_cold_qps > 0.0
+            ? fn.cold.qps() / base_cold_qps
+            : 0.0;
+        fleets_json.push(j);
+    }
+    JsonValue &fo_json = doc["failover"];
+    fo_json["killed_node"] = victim;
+    fo_json["replication_drained"] = drained;
+    fo_json["warm_replay"] = passJson(fo);
+    bench::writeBenchJson("BENCH_cluster_throughput.json", doc);
+
+    bool ok = !build_failed && drained && !fleets.empty();
+    for (const FleetNumbers &fn : fleets) {
+        ok = ok && fn.cold.failures == 0 && fn.warm.failures == 0 &&
+            !fn.warm.latencies_s.empty() &&
+            fn.warm.exact_hits == fn.warm.latencies_s.size();
+    }
+    // The failover replay must lose nothing: every request answered,
+    // every one warm, and at least one actually took the failover hop
+    // (the victim owned the first key, so its keys are in the
+    // stream).
+    ok = ok && fo.failures == 0 && !fo.latencies_s.empty() &&
+        fo.exact_hits == fo.latencies_s.size() &&
+        fo.failover_legs >= 1;
+    if (!ok)
+        std::fprintf(stderr, "FAIL: cluster bench contract violated "
+                             "(see pass numbers above)\n");
+    return ok ? 0 : 1;
+}

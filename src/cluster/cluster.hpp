@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared cluster topology configuration.
+ *
+ * One ClusterConfig describes a daemon's view of the cluster: its own
+ * advertised address, the full node set (self + peers), and the
+ * replication factor (total copies of each key, owner included). The
+ * client builds the identical structure from `--cluster a,b,c`; both
+ * sides derive the same ShardRing from it, which is what makes
+ * client-side routing and server-side ownership checks agree without
+ * any coordination service.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/shard_ring.hpp"
+
+namespace mse {
+
+/** Topology shared by daemons and routing clients. */
+struct ClusterConfig
+{
+    /** This daemon's advertised "host:port" (empty on pure clients). */
+    std::string self;
+
+    /** All cluster nodes, self included. Order irrelevant. */
+    std::vector<std::string> nodes;
+
+    /** Copies of each key (owner + successors), clamped to [1, nodes]. */
+    size_t replication = 2;
+
+    /** Virtual points per node on the ring. */
+    size_t vnodes = ShardRing::kDefaultVnodes;
+
+    /** The ring every participant derives from this topology. */
+    ShardRing ring() const { return ShardRing(nodes, vnodes); }
+
+    size_t replicationClamped() const
+    {
+        const size_t n = nodes.size();
+        if (replication < 1)
+            return n > 0 ? 1 : 0;
+        return replication > n ? n : replication;
+    }
+};
+
+/** Split "a,b,c" into trimmed non-empty address tokens. */
+inline std::vector<std::string>
+splitNodeList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= csv.size()) {
+        const size_t comma = csv.find(',', pos);
+        const size_t end =
+            comma == std::string::npos ? csv.size() : comma;
+        std::string tok = csv.substr(pos, end - pos);
+        while (!tok.empty() && (tok.front() == ' ' || tok.front() == '\t'))
+            tok.erase(tok.begin());
+        while (!tok.empty() && (tok.back() == ' ' || tok.back() == '\t'))
+            tok.pop_back();
+        if (!tok.empty())
+            out.push_back(tok);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/** Parse "host:port"; false on a missing/invalid port. */
+inline bool
+splitHostPort(const std::string &addr, std::string *host,
+              uint16_t *port)
+{
+    const size_t colon = addr.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= addr.size())
+        return false;
+    long p = 0;
+    for (size_t i = colon + 1; i < addr.size(); ++i) {
+        if (addr[i] < '0' || addr[i] > '9')
+            return false;
+        p = p * 10 + (addr[i] - '0');
+        if (p > 65535)
+            return false;
+    }
+    if (p <= 0)
+        return false;
+    if (host)
+        *host = addr.substr(0, colon);
+    if (port)
+        *port = static_cast<uint16_t>(p);
+    return true;
+}
+
+} // namespace mse

@@ -1,0 +1,131 @@
+#include "cluster/cluster_client.hpp"
+
+#include <algorithm>
+
+#include "common/json.hpp"
+#include "service/net.hpp"
+#include "service/wire.hpp"
+
+namespace mse {
+
+ClusterClient::ClusterClient(ClusterConfig cluster, int io_timeout_ms)
+    : cluster_(std::move(cluster)), ring_(cluster_.ring()),
+      io_timeout_ms_(io_timeout_ms)
+{
+}
+
+std::vector<std::string>
+ClusterClient::routeOf(const std::string &line) const
+{
+    std::string code, msg;
+    const auto req = parseWireRequest(line, &code, &msg);
+    if (!req || req->kind != WireRequest::Kind::Search)
+        return {};
+    const std::string key = MappingStore::keyOf(
+        req->search.workload, req->search.arch, req->search.objective,
+        req->search.sparse);
+    return ring_.replicasOf(key, cluster_.replicationClamped());
+}
+
+ClusterClient::Result
+ClusterClient::tryNode(const std::string &node, const std::string &line)
+{
+    Result r;
+    std::string host;
+    uint16_t port = 0;
+    if (!splitHostPort(node, &host, &port)) {
+        r.error = "bad node address '" + node + "'";
+        return r;
+    }
+    std::string err;
+    const int fd = connectTcp(host, port, &err);
+    if (fd < 0) {
+        r.error = node + ": " + err;
+        return r;
+    }
+    if (!sendLine(fd, line)) {
+        closeSocket(fd);
+        r.error = node + ": send failed";
+        return r;
+    }
+    LineReader reader(fd);
+    const auto status = reader.readLine(&r.reply, io_timeout_ms_);
+    closeSocket(fd);
+    if (status != LineReader::Status::Line) {
+        r.reply.clear();
+        r.error = node +
+            (status == LineReader::Status::Timeout
+                 ? ": reply timeout"
+                 : ": connection lost before reply");
+        return r;
+    }
+    r.ok = true;
+    r.served_by = node;
+    return r;
+}
+
+ClusterClient::Result
+ClusterClient::request(const std::string &line)
+{
+    // Candidate order: the key's replica set for searches (owner
+    // first — that's where the freshest best lives), every node for
+    // anything else.
+    std::vector<std::string> candidates = routeOf(line);
+    if (candidates.empty())
+        candidates = ring_.nodes();
+
+    Result last;
+    std::vector<std::string> tried;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        const std::string node = candidates[i];
+        if (std::find(tried.begin(), tried.end(), node) != tried.end())
+            continue;
+        tried.push_back(node);
+        Result r = tryNode(node, line);
+        r.nodes_tried = tried.size();
+        r.redirected = last.redirected;
+        if (!r.ok) {
+            // Dead/unreachable node: fail over to the next replica.
+            last = std::move(r);
+            continue;
+        }
+        // wrong_shard => our node list is stale relative to the
+        // daemons'. Follow the owner the daemon names (one redirect
+        // per fresh target; `tried` bounds the walk).
+        const auto doc = parseJson(r.reply);
+        if (doc && !doc->getBool("ok", false)) {
+            if (const JsonValue *e = doc->find("error")) {
+                if (e->getString("code", "") == "wrong_shard") {
+                    const std::string owner = e->getString("owner", "");
+                    r.redirected = true;
+                    if (!owner.empty() &&
+                        std::find(tried.begin(), tried.end(), owner) ==
+                            tried.end()) {
+                        candidates.push_back(owner);
+                        last = std::move(r);
+                        continue;
+                    }
+                }
+            }
+        }
+        return r;
+    }
+    if (last.error.empty())
+        last.error = "no cluster nodes configured";
+    last.nodes_tried = tried.size();
+    return last;
+}
+
+std::vector<std::pair<std::string, ClusterClient::Result>>
+ClusterClient::broadcast(const std::string &line)
+{
+    std::vector<std::pair<std::string, Result>> out;
+    for (const std::string &node : ring_.nodes()) {
+        Result r = tryNode(node, line);
+        r.nodes_tried = 1;
+        out.emplace_back(node, std::move(r));
+    }
+    return out;
+}
+
+} // namespace mse

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * ClusterClient: client-side routing + failover over a daemon ring.
+ *
+ * The client derives the same ShardRing the daemons do from the node
+ * list (`--cluster a,b,c`), computes the store key of a search request
+ * locally (by parsing it with the server's own wire codec — one
+ * parser, zero drift), and sends the request straight to the owning
+ * shard. Two recovery paths:
+ *
+ *  - *wrong_shard redirect*: a daemon that does not serve the key
+ *    rejects with the owner's address; the client retries there next.
+ *    This self-heals a stale client-side node list in one extra hop.
+ *  - *failover*: a dead/unreachable owner falls back to the next ring
+ *    replica of the key, which holds a replicated copy of the store
+ *    entry — a warm start survives the owner's death (the chaos
+ *    harness Phase 5 certifies this under SIGKILL storms).
+ *
+ * One request() call makes a single sweep over the key's candidates
+ * (replicas, then redirect targets); retry/backoff policy across
+ * sweeps belongs to the caller (mse_client keeps its existing loop).
+ */
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace mse {
+
+/** Routing client over a cluster of mse_serve daemons. */
+class ClusterClient
+{
+  public:
+    /** io_timeout_ms bounds each connect-send-receive leg. */
+    ClusterClient(ClusterConfig cluster, int io_timeout_ms = 120000);
+
+    /** Outcome of one routed request (a single candidate sweep). */
+    struct Result
+    {
+        /** A reply line was received (it may still carry ok:false —
+         *  the caller inspects the payload). */
+        bool ok = false;
+        std::string reply;     ///< Raw reply line (when ok).
+        std::string served_by; ///< Node that answered (when ok).
+        std::string error;     ///< Transport failure detail (!ok).
+        size_t nodes_tried = 0;
+        bool redirected = false; ///< A wrong_shard redirect happened.
+    };
+
+    /**
+     * Route one request line. Search requests go to the key's replica
+     * set in ring order with failover; non-search requests (ping /
+     * stats / raw lines the wire codec cannot place) go to every node
+     * in order until one answers.
+     */
+    Result request(const std::string &line);
+
+    /** Send `line` to every node; one (node, Result) per node. */
+    std::vector<std::pair<std::string, Result>>
+    broadcast(const std::string &line);
+
+    /** Candidate nodes for `line`, in routing order (test hook):
+     *  empty when the line is not a routable search. */
+    std::vector<std::string> routeOf(const std::string &line) const;
+
+    const ShardRing &ring() const { return ring_; }
+
+  private:
+    /** One connect-send-receive against a single node. */
+    Result tryNode(const std::string &node, const std::string &line);
+
+    ClusterConfig cluster_;
+    ShardRing ring_;
+    int io_timeout_ms_;
+};
+
+} // namespace mse

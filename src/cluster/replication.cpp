@@ -1,0 +1,245 @@
+#include "cluster/replication.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "service/net.hpp"
+
+namespace mse {
+
+namespace {
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+ReplicationAgent::ReplicationAgent(const ClusterConfig &cluster,
+                                   ReplicationConfig cfg)
+    : cluster_(cluster), ring_(cluster.ring()), cfg_(cfg)
+{
+    for (const std::string &addr : ring_.nodes()) {
+        if (addr == cluster_.self)
+            continue;
+        auto p = std::make_unique<Peer>();
+        p->addr = addr;
+        if (!splitHostPort(addr, &p->host, &p->port))
+            continue; // Unroutable peer address: skip it entirely.
+        peers_.push_back(std::move(p));
+    }
+    for (auto &p : peers_) {
+        Peer &peer = *p;
+        peer.worker = std::thread([this, &peer] { workerLoop(peer); });
+    }
+}
+
+ReplicationAgent::~ReplicationAgent()
+{
+    stop();
+}
+
+void
+ReplicationAgent::enqueue(const StoreEntry &e)
+{
+    if (stopping_.load() || peers_.empty())
+        return;
+    const std::string key = MappingStore::keyOfEntry(e);
+    const auto replicas =
+        ring_.replicasOf(key, cluster_.replicationClamped());
+    const double now = nowSeconds();
+    for (auto &p : peers_) {
+        if (std::find(replicas.begin(), replicas.end(), p->addr) ==
+            replicas.end())
+            continue;
+        {
+            MutexLock lk(p->mu);
+            if (p->q.size() >= cfg_.queue_capacity) {
+                // Drop-oldest: under overload the freshest bests win,
+                // and a dropped record reappears the next time its
+                // key improves anywhere.
+                p->q.pop_front();
+                ++p->dropped;
+            }
+            Item it;
+            it.seq = p->next_seq++;
+            it.enqueued_at = now;
+            it.entry = e;
+            p->q.push_back(std::move(it));
+        }
+        p->cv.notify_one();
+    }
+}
+
+bool
+ReplicationAgent::shipBatch(Peer &p, const std::vector<Item> &batch)
+{
+    if (p.fd < 0) {
+        std::string err;
+        p.fd = connectTcp(p.host, p.port, &err);
+        if (p.fd < 0)
+            return false;
+    }
+    JsonValue msg = JsonValue::object();
+    msg["type"] = "replicate";
+    msg["from"] = cluster_.self;
+    JsonValue &entries = msg["entries"];
+    entries = JsonValue::array();
+    for (const Item &it : batch)
+        entries.push(MappingStore::encodeEntryJson(it.entry));
+    if (!sendLine(p.fd, msg.dump())) {
+        closeSocket(p.fd);
+        p.fd = -1;
+        return false;
+    }
+    LineReader reader(p.fd);
+    std::string line;
+    if (reader.readLine(&line, cfg_.io_timeout_ms) !=
+        LineReader::Status::Line) {
+        closeSocket(p.fd);
+        p.fd = -1;
+        return false;
+    }
+    const auto doc = parseJson(line);
+    if (!doc || !doc->getBool("ok", false)) {
+        // A daemon that answers but rejects (e.g. an older build) is
+        // not coming around on retry; drop the batch rather than spin.
+        // The connection itself is still fine.
+        return true;
+    }
+    MutexLock lk(p.mu);
+    p.merged += static_cast<uint64_t>(doc->getInt("merged", 0));
+    p.acked += batch.size();
+    return true;
+}
+
+void
+ReplicationAgent::workerLoop(Peer &p)
+{
+    int backoff_ms = 0; // 0 = healthy, ship as soon as work arrives.
+    while (true) {
+        std::vector<Item> batch;
+        {
+            MutexUniqueLock lk(p.mu);
+            while (!stopping_.load() && p.q.empty())
+                p.cv.wait_for(
+                    lk.native(),
+                    std::chrono::milliseconds(cfg_.flush_interval_ms));
+            if (p.q.empty()) {
+                if (stopping_.load())
+                    break;
+                continue;
+            }
+            const size_t n = std::min(cfg_.max_batch, p.q.size());
+            batch.assign(p.q.begin(),
+                         p.q.begin() + static_cast<long>(n));
+        }
+        // Network I/O with the queue unlocked: enqueue() never blocks
+        // behind a slow peer.
+        if (shipBatch(p, batch)) {
+            backoff_ms = 0;
+            const uint64_t last_seq = batch.back().seq;
+            MutexLock lk(p.mu);
+            p.shipped += batch.size();
+            // Pop exactly what was shipped: drop-oldest may have
+            // advanced the front past (never into) this batch.
+            while (!p.q.empty() && p.q.front().seq <= last_seq)
+                p.q.pop_front();
+        } else {
+            {
+                MutexLock lk(p.mu);
+                ++p.ship_failures;
+            }
+            if (stopping_.load())
+                break; // One best-effort attempt per batch at stop.
+            backoff_ms = backoff_ms == 0
+                ? cfg_.backoff_base_ms
+                : std::min(backoff_ms * 2, cfg_.backoff_cap_ms);
+            // Sleep in small slices so stop() stays responsive.
+            const double until = nowSeconds() + backoff_ms / 1e3;
+            while (!stopping_.load() && nowSeconds() < until)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+        }
+        if (stopping_.load()) {
+            MutexLock lk(p.mu);
+            if (p.q.empty())
+                break;
+        }
+    }
+    if (p.fd >= 0) {
+        closeSocket(p.fd);
+        p.fd = -1;
+    }
+}
+
+void
+ReplicationAgent::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    for (auto &p : peers_)
+        p->cv.notify_all();
+    for (auto &p : peers_)
+        if (p->worker.joinable())
+            p->worker.join();
+}
+
+size_t
+ReplicationAgent::queueDepth() const
+{
+    size_t total = 0;
+    for (const auto &p : peers_) {
+        MutexLock lk(p->mu);
+        total += p->q.size();
+    }
+    return total;
+}
+
+JsonValue
+ReplicationAgent::statsJson() const
+{
+    JsonValue j = JsonValue::object();
+    j["replication_factor"] = cluster_.replicationClamped();
+    j["peers"] = peers_.size();
+    uint64_t depth = 0, shipped = 0, acked = 0, merged = 0;
+    uint64_t dropped = 0, failures = 0;
+    double oldest = 0.0;
+    const double now = nowSeconds();
+    JsonValue &per_peer = j["per_peer"];
+    per_peer = JsonValue::object();
+    for (const auto &p : peers_) {
+        MutexLock lk(p->mu);
+        JsonValue &pp = per_peer[p->addr];
+        pp["queue_depth"] = p->q.size();
+        pp["shipped"] = p->shipped;
+        pp["acked"] = p->acked;
+        pp["merged_by_peer"] = p->merged;
+        pp["dropped"] = p->dropped;
+        pp["ship_failures"] = p->ship_failures;
+        const double lag =
+            p->q.empty() ? 0.0 : now - p->q.front().enqueued_at;
+        pp["lag_s"] = lag;
+        oldest = std::max(oldest, lag);
+        depth += p->q.size();
+        shipped += p->shipped;
+        acked += p->acked;
+        merged += p->merged;
+        dropped += p->dropped;
+        failures += p->ship_failures;
+    }
+    j["queue_depth"] = depth;
+    j["shipped"] = shipped;
+    j["acked"] = acked;
+    j["merged_by_peers"] = merged;
+    j["dropped"] = dropped;
+    j["ship_failures"] = failures;
+    j["lag_s"] = oldest;
+    return j;
+}
+
+} // namespace mse

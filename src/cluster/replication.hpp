@@ -1,0 +1,149 @@
+/**
+ * @file
+ * ReplicationAgent: asynchronous best-mapping shipping between
+ * daemons.
+ *
+ * Every local store improvement (MseService's on_improved hook) is
+ * enqueued for each ring successor of the record's key and shipped in
+ * the background over the normal wire protocol ({"type":"replicate"}).
+ * The receiving daemon merges best-score-wins (MappingStore::
+ * mergeEntry), which makes the whole scheme safe by construction:
+ * records are monotone per key, so duplicates, reordering, and
+ * crash-replay are all no-ops. Losing the async queue on SIGKILL
+ * costs only *redundancy* (the owner still has the record); the chaos
+ * harness Phase 5 certifies that no *acknowledged* record is lost
+ * cluster-wide.
+ *
+ * Mechanics:
+ *  - One worker thread per peer, each draining a bounded per-peer
+ *    queue in batches over a persistent connection. A slow or dead
+ *    peer therefore cannot stall shipping to healthy ones.
+ *  - Retry with capped exponential backoff (deterministic, no RNG);
+ *    the failed batch stays queued and is re-shipped after the
+ *    backoff, so transient faults (including MSE_FAULTS-injected ones
+ *    — all socket I/O goes through the sys_io seam via net.hpp) only
+ *    delay replication.
+ *  - Bounded queues drop the *oldest* records on overflow (counted in
+ *    stats): under sustained overload the freshest bests win, and a
+ *    dropped record is re-shipped naturally the next time its key
+ *    improves anywhere.
+ *  - Entries carry monotonically increasing per-peer sequence
+ *    numbers; an ack pops only entries up to the last shipped seq, so
+ *    an overflow drop concurrent with an in-flight batch can never
+ *    pop a record that was not actually sent.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/json.hpp"
+#include "common/thread_annotations.hpp"
+#include "service/mapping_store.hpp"
+
+namespace mse {
+
+/** Tuning knobs of the replication agent. */
+struct ReplicationConfig
+{
+    /** Records shipped per replicate message. */
+    size_t max_batch = 32;
+
+    /** Pending records per peer before drop-oldest kicks in. */
+    size_t queue_capacity = 1024;
+
+    /** Idle wait between queue checks, ms (also the flush latency
+     *  ceiling for a lone record). */
+    int flush_interval_ms = 20;
+
+    /** First retry backoff after a failed ship, ms. */
+    int backoff_base_ms = 100;
+
+    /** Backoff ceiling, ms. */
+    int backoff_cap_ms = 2000;
+
+    /** Per-I/O timeout when talking to a peer, ms. */
+    int io_timeout_ms = 2000;
+};
+
+/** Ships local store improvements to ring successors. */
+class ReplicationAgent
+{
+  public:
+    ReplicationAgent(const ClusterConfig &cluster,
+                     ReplicationConfig cfg = {});
+    ~ReplicationAgent();
+
+    ReplicationAgent(const ReplicationAgent &) = delete;
+    ReplicationAgent &operator=(const ReplicationAgent &) = delete;
+
+    /**
+     * Queue one improved record for every ring successor of its key
+     * (the non-self members of replicasOf(key, R)). Thread-safe,
+     * non-blocking; called from MseService executor threads.
+     */
+    void enqueue(const StoreEntry &e);
+
+    /** Stop the workers. Pending batches are attempted once more
+     *  (best effort, bounded by io_timeout_ms); then the queues are
+     *  dropped. Idempotent; called by the destructor. */
+    void stop();
+
+    /**
+     * Stats block for statsJson(): per-peer queue depth, shipped /
+     * acked / dropped / failure counters, and lag (seconds since the
+     * oldest still-queued record was enqueued; 0 when drained).
+     */
+    JsonValue statsJson() const;
+
+    /** Total records waiting across all peers (test hook). */
+    size_t queueDepth() const;
+
+  private:
+    struct Item
+    {
+        uint64_t seq = 0;
+        double enqueued_at = 0.0; ///< steady-clock seconds (for lag).
+        StoreEntry entry;
+    };
+
+    /** One ring successor and its ship queue + worker. */
+    struct Peer
+    {
+        std::string addr;
+        std::string host;
+        uint16_t port = 0;
+
+        mutable Mutex mu;
+        std::condition_variable cv;
+        std::deque<Item> q GUARDED_BY(mu);
+        uint64_t next_seq GUARDED_BY(mu) = 1;
+        uint64_t shipped GUARDED_BY(mu) = 0;
+        uint64_t acked GUARDED_BY(mu) = 0;
+        uint64_t merged GUARDED_BY(mu) = 0;
+        uint64_t dropped GUARDED_BY(mu) = 0;
+        uint64_t ship_failures GUARDED_BY(mu) = 0;
+
+        std::thread worker;
+        int fd = -1; ///< Worker-thread-owned persistent connection.
+    };
+
+    void workerLoop(Peer &p);
+    /** Ship one batch (connect if needed, send, await ack). */
+    bool shipBatch(Peer &p, const std::vector<Item> &batch);
+
+    ClusterConfig cluster_;
+    ShardRing ring_;
+    ReplicationConfig cfg_;
+    std::vector<std::unique_ptr<Peer>> peers_;
+    std::atomic<bool> stopping_{false};
+};
+
+} // namespace mse

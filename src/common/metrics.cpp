@@ -90,6 +90,8 @@ ServiceMetrics::onRequest(const char *type)
         ++requests_stats_;
     else if (std::strcmp(type, "ping") == 0)
         ++requests_ping_;
+    else if (std::strcmp(type, "replicate") == 0)
+        ++requests_replicate_;
     else
         ++requests_other_;
 }
@@ -152,6 +154,14 @@ ServiceMetrics::onStoreDegraded()
     ++store_degraded_events_;
 }
 
+void
+ServiceMetrics::onReplicate(uint64_t merged, uint64_t ignored)
+{
+    MutexLock lk(mu_);
+    replicated_in_merged_ += merged;
+    replicated_in_ignored_ += ignored;
+}
+
 uint64_t
 ServiceMetrics::queueDepth() const
 {
@@ -169,6 +179,7 @@ ServiceMetrics::toJson() const
     req["search"] = requests_search_;
     req["stats"] = requests_stats_;
     req["ping"] = requests_ping_;
+    req["replicate"] = requests_replicate_;
     req["other"] = requests_other_;
     req["errors"] = errors_total_;
     req["rejected_queue_full"] = rejected_queue_full_;
@@ -180,6 +191,8 @@ ServiceMetrics::toJson() const
     store["cold"] = store_cold_;
     store["improvements_written"] = store_improved_;
     store["degraded_events"] = store_degraded_events_;
+    store["replicated_in_merged"] = replicated_in_merged_;
+    store["replicated_in_ignored"] = replicated_in_ignored_;
     JsonValue &search = j["search"];
     search["timed_out"] = timed_out_;
     search["cancelled"] = cancelled_;

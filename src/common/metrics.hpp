@@ -91,6 +91,10 @@ class ServiceMetrics
     /** The mapping store entered degraded (read-only) mode. */
     void onStoreDegraded() EXCLUDES(mu_);
 
+    /** One replicate request applied: records merged into the local
+     *  store vs. ignored (worse-or-equal / invalid). */
+    void onReplicate(uint64_t merged, uint64_t ignored) EXCLUDES(mu_);
+
     /** Current queue depth (enqueued - dequeued). */
     uint64_t queueDepth() const EXCLUDES(mu_);
 
@@ -103,6 +107,7 @@ class ServiceMetrics
     uint64_t requests_search_ GUARDED_BY(mu_) = 0;
     uint64_t requests_stats_ GUARDED_BY(mu_) = 0;
     uint64_t requests_ping_ GUARDED_BY(mu_) = 0;
+    uint64_t requests_replicate_ GUARDED_BY(mu_) = 0;
     uint64_t requests_other_ GUARDED_BY(mu_) = 0;
     uint64_t errors_total_ GUARDED_BY(mu_) = 0;
     uint64_t rejected_queue_full_ GUARDED_BY(mu_) = 0;
@@ -113,6 +118,8 @@ class ServiceMetrics
     uint64_t store_exact_ GUARDED_BY(mu_) = 0;
     uint64_t store_improved_ GUARDED_BY(mu_) = 0;
     uint64_t store_degraded_events_ GUARDED_BY(mu_) = 0;
+    uint64_t replicated_in_merged_ GUARDED_BY(mu_) = 0;
+    uint64_t replicated_in_ignored_ GUARDED_BY(mu_) = 0;
     uint64_t timed_out_ GUARDED_BY(mu_) = 0;
     uint64_t cancelled_ GUARDED_BY(mu_) = 0;
     uint64_t samples_total_ GUARDED_BY(mu_) = 0;

@@ -419,6 +419,19 @@ EventServer::handleLine(Conn *c, const std::string &line)
         service_.metrics().onRequest("stats");
         pushDone(c, statsReplyJson(service_.statsJson()).dump());
         break;
+      case WireRequest::Kind::Replicate: {
+        // Merging is a handful of map updates + one append per
+        // accepted record: cheap enough to run on the event loop,
+        // and doing so keeps replication strictly ordered per peer
+        // connection.
+        service_.metrics().onRequest("replicate");
+        const auto res =
+            service_.applyReplication(req->replicate_entries);
+        pushDone(c, replicateReplyJson(
+                        res.first, res.second + req->replicate_invalid)
+                        .dump());
+        break;
+      }
       case WireRequest::Kind::Search: {
         const uint64_t id = c->id;
         auto ticket = service_.submit(

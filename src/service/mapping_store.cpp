@@ -54,7 +54,14 @@ MappingStore::keyOf(const Workload &wl, const ArchConfig &arch,
 }
 
 std::string
-MappingStore::encodeEntry(const StoreEntry &e)
+MappingStore::keyOfEntry(const StoreEntry &e)
+{
+    return keyFromParts(fnv1a64Hex(e.workload.signature()), e.arch_sig,
+                        e.objective, e.sparse);
+}
+
+JsonValue
+MappingStore::encodeEntryJson(const StoreEntry &e)
 {
     JsonValue j = JsonValue::object();
     j["v"] = 1;
@@ -67,44 +74,58 @@ MappingStore::encodeEntry(const StoreEntry &e)
     j["energy_uj"] = e.energy_uj;
     j["latency_cycles"] = e.latency_cycles;
     j["samples"] = e.samples;
-    return j.dump();
+    return j;
+}
+
+std::string
+MappingStore::encodeEntry(const StoreEntry &e)
+{
+    return encodeEntryJson(e).dump();
+}
+
+std::optional<StoreEntry>
+MappingStore::decodeEntryJson(const JsonValue &doc)
+{
+    if (!doc.isObject())
+        return std::nullopt;
+    if (doc.getInt("v", 0) != 1)
+        return std::nullopt;
+    const auto objective = objectiveFromName(
+        doc.getString("objective", ""));
+    if (!objective)
+        return std::nullopt;
+    const auto wl = parseWorkload(doc.getString("workload", ""));
+    if (!wl)
+        return std::nullopt;
+    const auto mapping = parseMapping(doc.getString("mapping", ""));
+    if (!mapping)
+        return std::nullopt;
+    const std::string model = doc.getString("model", "dense");
+    if (model != "dense" && model != "sparse")
+        return std::nullopt;
+    StoreEntry e;
+    e.workload = *wl;
+    e.arch_sig = doc.getString("arch_sig", "");
+    e.objective = *objective;
+    e.sparse = model == "sparse";
+    e.mapping = *mapping;
+    e.score = doc.getDouble("score", 0.0);
+    e.energy_uj = doc.getDouble("energy_uj", 0.0);
+    e.latency_cycles = doc.getDouble("latency_cycles", 0.0);
+    e.samples = static_cast<uint64_t>(doc.getInt("samples", 0));
+    if (e.arch_sig.size() != 16 || !(e.score > 0.0) ||
+        !std::isfinite(e.score))
+        return std::nullopt;
+    return e;
 }
 
 std::optional<StoreEntry>
 MappingStore::decodeEntry(const std::string &line)
 {
     const auto doc = parseJson(line);
-    if (!doc || !doc->isObject())
+    if (!doc)
         return std::nullopt;
-    if (doc->getInt("v", 0) != 1)
-        return std::nullopt;
-    const auto objective = objectiveFromName(
-        doc->getString("objective", ""));
-    if (!objective)
-        return std::nullopt;
-    const auto wl = parseWorkload(doc->getString("workload", ""));
-    if (!wl)
-        return std::nullopt;
-    const auto mapping = parseMapping(doc->getString("mapping", ""));
-    if (!mapping)
-        return std::nullopt;
-    const std::string model = doc->getString("model", "dense");
-    if (model != "dense" && model != "sparse")
-        return std::nullopt;
-    StoreEntry e;
-    e.workload = *wl;
-    e.arch_sig = doc->getString("arch_sig", "");
-    e.objective = *objective;
-    e.sparse = model == "sparse";
-    e.mapping = *mapping;
-    e.score = doc->getDouble("score", 0.0);
-    e.energy_uj = doc->getDouble("energy_uj", 0.0);
-    e.latency_cycles = doc->getDouble("latency_cycles", 0.0);
-    e.samples = static_cast<uint64_t>(doc->getInt("samples", 0));
-    if (e.arch_sig.size() != 16 || !(e.score > 0.0) ||
-        !std::isfinite(e.score))
-        return std::nullopt;
-    return e;
+    return decodeEntryJson(*doc);
 }
 
 void
@@ -116,9 +137,8 @@ MappingStore::ingestLineLocked(const std::string &line)
         ++malformed_;
         return;
     }
-    const std::string key =
-        keyFromParts(fnv1a64Hex(entry->workload.signature()),
-                     entry->arch_sig, entry->objective, entry->sparse);
+    const std::string key = keyOfEntry(*entry);
+    ++key_appends_[key];
     const auto it = best_.find(key);
     if (it == best_.end()) {
         best_.emplace(key, *entry);
@@ -134,6 +154,7 @@ MappingStore::load()
 {
     MutexLock lk(mu_);
     best_.clear();
+    key_appends_.clear();
     malformed_ = 0;
     dead_ = 0;
     append_failures_ = 0;
@@ -277,6 +298,25 @@ MappingStore::appendLocked(const StoreEntry &e)
 }
 
 bool
+MappingStore::upsertLocked(const std::string &key, const StoreEntry &e)
+{
+    const auto it = best_.find(key);
+    if (it != best_.end() && it->second.score <= e.score)
+        return false;
+    if (it != best_.end()) {
+        it->second = e;
+        ++dead_;
+    } else {
+        best_.emplace(key, e);
+    }
+    ++key_appends_[key];
+    appendLocked(e);
+    if (!degraded_ && dead_ > std::max<size_t>(16, best_.size()))
+        compactLocked();
+    return true;
+}
+
+bool
 MappingStore::recordIfBetter(const Workload &wl, const ArchConfig &arch,
                              Objective objective, bool sparse,
                              const Mapping &mapping, double score,
@@ -286,11 +326,6 @@ MappingStore::recordIfBetter(const Workload &wl, const ArchConfig &arch,
     if (!(score > 0.0) || !std::isfinite(score))
         return false;
     MutexLock lk(mu_);
-    const std::string key = keyOf(wl, arch, objective, sparse);
-    const auto it = best_.find(key);
-    if (it != best_.end() && it->second.score <= score)
-        return false;
-
     StoreEntry e;
     e.workload = wl;
     e.arch_sig = fnv1a64Hex(arch.signature());
@@ -301,17 +336,17 @@ MappingStore::recordIfBetter(const Workload &wl, const ArchConfig &arch,
     e.energy_uj = energy_uj;
     e.latency_cycles = latency_cycles;
     e.samples = samples;
+    return upsertLocked(keyOf(wl, arch, objective, sparse), e);
+}
 
-    if (it != best_.end()) {
-        it->second = e;
-        ++dead_;
-    } else {
-        best_.emplace(key, e);
-    }
-    appendLocked(e);
-    if (!degraded_ && dead_ > std::max<size_t>(16, best_.size()))
-        compactLocked();
-    return true;
+bool
+MappingStore::mergeEntry(const StoreEntry &e)
+{
+    if (e.arch_sig.size() != 16 || !(e.score > 0.0) ||
+        !std::isfinite(e.score))
+        return false;
+    MutexLock lk(mu_);
+    return upsertLocked(keyOfEntry(e), e);
 }
 
 bool
@@ -403,6 +438,19 @@ MappingStore::appendFailures() const
 {
     MutexLock lk(mu_);
     return append_failures_;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+MappingStore::keyAppendCounts() const
+{
+    MutexLock lk(mu_);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(key_appends_.size());
+    // mse-lint: allow(unordered-iter) sorted before return
+    for (const auto &kv : key_appends_)
+        out.push_back(kv);
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 bool

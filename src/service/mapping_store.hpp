@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "arch/arch.hpp"
+#include "common/json.hpp"
 #include "common/thread_annotations.hpp"
 #include "core/objective.hpp"
 #include "mapping/mapping.hpp"
@@ -131,6 +132,17 @@ class MappingStore
                         uint64_t samples) EXCLUDES(mu_);
 
     /**
+     * Merge one replicated record: best-score-wins against the local
+     * entry for the same key (safe because entries are monotone
+     * best-score records — the merge is commutative, associative, and
+     * idempotent, so replication order and duplicates cannot corrupt
+     * the store). Accepted records are appended to the backing file
+     * like local improvements. Returns true when the local store
+     * improved; a worse-or-equal score (or invalid entry) is ignored.
+     */
+    bool mergeEntry(const StoreEntry &e) EXCLUDES(mu_);
+
+    /**
      * Atomically rewrite the backing file down to the live entries
      * (write temp + rename). Returns false on I/O failure (the old
      * file is left untouched).
@@ -168,12 +180,33 @@ class MappingStore
     static std::string keyOf(const Workload &wl, const ArchConfig &arch,
                              Objective objective, bool sparse);
 
+    /** The same key derived from a decoded record (which carries the
+     *  arch signature hash, not the full ArchConfig). */
+    static std::string keyOfEntry(const StoreEntry &e);
+
     /** Serialize / parse one record line (exposed for tests). */
     static std::string encodeEntry(const StoreEntry &e);
     static std::optional<StoreEntry> decodeEntry(const std::string &line);
 
+    /** Record as a JSON object (the wire `replicate` payload unit). */
+    static JsonValue encodeEntryJson(const StoreEntry &e);
+    static std::optional<StoreEntry> decodeEntryJson(const JsonValue &doc);
+
+    /**
+     * Records accepted per key (live + superseded) since the last
+     * load(): on-disk lines from load, plus every accepted
+     * recordIfBetter/mergeEntry since. Sorted by key, so stats output
+     * is deterministic.
+     */
+    std::vector<std::pair<std::string, uint64_t>> keyAppendCounts()
+        const EXCLUDES(mu_);
+
   private:
     void ingestLineLocked(const std::string &line) REQUIRES(mu_);
+    /** Shared accept path of recordIfBetter/mergeEntry: best-score-
+     *  wins upsert + append + auto-compaction. */
+    bool upsertLocked(const std::string &key, const StoreEntry &e)
+        REQUIRES(mu_);
     bool appendLocked(const StoreEntry &e) REQUIRES(mu_);
     bool compactLocked() REQUIRES(mu_);
 
@@ -181,6 +214,8 @@ class MappingStore
     std::string path_; ///< Immutable after construction (unguarded).
     bool fsync_each_;  ///< Immutable after construction (unguarded).
     std::unordered_map<std::string, StoreEntry> best_ GUARDED_BY(mu_);
+    std::unordered_map<std::string, uint64_t> key_appends_
+        GUARDED_BY(mu_);
     size_t malformed_ GUARDED_BY(mu_) = 0;
     size_t dead_ GUARDED_BY(mu_) = 0;
     bool degraded_ GUARDED_BY(mu_) = false;

@@ -169,6 +169,16 @@ class ThreadedServer : public ServerBackend
                             searchWatchingPeer(fd, req->search))
                             .dump();
                 break;
+              case WireRequest::Kind::Replicate: {
+                service_.metrics().onRequest("replicate");
+                const auto res =
+                    service_.applyReplication(req->replicate_entries);
+                reply = replicateReplyJson(
+                            res.first,
+                            res.second + req->replicate_invalid)
+                            .dump();
+                break;
+              }
             }
             if (!sendLine(fd, reply))
                 break;

@@ -114,6 +114,19 @@ MseService::submit(SearchRequest req, CompletionFn on_complete)
         return reject(errorReply(
             "unknown_mapper", "no mapper named '" + req.mapper + "'"));
     }
+    if (hooks_.accepts_key) {
+        const std::string key = MappingStore::keyOf(
+            req.workload, req.arch, req.objective, req.sparse);
+        if (!hooks_.accepts_key(key)) {
+            metrics_.onError("wrong_shard");
+            SearchReply r = errorReply(
+                "wrong_shard",
+                "key " + key + " is not served by this shard");
+            if (hooks_.owner_of)
+                r.error_owner = hooks_.owner_of(key);
+            return reject(std::move(r));
+        }
+    }
 
     auto pending = std::make_unique<Pending>();
     pending->req = std::move(req);
@@ -283,6 +296,13 @@ MseService::runSearch(const SearchRequest &req,
 
     SearchReply r;
     r.wall_seconds = nowSeconds() - t0;
+    // Cluster observability only: outside a cluster both fields stay
+    // empty and off the wire (single-daemon replies are unchanged).
+    if (!hooks_.self.empty()) {
+        r.served_by = hooks_.self;
+        r.store_key = MappingStore::keyOf(req.workload, req.arch,
+                                          req.objective, req.sparse);
+    }
     r.store_hit = lk.hit;
     r.warm_distance = lk.distance;
     r.samples = outcome.search.log.samples;
@@ -332,6 +352,22 @@ MseService::runSearch(const SearchRequest &req,
                 outcome.search.best_mapping, r.score, r.energy_uj,
                 r.latency_cycles, r.samples);
         }
+        // Replication fires only on *local* improvements — merges via
+        // applyReplication never re-enter here, so a record cannot
+        // bounce between peers.
+        if (r.store_improved && hooks_.on_improved) {
+            StoreEntry e;
+            e.workload = req.workload;
+            e.arch_sig = fnv1a64Hex(req.arch.signature());
+            e.objective = req.objective;
+            e.sparse = req.sparse;
+            e.mapping = outcome.search.best_mapping;
+            e.score = r.score;
+            e.energy_uj = r.energy_uj;
+            e.latency_cycles = r.latency_cycles;
+            e.samples = r.samples;
+            hooks_.on_improved(e);
+        }
     }
 
     // Degraded-store transition (disk append failed, store went
@@ -356,6 +392,20 @@ MseService::runSearch(const SearchRequest &req,
     if (!r.ok)
         metrics_.onError(r.error_code.c_str());
     return r;
+}
+
+std::pair<size_t, size_t>
+MseService::applyReplication(const std::vector<StoreEntry> &entries)
+{
+    size_t merged = 0;
+    for (const StoreEntry &e : entries)
+        if (store_.mergeEntry(e))
+            ++merged;
+    const size_t ignored = entries.size() - merged;
+    metrics_.onReplicate(merged, ignored);
+    if (store_.degraded() && !store_degraded_noted_.exchange(true))
+        metrics_.onStoreDegraded();
+    return {merged, ignored};
 }
 
 void
@@ -385,7 +435,7 @@ JsonValue
 MseService::statsJson() const
 {
     JsonValue j = metrics_.toJson();
-    j["uptime_seconds"] = nowSeconds() - start_time_;
+    j["uptime_s"] = nowSeconds() - start_time_;
     JsonValue &store = j["store"]; // extends the hit-split block
     store["entries"] = store_.size();
     store["path"] = store_.path().empty() ? "(in-memory)"
@@ -394,6 +444,15 @@ MseService::statsJson() const
     store["superseded_lines"] = store_.deadLines();
     store["degraded"] = store_.degraded();
     store["append_failures"] = store_.appendFailures();
+    {
+        // Per-key accepted-record counts (sorted): which shards of the
+        // key space this daemon is actually serving — the cluster
+        // harness reads this to verify ring placement.
+        JsonValue &per_key = store["per_key"];
+        per_key = JsonValue::object();
+        for (const auto &kv : store_.keyAppendCounts())
+            per_key[kv.first] = kv.second;
+    }
     const FaultInjector &faults = FaultInjector::global();
     if (faults.armed()) {
         // Make injected-fault runs self-identifying in dashboards and
@@ -416,6 +475,10 @@ MseService::statsJson() const
     cfg["default_samples"] = cfg_.default_samples;
     cfg["warm_max_distance"] = cfg_.warm_max_distance;
     cfg["store_writeback"] = cfg_.store_writeback;
+    if (!hooks_.self.empty())
+        j["self"] = hooks_.self;
+    if (hooks_.augment_stats)
+        hooks_.augment_stats(j);
     return j;
 }
 

@@ -48,10 +48,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -147,6 +149,10 @@ struct SearchReply
      *  client backoff before resubmitting; 0 = not retryable. */
     int retry_after_ms = 0;
 
+    /** For wrong_shard rejections: the daemon that owns the key, so a
+     *  routing client can retry against it in one hop. */
+    std::string error_owner;
+
     std::string mapping;       ///< serializeMapping() of the best.
     double score = 0.0;        ///< Objective score of the best.
     double edp = 0.0;
@@ -170,6 +176,11 @@ struct SearchReply
     bool timed_out = false;  ///< Deadline expired mid-search.
     bool cancelled = false;  ///< Token fired mid-search.
     double wall_seconds = 0.0;
+
+    /** Cluster observability (empty outside a cluster): the daemon
+     *  that ran the search and the store key the result lives under. */
+    std::string served_by;
+    std::string store_key;
 };
 
 /** Embeddable mapping-search service. */
@@ -234,6 +245,49 @@ class MseService
      *  tests can watch executor occupancy without racing it. */
     JsonValue statsJson() const EXCLUDES(mu_);
 
+    /**
+     * Seams the cluster layer plugs into. MseService itself knows
+     * nothing about rings or peers (src/service must not depend on
+     * src/cluster); the daemon wires these from its ClusterConfig.
+     * Every hook may be null. Not thread-safe: set before the first
+     * submit()/statsJson() and never change afterwards.
+     */
+    struct ClusterHooks
+    {
+        /** This daemon's advertised address, stamped into replies. */
+        std::string self;
+
+        /** False = this shard neither owns nor replicates the key:
+         *  submit() rejects with wrong_shard instead of queueing. */
+        std::function<bool(const std::string &key)> accepts_key;
+
+        /** Ring owner of a key (for the wrong_shard error payload). */
+        std::function<std::string(const std::string &key)> owner_of;
+
+        /** A local search improved the stored best: hand the record
+         *  to the replication agent. Called on an executor thread
+         *  after the store write; must not block. */
+        std::function<void(const StoreEntry &e)> on_improved;
+
+        /** Extend the statsJson() document (replication lag, peer
+         *  queue depths). */
+        std::function<void(JsonValue &stats)> augment_stats;
+    };
+
+    void setClusterHooks(ClusterHooks hooks) { hooks_ = std::move(hooks); }
+
+    /**
+     * Merge records replicated from a peer into the local store
+     * (best-score-wins per key; see MappingStore::mergeEntry). Keys
+     * outside this shard's replica set are merged too — during a
+     * topology change, dropping data is strictly worse than holding a
+     * stale copy. Merges never re-trigger on_improved (only local
+     * search improvements do), so replication cannot loop.
+     * Returns {merged, ignored}.
+     */
+    std::pair<size_t, size_t>
+    applyReplication(const std::vector<StoreEntry> &entries);
+
     MappingStore &store() { return store_; }
     const ServiceConfig &config() const { return cfg_; }
     ServiceMetrics &metrics() { return metrics_; }
@@ -259,6 +313,7 @@ class MseService
     MappingStore store_;   ///< Internally synchronized.
     ServiceMetrics metrics_; ///< Internally synchronized.
     double start_time_ = 0.0; ///< Immutable after construction.
+    ClusterHooks hooks_;   ///< Immutable after setClusterHooks().
 
     mutable Mutex mu_; ///< mutable: statsJson() is logically const.
     std::condition_variable queue_cv_;

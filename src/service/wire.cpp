@@ -150,10 +150,28 @@ parseWireRequest(const std::string &line, std::string *error_code,
         req.kind = WireRequest::Kind::Stats;
         return req;
     }
+    if (type == "replicate") {
+        req.kind = WireRequest::Kind::Replicate;
+        req.replicate_from = doc->getString("from", "");
+        const JsonValue *entries = doc->find("entries");
+        if (!entries || !entries->isArray()) {
+            fail(error_code, error_message, "bad_request",
+                 "replicate request needs an \"entries\" array");
+            return std::nullopt;
+        }
+        for (const JsonValue &item : entries->items()) {
+            auto e = MappingStore::decodeEntryJson(item);
+            if (e)
+                req.replicate_entries.push_back(std::move(*e));
+            else
+                ++req.replicate_invalid; // Skip, never wedge the peer.
+        }
+        return req;
+    }
     if (type != "search") {
         fail(error_code, error_message, "bad_request",
              "unknown request type '" + type +
-                 "' (want ping, stats, or search)");
+                 "' (want ping, stats, search, or replicate)");
         return std::nullopt;
     }
 
@@ -253,9 +271,15 @@ wireError(const std::string &code, const std::string &message,
 JsonValue
 searchReplyJson(const SearchReply &r)
 {
-    if (!r.ok)
-        return wireError(r.error_code, r.error_message,
-                         r.retry_after_ms);
+    if (!r.ok) {
+        JsonValue j = wireError(r.error_code, r.error_message,
+                                r.retry_after_ms);
+        // wrong_shard rejections name the owning daemon so a routing
+        // client can fix its ring view and retry in one hop.
+        if (!r.error_owner.empty())
+            j["error"]["owner"] = r.error_owner;
+        return j;
+    }
     JsonValue j = JsonValue::object();
     j["ok"] = true;
     j["type"] = "search";
@@ -275,6 +299,13 @@ searchReplyJson(const SearchReply &r)
     j["timed_out"] = r.timed_out;
     j["cancelled"] = r.cancelled;
     j["wall_ms"] = r.wall_seconds * 1e3;
+    // Cluster observability: which daemon answered, and the store key
+    // the result lives under (lets harnesses check ring placement and
+    // per-key monotonicity without re-deriving signature hashes).
+    if (!r.served_by.empty())
+        j["served_by"] = r.served_by;
+    if (!r.store_key.empty())
+        j["store_key"] = r.store_key;
     JsonValue &cache = j["eval_cache"];
     cache["hits"] = static_cast<uint64_t>(r.eval_cache_hits);
     cache["misses"] = static_cast<uint64_t>(r.eval_cache_misses);
@@ -288,6 +319,17 @@ statsReplyJson(const JsonValue &stats)
     j["ok"] = true;
     j["type"] = "stats";
     j["stats"] = stats;
+    return j;
+}
+
+JsonValue
+replicateReplyJson(size_t merged, size_t ignored)
+{
+    JsonValue j = JsonValue::object();
+    j["ok"] = true;
+    j["type"] = "replicate";
+    j["merged"] = static_cast<uint64_t>(merged);
+    j["ignored"] = static_cast<uint64_t>(ignored);
     return j;
 }
 

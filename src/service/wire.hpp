@@ -19,6 +19,12 @@
  *    "mapper":"gamma", "objective":"edp", "max_samples":2000,
  *    "seed":123, "warm_start":true, "warm_seeds":2, "sparse":false,
  *    "densities": {"Weights":0.4, "Inputs":0.5}, "deadline_ms":60000}
+ *   {"type":"replicate","from":"host:port",
+ *    "entries":[{<store record, see mapping_store.hpp>}, ...]}
+ *
+ * Unknown top-level fields are ignored on every request type (the
+ * tolerant-reader rule, pinned by tests/test_wire.cpp): a newer client
+ * adding a field must not break an older daemon, and vice versa.
  *
  * Replies always carry "ok". Success:
  *
@@ -40,8 +46,10 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/json.hpp"
+#include "service/mapping_store.hpp"
 #include "service/service.hpp"
 
 namespace mse {
@@ -54,9 +62,18 @@ struct WireRequest
         Ping,
         Stats,
         Search,
+        Replicate,
     };
     Kind kind = Kind::Ping;
     SearchRequest search; ///< Valid when kind == Search.
+
+    /** Replicate payload: decoded records plus the sender's advertised
+     *  address. Entries that fail to decode are counted, not fatal —
+     *  a peer running a newer build must not be able to wedge this
+     *  daemon's replication stream. */
+    std::vector<StoreEntry> replicate_entries;
+    std::string replicate_from;
+    size_t replicate_invalid = 0;
 };
 
 /**
@@ -82,6 +99,9 @@ JsonValue searchReplyJson(const SearchReply &r);
 
 /** {"ok":true,"type":"stats","stats":<stats>} */
 JsonValue statsReplyJson(const JsonValue &stats);
+
+/** {"ok":true,"type":"replicate","merged":N,"ignored":N} */
+JsonValue replicateReplyJson(size_t merged, size_t ignored);
 
 /** {"ok":true,"type":"ping"} */
 JsonValue pingReplyJson();

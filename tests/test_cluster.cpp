@@ -1,0 +1,519 @@
+/**
+ * @file
+ * Cluster layer: the MseService ClusterHooks seam (wrong_shard
+ * rejection, replication merge semantics), the ReplicationAgent
+ * shipping improvements between live daemons, and ClusterClient
+ * routing / redirect / failover against a real three-node loopback
+ * cluster — the in-process version of what chaos_harness.sh Phase 5
+ * certifies under SIGKILL storms.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_client.hpp"
+#include "cluster/replication.hpp"
+#include "common/math_util.hpp"
+#include "service/net.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
+#include "test_helpers.hpp"
+
+namespace mse {
+namespace {
+
+using test::allAtTop;
+using test::miniNpu;
+using test::tinyGemm;
+
+bool
+waitUntil(const std::function<bool()> &pred, int timeout_ms = 15000)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred();
+}
+
+StoreEntry
+makeEntry(const Workload &wl, const ArchConfig &arch, double score)
+{
+    StoreEntry e;
+    e.workload = wl;
+    e.arch_sig = fnv1a64Hex(arch.signature());
+    e.objective = Objective::Edp;
+    e.mapping = allAtTop(wl, arch);
+    e.score = score;
+    e.energy_uj = 1.0;
+    e.latency_cycles = 10.0;
+    e.samples = 5;
+    return e;
+}
+
+// ------------------------------------------------- hooks seam (no TCP)
+
+TEST(ClusterHooks, ForeignKeysRejectWrongShardWithOwner)
+{
+    ServiceConfig cfg;
+    cfg.default_samples = 50;
+    MseService service(cfg);
+    MseService::ClusterHooks hooks;
+    hooks.self = "127.0.0.1:1";
+    hooks.accepts_key = [](const std::string &) { return false; };
+    hooks.owner_of = [](const std::string &) {
+        return std::string("10.0.0.9:7");
+    };
+    service.setClusterHooks(std::move(hooks));
+
+    SearchRequest req;
+    req.workload = tinyGemm();
+    req.arch = miniNpu();
+    const SearchReply r = service.search(req);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error_code, "wrong_shard");
+    EXPECT_EQ(r.error_owner, "10.0.0.9:7");
+    EXPECT_EQ(r.retry_after_ms, 0); // not retryable *here*
+
+    // The encoded reply carries the redirect target for clients.
+    const JsonValue j = searchReplyJson(r);
+    EXPECT_EQ(j.find("error")->getString("owner", ""), "10.0.0.9:7");
+
+    // The rejection never reached the store or the executors.
+    EXPECT_EQ(service.store().size(), 0u);
+}
+
+TEST(ClusterHooks, AcceptedSearchStampsServedByAndStoreKey)
+{
+    ServiceConfig cfg;
+    cfg.default_samples = 50;
+    MseService service(cfg);
+    MseService::ClusterHooks hooks;
+    hooks.self = "127.0.0.1:2";
+    hooks.accepts_key = [](const std::string &) { return true; };
+    service.setClusterHooks(std::move(hooks));
+
+    SearchRequest req;
+    req.workload = tinyGemm();
+    req.arch = miniNpu();
+    const SearchReply r = service.search(req);
+    ASSERT_TRUE(r.ok) << r.error_message;
+    EXPECT_EQ(r.served_by, "127.0.0.1:2");
+    EXPECT_EQ(r.store_key, MappingStore::keyOf(req.workload, req.arch,
+                                               req.objective,
+                                               req.sparse));
+    // Outside a cluster these fields stay empty (and off the wire).
+    MseService plain(cfg);
+    const SearchReply p = plain.search(req);
+    ASSERT_TRUE(p.ok);
+    EXPECT_TRUE(p.served_by.empty());
+    EXPECT_TRUE(p.store_key.empty());
+}
+
+TEST(ClusterHooks, ApplyReplicationMergesBestScoreWinsWithoutLooping)
+{
+    MseService service;
+    size_t improvements = 0;
+    MseService::ClusterHooks hooks;
+    hooks.on_improved = [&improvements](const StoreEntry &) {
+        ++improvements;
+    };
+    service.setClusterHooks(std::move(hooks));
+
+    const Workload wl = tinyGemm();
+    const ArchConfig arch = miniNpu();
+    const StoreEntry good = makeEntry(wl, arch, 100.0);
+    StoreEntry invalid = makeEntry(wl, arch, 90.0);
+    invalid.arch_sig = "nope"; // not a 16-hex signature hash
+
+    // New key + worse duplicate + invalid record in one batch.
+    const auto first = service.applyReplication(
+        {good, makeEntry(wl, arch, 150.0), invalid});
+    EXPECT_EQ(first.first, 1u);  // merged
+    EXPECT_EQ(first.second, 2u); // ignored
+    EXPECT_EQ(service.store().size(), 1u);
+
+    // Re-applying is idempotent; a strictly better record wins.
+    EXPECT_EQ(service.applyReplication({good}).second, 1u);
+    EXPECT_EQ(service.applyReplication({makeEntry(wl, arch, 80.0)})
+                  .first,
+              1u);
+    const auto hit =
+        service.store().lookup(wl, arch, Objective::Edp, false, 0.0);
+    ASSERT_EQ(hit.hit, StoreHit::Exact);
+    EXPECT_EQ(hit.entry.score, 80.0);
+
+    // Merges must never re-fire on_improved — that is how a record
+    // bouncing between replicas would loop forever.
+    EXPECT_EQ(improvements, 0u);
+
+    // Metrics surface the merge/ignore split.
+    const JsonValue stats = service.statsJson();
+    const JsonValue *store = stats.find("store");
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(store->getInt("replicated_in_merged", -1), 2);
+    EXPECT_EQ(store->getInt("replicated_in_ignored", -1), 3);
+}
+
+// ------------------------------------------- live three-node cluster
+
+/** Three daemons on loopback wired exactly like mse_serve does it. */
+class ClusterTest : public ::testing::Test
+{
+  protected:
+    struct Node
+    {
+        // Destruction order matters and is the reverse of declaration:
+        // server first (no new requests), then service (executors may
+        // still call on_improved), then the agent they call into.
+        std::unique_ptr<ReplicationAgent> agent;
+        std::unique_ptr<MseService> service;
+        std::unique_ptr<ServiceServer> server;
+        std::string addr;
+    };
+
+    static constexpr size_t kNodes = 3;
+    static constexpr size_t kReplicas = 2;
+
+    void SetUp() override
+    {
+        // Phase 1: listen everywhere on ephemeral ports to learn the
+        // node list (nothing can reach a node before we hand out its
+        // address, so wiring the hooks after start() is race-free).
+        for (size_t i = 0; i < kNodes; ++i) {
+            auto node = std::make_unique<Node>();
+            ServiceConfig scfg;
+            scfg.default_samples = 150;
+            // The ThreadPool one-top-level-caller contract: several
+            // services in one process need the ScopedInline executor
+            // path, i.e. executors >= 2.
+            scfg.executors = 2;
+            node->service = std::make_unique<MseService>(scfg);
+            node->server = std::make_unique<ServiceServer>(
+                *node->service, ServerConfig{});
+            std::string err;
+            ASSERT_TRUE(node->server->start(&err)) << err;
+            node->addr = "127.0.0.1:" +
+                         std::to_string(node->server->port());
+            cluster_.nodes.push_back(node->addr);
+            nodes_.push_back(std::move(node));
+        }
+        cluster_.replication = kReplicas;
+
+        // Phase 2: every node gets the full ring + its agent.
+        const ShardRing ring = cluster_.ring();
+        for (auto &node : nodes_) {
+            ClusterConfig mine = cluster_;
+            mine.self = node->addr;
+            node->agent = std::make_unique<ReplicationAgent>(mine);
+            MseService::ClusterHooks hooks;
+            hooks.self = node->addr;
+            const std::string self = node->addr;
+            hooks.accepts_key = [ring, self](const std::string &key) {
+                return ring.isReplica(key, self, kReplicas);
+            };
+            hooks.owner_of = [ring](const std::string &key) {
+                return ring.ownerOf(key);
+            };
+            ReplicationAgent *agent = node->agent.get();
+            hooks.on_improved = [agent](const StoreEntry &e) {
+                agent->enqueue(e);
+            };
+            hooks.augment_stats = [agent](JsonValue &j) {
+                j["replication"] = agent->statsJson();
+            };
+            node->service->setClusterHooks(std::move(hooks));
+        }
+    }
+
+    void TearDown() override
+    {
+        for (auto &node : nodes_) {
+            node->server->stop();
+            node->agent->stop();
+        }
+    }
+
+    Node &nodeAt(const std::string &addr)
+    {
+        for (auto &node : nodes_)
+            if (node->addr == addr)
+                return *node;
+        ADD_FAILURE() << "unknown node " << addr;
+        return *nodes_[0];
+    }
+
+    static std::string searchLine(int m)
+    {
+        return "{\"type\":\"search\",\"workload\":{\"gemm\":"
+               "{\"b\":1,\"m\":" +
+               std::to_string(m) +
+               ",\"k\":8,\"n\":8}},"
+               "\"arch\":{\"npu\":{\"l2_bytes\":8192,\"l1_bytes\":128,"
+               "\"num_pes\":4,\"alus_per_pe\":2}},\"seed\":1}";
+    }
+
+    /** Store key the daemons will file searchLine(m) under. */
+    std::string keyFor(int m) const
+    {
+        return MappingStore::keyOf(makeGemm("gemm", 1, m, 8, 8),
+                                   makeNpu("npu", 8192, 128, 4, 2),
+                                   Objective::Edp, false);
+    }
+
+    ClusterConfig cluster_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+TEST_F(ClusterTest, RoutedSearchReplicationAndFailover)
+{
+    ClusterClient client(cluster_, 30000);
+    const std::string line = searchLine(8);
+    const auto route = client.routeOf(line);
+    ASSERT_EQ(route.size(), kReplicas);
+    EXPECT_EQ(route[0], cluster_.ring().ownerOf(keyFor(8)));
+
+    // Cold search lands on the key's ring owner.
+    auto cold = client.request(line);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    EXPECT_EQ(cold.served_by, route[0]);
+    EXPECT_EQ(cold.nodes_tried, 1u);
+    const auto cold_doc = parseJson(cold.reply);
+    ASSERT_TRUE(cold_doc.has_value());
+    ASSERT_TRUE(cold_doc->getBool("ok", false)) << cold.reply;
+    EXPECT_EQ(cold_doc->getString("store", ""), "cold");
+    EXPECT_EQ(cold_doc->getString("served_by", ""), route[0]);
+    EXPECT_EQ(cold_doc->getString("store_key", ""), keyFor(8));
+    const double cold_score = cold_doc->getDouble("score", 0.0);
+    ASSERT_GT(cold_score, 0.0);
+
+    // The owner's agent ships the improvement to the ring successor.
+    Node &successor = nodeAt(route[1]);
+    ASSERT_TRUE(waitUntil([&] {
+        return successor.service->store()
+                   .lookup(makeGemm("gemm", 1, 8, 8, 8),
+                           makeNpu("npu", 8192, 128, 4, 2),
+                           Objective::Edp, false, 0.0)
+                   .hit == StoreHit::Exact;
+    })) << "replication to " << route[1] << " never arrived";
+    // And the owner's agent queue drains (acknowledged ship).
+    Node &owner = nodeAt(route[0]);
+    EXPECT_TRUE(waitUntil(
+        [&] { return owner.agent->queueDepth() == 0; }));
+
+    // Warm repeat still routes to the owner.
+    auto warm = client.request(line);
+    ASSERT_TRUE(warm.ok) << warm.error;
+    const auto warm_doc = parseJson(warm.reply);
+    ASSERT_TRUE(warm_doc.has_value());
+    EXPECT_EQ(warm_doc->getString("store", ""), "exact");
+
+    // Kill the owner: the client fails over to the successor, whose
+    // replicated copy turns the retry into a warm exact hit — the
+    // acknowledged record survived its owner's death.
+    owner.server->stop();
+    auto failover = client.request(line);
+    ASSERT_TRUE(failover.ok) << failover.error;
+    EXPECT_EQ(failover.served_by, route[1]);
+    EXPECT_EQ(failover.nodes_tried, 2u);
+    const auto fo_doc = parseJson(failover.reply);
+    ASSERT_TRUE(fo_doc.has_value());
+    ASSERT_TRUE(fo_doc->getBool("ok", false)) << failover.reply;
+    EXPECT_EQ(fo_doc->getString("store", ""), "exact");
+    EXPECT_LE(fo_doc->getDouble("score", 1e300),
+              cold_score * (1.0 + 1e-9));
+}
+
+TEST_F(ClusterTest, StaleClientFollowsWrongShardRedirect)
+{
+    // A client that only knows one node (stale topology). Pick a key
+    // that node neither owns nor replicates: the daemon rejects with
+    // the owner's address and the client self-heals in one extra hop.
+    const ShardRing ring = cluster_.ring();
+    int m = 0;
+    for (int cand = 8; cand < 4096 && m == 0; cand += 8) {
+        const auto reps = ring.replicasOf(keyFor(cand), kReplicas);
+        if (std::find(reps.begin(), reps.end(), nodes_[0]->addr) ==
+            reps.end())
+            m = cand;
+    }
+    ASSERT_NE(m, 0) << "no key avoids node 0 in this ring";
+
+    ClusterConfig stale;
+    stale.nodes = {nodes_[0]->addr};
+    stale.replication = kReplicas;
+    ClusterClient client(stale, 30000);
+    auto res = client.request(searchLine(m));
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_TRUE(res.redirected);
+    EXPECT_EQ(res.served_by, ring.ownerOf(keyFor(m)));
+    EXPECT_EQ(res.nodes_tried, 2u);
+    const auto doc = parseJson(res.reply);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_TRUE(doc->getBool("ok", false)) << res.reply;
+}
+
+TEST_F(ClusterTest, BroadcastReachesEveryNodeAndSkipsDeadOnes)
+{
+    ClusterClient client(cluster_, 30000);
+    auto all = client.broadcast("{\"type\":\"ping\"}");
+    ASSERT_EQ(all.size(), kNodes);
+    for (const auto &[node, res] : all) {
+        EXPECT_TRUE(res.ok) << node << ": " << res.error;
+        EXPECT_EQ(res.served_by, node);
+    }
+
+    nodes_[1]->server->stop();
+    all = client.broadcast("{\"type\":\"ping\"}");
+    size_t ok = 0, failed = 0;
+    for (const auto &[node, res] : all) {
+        if (res.ok)
+            ++ok;
+        else {
+            ++failed;
+            EXPECT_EQ(node, nodes_[1]->addr);
+            EXPECT_FALSE(res.error.empty());
+        }
+    }
+    EXPECT_EQ(ok, kNodes - 1);
+    EXPECT_EQ(failed, 1u);
+}
+
+TEST_F(ClusterTest, StatsCarrySelfPerKeyAndReplicationBlocks)
+{
+    ClusterClient client(cluster_, 30000);
+    auto res = client.request(searchLine(8));
+    ASSERT_TRUE(res.ok) << res.error;
+
+    const Node &owner =
+        nodeAt(cluster_.ring().ownerOf(keyFor(8)));
+    const JsonValue stats = owner.service->statsJson();
+    EXPECT_EQ(stats.getString("self", ""), owner.addr);
+    EXPECT_GE(stats.getDouble("uptime_s", -1.0), 0.0);
+
+    const JsonValue *store = stats.find("store");
+    ASSERT_NE(store, nullptr);
+    const JsonValue *per_key = store->find("per_key");
+    ASSERT_NE(per_key, nullptr);
+    EXPECT_EQ(per_key->getInt(keyFor(8), 0), 1);
+
+    const JsonValue *repl = stats.find("replication");
+    ASSERT_NE(repl, nullptr);
+    EXPECT_GE(repl->getInt("queue_depth", -1), 0);
+    const JsonValue *per_peer = repl->find("per_peer");
+    ASSERT_NE(per_peer, nullptr);
+    // Every node but self appears as a peer, acked catches shipped.
+    size_t peers = 0;
+    for (const auto &member : per_peer->members()) {
+        ++peers;
+        EXPECT_NE(member.first, owner.addr);
+    }
+    EXPECT_EQ(peers, kNodes - 1);
+    EXPECT_TRUE(waitUntil([&] {
+        const JsonValue s = owner.service->statsJson();
+        const JsonValue *r = s.find("replication");
+        return r && r->getInt("queue_depth", -1) == 0 &&
+               r->getInt("acked", 0) >= 1;
+    }));
+}
+
+TEST_F(ClusterTest, DirectSearchToReplicaIsAcceptedAndShipsBack)
+{
+    // A replica (non-owner) accepts direct searches for its keys —
+    // that is exactly what failover relies on — and its improvements
+    // replicate to the other members of the replica set.
+    const auto route = cluster_.ring().replicasOf(keyFor(8), kReplicas);
+    ASSERT_EQ(route.size(), 2u);
+    Node &replica = nodeAt(route[1]);
+
+    std::string host;
+    uint16_t port = 0;
+    ASSERT_TRUE(splitHostPort(replica.addr, &host, &port));
+    std::string err;
+    const int fd = connectTcp(host, port, &err);
+    ASSERT_GE(fd, 0) << err;
+    ASSERT_TRUE(sendLine(fd, searchLine(8)));
+    LineReader reader(fd);
+    std::string out;
+    ASSERT_EQ(reader.readLine(&out, 60000), LineReader::Status::Line);
+    closeSocket(fd);
+    const auto doc = parseJson(out);
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->getBool("ok", false)) << out;
+    EXPECT_EQ(doc->getString("served_by", ""), replica.addr);
+
+    // The replica's improvement flows back to the key's owner.
+    Node &owner = nodeAt(route[0]);
+    EXPECT_TRUE(waitUntil([&] {
+        return owner.service->store()
+                   .lookup(makeGemm("gemm", 1, 8, 8, 8),
+                           makeNpu("npu", 8192, 128, 4, 2),
+                           Objective::Edp, false, 0.0)
+                   .hit == StoreHit::Exact;
+    })) << "replica improvement never reached the owner";
+}
+
+// -------------------------------------------------- agent edge cases
+
+TEST(ReplicationAgent, SurvivesDeadPeersAndCountsFailures)
+{
+    // Both peers are unreachable: enqueue must stay non-blocking, the
+    // worker must keep retrying with backoff (not spin or crash), and
+    // stop() must return promptly despite pending batches.
+    ClusterConfig cfg;
+    cfg.self = "127.0.0.1:1";
+    // Reserved discard port: nothing listens there in the sandbox.
+    cfg.nodes = {"127.0.0.1:1", "127.0.0.1:9", "127.0.0.1:19"};
+    cfg.replication = 3;
+    ReplicationConfig rcfg;
+    rcfg.backoff_base_ms = 10;
+    rcfg.backoff_cap_ms = 40;
+    rcfg.io_timeout_ms = 200;
+    ReplicationAgent agent(cfg, rcfg);
+
+    agent.enqueue(makeEntry(tinyGemm(), miniNpu(), 10.0));
+    EXPECT_TRUE(waitUntil([&] {
+        const JsonValue s = agent.statsJson();
+        return s.getInt("ship_failures", 0) >= 1;
+    }));
+    EXPECT_EQ(agent.queueDepth(), 2u); // one item queued per peer
+    const JsonValue s = agent.statsJson();
+    EXPECT_GE(s.getDouble("lag_s", -1.0), 0.0);
+    agent.stop();
+    agent.stop(); // idempotent
+}
+
+TEST(ReplicationAgent, DropsOldestOnOverflowAndCountsIt)
+{
+    ClusterConfig cfg;
+    cfg.self = "127.0.0.1:1";
+    cfg.nodes = {"127.0.0.1:1", "127.0.0.1:9"};
+    cfg.replication = 2;
+    ReplicationConfig rcfg;
+    rcfg.queue_capacity = 4;
+    rcfg.backoff_base_ms = 50;
+    rcfg.backoff_cap_ms = 50;
+    rcfg.io_timeout_ms = 100;
+    ReplicationAgent agent(cfg, rcfg);
+
+    // Distinct keys so every record is a separate queue item.
+    for (int m = 1; m <= 12; ++m)
+        agent.enqueue(
+            makeEntry(makeGemm("g", 1, m, 2, 2), miniNpu(), 10.0));
+    EXPECT_LE(agent.queueDepth(), 4u);
+    const JsonValue s = agent.statsJson();
+    EXPECT_GE(s.getInt("dropped", 0), 8);
+    agent.stop();
+}
+
+} // namespace
+} // namespace mse

@@ -212,7 +212,7 @@ TEST(MseService, StatsReflectActivity)
     EXPECT_EQ(stats.find("store")->getInt("entries", -1), 1);
     EXPECT_EQ(stats.find("latency")->getInt("count", 0), 2);
     EXPECT_GT(stats.find("search")->getInt("samples_total", 0), 0);
-    EXPECT_GE(stats.getDouble("uptime_seconds", -1.0), 0.0);
+    EXPECT_GE(stats.getDouble("uptime_s", -1.0), 0.0);
 }
 
 TEST(MseService, ObjectiveChangesWhatIsMinimized)

@@ -11,9 +11,11 @@
 #include <thread>
 
 #include "arch/arch.hpp"
+#include "common/math_util.hpp"
 #include "service/net.hpp"
 #include "service/server.hpp"
 #include "service/wire.hpp"
+#include "test_helpers.hpp"
 #include "workload/workload_io.hpp"
 
 namespace mse {
@@ -207,6 +209,141 @@ TEST(Wire, ReplyEncoders)
     const JsonValue sr = statsReplyJson(stats);
     EXPECT_TRUE(sr.getBool("ok", false));
     EXPECT_EQ(sr.find("stats")->getInt("queue_depth", -1), 0);
+}
+
+/** One valid replicate payload unit (a best-mapping record). */
+JsonValue
+entryJson(double score = 42.0)
+{
+    const Workload wl = test::tinyGemm();
+    const ArchConfig arch = test::miniNpu();
+    StoreEntry e;
+    e.workload = wl;
+    e.arch_sig = fnv1a64Hex(arch.signature());
+    e.objective = Objective::Edp;
+    e.mapping = test::allAtTop(wl, arch);
+    e.score = score;
+    e.energy_uj = 1.0;
+    e.latency_cycles = 10.0;
+    e.samples = 7;
+    return MappingStore::encodeEntryJson(e);
+}
+
+TEST(Wire, TolerantReaderIgnoresUnknownTopLevelFields)
+{
+    // The rolling-upgrade contract (wire.hpp): a newer peer may add
+    // top-level fields; an older daemon must parse the request as if
+    // they were absent, never reject it. Pinned here so a future
+    // strict-validation refactor cannot silently break mixed-version
+    // clusters.
+    auto ping = parse(
+        "{\"type\":\"ping\",\"trace_id\":\"t-1\",\"hops\":3}");
+    ASSERT_TRUE(ping.has_value());
+    EXPECT_EQ(ping->kind, WireRequest::Kind::Ping);
+
+    auto stats = parse(
+        "{\"type\":\"stats\",\"verbose\":true,"
+        "\"extensions\":{\"future\":[1,2,3]}}");
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->kind, WireRequest::Kind::Stats);
+
+    auto search = parse(
+        "{\"type\":\"search\","
+        "\"workload\":{\"gemm\":{\"b\":2,\"m\":4,\"k\":8,\"n\":16}},"
+        "\"arch\":\"accel-A\",\"max_samples\":9,"
+        "\"priority\":\"high\",\"client\":{\"version\":99}}");
+    ASSERT_TRUE(search.has_value());
+    ASSERT_EQ(search->kind, WireRequest::Kind::Search);
+    EXPECT_EQ(search->search.max_samples, 9u);
+    EXPECT_EQ(serializeWorkload(search->search.workload),
+              serializeWorkload(makeGemm("gemm", 2, 4, 8, 16)));
+
+    JsonValue msg = JsonValue::object();
+    msg["type"] = "replicate";
+    msg["from"] = "127.0.0.1:1";
+    msg["entries"] = JsonValue::array();
+    msg["entries"].push(entryJson());
+    msg["epoch"] = 12; // unknown to this build
+    auto rep = parse(msg.dump());
+    ASSERT_TRUE(rep.has_value());
+    EXPECT_EQ(rep->kind, WireRequest::Kind::Replicate);
+    EXPECT_EQ(rep->replicate_entries.size(), 1u);
+}
+
+TEST(Wire, ParsesReplicateBatches)
+{
+    JsonValue msg = JsonValue::object();
+    msg["type"] = "replicate";
+    msg["from"] = "127.0.0.1:9001";
+    JsonValue &entries = msg["entries"];
+    entries = JsonValue::array();
+    entries.push(entryJson(10.0));
+    JsonValue bad = entryJson(5.0);
+    bad["arch_sig"] = "xyz"; // not a 16-hex signature hash
+    entries.push(bad);
+    entries.push(JsonValue(static_cast<int64_t>(42))); // not an object
+
+    const auto req = parse(msg.dump());
+    ASSERT_TRUE(req.has_value());
+    ASSERT_EQ(req->kind, WireRequest::Kind::Replicate);
+    EXPECT_EQ(req->replicate_from, "127.0.0.1:9001");
+    // Invalid entries are skipped and counted, never fatal: one bad
+    // record must not wedge replication of the rest of the batch.
+    ASSERT_EQ(req->replicate_entries.size(), 1u);
+    EXPECT_EQ(req->replicate_invalid, 2u);
+    EXPECT_EQ(req->replicate_entries[0].score, 10.0);
+
+    // An empty batch is valid (a peer flushing nothing).
+    auto empty =
+        parse("{\"type\":\"replicate\",\"entries\":[]}");
+    ASSERT_TRUE(empty.has_value());
+    EXPECT_TRUE(empty->replicate_entries.empty());
+    EXPECT_TRUE(empty->replicate_from.empty());
+
+    // Missing or non-array entries: structurally broken, rejected.
+    std::string code;
+    EXPECT_FALSE(parse("{\"type\":\"replicate\"}", &code).has_value());
+    EXPECT_EQ(code, "bad_request");
+    EXPECT_FALSE(
+        parse("{\"type\":\"replicate\",\"entries\":7}", &code)
+            .has_value());
+    EXPECT_EQ(code, "bad_request");
+}
+
+TEST(Wire, ClusterReplyEncoders)
+{
+    const JsonValue rr = replicateReplyJson(3, 2);
+    EXPECT_TRUE(rr.getBool("ok", false));
+    EXPECT_EQ(rr.getString("type", ""), "replicate");
+    EXPECT_EQ(rr.getInt("merged", -1), 3);
+    EXPECT_EQ(rr.getInt("ignored", -1), 2);
+
+    // wrong_shard rejections carry the owner so a client can follow.
+    SearchReply wrong;
+    wrong.ok = false;
+    wrong.error_code = "wrong_shard";
+    wrong.error_message = "not mine";
+    wrong.error_owner = "127.0.0.1:7002";
+    const JsonValue wj = searchReplyJson(wrong);
+    EXPECT_EQ(wj.find("error")->getString("owner", ""),
+              "127.0.0.1:7002");
+
+    // Cluster observability fields ride successful replies — and stay
+    // entirely off the wire outside a cluster.
+    SearchReply okr;
+    okr.ok = true;
+    okr.mapping = "v1;x";
+    okr.score = 1.0;
+    okr.served_by = "127.0.0.1:7001";
+    okr.store_key = "k|a|EDP|dense";
+    const JsonValue oj = searchReplyJson(okr);
+    EXPECT_EQ(oj.getString("served_by", ""), "127.0.0.1:7001");
+    EXPECT_EQ(oj.getString("store_key", ""), "k|a|EDP|dense");
+    okr.served_by.clear();
+    okr.store_key.clear();
+    const JsonValue pj = searchReplyJson(okr);
+    EXPECT_EQ(pj.find("served_by"), nullptr);
+    EXPECT_EQ(pj.find("store_key"), nullptr);
 }
 
 // ----------------------------------------------------------- TCP server

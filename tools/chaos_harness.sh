@@ -23,6 +23,15 @@
 # EAGAIN mid-reply, a failed accept — and require pipelined pings and
 # a search to still succeed, then a clean drain.
 #
+# Phase 5 (cluster failover): a three-daemon consistent-hash cluster
+# (replication factor 2) under a SIGKILL storm — every cycle searches
+# through the routing client, records the acknowledged (store_key,
+# score) pair, SIGKILLs one daemon, and restarts it. After
+# CHAOS_CLUSTER_CYCLES (default 20) cycles: every per-node store file
+# must still pass store_check, and for every acknowledged record the
+# cluster-wide best score for its key must be at least as good — zero
+# acknowledged-record loss and cluster-wide per-key monotonicity.
+#
 # Usage: tools/chaos_harness.sh BUILD_DIR [CYCLES]
 #
 # CYCLES defaults to 30 (the CI acceptance floor). CHAOS_WAIT_S bounds
@@ -41,6 +50,7 @@ WORK_DIR="$(mktemp -d)"
 STORE="$WORK_DIR/mappings.jsonl"
 SERVE_LOG="$WORK_DIR/serve.log"
 SERVE_PID=""
+CL_PIDS=() # phase-5 cluster daemons (reaped by the EXIT trap too)
 
 fail() {
     echo "CHAOS FAIL: $*" >&2
@@ -80,7 +90,11 @@ start_serve() { # start_serve [extra serve args...]
         fail "daemon reported a bad port: '$PORT'"
 }
 
-trap '[ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null; rm -rf "$WORK_DIR"' EXIT
+trap '[ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null;
+      for p in "${CL_PIDS[@]:-}"; do
+          [ -n "$p" ] && kill -9 "$p" 2>/dev/null
+      done
+      rm -rf "$WORK_DIR"' EXIT
 
 echo "chaos: $CYCLES SIGKILL cycles against $STORE"
 
@@ -201,4 +215,187 @@ wait "$SERVE_PID" 2>/dev/null || RC=$?
 SERVE_PID=""
 echo "chaos: event-loop fault injection OK (EINTR storm, EAGAIN send, failed accept)"
 
-echo "chaos harness OK: $CYCLES kill cycles, zero corrupted records, clean recovery, graceful degradation, event-loop faults absorbed"
+# --- Phase 5: cluster failover under a replica SIGKILL storm. ---
+# Three daemons on one consistent-hash ring (replication factor 2).
+# Every cycle: a routed search through the cluster client, whose ok
+# reply is an acknowledgement we record as (store_key, score); then
+# SIGKILL one daemon and restart it on the same --self (safe: the
+# listener sets SO_REUSEADDR). The client must absorb every kill via
+# failover/redirect. Afterwards, zero acknowledged-record loss: for
+# every acked pair the cluster-wide best score for that key (min
+# across all three store files) must be <= the acked score, and every
+# store file must still pass store_check on its own.
+CL_N=3
+CL_CYCLES="${CHAOS_CLUSTER_CYCLES:-20}"
+CL_PIDS=()
+CL_ADDRS=()
+CL_NODES=""
+ACKED="$WORK_DIR/acked.txt"
+: >"$ACKED"
+
+cl_dump_logs() {
+    local i
+    for i in $(seq 0 $((CL_N - 1))); do
+        [ -f "$WORK_DIR/cl_serve_$i.log" ] &&
+            sed "s/^/  cl_serve$i| /" "$WORK_DIR/cl_serve_$i.log" >&2
+    done
+}
+
+cl_kill_all() {
+    local pid
+    for pid in "${CL_PIDS[@]:-}"; do
+        [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    done
+    CL_PIDS=()
+}
+
+cl_fail() {
+    cl_dump_logs
+    cl_kill_all
+    fail "$@"
+}
+
+cl_peers_of() { # cl_peers_of INDEX -> comma list of the other addrs
+    local i="$1" j out=""
+    for j in $(seq 0 $((CL_N - 1))); do
+        [ "$j" -eq "$i" ] && continue
+        out="${out:+$out,}${CL_ADDRS[$j]}"
+    done
+    echo "$out"
+}
+
+cl_start() { # cl_start INDEX — (re)start daemon INDEX on its fixed addr
+    local i="$1"
+    : >"$WORK_DIR/cl_serve_$i.log"
+    MSE_EXECUTORS=2 "$SERVE" \
+        --self "${CL_ADDRS[$i]}" --peers "$(cl_peers_of "$i")" \
+        --replicas 2 --store "$WORK_DIR/cl_store_$i.jsonl" \
+        --samples 200 >"$WORK_DIR/cl_serve_$i.log" 2>&1 &
+    CL_PIDS[$i]=$!
+}
+
+cl_listening() {
+    kill -0 "${CL_PIDS[$1]}" 2>/dev/null || return 1
+    grep -q '^LISTENING' "$WORK_DIR/cl_serve_$1.log" 2>/dev/null
+}
+
+# The ring needs fixed ports (--self is part of the hash): derive a
+# block from the PID and retry with a shifted block on bind collision.
+cl_started=0
+for attempt in 0 1 2 3 4; do
+    CL_BASE=$((24000 + (($$ * 7 + attempt * 233) % 36000)))
+    CL_ADDRS=()
+    for i in $(seq 0 $((CL_N - 1))); do
+        CL_ADDRS+=("127.0.0.1:$((CL_BASE + i))")
+    done
+    CL_NODES=$(IFS=,; echo "${CL_ADDRS[*]}")
+
+    CL_PIDS=()
+    for i in $(seq 0 $((CL_N - 1))); do
+        rm -f "$WORK_DIR/cl_store_$i.jsonl"
+        cl_start "$i"
+    done
+
+    all_up=1
+    for i in $(seq 0 $((CL_N - 1))); do
+        deadline=$(($(date +%s) + CHAOS_WAIT_S))
+        while ! grep -q '^LISTENING' "$WORK_DIR/cl_serve_$i.log" 2>/dev/null; do
+            if ! kill -0 "${CL_PIDS[$i]}" 2>/dev/null; then
+                all_up=0
+                break
+            fi
+            [ "$(date +%s)" -ge "$deadline" ] &&
+                cl_fail "cluster daemon $i never reported its port"
+            sleep 0.1
+        done
+        [ "$all_up" -eq 1 ] || break
+    done
+    if [ "$all_up" -eq 1 ]; then
+        cl_started=1
+        break
+    fi
+    cl_kill_all
+done
+[ "$cl_started" -eq 1 ] ||
+    fail "could not bind a $CL_N-port block after 5 attempts"
+echo "chaos: cluster up at $CL_NODES for $CL_CYCLES SIGKILL cycles"
+
+for ((cycle = 1; cycle <= CL_CYCLES; ++cycle)); do
+    # Routed search; the M sweep revisits keys so later cycles also
+    # exercise warm hits served by replicas of earlier victims. Retries
+    # wrap whole failover sweeps, so a cycle that races a restart still
+    # lands somewhere in the replica set.
+    M=$((32 + ((cycle * 5) % 8) * 16))
+    OUT=$(timeout "$((CHAOS_WAIT_S * 4))" "$CLIENT" --cluster "$CL_NODES" \
+        --gemm "4,$M,64,64" --samples 200 --retries 3 2>/dev/null) ||
+        cl_fail "cycle $cycle: cluster search failed: $OUT"
+    echo "$OUT" | grep -q '"ok":true' ||
+        cl_fail "cycle $cycle: cluster search not ok: $OUT"
+    CL_KEY=$(echo "$OUT" | sed -n 's/.*"store_key":"\([^"]*\)".*/\1/p')
+    CL_SCORE=$(echo "$OUT" | sed -n 's/.*"score":\([0-9.eE+-]*\).*/\1/p')
+    [ -n "$CL_KEY" ] && [ -n "$CL_SCORE" ] ||
+        cl_fail "cycle $cycle: reply missing store_key/score: $OUT"
+    echo "$CL_KEY $CL_SCORE" >>"$ACKED"
+
+    # A background search too, so some kills land mid-request.
+    BG_M=$((32 + ((cycle * 5 + 3) % 8) * 16))
+    timeout "$((CHAOS_WAIT_S * 4))" "$CLIENT" --cluster "$CL_NODES" \
+        --gemm "4,$BG_M,64,64" --samples 200 --retries 3 \
+        >/dev/null 2>&1 &
+    BG_PID=$!
+
+    VICTIM=$((cycle % CL_N))
+    kill -9 "${CL_PIDS[$VICTIM]}" 2>/dev/null || true
+    wait "${CL_PIDS[$VICTIM]}" 2>/dev/null || true
+    # Reap only the client (failure fine: its shard may have died);
+    # a bare `wait` would block on the surviving daemons.
+    wait "$BG_PID" 2>/dev/null || true
+
+    cl_start "$VICTIM"
+    wait_until "killed daemon $VICTIM to rejoin the ring" \
+        cl_listening "$VICTIM"
+done
+
+# Drain the survivors cleanly before inspecting the store files.
+for i in $(seq 0 $((CL_N - 1))); do
+    kill -TERM "${CL_PIDS[$i]}" 2>/dev/null || true
+done
+for i in $(seq 0 $((CL_N - 1))); do
+    deadline=$(($(date +%s) + CHAOS_WAIT_S))
+    while kill -0 "${CL_PIDS[$i]}" 2>/dev/null; do
+        [ "$(date +%s)" -ge "$deadline" ] &&
+            cl_fail "cluster daemon $i ignored SIGTERM"
+        sleep 0.1
+    done
+    wait "${CL_PIDS[$i]}" 2>/dev/null || true
+    CL_PIDS[$i]=""
+done
+
+# Per-file integrity + per-key monotonicity, then the cluster-wide
+# acknowledged-record check.
+BEST="$WORK_DIR/cluster_best.txt"
+: >"$BEST"
+for i in $(seq 0 $((CL_N - 1))); do
+    "$CHECK" "$WORK_DIR/cl_store_$i.jsonl" >/dev/null ||
+        cl_fail "cluster store $i corrupted after the kill storm"
+    "$CHECK" --keys "$WORK_DIR/cl_store_$i.jsonl" >>"$BEST" ||
+        cl_fail "cluster store $i key dump failed"
+done
+
+ACK_COUNT=$(wc -l <"$ACKED")
+[ "$ACK_COUNT" -ge "$CL_CYCLES" ] ||
+    cl_fail "only $ACK_COUNT acked records for $CL_CYCLES cycles"
+LOST=$(awk '
+    NR == FNR { if (!($1 in best) || $2 < best[$1]) best[$1] = $2; next }
+    {
+        if (!($1 in best)) { print "missing " $1; exit 1 }
+        # Tiny relative slack for the decimal round-trip through JSON.
+        if (best[$1] > $2 * (1 + 1e-9) + 1e-12) {
+            print "regressed " $1 ": best " best[$1] " > acked " $2
+            exit 1
+        }
+    }' "$BEST" "$ACKED") ||
+    cl_fail "acknowledged record lost after kill storm: $LOST"
+echo "chaos: cluster failover OK ($CL_CYCLES SIGKILL cycles, $ACK_COUNT acks, zero acknowledged-record loss)"
+
+echo "chaos harness OK: $CYCLES kill cycles, zero corrupted records, clean recovery, graceful degradation, event-loop faults absorbed, cluster failover certified"

@@ -1,0 +1,243 @@
+#!/usr/bin/env bash
+# Smoke test for the sharded multi-daemon cluster: start three
+# mse_serve daemons that share one consistent-hash ring (replication
+# factor 2), then walk the cluster contract end to end:
+#
+#   1. broadcast ping reaches every node;
+#   2. a routed cold search lands on the key's ring owner and the
+#      reply carries served_by + store_key;
+#   3. the same search again is a warm exact hit;
+#   4. the owner's improvement replicates to the key's ring successor
+#      (two of the three store files end up holding the key);
+#   5. a stale client that only knows the one non-replica node is
+#      redirected to the owner by wrong_shard and still succeeds;
+#   6. after SIGKILLing the owner, the routed search fails over to the
+#      replica and is *still* a warm exact hit — the acknowledged
+#      record survived its owner's death;
+#   7. the surviving daemons drain cleanly on SIGTERM.
+#
+# Usage: tools/cluster_smoke.sh BUILD_DIR
+#
+# The ring needs fixed ports (--self is part of the hash), so the
+# script derives a port block from its PID and retries with a shifted
+# block if a bind collides. Every wait is bounded by SMOKE_WAIT_S
+# (default 30s; the TSan CI job exports 120).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SMOKE_WAIT_S="${SMOKE_WAIT_S:-30}"
+SERVE="$BUILD_DIR/tools/mse_serve"
+CLIENT="$BUILD_DIR/tools/mse_client"
+CHECK="$BUILD_DIR/tools/store_check"
+WORK_DIR="$(mktemp -d)"
+N=3
+PIDS=()
+PORTS=()
+ADDRS=()
+NODES=""
+
+dump_logs() {
+    local i
+    for i in $(seq 0 $((N - 1))); do
+        [ -f "$WORK_DIR/serve_$i.log" ] &&
+            sed "s/^/  serve$i| /" "$WORK_DIR/serve_$i.log" >&2
+    done
+}
+
+kill_all() {
+    local pid
+    for pid in "${PIDS[@]:-}"; do
+        [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    done
+    PIDS=()
+}
+
+fail() {
+    echo "CLUSTER SMOKE FAIL: $*" >&2
+    dump_logs
+    kill_all
+    exit 1
+}
+
+wait_until() {
+    local what="$1"
+    shift
+    local deadline=$(($(date +%s) + SMOKE_WAIT_S))
+    until "$@"; do
+        if [ "$(date +%s)" -ge "$deadline" ]; then
+            fail "timed out after ${SMOKE_WAIT_S}s waiting for $what"
+        fi
+        sleep 0.1
+    done
+}
+
+[ -x "$SERVE" ] || fail "missing $SERVE (build first)"
+[ -x "$CLIENT" ] || fail "missing $CLIENT (build first)"
+[ -x "$CHECK" ] || fail "missing $CHECK (build first)"
+
+trap 'kill_all; rm -rf "$WORK_DIR"' EXIT
+
+# --- Start the ring (retrying the port block on bind collisions). ---
+started=0
+for attempt in 0 1 2 3 4; do
+    BASE=$((20000 + (($$ * 3 + attempt * 211) % 40000)))
+    PORTS=()
+    ADDRS=()
+    for i in $(seq 0 $((N - 1))); do
+        PORTS+=($((BASE + i)))
+        ADDRS+=("127.0.0.1:$((BASE + i))")
+    done
+    NODES=$(IFS=,; echo "${ADDRS[*]}")
+
+    PIDS=()
+    for i in $(seq 0 $((N - 1))); do
+        PEERS=""
+        for j in $(seq 0 $((N - 1))); do
+            [ "$j" -eq "$i" ] && continue
+            PEERS="${PEERS:+$PEERS,}${ADDRS[$j]}"
+        done
+        : >"$WORK_DIR/serve_$i.log"
+        MSE_EXECUTORS=2 "$SERVE" \
+            --self "${ADDRS[$i]}" --peers "$PEERS" --replicas 2 \
+            --store "$WORK_DIR/store_$i.jsonl" --samples 300 \
+            >"$WORK_DIR/serve_$i.log" 2>&1 &
+        PIDS+=($!)
+    done
+
+    # Every daemon must report LISTENING; one dying (port taken) sends
+    # us around with a shifted block.
+    all_up=1
+    for i in $(seq 0 $((N - 1))); do
+        deadline=$(($(date +%s) + SMOKE_WAIT_S))
+        while ! grep -q '^LISTENING' "$WORK_DIR/serve_$i.log" 2>/dev/null; do
+            if ! kill -0 "${PIDS[$i]}" 2>/dev/null; then
+                all_up=0
+                break
+            fi
+            [ "$(date +%s)" -ge "$deadline" ] &&
+                fail "daemon $i never reported its port"
+            sleep 0.1
+        done
+        [ "$all_up" -eq 1 ] || break
+    done
+    if [ "$all_up" -eq 1 ]; then
+        started=1
+        break
+    fi
+    kill_all
+done
+[ "$started" -eq 1 ] || fail "could not bind a 3-port block after 5 attempts"
+echo "cluster up: $NODES (pids ${PIDS[*]})"
+
+for i in $(seq 0 $((N - 1))); do
+    grep -q '^cluster: self=' "$WORK_DIR/serve_$i.log" ||
+        fail "daemon $i did not report cluster mode"
+done
+
+run_client() {
+    timeout "$((SMOKE_WAIT_S * 4))" "$CLIENT" "$@"
+}
+
+# --- 1. Broadcast ping: one ok reply per node. ---
+PING=$(run_client --cluster "$NODES" --ping) || fail "cluster ping failed: $PING"
+PING_OK=$(echo "$PING" | grep -c '"ok":true')
+[ "$PING_OK" -eq "$N" ] ||
+    fail "expected $N ping replies, got $PING_OK: $PING"
+
+# --- 2. Routed cold search lands on the owner. ---
+COLD=$(run_client --cluster "$NODES" --gemm 4,64,64,64 --samples 300) ||
+    fail "cold routed search failed: $COLD"
+echo "$COLD" | grep -q '"store":"cold"' || fail "first search was not cold: $COLD"
+OWNER=$(echo "$COLD" | sed -n 's/.*"served_by":"\([^"]*\)".*/\1/p')
+KEY=$(echo "$COLD" | sed -n 's/.*"store_key":"\([^"]*\)".*/\1/p')
+[ -n "$OWNER" ] || fail "cold reply carries no served_by: $COLD"
+[ -n "$KEY" ] || fail "cold reply carries no store_key: $COLD"
+echo "cold search served by owner $OWNER (key $KEY)"
+
+# --- 3. Same search again: warm exact hit on the same owner. ---
+WARM=$(run_client --cluster "$NODES" --gemm 4,64,64,64 --samples 300) ||
+    fail "warm routed search failed: $WARM"
+echo "$WARM" | grep -q '"store":"exact"' ||
+    fail "second search missed the store: $WARM"
+echo "$WARM" | grep -q "\"served_by\":\"$OWNER\"" ||
+    fail "warm search left the owner: $WARM"
+
+# --- 4. Replication: the key reaches a second store file. ---
+replica_count() {
+    local n=0 i
+    for i in $(seq 0 $((N - 1))); do
+        if "$CHECK" --keys "$WORK_DIR/store_$i.jsonl" 2>/dev/null |
+            grep -qF "$KEY "; then
+            n=$((n + 1))
+        fi
+    done
+    [ "$n" -ge 2 ]
+}
+wait_until "the record to replicate to a second node" replica_count
+echo "replication OK: key present in >=2 of $N store files"
+
+# --- 5. Stale client against the one non-replica node: wrong_shard
+#        redirect self-heals in one extra hop. ---
+OUTSIDER=""
+for i in $(seq 0 $((N - 1))); do
+    if ! "$CHECK" --keys "$WORK_DIR/store_$i.jsonl" 2>/dev/null |
+        grep -qF "$KEY "; then
+        OUTSIDER="${ADDRS[$i]}"
+    fi
+done
+if [ -n "$OUTSIDER" ]; then
+    REDIR_ERR="$WORK_DIR/redirect.stderr"
+    REDIR=$(run_client --cluster "$OUTSIDER" --gemm 4,64,64,64 \
+        --samples 300 2>"$REDIR_ERR") ||
+        fail "redirected search failed: $REDIR $(cat "$REDIR_ERR")"
+    echo "$REDIR" | grep -q '"store":"exact"' ||
+        fail "redirected search was not warm: $REDIR"
+    grep -q "served by $OWNER" "$REDIR_ERR" ||
+        fail "client did not report the redirect target: $(cat "$REDIR_ERR")"
+    echo "wrong_shard redirect OK: $OUTSIDER -> $OWNER"
+else
+    echo "note: key already on all nodes; skipping the redirect leg"
+fi
+
+# --- 6. SIGKILL the owner: failover to the replica, still warm. ---
+for i in $(seq 0 $((N - 1))); do
+    if [ "${ADDRS[$i]}" = "$OWNER" ]; then
+        kill -9 "${PIDS[$i]}" 2>/dev/null || true
+        wait "${PIDS[$i]}" 2>/dev/null || true
+        PIDS[$i]=""
+        echo "killed owner $OWNER"
+    fi
+done
+
+FO_ERR="$WORK_DIR/failover.stderr"
+FAILOVER=$(run_client --cluster "$NODES" --gemm 4,64,64,64 \
+    --samples 300 2>"$FO_ERR") ||
+    fail "failover search failed: $FAILOVER $(cat "$FO_ERR")"
+echo "$FAILOVER" | grep -q '"store":"exact"' ||
+    fail "failover search lost the warm copy: $FAILOVER"
+SURVIVOR=$(echo "$FAILOVER" | sed -n 's/.*"served_by":"\([^"]*\)".*/\1/p')
+[ -n "$SURVIVOR" ] && [ "$SURVIVOR" != "$OWNER" ] ||
+    fail "failover reply not served by a replica: $FAILOVER"
+grep -q 'nodes tried: 2' "$FO_ERR" ||
+    fail "client did not report the failover hop: $(cat "$FO_ERR")"
+echo "failover OK: warm exact hit from $SURVIVOR after owner SIGKILL"
+
+# --- 7. Clean SIGTERM drain of the survivors. ---
+for i in $(seq 0 $((N - 1))); do
+    [ -n "${PIDS[$i]}" ] || continue
+    kill -TERM "${PIDS[$i]}"
+    deadline=$(($(date +%s) + SMOKE_WAIT_S))
+    while kill -0 "${PIDS[$i]}" 2>/dev/null; do
+        [ "$(date +%s)" -ge "$deadline" ] ||
+            { sleep 0.1; continue; }
+        fail "daemon $i ignored SIGTERM"
+    done
+    RC=0
+    wait "${PIDS[$i]}" 2>/dev/null || RC=$?
+    [ "$RC" -eq 0 ] || fail "daemon $i exited with status $RC"
+    grep -q 'shutting down' "$WORK_DIR/serve_$i.log" ||
+        fail "daemon $i skipped its drain path"
+    PIDS[$i]=""
+done
+
+echo "cluster smoke OK: routed cold -> warm, replication, wrong_shard redirect, failover warm hit, clean drain"

@@ -21,12 +21,22 @@
  * only retry while nothing has been sent — once bytes are on the
  * wire, a mid-stream failure is reported, not resent.
  *
+ * Cluster mode (--cluster a,b,c): the client derives the same
+ * consistent-hash ring the daemons use, routes each search straight
+ * to the shard owning its store key, follows wrong_shard redirects,
+ * and fails over to the key's next ring replica when the owner is
+ * down (see src/cluster/cluster_client.hpp). --stats and --ping
+ * broadcast to every node, printing one reply line per node. The
+ * retry/backoff loop wraps whole routing sweeps, exactly as it wraps
+ * single connections in host:port mode.
+ *
  * Usage:
  *   mse_client --port N --gemm B,M,K,N [options]
  *   mse_client --port N --conv2d B,K,C,Y,X,R,S [options]
  *   mse_client --port N --stats | --ping
  *   mse_client --port N --raw '<one JSON request line>'
  *   mse_client --port N --ping --pipeline 16
+ *   mse_client --cluster H:P,H:P,... --gemm B,M,K,N [--replicas R]
  */
 #include <algorithm>
 #include <chrono>
@@ -37,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster_client.hpp"
 #include "common/json.hpp"
 #include "common/math_util.hpp"
 #include "service/net.hpp"
@@ -49,6 +60,7 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s --port N [--host H] REQUEST [options]\n"
+        "       %s --cluster H:P,H:P,... REQUEST [options]\n"
         "requests:\n"
         "  --gemm B,M,K,N         search a batched GEMM layer\n"
         "  --conv2d B,K,C,Y,X,R,S search a CONV2D layer\n"
@@ -79,8 +91,17 @@ usage(const char *argv0)
         "with\n"
         "                         deterministic jitter (default 200)\n"
         "  --backoff-cap-ms N     backoff ceiling (default 5000)\n"
-        "  --retry-seed N         jitter seed (default 1)\n",
-        argv0);
+        "  --retry-seed N         jitter seed (default 1)\n"
+        "cluster options:\n"
+        "  --cluster LIST         comma-separated daemon addresses; "
+        "route\n"
+        "                         searches to the owning shard, fail "
+        "over\n"
+        "                         to ring replicas, broadcast "
+        "stats/ping\n"
+        "  --replicas R           replica count the daemons run with\n"
+        "                         (default 2; must match theirs)\n",
+        argv0, argv0);
 }
 
 /**
@@ -141,6 +162,8 @@ int
 main(int argc, char **argv)
 {
     std::string host = "127.0.0.1";
+    std::string cluster_csv;
+    size_t cluster_replicas = 2;
     int port = 0;
     int timeout_ms = 120000;
     int pipeline = 1;
@@ -157,6 +180,13 @@ main(int argc, char **argv)
         const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
         if (arg == "--host" && val) {
             host = val;
+            ++i;
+        } else if (arg == "--cluster" && val) {
+            cluster_csv = val;
+            ++i;
+        } else if (arg == "--replicas" && val) {
+            cluster_replicas = static_cast<size_t>(
+                std::max<long long>(1, std::atoll(val)));
             ++i;
         } else if (arg == "--port" && val) {
             port = std::atoi(val);
@@ -251,7 +281,9 @@ main(int argc, char **argv)
         }
     }
 
-    if (port <= 0 || port > 65535 || !have_request) {
+    const bool cluster_mode = !cluster_csv.empty();
+    if ((!cluster_mode && (port <= 0 || port > 65535)) ||
+        !have_request) {
         usage(argv[0]);
         return 2;
     }
@@ -260,6 +292,108 @@ main(int argc, char **argv)
 
     const std::string line = raw.empty() ? req.dump() : raw;
     int retries_used = 0;
+
+    if (cluster_mode) {
+        if (pipeline > 1) {
+            std::fprintf(stderr,
+                         "mse_client: --pipeline is not supported "
+                         "with --cluster\n");
+            return 2;
+        }
+        mse::ClusterConfig cc;
+        cc.nodes = mse::splitNodeList(cluster_csv);
+        cc.replication = cluster_replicas;
+        if (cc.nodes.empty()) {
+            std::fprintf(stderr,
+                         "mse_client: --cluster wants at least one "
+                         "HOST:PORT\n");
+            return 2;
+        }
+        mse::ClusterClient client(cc, timeout_ms);
+
+        const std::string type = req["type"].asString("");
+        if (raw.empty() && (type == "stats" || type == "ping")) {
+            // Cluster-wide health: one reply line per node, exit 0
+            // only when every node answered ok.
+            bool all_ok = true;
+            for (const auto &nr : client.broadcast(line)) {
+                if (!nr.second.ok) {
+                    std::fprintf(stderr, "mse_client: %s\n",
+                                 nr.second.error.c_str());
+                    all_ok = false;
+                    continue;
+                }
+                const auto doc = mse::parseJson(nr.second.reply);
+                if (!doc || !doc->getBool("ok", false))
+                    all_ok = false;
+                std::printf("%s\n", nr.second.reply.c_str());
+            }
+            return all_ok ? 0 : 1;
+        }
+
+        // Routed request: each attempt is one full sweep over the
+        // key's candidate nodes (owner, replicas, redirect targets);
+        // the retry loop only re-sweeps for transport failures and
+        // the server's retryable rejections.
+        for (int attempt = 0;; ++attempt) {
+            std::string why;
+            const auto res = client.request(line);
+            if (res.ok) {
+                const auto doc = mse::parseJson(res.reply);
+                const bool ok = doc && doc->getBool("ok", false);
+                std::string code;
+                int hint_ms = 0;
+                if (doc) {
+                    if (const mse::JsonValue *e = doc->find("error")) {
+                        code = e->getString("code", "");
+                        hint_ms = static_cast<int>(
+                            e->getDouble("retry_after_ms", 0.0));
+                    }
+                }
+                if (!ok && retryableCode(code) && attempt < retries) {
+                    const int wait = std::max(
+                        hint_ms, backoffMs(attempt, backoff_ms,
+                                           backoff_cap_ms,
+                                           retry_seed));
+                    std::fprintf(stderr,
+                                 "mse_client: %s from %s, retrying "
+                                 "in %d ms (attempt %d/%d)\n",
+                                 code.c_str(), res.served_by.c_str(),
+                                 wait, attempt + 1, retries);
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(wait));
+                    ++retries_used;
+                    continue;
+                }
+                std::printf("%s\n", res.reply.c_str());
+                if (res.nodes_tried > 1 || retries_used > 0)
+                    std::fprintf(stderr,
+                                 "mse_client: served by %s "
+                                 "(nodes tried: %zu, retries: %d)\n",
+                                 res.served_by.c_str(),
+                                 res.nodes_tried, retries_used);
+                return ok ? 0 : 1;
+            }
+            why = res.error;
+            if (attempt >= retries) {
+                std::fprintf(stderr,
+                             "mse_client: %s; giving up after %d "
+                             "retr%s\n",
+                             why.c_str(), retries_used,
+                             retries_used == 1 ? "y" : "ies");
+                return 1;
+            }
+            const int wait = backoffMs(attempt, backoff_ms,
+                                       backoff_cap_ms, retry_seed);
+            std::fprintf(stderr,
+                         "mse_client: %s, retrying in %d ms "
+                         "(attempt %d/%d)\n",
+                         why.c_str(), wait, attempt + 1, retries);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(wait));
+            ++retries_used;
+        }
+    }
 
     // One attempt per loop iteration; `why` collects the transient
     // failure that justifies the next retry.

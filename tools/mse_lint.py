@@ -29,14 +29,26 @@ MSE_THREADS" guarantee rests on:
                  MutexUniqueLock wrappers (common/thread_annotations.hpp)
                  so every lock participates in Clang Thread Safety
                  Analysis; bare std::mutex & friends are invisible to it.
-  raw-syscall    src/service/ must do file and socket I/O through the
-                 sys_io seam (common/sys_io.hpp): the wrappers own the
-                 EINTR/short-write discipline and are the only place
-                 deterministic fault injection (MSE_FAULTS) can
-                 intercept. A raw write()/fsync()/rename()/recv() here
-                 is I/O the chaos harness cannot test. Covers the epoll
-                 family too (epoll_create1/ctl/wait): the event loop's
-                 readiness waits must stay injectable.
+  raw-syscall    src/service/ and src/cluster/ must do file and socket
+                 I/O through the sys_io seam (common/sys_io.hpp): the
+                 wrappers own the EINTR/short-write discipline and are
+                 the only place deterministic fault injection
+                 (MSE_FAULTS) can intercept. A raw
+                 write()/fsync()/rename()/recv() here is I/O the chaos
+                 harness cannot test. Covers the epoll family too
+                 (epoll_create1/ctl/wait): the event loop's readiness
+                 waits must stay injectable.
+  store-construct
+                 Only src/service/ and src/cluster/ may construct a
+                 MappingStore (tests excepted). Anywhere else, a
+                 private store instance bypasses the service's
+                 single-writer discipline and its cluster hooks — a
+                 best written that way is never replicated
+                 (on_improved fires only inside MseService), so
+                 replication must go through the service/agent. The
+                 static codec helpers (MappingStore::decodeEntry /
+                 keyOf / ...) stay legal everywhere: reading a store
+                 file is fine, owning one is not.
 
 Escape hatch: a finding on line N is suppressed by an allow comment on
 that line (or the line above):   // mse-lint: allow(<rule>) <reason>
@@ -65,6 +77,7 @@ RULES = (
     "lock-across-parallelfor",
     "raw-mutex",
     "raw-syscall",
+    "store-construct",
 )
 
 CPP_EXTS = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h"}
@@ -111,6 +124,15 @@ RAW_SYSCALL_RE = re.compile(
     r"recv|recvfrom|recvmsg|close|"
     r"fopen|fclose|fread|fwrite|fflush|fgets|fputs|fprintf)"
     r"\s*\("
+)
+
+# Constructing a MappingStore: a named instance, heap allocation, or
+# smart-pointer factory. Static member calls (MappingStore::keyOf) and
+# references/pointers to the service-owned store do not match.
+STORE_CONSTRUCT_RE = re.compile(
+    r"\bMappingStore\s+\w+\s*[({;=]|"
+    r"\bnew\s+MappingStore\b|"
+    r"make_(?:unique|shared)\s*<\s*MappingStore\b"
 )
 
 
@@ -279,7 +301,8 @@ class FileLinter:
 
     # -- raw-syscall ---------------------------------------------------
     def check_raw_syscall(self) -> None:
-        if not in_dir(self.path, "src/service/"):
+        if not (in_dir(self.path, "src/service/") or
+                in_dir(self.path, "src/cluster/")):
             return
         for i, code in enumerate(self.code):
             m = RAW_SYSCALL_RE.search(code)
@@ -292,6 +315,23 @@ class FileLinter:
                     f"injection",
                 )
 
+    # -- store-construct -----------------------------------------------
+    def check_store_construct(self) -> None:
+        if (in_dir(self.path, "src/service/") or
+                in_dir(self.path, "src/cluster/") or
+                in_dir(self.path, "tests/")):
+            return
+        for i, code in enumerate(self.code):
+            if STORE_CONSTRUCT_RE.search(code):
+                self.report(
+                    i, "store-construct",
+                    "constructing a MappingStore outside src/service/"
+                    "|src/cluster/ bypasses the service's cluster "
+                    "hooks — a best recorded here is never "
+                    "replicated; go through MseService (static codec "
+                    "helpers like MappingStore::decodeEntry are fine)",
+                )
+
     def run(self) -> list[Finding]:
         self.check_json_emit()
         self.check_nondet_seed()
@@ -300,6 +340,7 @@ class FileLinter:
         self.check_lock_across_parallelfor()
         self.check_raw_mutex()
         self.check_raw_syscall()
+        self.check_store_construct()
         return self.findings
 
 

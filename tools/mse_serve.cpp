@@ -9,19 +9,28 @@
  * an ephemeral port), serves until SIGINT/SIGTERM, then drains and
  * dumps final stats to stderr.
  *
+ * Cluster mode (--self + --peers): N daemons share one logical store
+ * via consistent-hash sharding. This daemon serves only the keys it
+ * owns or replicates (anything else is rejected with a wrong_shard
+ * redirect), and ships its local store improvements to each key's
+ * ring successors in the background (see src/cluster/).
+ *
  * Usage:
  *   mse_serve [--port N] [--store FILE] [--samples N]
  *             [--deadline-s S] [--queue N] [--executors N]
  *             [--max-conns N] [--threaded]
+ *             [--self HOST:PORT --peers H:P,H:P,... [--replicas R]]
  */
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
+#include "cluster/replication.hpp"
 #include "service/server.hpp"
 
 namespace {
@@ -94,6 +103,13 @@ usage(const char *argv0)
         "  --threaded      thread-per-connection front end instead "
         "of\n"
         "                  the event loop (reference implementation)\n"
+        "cluster mode:\n"
+        "  --self H:P      this daemon's advertised address (must "
+        "match\n"
+        "                  --port; enables sharding + replication)\n"
+        "  --peers LIST    comma-separated peer addresses\n"
+        "  --replicas R    copies of each key incl. the owner "
+        "(default 2)\n"
         "env: MSE_FAULTS=\"site:spec,...\" arms deterministic fault\n"
         "injection (see src/common/fault_injection.hpp);\n"
         "MSE_EVENT_BACKEND=poll forces the poll(2) readiness "
@@ -108,6 +124,9 @@ main(int argc, char **argv)
 {
     mse::ServiceConfig svc_cfg;
     mse::ServerConfig srv_cfg;
+    std::string cluster_self;
+    std::string cluster_peers;
+    size_t cluster_replicas = 2;
     // The daemon (not the library) resolves the executor default, so
     // embedded/test uses of MseService stay single-executor unless
     // they opt in.
@@ -145,6 +164,16 @@ main(int argc, char **argv)
             ++i;
         } else if (arg == "--threaded") {
             srv_cfg.backend = mse::ServerConfig::Backend::Threaded;
+        } else if (arg == "--self" && val) {
+            cluster_self = val;
+            ++i;
+        } else if (arg == "--peers" && val) {
+            cluster_peers = val;
+            ++i;
+        } else if (arg == "--replicas" && val) {
+            cluster_replicas = static_cast<size_t>(
+                std::max<long long>(1, std::atoll(val)));
+            ++i;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -155,7 +184,70 @@ main(int argc, char **argv)
         }
     }
 
+    // Cluster topology, validated before anything starts listening.
+    mse::ClusterConfig cluster;
+    const bool cluster_mode =
+        !cluster_self.empty() || !cluster_peers.empty();
+    if (cluster_mode) {
+        if (cluster_self.empty() || cluster_peers.empty()) {
+            std::fprintf(stderr,
+                         "mse_serve: cluster mode needs both --self "
+                         "and --peers\n");
+            return 2;
+        }
+        std::string self_host;
+        uint16_t self_port = 0;
+        if (!mse::splitHostPort(cluster_self, &self_host,
+                                &self_port)) {
+            std::fprintf(stderr,
+                         "mse_serve: --self wants HOST:PORT, got "
+                         "'%s'\n",
+                         cluster_self.c_str());
+            return 2;
+        }
+        if (srv_cfg.port == 0) {
+            srv_cfg.port = self_port; // --self implies the listen port
+        } else if (srv_cfg.port != self_port) {
+            std::fprintf(stderr,
+                         "mse_serve: --port %u contradicts --self "
+                         "%s (peers would route to the wrong "
+                         "place)\n",
+                         srv_cfg.port, cluster_self.c_str());
+            return 2;
+        }
+        cluster.self = cluster_self;
+        cluster.nodes = mse::splitNodeList(cluster_peers);
+        cluster.nodes.push_back(cluster_self);
+        cluster.replication = cluster_replicas;
+    }
+
+    // Declared before the service: executors call into the agent via
+    // the on_improved hook, so the agent must be destroyed last.
+    std::unique_ptr<mse::ReplicationAgent> agent;
     mse::MseService service(svc_cfg);
+    if (cluster_mode) {
+        agent = std::make_unique<mse::ReplicationAgent>(cluster);
+        mse::MseService::ClusterHooks hooks;
+        hooks.self = cluster_self;
+        const mse::ShardRing ring = cluster.ring();
+        const size_t reps = cluster.replicationClamped();
+        const std::string self = cluster_self;
+        hooks.accepts_key = [ring, self,
+                             reps](const std::string &key) {
+            return ring.isReplica(key, self, reps);
+        };
+        hooks.owner_of = [ring](const std::string &key) {
+            return ring.ownerOf(key);
+        };
+        mse::ReplicationAgent *agent_ptr = agent.get();
+        hooks.on_improved = [agent_ptr](const mse::StoreEntry &e) {
+            agent_ptr->enqueue(e);
+        };
+        hooks.augment_stats = [agent_ptr](mse::JsonValue &j) {
+            j["replication"] = agent_ptr->statsJson();
+        };
+        service.setClusterHooks(std::move(hooks));
+    }
     mse::ServiceServer server(service, srv_cfg);
     std::string err;
     if (!server.start(&err)) {
@@ -178,12 +270,20 @@ main(int argc, char **argv)
                      service.store().path().c_str(),
                      service.store().size());
     }
+    if (cluster_mode) {
+        std::fprintf(stderr,
+                     "cluster: self=%s nodes=%zu replicas=%zu\n",
+                     cluster.self.c_str(), cluster.nodes.size(),
+                     cluster.replicationClamped());
+    }
 
     while (!g_stop && !server.stopRequested())
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
     std::fprintf(stderr, "shutting down...\n");
     server.stop(); // Joins connections, drains the queue.
+    if (agent)
+        agent->stop(); // After the drain: last improvements ship too.
     std::fprintf(stderr, "%s\n", service.statsJson().dump(2).c_str());
     return 0;
 }

@@ -23,9 +23,18 @@
  * Prints a JSON summary and exits 0 iff the file honors the contract
  * (a missing file is a fresh store and passes).
  *
- * Usage: store_check FILE
+ * With --keys, instead prints one "KEY SCORE" line per live key
+ * (sorted; SCORE is the best = lowest recorded score) and exits 0.
+ * The cluster chaos harness diffs these dumps across daemons to
+ * check cluster-wide per-key monotonicity and replication coverage
+ * without re-deriving signature hashes in shell.
+ *
+ * Usage: store_check [--keys] FILE
  */
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -66,17 +75,29 @@ tornShaped(const std::string &line)
 int
 main(int argc, char **argv)
 {
-    if (argc != 2) {
-        std::fprintf(stderr, "usage: %s STORE_FILE\n", argv[0]);
+    bool keys_mode = false;
+    const char *path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--keys") == 0)
+            keys_mode = true;
+        else if (!path)
+            path = argv[i];
+        else
+            path = ""; // Too many positionals: trip the usage check.
+    }
+    if (!path || path[0] == '\0') {
+        std::fprintf(stderr, "usage: %s [--keys] STORE_FILE\n",
+                     argv[0]);
         return 2;
     }
-    const char *path = argv[1];
 
     mse::JsonValue report = mse::JsonValue::object();
     report["path"] = path;
 
     FILE *f = std::fopen(path, "rb");
     if (!f) {
+        if (keys_mode)
+            return 0; // Fresh store: no keys, nothing to print.
         // Missing file = fresh store: consistent by definition.
         report["present"] = false;
         report["ok"] = true;
@@ -94,6 +115,7 @@ main(int argc, char **argv)
     bool tail_unterminated = false;
     std::vector<std::string> problems;
     std::unordered_map<std::string, double> last_score;
+    std::map<std::string, double> best_score; // sorted for --keys
 
     size_t pos = 0;
     size_t line_no = 0;
@@ -111,15 +133,12 @@ main(int argc, char **argv)
         const auto entry = mse::MappingStore::decodeEntry(line);
         if (entry) {
             ++valid;
-            // The store key, built from the record's *stored* arch
-            // signature (keyOf would need the full ArchConfig, which a
-            // record doesn't carry). Mirrors keyFromParts() in
-            // mapping_store.cpp.
             const std::string key =
-                mse::fnv1a64Hex(entry->workload.signature()) + "|" +
-                entry->arch_sig + "|" +
-                mse::objectiveName(entry->objective) +
-                (entry->sparse ? "|sparse" : "|dense");
+                mse::MappingStore::keyOfEntry(*entry);
+            const auto best = best_score.find(key);
+            if (best == best_score.end() ||
+                entry->score < best->second)
+                best_score[key] = entry->score;
             const auto it = last_score.find(key);
             if (it != last_score.end() && entry->score > it->second) {
                 problems.push_back(
@@ -139,6 +158,12 @@ main(int argc, char **argv)
         problems.push_back("line " + std::to_string(line_no) +
                            ": corrupted (not a record, not a torn "
                            "prefix): " + preview);
+    }
+
+    if (keys_mode) {
+        for (const auto &kv : best_score)
+            std::printf("%s %.17g\n", kv.first.c_str(), kv.second);
+        return 0;
     }
 
     report["present"] = true;

@@ -270,6 +270,12 @@ class RawSyscallTest(unittest.TestCase):
         self.assertEqual(lint("src/common/sys_io.cpp", code), [])
         self.assertEqual(lint("tools/t.cpp", code), [])
 
+    def test_cluster_layer_is_covered(self):
+        code = "ssize_t n = send(fd, buf, len, 0);"
+        self.assertEqual(
+            rules_of(lint("src/cluster/replication.cpp", code)),
+            ["raw-syscall"])
+
     def test_raw_epoll_calls_fire_in_service(self):
         for call in ("epoll_create1(EPOLL_CLOEXEC)",
                      "epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev)",
@@ -301,6 +307,49 @@ class RawSyscallTest(unittest.TestCase):
         code = ("::fsync(fd); "
                 "// mse-lint: allow(raw-syscall) pre-seam bootstrap")
         self.assertEqual(lint("src/service/store.cpp", code), [])
+
+
+class StoreConstructTest(unittest.TestCase):
+    def test_local_instance_fires_in_tools(self):
+        code = "mse::MappingStore store(path);"
+        self.assertEqual(rules_of(lint("tools/t.cpp", code)),
+                         ["store-construct"])
+
+    def test_default_constructed_member_fires_in_core(self):
+        code = "MappingStore store_;"
+        self.assertEqual(rules_of(lint("src/core/engine.hpp", code)),
+                         ["store-construct"])
+
+    def test_heap_and_factory_fire(self):
+        for code in ("auto *s = new MappingStore(path);",
+                     "auto s = std::make_unique<MappingStore>(path);",
+                     "auto s = std::make_shared<MappingStore>();"):
+            self.assertEqual(rules_of(lint("bench/b.cpp", code)),
+                             ["store-construct"], code)
+
+    def test_service_and_cluster_layers_exempt(self):
+        code = "MappingStore store_;"
+        self.assertEqual(lint("src/service/service.hpp", code), [])
+        self.assertEqual(lint("src/cluster/replication.cpp", code), [])
+
+    def test_tests_exempt(self):
+        code = "MappingStore store(path);"
+        self.assertEqual(lint("tests/test_x.cpp", code), [])
+
+    def test_static_codec_helpers_are_clean(self):
+        code = ("auto e = mse::MappingStore::decodeEntry(line);\n"
+                "auto k = MappingStore::keyOfEntry(*e);\n"
+                "auto key = MappingStore::keyOf(wl, arch, obj, sp);\n")
+        self.assertEqual(lint("tools/store_check.cpp", code), [])
+
+    def test_reference_to_service_store_is_clean(self):
+        code = "MappingStore &store = service.store();"
+        self.assertEqual(lint("tools/t.cpp", code), [])
+
+    def test_allow_comment_suppresses(self):
+        code = ("MappingStore store(path); "
+                "// mse-lint: allow(store-construct) offline migration")
+        self.assertEqual(lint("tools/t.cpp", code), [])
 
 
 class SuppressionHygieneTest(unittest.TestCase):
