@@ -5,6 +5,7 @@
 #include "common/json.hpp"
 #include "service/net.hpp"
 #include "service/wire.hpp"
+#include "service/error_codes.hpp"
 
 namespace mse {
 
@@ -95,7 +96,7 @@ ClusterClient::request(const std::string &line)
         const auto doc = parseJson(r.reply);
         if (doc && !doc->getBool("ok", false)) {
             if (const JsonValue *e = doc->find("error")) {
-                if (e->getString("code", "") == "wrong_shard") {
+                if (e->getString("code", "") == wire_errors::kWrongShard) {
                     const std::string owner = e->getString("owner", "");
                     r.redirected = true;
                     if (!owner.empty() &&

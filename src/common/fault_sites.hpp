@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The fault-site registry: every named injection site the sys_io seam
+ * (and the event loop) consults via faultCheck(), as named constants.
+ *
+ * Site names are a cross-file contract: passed to the sys* wrappers in
+ * `src/service/`/`src/cluster/`, armed by MSE_FAULTS grammar strings
+ * in tests and the chaos harness, and listed in README's fault-site
+ * table. The literals live here and nowhere else in src/ —
+ * `tools/mse_analyze.py` (rule `dup-literal`) rejects a site literal
+ * typed out at a call site, and its registry rules cross-check this
+ * header against the src/ uses, the tests/chaos configs that arm each
+ * site, and the README table.
+ *
+ * Tests and shell harnesses keep using the plain strings (that is the
+ * user-facing MSE_FAULTS surface); the analyzer reads those literals
+ * to decide which sites are actually exercised
+ * (rule `fault-site-unexercised`).
+ *
+ * Adding a site: define the constant, add it to kAllSites, consult it
+ * from a wrapper call, arm it in a test or chaos phase, and add the
+ * README row — the analyzer fails CI until all of them agree.
+ */
+#pragma once
+
+namespace mse {
+namespace fault_sites {
+
+// MappingStore durability path (src/service/mapping_store.cpp).
+inline constexpr const char *kStoreOpen = "store.open";
+inline constexpr const char *kStoreRead = "store.read";
+inline constexpr const char *kStoreAppend = "store.append";
+inline constexpr const char *kStoreFsync = "store.fsync";
+inline constexpr const char *kStoreCompact = "store.compact";
+inline constexpr const char *kStoreRename = "store.rename";
+inline constexpr const char *kStoreUnlink = "store.unlink";
+
+// Blocking socket plumbing (src/service/net.cpp) — used by the
+// threaded backend, the clients, and the replication agent.
+inline constexpr const char *kNetAccept = "net.accept";
+inline constexpr const char *kNetAcceptPoll = "net.accept.poll";
+inline constexpr const char *kNetConnectPoll = "net.connect.poll";
+inline constexpr const char *kNetPeek = "net.peek";
+inline constexpr const char *kNetPoll = "net.poll";
+inline constexpr const char *kNetRecv = "net.recv";
+inline constexpr const char *kNetSend = "net.send";
+
+// Event-driven front end (src/service/event_server.cpp, poller.cpp).
+inline constexpr const char *kServerAccept = "server.accept";
+inline constexpr const char *kServerRecv = "server.recv";
+inline constexpr const char *kServerSend = "server.send";
+inline constexpr const char *kServerWakeRead = "server.wake.read";
+inline constexpr const char *kServerEpollCreate = "server.epoll.create";
+inline constexpr const char *kServerEpollCtl = "server.epoll.ctl";
+inline constexpr const char *kServerEpollWait = "server.epoll.wait";
+inline constexpr const char *kServerPollWait = "server.poll.wait";
+
+/** Every site the seam consults, for tests and tooling. */
+inline constexpr const char *kAllSites[] = {
+    kStoreOpen,   kStoreRead,       kStoreAppend,     kStoreFsync,
+    kStoreCompact, kStoreRename,    kStoreUnlink,     kNetAccept,
+    kNetAcceptPoll, kNetConnectPoll, kNetPeek,        kNetPoll,
+    kNetRecv,     kNetSend,         kServerAccept,    kServerRecv,
+    kServerSend,  kServerWakeRead,  kServerEpollCreate,
+    kServerEpollCtl, kServerEpollWait, kServerPollWait,
+};
+
+} // namespace fault_sites
+} // namespace mse

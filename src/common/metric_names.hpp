@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The metrics-name registry: every key path the service's `stats`
+ * reply can carry, as dotted-path constants.
+ *
+ * The stats document is a cross-file contract: emitted by
+ * `ServiceMetrics::toJson` / `MseService::statsJson` /
+ * `ReplicationAgent::statsJson`, read back by tests, the benches, and
+ * the smoke/chaos harnesses (`grep '"degraded":true'`), and watched by
+ * dashboards in production. `tools/mse_analyze.py` extracts the
+ * emitted key tree structurally from those functions and cross-checks
+ * it against this header (rules `metrics-key-undeclared` /
+ * `metrics-key-stale`) and against the consumer files (rule
+ * `metrics-key-orphan`: an emitted key nothing reads is dead weight on
+ * every stats reply).
+ *
+ * A `*` segment stands for a dynamic key (per-store-key counts,
+ * per-peer replication state).
+ *
+ * Adding a key: emit it, declare it here, add it to the right kind
+ * array, and read it somewhere (tests/test_service.cpp's schema test
+ * pins the static portion) — the analyzer fails CI until all agree.
+ */
+#pragma once
+
+namespace mse {
+namespace metric_names {
+
+// Request accounting (ServiceMetrics::toJson).
+inline constexpr const char *kRequestsTotal = "requests.total";
+inline constexpr const char *kRequestsSearch = "requests.search";
+inline constexpr const char *kRequestsStats = "requests.stats";
+inline constexpr const char *kRequestsPing = "requests.ping";
+inline constexpr const char *kRequestsReplicate = "requests.replicate";
+inline constexpr const char *kRequestsOther = "requests.other";
+inline constexpr const char *kRequestsErrors = "requests.errors";
+inline constexpr const char *kRequestsRejectedQueueFull =
+    "requests.rejected_queue_full";
+inline constexpr const char *kQueueDepthGauge = "queue_depth";
+
+// Store outcomes (metrics half + statsJson half of the "store" block).
+inline constexpr const char *kStoreExactHits = "store.exact_hits";
+inline constexpr const char *kStoreNearHits = "store.near_hits";
+inline constexpr const char *kStoreCold = "store.cold";
+inline constexpr const char *kStoreImprovementsWritten =
+    "store.improvements_written";
+inline constexpr const char *kStoreDegradedEvents =
+    "store.degraded_events";
+inline constexpr const char *kStoreReplicatedInMerged =
+    "store.replicated_in_merged";
+inline constexpr const char *kStoreReplicatedInIgnored =
+    "store.replicated_in_ignored";
+inline constexpr const char *kStoreEntries = "store.entries";
+inline constexpr const char *kStorePath = "store.path";
+inline constexpr const char *kStoreMalformedLinesSkipped =
+    "store.malformed_lines_skipped";
+inline constexpr const char *kStoreSupersededLines =
+    "store.superseded_lines";
+inline constexpr const char *kStoreDegraded = "store.degraded";
+inline constexpr const char *kStoreAppendFailures =
+    "store.append_failures";
+inline constexpr const char *kStorePerKey = "store.per_key.*";
+
+// Search outcomes.
+inline constexpr const char *kSearchTimedOut = "search.timed_out";
+inline constexpr const char *kSearchCancelled = "search.cancelled";
+inline constexpr const char *kSearchSamplesTotal =
+    "search.samples_total";
+inline constexpr const char *kSearchEvalCacheHits =
+    "search.eval_cache_hits";
+inline constexpr const char *kSearchEvalCacheMisses =
+    "search.eval_cache_misses";
+inline constexpr const char *kSearchEvalCacheHitRate =
+    "search.eval_cache_hit_rate";
+
+// Latency histogram (LatencyHistogram::toJson under "latency").
+inline constexpr const char *kLatencyCount = "latency.count";
+inline constexpr const char *kLatencyMeanS = "latency.mean_s";
+inline constexpr const char *kLatencyMinS = "latency.min_s";
+inline constexpr const char *kLatencyMaxS = "latency.max_s";
+inline constexpr const char *kLatencyP50S = "latency.p50_s";
+inline constexpr const char *kLatencyP95S = "latency.p95_s";
+inline constexpr const char *kLatencyP99S = "latency.p99_s";
+
+// Service-level extras (MseService::statsJson).
+inline constexpr const char *kUptimeS = "uptime_s";
+inline constexpr const char *kQueueDepth = "queue.depth";
+inline constexpr const char *kQueueRunning = "queue.running";
+inline constexpr const char *kConfigExecutors = "config.executors";
+inline constexpr const char *kConfigQueueCapacity =
+    "config.queue_capacity";
+inline constexpr const char *kConfigDefaultDeadlineSeconds =
+    "config.default_deadline_seconds";
+inline constexpr const char *kConfigDefaultSamples =
+    "config.default_samples";
+inline constexpr const char *kConfigWarmMaxDistance =
+    "config.warm_max_distance";
+inline constexpr const char *kConfigStoreWriteback =
+    "config.store_writeback";
+
+// Present only while MSE_FAULTS is armed (self-identifying test runs).
+inline constexpr const char *kFaultsArmed = "faults.armed";
+inline constexpr const char *kFaultsInjectedTotal =
+    "faults.injected_total";
+
+// Present only in cluster mode.
+inline constexpr const char *kSelf = "self";
+inline constexpr const char *kReplicationFactor =
+    "replication.replication_factor";
+inline constexpr const char *kReplicationPeers = "replication.peers";
+inline constexpr const char *kReplicationQueueDepth =
+    "replication.queue_depth";
+inline constexpr const char *kReplicationShipped =
+    "replication.shipped";
+inline constexpr const char *kReplicationAcked = "replication.acked";
+inline constexpr const char *kReplicationMergedByPeers =
+    "replication.merged_by_peers";
+inline constexpr const char *kReplicationDropped =
+    "replication.dropped";
+inline constexpr const char *kReplicationShipFailures =
+    "replication.ship_failures";
+inline constexpr const char *kReplicationLagS = "replication.lag_s";
+inline constexpr const char *kReplicationPerPeerQueueDepth =
+    "replication.per_peer.*.queue_depth";
+inline constexpr const char *kReplicationPerPeerShipped =
+    "replication.per_peer.*.shipped";
+inline constexpr const char *kReplicationPerPeerAcked =
+    "replication.per_peer.*.acked";
+inline constexpr const char *kReplicationPerPeerMergedByPeer =
+    "replication.per_peer.*.merged_by_peer";
+inline constexpr const char *kReplicationPerPeerDropped =
+    "replication.per_peer.*.dropped";
+inline constexpr const char *kReplicationPerPeerShipFailures =
+    "replication.per_peer.*.ship_failures";
+inline constexpr const char *kReplicationPerPeerLagS =
+    "replication.per_peer.*.lag_s";
+
+/** Keys every stats reply carries, cluster or not, faults or not —
+ *  the static schema tests pin exactly this set. */
+inline constexpr const char *kAlwaysKeys[] = {
+    kRequestsTotal, kRequestsSearch, kRequestsStats, kRequestsPing,
+    kRequestsReplicate, kRequestsOther, kRequestsErrors,
+    kRequestsRejectedQueueFull, kQueueDepthGauge, kStoreExactHits,
+    kStoreNearHits, kStoreCold, kStoreImprovementsWritten,
+    kStoreDegradedEvents, kStoreReplicatedInMerged,
+    kStoreReplicatedInIgnored, kStoreEntries, kStorePath,
+    kStoreMalformedLinesSkipped, kStoreSupersededLines, kStoreDegraded,
+    kStoreAppendFailures, kSearchTimedOut, kSearchCancelled,
+    kSearchSamplesTotal, kSearchEvalCacheHits, kSearchEvalCacheMisses,
+    kSearchEvalCacheHitRate, kLatencyCount, kLatencyMeanS,
+    kLatencyMinS, kLatencyMaxS, kLatencyP50S, kLatencyP95S,
+    kLatencyP99S, kUptimeS, kQueueDepth, kQueueRunning,
+    kConfigExecutors, kConfigQueueCapacity,
+    kConfigDefaultDeadlineSeconds, kConfigDefaultSamples,
+    kConfigWarmMaxDistance, kConfigStoreWriteback,
+};
+
+/** Conditional keys: faults armed, cluster mode, replication agent. */
+inline constexpr const char *kConditionalKeys[] = {
+    kStorePerKey, kFaultsArmed, kFaultsInjectedTotal, kSelf,
+    kReplicationFactor, kReplicationPeers, kReplicationQueueDepth,
+    kReplicationShipped, kReplicationAcked, kReplicationMergedByPeers,
+    kReplicationDropped, kReplicationShipFailures, kReplicationLagS,
+    kReplicationPerPeerQueueDepth, kReplicationPerPeerShipped,
+    kReplicationPerPeerAcked, kReplicationPerPeerMergedByPeer,
+    kReplicationPerPeerDropped, kReplicationPerPeerShipFailures,
+    kReplicationPerPeerLagS,
+};
+
+} // namespace metric_names
+} // namespace mse

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The wire error-code registry: every stable machine-readable
+ * `error.code` the service can put on the wire, as named constants.
+ *
+ * Codes are a cross-file contract: constructed in `src/service/` and
+ * `src/cluster/`, switched on by `mse_client`/`ClusterClient` retry
+ * logic, asserted in tests, and documented in DESIGN.md Sec. 9's
+ * taxonomy table. The string literals live here and nowhere else —
+ * `tools/mse_analyze.py` (rule `dup-literal`) rejects a code literal
+ * typed out anywhere else in src/, tools/, or tests/, and its
+ * registry rules cross-check this header against the construction
+ * sites, the client retry set, the tests, and the DESIGN.md table.
+ *
+ * Adding a code: define the constant, add it to kAllCodes, construct
+ * it somewhere, assert it in a test, and add a DESIGN.md Sec. 9 row —
+ * the analyzer fails CI until all five agree.
+ */
+#pragma once
+
+#include <cstring>
+
+namespace mse {
+namespace wire_errors {
+
+// Request-shape rejections (never retryable: the request itself is
+// wrong and a resend would fail identically).
+inline constexpr const char *kBadJson = "bad_json";
+inline constexpr const char *kBadRequest = "bad_request";
+inline constexpr const char *kBadWorkload = "bad_workload";
+inline constexpr const char *kBadArch = "bad_arch";
+inline constexpr const char *kUnknownMapper = "unknown_mapper";
+inline constexpr const char *kRequestTooLarge = "request_too_large";
+
+// Search-outcome failures.
+inline constexpr const char *kNoValidMapping = "no_valid_mapping";
+inline constexpr const char *kDeadlineExceeded = "deadline_exceeded";
+inline constexpr const char *kCancelled = "cancelled";
+
+// Connection-lifecycle rejections.
+inline constexpr const char *kIdleTimeout = "idle_timeout";
+
+// Load/lifecycle rejections (retryable: the server is healthy, the
+// moment was wrong; replies carry error.retry_after_ms).
+inline constexpr const char *kQueueFull = "queue_full";
+inline constexpr const char *kShuttingDown = "shutting_down";
+inline constexpr const char *kTooManyConnections = "too_many_connections";
+
+// Cluster routing: the key belongs to another shard. Not blind-retry
+// retryable — the reply names the owner and the routing client
+// re-sends there (see ClusterClient).
+inline constexpr const char *kWrongShard = "wrong_shard";
+
+// Server-side invariant breach (reply future lost). Never expected.
+// mse-lint: allow(wire-code-untested) unreachable without breaking an invariant
+inline constexpr const char *kInternal = "internal";
+
+/** Every code the service can emit, for schema tests and tooling. */
+inline constexpr const char *kAllCodes[] = {
+    kBadJson,         kBadRequest,   kBadWorkload,
+    kBadArch,         kUnknownMapper, kRequestTooLarge,
+    kNoValidMapping,  kDeadlineExceeded, kCancelled,
+    kIdleTimeout,     kQueueFull,    kShuttingDown,
+    kTooManyConnections, kWrongShard, kInternal,
+};
+
+/**
+ * The blind-retry contract both clients implement: resubmitting the
+ * identical request later can succeed. Must stay in lockstep with the
+ * "Retryable: yes" rows of DESIGN.md Sec. 9 (mse_analyze rule
+ * `wire-code-retry-mismatch`).
+ */
+inline bool
+isRetryable(const char *code)
+{
+    return std::strcmp(code, kQueueFull) == 0 ||
+        std::strcmp(code, kShuttingDown) == 0 ||
+        std::strcmp(code, kTooManyConnections) == 0;
+}
+
+} // namespace wire_errors
+} // namespace mse

@@ -8,6 +8,8 @@
 #include "common/sys_io.hpp"
 #include "service/net.hpp"
 #include "service/wire.hpp"
+#include "common/fault_sites.hpp"
+#include "service/error_codes.hpp"
 
 namespace mse {
 
@@ -239,7 +241,7 @@ void
 EventServer::acceptReady()
 {
     while (!stop_flag_.load()) {
-        const int fd = sysAccept(listen_fd_, "server.accept");
+        const int fd = sysAccept(listen_fd_, fault_sites::kServerAccept);
         if (fd < 0) {
             if (errno == EAGAIN || errno == EWOULDBLOCK)
                 return; // Backlog drained.
@@ -253,7 +255,7 @@ EventServer::acceptReady()
         setNonBlocking(fd);
         if (conns_.size() >= cfg_.max_connections) {
             const std::string line =
-                wireError("too_many_connections",
+                wireError(wire_errors::kTooManyConnections,
                           "server connection limit reached",
                           service_.config().retry_hint_ms)
                     .dump() +
@@ -261,7 +263,7 @@ EventServer::acceptReady()
             // Best-effort refusal: the socket's send buffer is empty,
             // so a short/failed send just means the peer is gone.
             sysSend(fd, line.data(), line.size(), MSG_NOSIGNAL,
-                    "server.send");
+                    fault_sites::kServerSend);
             closeSocket(fd);
             continue;
         }
@@ -282,7 +284,7 @@ EventServer::drainWake()
     char buf[256];
     while (true) {
         const ssize_t r =
-            sysRead(wake_r_, buf, sizeof(buf), "server.wake.read");
+            sysRead(wake_r_, buf, sizeof(buf), fault_sites::kServerWakeRead);
         if (r < static_cast<ssize_t>(sizeof(buf)))
             return; // Drained (or EAGAIN/injected error; either way
                     // the pending work is picked up below).
@@ -316,7 +318,7 @@ EventServer::readInput(Conn *c)
     while (c->in.size() < intake_cap) {
         char buf[kReadChunk];
         const ssize_t r =
-            sysRecv(c->fd, buf, sizeof(buf), 0, "server.recv");
+            sysRecv(c->fd, buf, sizeof(buf), 0, fault_sites::kServerRecv);
         if (r < 0) {
             if (errno == EAGAIN || errno == EWOULDBLOCK)
                 break;
@@ -367,7 +369,7 @@ EventServer::parseLines(Conn *c)
             if (c->in.size() > cfg_.max_line_bytes) {
                 // Oversized line still incomplete: framing is lost.
                 pushDone(c,
-                         wireError("request_too_large",
+                         wireError(wire_errors::kRequestTooLarge,
                                    "request line exceeds " +
                                        std::to_string(
                                            cfg_.max_line_bytes) +
@@ -381,7 +383,7 @@ EventServer::parseLines(Conn *c)
         }
         if (nl > cfg_.max_line_bytes) {
             pushDone(c,
-                     wireError("request_too_large",
+                     wireError(wire_errors::kRequestTooLarge,
                                "request line exceeds " +
                                    std::to_string(cfg_.max_line_bytes) +
                                    " bytes")
@@ -484,7 +486,7 @@ EventServer::flushOut(Conn *c)
                 break;
             s.reply = s.fut.valid()
                 ? searchReplyJson(s.fut.get()).dump()
-                : wireError("internal", "lost reply future").dump();
+                : wireError(wire_errors::kInternal, "lost reply future").dump();
             s.done = true;
         }
         c->out += s.reply;
@@ -497,7 +499,7 @@ EventServer::flushOut(Conn *c)
         const ssize_t w =
             sysSend(c->fd, c->out.data() + c->out_off,
                     c->out.size() - c->out_off, MSG_NOSIGNAL,
-                    "server.send");
+                    fault_sites::kServerSend);
         if (w < 0) {
             if (errno == EAGAIN || errno == EWOULDBLOCK) {
                 if (!c->write_armed) {
@@ -558,7 +560,7 @@ EventServer::expireIdle(int64_t now_ms)
             expired.push_back(c);
     }
     for (Conn *c : expired) {
-        pushDone(c, wireError("idle_timeout",
+        pushDone(c, wireError(wire_errors::kIdleTimeout,
                               "no request received in time")
                         .dump());
         c->want_close = true;

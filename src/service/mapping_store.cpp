@@ -12,6 +12,7 @@
 #include "core/model_sweep.hpp"
 #include "mapping/mapping_io.hpp"
 #include "workload/workload_io.hpp"
+#include "common/fault_sites.hpp"
 
 namespace mse {
 
@@ -162,7 +163,7 @@ MappingStore::load()
     tail_unterminated_ = false;
     if (path_.empty())
         return 0;
-    const int fd = sysOpen(path_.c_str(), O_RDONLY, 0, "store.open");
+    const int fd = sysOpen(path_.c_str(), O_RDONLY, 0, fault_sites::kStoreOpen);
     if (fd < 0) {
         if (errno != ENOENT) {
             // Exists but unreadable (EIO, EACCES, ...): appending to a
@@ -176,7 +177,7 @@ MappingStore::load()
     char chunk[1 << 16];
     while (true) {
         const ssize_t r =
-            sysRead(fd, chunk, sizeof(chunk), "store.read");
+            sysRead(fd, chunk, sizeof(chunk), fault_sites::kStoreRead);
         if (r < 0) {
             // Mid-file read error: keep the parsed prefix, go
             // read-only (appending after an unknown suffix could
@@ -265,7 +266,7 @@ MappingStore::appendLocked(const StoreEntry &e)
     }
     const int fd = sysOpen(path_.c_str(),
                            O_WRONLY | O_APPEND | O_CREAT, 0644,
-                           "store.open");
+                           fault_sites::kStoreOpen);
     if (fd < 0) {
         ++append_failures_;
         degraded_ = true;
@@ -283,9 +284,9 @@ MappingStore::appendLocked(const StoreEntry &e)
     // One write() per record: a SIGKILL between syscalls can at worst
     // truncate this record (handled at load), never merge two.
     bool ok = sysWriteAll(fd, line.data(), line.size(),
-                          "store.append");
+                          fault_sites::kStoreAppend);
     if (ok && fsync_each_)
-        ok = sysFsync(fd, "store.fsync") == 0;
+        ok = sysFsync(fd, fault_sites::kStoreFsync) == 0;
     sysClose(fd);
     if (!ok) {
         // The record may be partially on disk: treat the tail as torn
@@ -359,7 +360,7 @@ MappingStore::compactLocked()
     const std::string tmp = path_ + ".tmp";
     const int fd = sysOpen(tmp.c_str(),
                            O_WRONLY | O_CREAT | O_TRUNC, 0644,
-                           "store.compact");
+                           fault_sites::kStoreCompact);
     if (fd < 0)
         return false;
     bool ok = true;
@@ -379,18 +380,18 @@ MappingStore::compactLocked()
         std::string line = encodeEntry(best_.at(*key));
         line += '\n';
         ok = ok && sysWriteAll(fd, line.data(), line.size(),
-                               "store.compact");
+                               fault_sites::kStoreCompact);
     }
     // fsync before rename: the rename must never make a half-written
     // compaction the only copy of the store.
-    ok = ok && sysFsync(fd, "store.fsync") == 0;
+    ok = ok && sysFsync(fd, fault_sites::kStoreFsync) == 0;
     ok = sysClose(fd) == 0 && ok;
     if (!ok) {
-        sysUnlink(tmp.c_str(), "store.unlink");
+        sysUnlink(tmp.c_str(), fault_sites::kStoreUnlink);
         return false;
     }
-    if (sysRename(tmp.c_str(), path_.c_str(), "store.rename") != 0) {
-        sysUnlink(tmp.c_str(), "store.unlink");
+    if (sysRename(tmp.c_str(), path_.c_str(), fault_sites::kStoreRename) != 0) {
+        sysUnlink(tmp.c_str(), fault_sites::kStoreUnlink);
         return false;
     }
     dead_ = 0;

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "common/sys_io.hpp"
+#include "common/fault_sites.hpp"
 
 namespace mse {
 
@@ -74,12 +75,12 @@ acceptWithTimeout(int listen_fd, int timeout_ms)
     pfd.events = POLLIN;
     // sysPoll retries EINTR against the deadline, so a signal during
     // the wait reads as a (shorter) timeout, never as a dead listener.
-    const int rc = sysPoll(&pfd, 1, timeout_ms, "net.accept.poll");
+    const int rc = sysPoll(&pfd, 1, timeout_ms, fault_sites::kNetAcceptPoll);
     if (rc == 0)
         return -1;
     if (rc < 0)
         return -2;
-    const int fd = sysAccept(listen_fd, "net.accept");
+    const int fd = sysAccept(listen_fd, fault_sites::kNetAccept);
     if (fd < 0)
         return errno == ECONNABORTED ? -1 : -2;
     return fd;
@@ -114,7 +115,7 @@ connectTcp(const std::string &host, uint16_t port, std::string *err)
             pfd.events = POLLOUT;
             int so_err = 0;
             socklen_t len = sizeof(so_err);
-            if (sysPoll(&pfd, 1, -1, "net.connect.poll") > 0 &&
+            if (sysPoll(&pfd, 1, -1, fault_sites::kNetConnectPoll) > 0 &&
                 ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_err,
                              &len) == 0 &&
                 so_err == 0)
@@ -131,7 +132,7 @@ connectTcp(const std::string &host, uint16_t port, std::string *err)
 bool
 sendAll(int fd, const void *data, size_t n)
 {
-    return sysSendAll(fd, data, n, MSG_NOSIGNAL, "net.send");
+    return sysSendAll(fd, data, n, MSG_NOSIGNAL, fault_sites::kNetSend);
 }
 
 bool
@@ -165,7 +166,7 @@ peerClosed(int fd)
 {
     char c;
     const ssize_t r =
-        sysRecv(fd, &c, 1, MSG_PEEK | MSG_DONTWAIT, "net.peek");
+        sysRecv(fd, &c, 1, MSG_PEEK | MSG_DONTWAIT, fault_sites::kNetPeek);
     if (r == 0)
         return true; // Orderly shutdown.
     if (r < 0)
@@ -191,14 +192,14 @@ LineReader::readLine(std::string *out, int timeout_ms)
         pollfd pfd{};
         pfd.fd = fd_;
         pfd.events = POLLIN;
-        const int rc = sysPoll(&pfd, 1, timeout_ms, "net.poll");
+        const int rc = sysPoll(&pfd, 1, timeout_ms, fault_sites::kNetPoll);
         if (rc == 0)
             return Status::Timeout;
         if (rc < 0)
             return Status::Error;
         char chunk[4096];
         const ssize_t r =
-            sysRecv(fd_, chunk, sizeof(chunk), 0, "net.recv");
+            sysRecv(fd_, chunk, sizeof(chunk), 0, fault_sites::kNetRecv);
         if (r < 0)
             return Status::Error;
         if (r == 0) {

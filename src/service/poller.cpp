@@ -9,6 +9,7 @@
 #endif
 
 #include "common/sys_io.hpp"
+#include "common/fault_sites.hpp"
 
 namespace mse {
 
@@ -59,7 +60,7 @@ Poller::init(Kind kind, std::string *err)
     }
 #ifdef __linux__
     if (kind != Kind::Poll) {
-        epfd_ = sysEpollCreate("server.epoll.create");
+        epfd_ = sysEpollCreate(fault_sites::kServerEpollCreate);
         if (epfd_ < 0) {
             if (err)
                 *err = std::string("epoll_create1: ") +
@@ -87,7 +88,7 @@ Poller::add(int fd, bool read, bool write)
         ev.events = epollMask(read, write);
         ev.data.fd = fd;
         return sysEpollCtl(epfd_, EPOLL_CTL_ADD, fd, &ev,
-                           "server.epoll.ctl") == 0;
+                           fault_sites::kServerEpollCtl) == 0;
     }
 #endif
     pollfd pfd{};
@@ -107,7 +108,7 @@ Poller::mod(int fd, bool read, bool write)
         ev.events = epollMask(read, write);
         ev.data.fd = fd;
         return sysEpollCtl(epfd_, EPOLL_CTL_MOD, fd, &ev,
-                           "server.epoll.ctl") == 0;
+                           fault_sites::kServerEpollCtl) == 0;
     }
 #endif
     const auto it = index_.find(fd);
@@ -123,7 +124,7 @@ Poller::del(int fd)
 #ifdef __linux__
     if (epfd_ >= 0) {
         struct epoll_event ev{}; // non-null for pre-2.6.9 kernels.
-        sysEpollCtl(epfd_, EPOLL_CTL_DEL, fd, &ev, "server.epoll.ctl");
+        sysEpollCtl(epfd_, EPOLL_CTL_DEL, fd, &ev, fault_sites::kServerEpollCtl);
         return;
     }
 #endif
@@ -148,7 +149,7 @@ Poller::wait(int timeout_ms, std::vector<Event> *out)
     if (epfd_ >= 0) {
         struct epoll_event evs[64];
         const int rc = sysEpollWait(epfd_, evs, 64, timeout_ms,
-                                    "server.epoll.wait");
+                                    fault_sites::kServerEpollWait);
         for (int i = 0; i < rc; ++i) {
             Event e;
             e.fd = evs[i].data.fd;
@@ -161,7 +162,7 @@ Poller::wait(int timeout_ms, std::vector<Event> *out)
     }
 #endif
     const int rc = sysPoll(pfds_.data(), pfds_.size(), timeout_ms,
-                           "server.poll.wait");
+                           fault_sites::kServerPollWait);
     if (rc <= 0)
         return rc;
     for (const pollfd &p : pfds_) {

@@ -9,6 +9,7 @@
 #include "service/event_server.hpp"
 #include "service/net.hpp"
 #include "service/wire.hpp"
+#include "service/error_codes.hpp"
 
 namespace mse {
 
@@ -79,7 +80,7 @@ class ThreadedServer : public ServerBackend
                 break;
             if (live_connections_.load() >= cfg_.max_connections) {
                 sendLine(fd,
-                         wireError("too_many_connections",
+                         wireError(wire_errors::kTooManyConnections,
                                    "server connection limit reached",
                                    service_.config().retry_hint_ms)
                              .dump());
@@ -119,7 +120,7 @@ class ThreadedServer : public ServerBackend
                 idle_ms += kPollMs;
                 if (idle_ms >= cfg_.io_timeout_ms) {
                     sendLine(fd,
-                             wireError("idle_timeout",
+                             wireError(wire_errors::kIdleTimeout,
                                        "no request received in time")
                                  .dump());
                     break;
@@ -132,7 +133,7 @@ class ThreadedServer : public ServerBackend
                 // trustworthy.
                 sendLine(
                     fd,
-                    wireError("request_too_large",
+                    wireError(wire_errors::kRequestTooLarge,
                               "request line exceeds " +
                                   std::to_string(cfg_.max_line_bytes) +
                                   " bytes")

@@ -8,6 +8,7 @@
 #include "common/thread_pool.hpp"
 #include "core/model_sweep.hpp"
 #include "mapping/mapping_io.hpp"
+#include "service/error_codes.hpp"
 
 namespace mse {
 
@@ -100,27 +101,27 @@ MseService::submit(SearchRequest req, CompletionFn on_complete)
     // occupy a queue slot.
     if (req.workload.numDims() <= 0 ||
         req.workload.numTensors() <= 0) {
-        metrics_.onError("bad_workload");
+        metrics_.onError(wire_errors::kBadWorkload);
         return reject(
-            errorReply("bad_workload", "workload has no dimensions"));
+            errorReply(wire_errors::kBadWorkload, "workload has no dimensions"));
     }
     if (req.arch.numLevels() <= 0) {
-        metrics_.onError("bad_arch");
+        metrics_.onError(wire_errors::kBadArch);
         return reject(
-            errorReply("bad_arch", "arch has no storage levels"));
+            errorReply(wire_errors::kBadArch, "arch has no storage levels"));
     }
     if (!makeMapperFactory(req.mapper)) {
-        metrics_.onError("unknown_mapper");
+        metrics_.onError(wire_errors::kUnknownMapper);
         return reject(errorReply(
-            "unknown_mapper", "no mapper named '" + req.mapper + "'"));
+            wire_errors::kUnknownMapper, "no mapper named '" + req.mapper + "'"));
     }
     if (hooks_.accepts_key) {
         const std::string key = MappingStore::keyOf(
             req.workload, req.arch, req.objective, req.sparse);
         if (!hooks_.accepts_key(key)) {
-            metrics_.onError("wrong_shard");
+            metrics_.onError(wire_errors::kWrongShard);
             SearchReply r = errorReply(
-                "wrong_shard",
+                wire_errors::kWrongShard,
                 "key " + key + " is not served by this shard");
             if (hooks_.owner_of)
                 r.error_owner = hooks_.owner_of(key);
@@ -143,17 +144,17 @@ MseService::submit(SearchRequest req, CompletionFn on_complete)
     {
         MutexLock lk(mu_);
         if (stopping_) {
-            metrics_.onError("shutting_down");
+            metrics_.onError(wire_errors::kShuttingDown);
             on_complete = std::move(pending->on_complete);
             return reject(
-                errorReply("shutting_down", "service is draining",
+                errorReply(wire_errors::kShuttingDown, "service is draining",
                            cfg_.retry_hint_ms));
         }
         if (queue_.size() >= cfg_.queue_capacity) {
             metrics_.onRejectQueueFull();
             on_complete = std::move(pending->on_complete);
             return reject(errorReply(
-                "queue_full",
+                wire_errors::kQueueFull,
                 "request queue is at capacity (" +
                     std::to_string(cfg_.queue_capacity) + ")",
                 cfg_.retry_hint_ms));
@@ -208,7 +209,7 @@ MseService::executorLoop()
         }
         if (!pending) {
             for (auto &p : abandoned)
-                finish(*p, errorReply("shutting_down",
+                finish(*p, errorReply(wire_errors::kShuttingDown,
                                       "service stopped"));
             return;
         }
@@ -216,13 +217,13 @@ MseService::executorLoop()
 
         SearchReply reply;
         if (pending->cancel->cancelled()) {
-            reply = errorReply("cancelled",
+            reply = errorReply(wire_errors::kCancelled,
                                "request cancelled while queued");
-            metrics_.onError("cancelled");
+            metrics_.onError(wire_errors::kCancelled);
         } else if (nowSeconds() >= pending->deadline_abs) {
-            reply = errorReply("deadline_exceeded",
+            reply = errorReply(wire_errors::kDeadlineExceeded,
                                "deadline expired while queued");
-            metrics_.onError("deadline_exceeded");
+            metrics_.onError(wire_errors::kDeadlineExceeded);
         } else if (n_executors_ > 1) {
             // N concurrent searches must not each claim the global
             // pool (one-top-level-caller contract): pin this worker's
@@ -328,13 +329,13 @@ MseService::runSearch(const SearchRequest &req,
     if (!outcome.search.found()) {
         r.ok = false;
         if (r.cancelled) {
-            r.error_code = "cancelled";
+            r.error_code = wire_errors::kCancelled;
             r.error_message = "cancelled before any valid mapping";
         } else if (r.timed_out) {
-            r.error_code = "deadline_exceeded";
+            r.error_code = wire_errors::kDeadlineExceeded;
             r.error_message = "deadline before any valid mapping";
         } else {
-            r.error_code = "no_valid_mapping";
+            r.error_code = wire_errors::kNoValidMapping;
             r.error_message =
                 "search budget exhausted without a legal mapping";
         }

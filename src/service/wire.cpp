@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "workload/workload_io.hpp"
+#include "service/error_codes.hpp"
 
 namespace mse {
 
@@ -38,17 +39,17 @@ parseWorkloadField(const JsonValue &v, Workload *out, std::string *code,
     if (v.isString()) {
         const auto wl = parseWorkload(v.asString());
         if (!wl)
-            return fail(code, msg, "bad_workload",
+            return fail(code, msg, wire_errors::kBadWorkload,
                         "unparseable wl1 workload string");
         *out = *wl;
         return true;
     }
     if (!v.isObject())
-        return fail(code, msg, "bad_workload",
+        return fail(code, msg, wire_errors::kBadWorkload,
                     "workload must be a wl1 string or an object");
     if (const JsonValue *g = v.find("gemm")) {
         if (!g->isObject())
-            return fail(code, msg, "bad_workload",
+            return fail(code, msg, wire_errors::kBadWorkload,
                         "gemm spec must be an object");
         bool ok = true;
         const int64_t b = requireDim(*g, "b", &ok);
@@ -56,14 +57,14 @@ parseWorkloadField(const JsonValue &v, Workload *out, std::string *code,
         const int64_t k = requireDim(*g, "k", &ok);
         const int64_t n = requireDim(*g, "n", &ok);
         if (!ok)
-            return fail(code, msg, "bad_workload",
+            return fail(code, msg, wire_errors::kBadWorkload,
                         "gemm needs positive integer b, m, k, n");
         *out = makeGemm(g->getString("name", "gemm"), b, m, k, n);
         return true;
     }
     if (const JsonValue *c = v.find("conv2d")) {
         if (!c->isObject())
-            return fail(code, msg, "bad_workload",
+            return fail(code, msg, wire_errors::kBadWorkload,
                         "conv2d spec must be an object");
         bool ok = true;
         const int64_t b = requireDim(*c, "b", &ok);
@@ -74,14 +75,14 @@ parseWorkloadField(const JsonValue &v, Workload *out, std::string *code,
         const int64_t r = requireDim(*c, "r", &ok);
         const int64_t s = requireDim(*c, "s", &ok);
         if (!ok)
-            return fail(code, msg, "bad_workload",
+            return fail(code, msg, wire_errors::kBadWorkload,
                         "conv2d needs positive integer "
                         "b, k, c, y, x, r, s");
         *out = makeConv2d(c->getString("name", "conv2d"), b, k, ch, y,
                           x, r, s);
         return true;
     }
-    return fail(code, msg, "bad_workload",
+    return fail(code, msg, wire_errors::kBadWorkload,
                 "workload object needs a \"gemm\" or \"conv2d\" spec");
 }
 
@@ -99,16 +100,16 @@ parseArchField(const JsonValue &v, ArchConfig *out, std::string *code,
             *out = accelB();
             return true;
         }
-        return fail(code, msg, "bad_arch",
+        return fail(code, msg, wire_errors::kBadArch,
                     "unknown arch preset '" + name +
                         "' (want accel-A or accel-B)");
     }
     if (!v.isObject())
-        return fail(code, msg, "bad_arch",
+        return fail(code, msg, wire_errors::kBadArch,
                     "arch must be a preset name or an object");
     const JsonValue *n = v.find("npu");
     if (!n || !n->isObject())
-        return fail(code, msg, "bad_arch",
+        return fail(code, msg, wire_errors::kBadArch,
                     "arch object needs an \"npu\" spec");
     bool ok = true;
     const int64_t l2 = requireDim(*n, "l2_bytes", &ok);
@@ -116,7 +117,7 @@ parseArchField(const JsonValue &v, ArchConfig *out, std::string *code,
     const int64_t pes = requireDim(*n, "num_pes", &ok);
     const int64_t alus = requireDim(*n, "alus_per_pe", &ok);
     if (!ok)
-        return fail(code, msg, "bad_arch",
+        return fail(code, msg, wire_errors::kBadArch,
                     "npu needs positive integer l2_bytes, l1_bytes, "
                     "num_pes, alus_per_pe");
     *out = makeNpu(n->getString("name", "npu"), l2, l1, pes, alus);
@@ -132,11 +133,11 @@ parseWireRequest(const std::string &line, std::string *error_code,
     std::string parse_err;
     const auto doc = parseJson(line, &parse_err);
     if (!doc) {
-        fail(error_code, error_message, "bad_json", parse_err);
+        fail(error_code, error_message, wire_errors::kBadJson, parse_err);
         return std::nullopt;
     }
     if (!doc->isObject()) {
-        fail(error_code, error_message, "bad_request",
+        fail(error_code, error_message, wire_errors::kBadRequest,
              "request must be a JSON object");
         return std::nullopt;
     }
@@ -155,7 +156,7 @@ parseWireRequest(const std::string &line, std::string *error_code,
         req.replicate_from = doc->getString("from", "");
         const JsonValue *entries = doc->find("entries");
         if (!entries || !entries->isArray()) {
-            fail(error_code, error_message, "bad_request",
+            fail(error_code, error_message, wire_errors::kBadRequest,
                  "replicate request needs an \"entries\" array");
             return std::nullopt;
         }
@@ -169,7 +170,7 @@ parseWireRequest(const std::string &line, std::string *error_code,
         return req;
     }
     if (type != "search") {
-        fail(error_code, error_message, "bad_request",
+        fail(error_code, error_message, wire_errors::kBadRequest,
              "unknown request type '" + type +
                  "' (want ping, stats, search, or replicate)");
         return std::nullopt;
@@ -180,7 +181,7 @@ parseWireRequest(const std::string &line, std::string *error_code,
 
     const JsonValue *wl = doc->find("workload");
     if (!wl) {
-        fail(error_code, error_message, "bad_workload",
+        fail(error_code, error_message, wire_errors::kBadWorkload,
              "search request needs a \"workload\"");
         return std::nullopt;
     }
@@ -190,7 +191,7 @@ parseWireRequest(const std::string &line, std::string *error_code,
 
     const JsonValue *arch = doc->find("arch");
     if (!arch) {
-        fail(error_code, error_message, "bad_arch",
+        fail(error_code, error_message, wire_errors::kBadArch,
              "search request needs an \"arch\"");
         return std::nullopt;
     }
@@ -201,7 +202,7 @@ parseWireRequest(const std::string &line, std::string *error_code,
     const std::string obj_name = doc->getString("objective", "edp");
     const auto obj = objectiveFromName(obj_name);
     if (!obj) {
-        fail(error_code, error_message, "bad_request",
+        fail(error_code, error_message, wire_errors::kBadRequest,
              "unknown objective '" + obj_name + "'");
         return std::nullopt;
     }
@@ -209,14 +210,14 @@ parseWireRequest(const std::string &line, std::string *error_code,
 
     const double samples = doc->getDouble("max_samples", 0.0);
     if (samples < 0.0) {
-        fail(error_code, error_message, "bad_request",
+        fail(error_code, error_message, wire_errors::kBadRequest,
              "max_samples must be >= 0");
         return std::nullopt;
     }
     s.max_samples = static_cast<size_t>(samples);
     if (const JsonValue *seed = doc->find("seed")) {
         if (!seed->isNumber()) {
-            fail(error_code, error_message, "bad_request",
+            fail(error_code, error_message, wire_errors::kBadRequest,
                  "seed must be a number");
             return std::nullopt;
         }
@@ -229,14 +230,14 @@ parseWireRequest(const std::string &line, std::string *error_code,
     s.sparse = doc->getBool("sparse", s.sparse);
     if (const JsonValue *dens = doc->find("densities")) {
         if (!dens->isObject()) {
-            fail(error_code, error_message, "bad_request",
+            fail(error_code, error_message, wire_errors::kBadRequest,
                  "densities must be an object of tensor -> density");
             return std::nullopt;
         }
         for (const auto &kv : dens->members()) {
             if (!kv.second.isNumber() || kv.second.asDouble() <= 0.0 ||
                 kv.second.asDouble() > 1.0) {
-                fail(error_code, error_message, "bad_request",
+                fail(error_code, error_message, wire_errors::kBadRequest,
                      "density of '" + kv.first +
                          "' must be in (0, 1]");
                 return std::nullopt;
@@ -246,7 +247,7 @@ parseWireRequest(const std::string &line, std::string *error_code,
     }
     const double deadline_ms = doc->getDouble("deadline_ms", 0.0);
     if (deadline_ms < 0.0) {
-        fail(error_code, error_message, "bad_request",
+        fail(error_code, error_message, wire_errors::kBadRequest,
              "deadline_ms must be >= 0");
         return std::nullopt;
     }
@@ -297,6 +298,7 @@ searchReplyJson(const SearchReply &r)
     j["warm_distance"] = r.warm_distance;
     j["store_improved"] = r.store_improved;
     j["timed_out"] = r.timed_out;
+    // mse-lint: allow(dup-literal) reply-schema field, not an error code
     j["cancelled"] = r.cancelled;
     j["wall_ms"] = r.wall_seconds * 1e3;
     // Cluster observability: which daemon answered, and the store key

@@ -20,10 +20,12 @@
 #include "cluster/cluster_client.hpp"
 #include "cluster/replication.hpp"
 #include "common/math_util.hpp"
+#include "common/metric_names.hpp"
 #include "service/net.hpp"
 #include "service/server.hpp"
 #include "service/wire.hpp"
 #include "test_helpers.hpp"
+#include "service/error_codes.hpp"
 
 namespace mse {
 namespace {
@@ -80,7 +82,7 @@ TEST(ClusterHooks, ForeignKeysRejectWrongShardWithOwner)
     req.arch = miniNpu();
     const SearchReply r = service.search(req);
     EXPECT_FALSE(r.ok);
-    EXPECT_EQ(r.error_code, "wrong_shard");
+    EXPECT_EQ(r.error_code, wire_errors::kWrongShard);
     EXPECT_EQ(r.error_owner, "10.0.0.9:7");
     EXPECT_EQ(r.retry_after_ms, 0); // not retryable *here*
 
@@ -512,6 +514,32 @@ TEST(ReplicationAgent, DropsOldestOnOverflowAndCountsIt)
     EXPECT_LE(agent.queueDepth(), 4u);
     const JsonValue s = agent.statsJson();
     EXPECT_GE(s.getInt("dropped", 0), 8);
+    agent.stop();
+}
+
+TEST(ReplicationAgent, StatsSchemaCarriesEveryDeclaredReplicationKey)
+{
+    // Pins the agent's stats block to the metric_names registry: the
+    // declared replication.* paths (mounted under "replication" by
+    // mse_serve's augment_stats hook) must all be present, including
+    // one per_peer.* child per peer.
+    ClusterConfig cfg;
+    cfg.self = "127.0.0.1:1";
+    cfg.nodes = {"127.0.0.1:1", "127.0.0.1:9"};
+    cfg.replication = 2;
+    ReplicationConfig rcfg;
+    rcfg.io_timeout_ms = 100;
+    ReplicationAgent agent(cfg, rcfg);
+    const JsonValue stats = agent.statsJson();
+    const std::string prefix = "replication.";
+    for (const char *key : metric_names::kConditionalKeys) {
+        const std::string k = key;
+        if (k.rfind(prefix, 0) != 0)
+            continue;
+        EXPECT_NE(test::findMetricPath(stats, k.substr(prefix.size())),
+                  nullptr)
+            << key;
+    }
     agent.stop();
 }
 

@@ -148,6 +148,73 @@ TEST(MappingStoreDegraded, UnreadableFileAtLoadServesEmptyReadOnly)
     EXPECT_GE(store.appendFailures(), 1u);
 }
 
+TEST(MappingStoreDegraded, MidFileReadFailureKeepsPrefixReadOnly)
+{
+    // The file opens fine but read(2) fails mid-load: appending after
+    // an unknown suffix could shadow records we never saw, so the
+    // store keeps whatever prefix parsed and goes read-only.
+    const std::string path = tempStorePath("readfail");
+    {
+        MappingStore writer(path);
+        EXPECT_TRUE(record(writer, tinyGemm(), miniNpu(), 100.0));
+    }
+    GlobalFaultGuard guard("store.read:every:1:EIO");
+    MappingStore store(path);
+    EXPECT_TRUE(store.degraded());
+    EXPECT_EQ(store.size(), 0u); // First read failed: empty prefix.
+}
+
+TEST(MappingStoreDegraded, FsyncFailureDegradesDurableStore)
+{
+    // With fsync_each on, a failed fsync means the record may not be
+    // durable even though write(2) succeeded — that counts as an
+    // append failure and flips the store read-only.
+    const std::string path = tempStorePath("fsyncfail");
+    MappingStore store(path, /*fsync_each=*/true);
+    {
+        GlobalFaultGuard guard("store.fsync:once:1:EIO");
+        EXPECT_TRUE(record(store, tinyGemm(), miniNpu(), 100.0));
+        EXPECT_TRUE(store.degraded());
+        EXPECT_EQ(store.appendFailures(), 1u);
+        EXPECT_EQ(FaultInjector::global().injected("store.fsync"), 1u);
+    }
+    // The in-memory best still serves.
+    const auto lk =
+        store.lookup(tinyGemm(), miniNpu(), Objective::Edp, false, 1.0);
+    EXPECT_EQ(lk.hit, StoreHit::Exact);
+}
+
+TEST(MappingStoreDegraded, RenameFailureLeavesCompactionUnapplied)
+{
+    // Compaction's final rename fails (and so does the cleanup
+    // unlink): the original file must remain the authoritative copy,
+    // and a clean retry must succeed.
+    const std::string path = tempStorePath("renamefail");
+    MappingStore store(path);
+    const Workload wl = tinyGemm();
+    const ArchConfig arch = miniNpu();
+    EXPECT_TRUE(record(store, wl, arch, 100.0));
+    EXPECT_TRUE(record(store, wl, arch, 50.0)); // Supersedes: 1 dead line.
+    {
+        GlobalFaultGuard guard("store.rename:once:1:EIO,"
+                               "store.unlink:every:1:EIO");
+        EXPECT_FALSE(store.compact());
+        EXPECT_EQ(FaultInjector::global().injected("store.rename"), 1u);
+        EXPECT_EQ(FaultInjector::global().injected("store.unlink"), 1u);
+    }
+    // The two-line append log is untouched and still parses.
+    MappingStore reread(path);
+    EXPECT_EQ(reread.size(), 1u);
+    EXPECT_EQ(reread.deadLines(), 1u);
+    const auto lk = reread.lookup(wl, arch, Objective::Edp, false, 1.0);
+    EXPECT_EQ(lk.entry.score, 50.0);
+    // Fault gone: the retry compacts away the superseded line.
+    EXPECT_TRUE(store.compact());
+    MappingStore compacted(path);
+    EXPECT_EQ(compacted.size(), 1u);
+    EXPECT_EQ(compacted.deadLines(), 0u);
+}
+
 TEST(ServiceDegraded, SearchesKeepAnsweringWithDegradedStore)
 {
     ServiceConfig cfg;

@@ -112,22 +112,22 @@ TEST(FaultInjectorConfig, StartsDisarmed)
 TEST(FaultInjectorConfig, MalformedConfigRejectedAtomically)
 {
     FaultInjector inj;
-    ASSERT_TRUE(inj.configure("a.site:every:2:ENOSPC"));
+    ASSERT_TRUE(inj.configure("test.site:every:2:ENOSPC"));
     EXPECT_TRUE(inj.armed());
 
     std::string err;
-    EXPECT_FALSE(inj.configure("a.site:every:2,b:bogus", &err));
+    EXPECT_FALSE(inj.configure("test.site:every:2,b:bogus", &err));
     EXPECT_FALSE(err.empty());
     // The old config survives a failed reconfigure.
     EXPECT_TRUE(inj.armed());
-    EXPECT_EQ(inj.check("a.site"), 0);
-    EXPECT_EQ(inj.check("a.site"), ENOSPC);
+    EXPECT_EQ(inj.check("test.site"), 0);
+    EXPECT_EQ(inj.check("test.site"), ENOSPC);
 }
 
 TEST(FaultInjectorConfig, EmptyConfigDisarms)
 {
     FaultInjector inj;
-    ASSERT_TRUE(inj.configure("a.site:every:1"));
+    ASSERT_TRUE(inj.configure("test.site:every:1"));
     ASSERT_TRUE(inj.configure(""));
     EXPECT_FALSE(inj.armed());
 }
@@ -145,41 +145,41 @@ TEST(FaultInjectorConfig, MissingSiteNameRejected)
 TEST(FaultInjectorFiring, EveryNSchedule)
 {
     FaultInjector inj;
-    ASSERT_TRUE(inj.configure("s:every:3:ENOSPC"));
+    ASSERT_TRUE(inj.configure("test.s:every:3:ENOSPC"));
     std::vector<int> got;
     for (int i = 0; i < 7; ++i)
-        got.push_back(inj.check("s"));
+        got.push_back(inj.check("test.s"));
     EXPECT_EQ(got, (std::vector<int>{0, 0, ENOSPC, 0, 0, ENOSPC, 0}));
-    EXPECT_EQ(inj.calls("s"), 7u);
-    EXPECT_EQ(inj.injected("s"), 2u);
+    EXPECT_EQ(inj.calls("test.s"), 7u);
+    EXPECT_EQ(inj.injected("test.s"), 2u);
     EXPECT_EQ(inj.totalInjected(), 2u);
 }
 
 TEST(FaultInjectorFiring, OnceFiresExactlyOnce)
 {
     FaultInjector inj;
-    ASSERT_TRUE(inj.configure("s:once:2:EIO"));
-    EXPECT_EQ(inj.check("s"), 0);
-    EXPECT_EQ(inj.check("s"), EIO);
+    ASSERT_TRUE(inj.configure("test.s:once:2:EIO"));
+    EXPECT_EQ(inj.check("test.s"), 0);
+    EXPECT_EQ(inj.check("test.s"), EIO);
     for (int i = 0; i < 10; ++i)
-        EXPECT_EQ(inj.check("s"), 0);
-    EXPECT_EQ(inj.injected("s"), 1u);
+        EXPECT_EQ(inj.check("test.s"), 0);
+    EXPECT_EQ(inj.injected("test.s"), 1u);
 }
 
 TEST(FaultInjectorFiring, ProbabilityIsDeterministicAcrossInstances)
 {
     FaultInjector a, b;
-    ASSERT_TRUE(a.configure("s:p:0.3:1234:EIO"));
-    ASSERT_TRUE(b.configure("s:p:0.3:1234:EIO"));
+    ASSERT_TRUE(a.configure("test.s:p:0.3:1234:EIO"));
+    ASSERT_TRUE(b.configure("test.s:p:0.3:1234:EIO"));
     std::vector<int> seq_a, seq_b;
     for (int i = 0; i < 200; ++i) {
-        seq_a.push_back(a.check("s"));
-        seq_b.push_back(b.check("s"));
+        seq_a.push_back(a.check("test.s"));
+        seq_b.push_back(b.check("test.s"));
     }
     EXPECT_EQ(seq_a, seq_b);
     // p=0.3 over 200 draws: some fire, some don't.
-    EXPECT_GT(a.injected("s"), 0u);
-    EXPECT_LT(a.injected("s"), 200u);
+    EXPECT_GT(a.injected("test.s"), 0u);
+    EXPECT_LT(a.injected("test.s"), 200u);
 }
 
 TEST(FaultInjectorFiring, ProbabilitySitesGetIndependentStreams)
@@ -187,11 +187,11 @@ TEST(FaultInjectorFiring, ProbabilitySitesGetIndependentStreams)
     // Same seed, two sites: the per-site RNG is seeded with
     // seed ^ fnv1a64(site), so the sequences must differ.
     FaultInjector inj;
-    ASSERT_TRUE(inj.configure("s1:p:0.5:9:EIO,s2:p:0.5:9:EIO"));
+    ASSERT_TRUE(inj.configure("test.s1:p:0.5:9:EIO,test.s2:p:0.5:9:EIO"));
     std::vector<int> seq1, seq2;
     for (int i = 0; i < 64; ++i) {
-        seq1.push_back(inj.check("s1"));
-        seq2.push_back(inj.check("s2"));
+        seq1.push_back(inj.check("test.s1"));
+        seq2.push_back(inj.check("test.s2"));
     }
     EXPECT_NE(seq1, seq2);
 }
@@ -199,26 +199,26 @@ TEST(FaultInjectorFiring, ProbabilitySitesGetIndependentStreams)
 TEST(FaultInjectorFiring, SitesAreIsolated)
 {
     FaultInjector inj;
-    ASSERT_TRUE(inj.configure("a:every:1:ENOSPC,b:once:1:EIO"));
-    EXPECT_EQ(inj.check("a"), ENOSPC);
-    EXPECT_EQ(inj.check("c"), 0); // unconfigured site never fires
-    EXPECT_EQ(inj.check("b"), EIO);
-    EXPECT_EQ(inj.check("b"), 0);
-    EXPECT_EQ(inj.calls("a"), 1u);
-    EXPECT_EQ(inj.calls("b"), 2u);
-    EXPECT_EQ(inj.calls("c"), 0u); // not even tracked
+    ASSERT_TRUE(inj.configure("test.a:every:1:ENOSPC,test.b:once:1:EIO"));
+    EXPECT_EQ(inj.check("test.a"), ENOSPC);
+    EXPECT_EQ(inj.check("test.c"), 0); // unconfigured site never fires
+    EXPECT_EQ(inj.check("test.b"), EIO);
+    EXPECT_EQ(inj.check("test.b"), 0);
+    EXPECT_EQ(inj.calls("test.a"), 1u);
+    EXPECT_EQ(inj.calls("test.b"), 2u);
+    EXPECT_EQ(inj.calls("test.c"), 0u); // not even tracked
     EXPECT_EQ(inj.totalInjected(), 2u);
 }
 
 TEST(FaultInjectorFiring, ClearResetsCountersAndDisarms)
 {
     FaultInjector inj;
-    ASSERT_TRUE(inj.configure("s:every:1"));
-    EXPECT_NE(inj.check("s"), 0);
+    ASSERT_TRUE(inj.configure("test.s:every:1"));
+    EXPECT_NE(inj.check("test.s"), 0);
     inj.clear();
     EXPECT_FALSE(inj.armed());
     EXPECT_EQ(inj.totalInjected(), 0u);
-    EXPECT_EQ(inj.check("s"), 0);
+    EXPECT_EQ(inj.check("test.s"), 0);
 }
 
 // ------------------------------------------------- sys_io integration

@@ -7,12 +7,49 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "arch/arch.hpp"
+#include "common/json.hpp"
 #include "mapping/map_space.hpp"
 #include "workload/model_zoo.hpp"
 #include "workload/workload.hpp"
 
 namespace mse::test {
+
+/**
+ * Dotted-path lookup into a stats document, for schema tests driven
+ * by the metric_names registry. A `*` segment matches any one child
+ * (the object must be non-empty); the first child is descended into.
+ * Returns nullptr when any segment is missing.
+ */
+inline const JsonValue *
+findMetricPath(const JsonValue &root, const std::string &dotted)
+{
+    const JsonValue *node = &root;
+    size_t start = 0;
+    while (start <= dotted.size()) {
+        const size_t dot = dotted.find('.', start);
+        const std::string seg =
+            dotted.substr(start, dot == std::string::npos
+                                     ? std::string::npos
+                                     : dot - start);
+        if (seg == "*") {
+            if (!node->isObject() || node->members().empty())
+                return nullptr;
+            node = &node->members().front().second;
+        } else {
+            const JsonValue *next = node->find(seg);
+            if (!next)
+                return nullptr;
+            node = next;
+        }
+        if (dot == std::string::npos)
+            break;
+        start = dot + 1;
+    }
+    return node;
+}
 
 /** A 2x2x2 GEMM: small enough to verify traffic counts by hand. */
 inline Workload

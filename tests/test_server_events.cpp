@@ -8,8 +8,14 @@
  */
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <pthread.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -22,6 +28,7 @@
 #include "service/server.hpp"
 #include "service/service.hpp"
 #include "test_helpers.hpp"
+#include "service/error_codes.hpp"
 
 namespace mse {
 namespace {
@@ -289,7 +296,7 @@ TEST_F(EventServerTest, IdleTimeoutFiresNearConfiguredDeadline)
     const int64_t elapsed = nowMs() - t0;
     const auto doc = parseJson(line);
     ASSERT_TRUE(doc.has_value()) << line;
-    EXPECT_EQ(doc->find("error")->getString("code", ""), "idle_timeout");
+    EXPECT_EQ(doc->find("error")->getString("code", ""), wire_errors::kIdleTimeout);
     // Absolute steady-clock deadlines: never early (strict bound),
     // and not late by more than scheduling noise (generous bound —
     // the old implementation's coarse poll-tick accounting could
@@ -324,7 +331,7 @@ TEST_F(EventServerTest, ActivityResetsIdleDeadline)
     ASSERT_EQ(reader.readLine(&line, 30000), LineReader::Status::Line);
     const auto doc = parseJson(line);
     ASSERT_TRUE(doc.has_value());
-    EXPECT_EQ(doc->find("error")->getString("code", ""), "idle_timeout");
+    EXPECT_EQ(doc->find("error")->getString("code", ""), wire_errors::kIdleTimeout);
     EXPECT_GE(nowMs() - t0, 550);
     closeSocket(fd);
 }
@@ -369,7 +376,7 @@ TEST_F(EventServerTest, OversizedIncompleteLineRejectedAndClosed)
     const auto doc = parseJson(line);
     ASSERT_TRUE(doc.has_value());
     EXPECT_EQ(doc->find("error")->getString("code", ""),
-              "request_too_large");
+              wire_errors::kRequestTooLarge);
     const auto st = reader.readLine(&line, 20000);
     EXPECT_TRUE(st == LineReader::Status::Closed ||
                 st == LineReader::Status::Error);
@@ -412,7 +419,7 @@ TEST_F(EventServerTest, MaxConnectionsRefusedWithRetryHint)
     const auto doc = parseJson(line);
     ASSERT_TRUE(doc.has_value()) << line;
     EXPECT_EQ(doc->find("error")->getString("code", ""),
-              "too_many_connections");
+              wire_errors::kTooManyConnections);
     EXPECT_GT(doc->find("error")->getInt("retry_after_ms", 0), 0);
     const auto st = r3.readLine(&line, 20000);
     EXPECT_TRUE(st == LineReader::Status::Closed ||
@@ -553,10 +560,10 @@ TEST(ServerBackendParity, EventAndThreadedReplyStreamsAreByteIdentical)
         EXPECT_EQ(event[i], threaded[i]) << "reply " << i;
     // Sanity on the stream shape itself.
     EXPECT_NE(event[0].find("\"ping\""), std::string::npos);
-    EXPECT_NE(event[1].find("bad_json"), std::string::npos);
-    EXPECT_NE(event[2].find("bad_request"), std::string::npos);
+    EXPECT_NE(event[1].find(wire_errors::kBadJson), std::string::npos);
+    EXPECT_NE(event[2].find(wire_errors::kBadRequest), std::string::npos);
     EXPECT_NE(event[3].find("\"ok\":true"), std::string::npos);
-    EXPECT_NE(event[5].find("request_too_large"), std::string::npos);
+    EXPECT_NE(event[5].find(wire_errors::kRequestTooLarge), std::string::npos);
 }
 
 // ------------------------------------------------------- executor pool
@@ -680,14 +687,14 @@ TEST(ExecutorPool, TwoExecutorsBothDequeue)
     release.toks.push_back(d.cancel);
     const SearchReply rd = d.reply.get();
     EXPECT_FALSE(rd.ok);
-    EXPECT_EQ(rd.error_code, "queue_full");
+    EXPECT_EQ(rd.error_code, wire_errors::kQueueFull);
     a.cancel->requestCancel();
     b.cancel->requestCancel();
     c.cancel->requestCancel();
     a.reply.wait();
     b.reply.wait();
     const SearchReply rc = c.reply.get();
-    EXPECT_NE(rc.error_code, "queue_full");
+    EXPECT_NE(rc.error_code, wire_errors::kQueueFull);
 }
 
 TEST(ExecutorPool, StatsReportExecutorCount)
@@ -856,6 +863,250 @@ TEST_F(EventServerTest, AcceptFailureRecoversOnNextReadiness)
     closeSocket(fd);
     EXPECT_EQ(FaultInjector::global().injected("server.accept"), 1u);
 }
+
+TEST_F(EventServerTest, RecvFailureDropsOnlyThatConnection)
+{
+    // An injected ECONNRESET on the first read: the server drops that
+    // one connection and keeps serving everyone else.
+    GlobalFaultGuard guard("server.recv:once:1:ECONNRESET");
+    ASSERT_TRUE(guard.ok());
+    startServer();
+    const int fd = connect();
+    LineReader reader(fd);
+    std::string line;
+    ASSERT_TRUE(sendLine(fd, "{\"type\":\"ping\"}"));
+    // The drop arrives as a FIN (Closed) or, since our request bytes
+    // die unread in the server's kernel buffer, as an RST (Error).
+    const auto st = reader.readLine(&line, 30000);
+    EXPECT_TRUE(st == LineReader::Status::Closed ||
+                st == LineReader::Status::Error)
+        << static_cast<int>(st);
+    closeSocket(fd);
+    EXPECT_EQ(FaultInjector::global().injected("server.recv"), 1u);
+
+    const int fd2 = connect();
+    LineReader reader2(fd2);
+    ASSERT_TRUE(sendLine(fd2, "{\"type\":\"ping\"}"));
+    EXPECT_EQ(reader2.readLine(&line, 30000), LineReader::Status::Line);
+    closeSocket(fd2);
+}
+
+TEST_F(EventServerTest, WakePipeEintrIsAbsorbed)
+{
+    // EINTR on the completion-wake drain: sys_io retries inside
+    // sysRead, so wakeups are never lost and every reply arrives.
+    GlobalFaultGuard guard("server.wake.read:every:2:EINTR");
+    ASSERT_TRUE(guard.ok());
+    startServer();
+    const int fd = connect();
+    LineReader reader(fd);
+    std::string line;
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(sendLine(fd, searchLine(",\"max_samples\":40")));
+        ASSERT_EQ(reader.readLine(&line, 60000),
+                  LineReader::Status::Line)
+            << "search " << i;
+        const auto doc = parseJson(line);
+        ASSERT_TRUE(doc.has_value());
+        EXPECT_TRUE(doc->getBool("ok", false)) << line;
+    }
+    closeSocket(fd);
+    EXPECT_GT(FaultInjector::global().injected("server.wake.read"), 0u);
+}
+
+// --------------------------------------- net-layer fault injection
+
+TEST(NetFaults, AcceptPollFailureReportsError)
+{
+    std::string err;
+    const int lfd = listenTcp(0, &err);
+    ASSERT_GE(lfd, 0) << err;
+    {
+        GlobalFaultGuard guard("net.accept.poll:once:1:EIO");
+        EXPECT_EQ(acceptWithTimeout(lfd, 50), -2);
+    }
+    // Clean path: no pending connection reads as a timeout.
+    EXPECT_EQ(acceptWithTimeout(lfd, 10), -1);
+    closeSocket(lfd);
+}
+
+TEST(NetFaults, AcceptFailureLeavesConnectionAcceptable)
+{
+    // accept(2) fails after readiness (EMFILE): the pending
+    // connection stays in the backlog and a clean retry accepts it.
+    std::string err;
+    const int lfd = listenTcp(0, &err);
+    ASSERT_GE(lfd, 0) << err;
+    const int cfd = connectTcp("127.0.0.1", boundPort(lfd), &err);
+    ASSERT_GE(cfd, 0) << err;
+    {
+        GlobalFaultGuard guard("net.accept:once:1:EMFILE");
+        EXPECT_EQ(acceptWithTimeout(lfd, 5000), -2);
+        EXPECT_EQ(FaultInjector::global().injected("net.accept"), 1u);
+    }
+    const int sfd = acceptWithTimeout(lfd, 5000);
+    EXPECT_GE(sfd, 0);
+    closeSocket(sfd);
+    closeSocket(cfd);
+    closeSocket(lfd);
+}
+
+TEST(NetFaults, PeekFailureReadsAsPeerClosed)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    EXPECT_FALSE(peerClosed(fds[0])); // Healthy: EAGAIN, still open.
+    {
+        // A hard error on the peek (not EAGAIN) means the socket is
+        // unusable: report the peer as gone.
+        GlobalFaultGuard guard("net.peek:once:1:ECONNRESET");
+        EXPECT_TRUE(peerClosed(fds[0]));
+    }
+    EXPECT_FALSE(peerClosed(fds[0]));
+    closeSocket(fds[0]);
+    closeSocket(fds[1]);
+}
+
+TEST(NetFaults, PollFailureSurfacesAsReaderError)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    LineReader reader(fds[0]);
+    GlobalFaultGuard guard("net.poll:once:1:EIO");
+    std::string line;
+    EXPECT_EQ(reader.readLine(&line, 100), LineReader::Status::Error);
+    closeSocket(fds[0]);
+    closeSocket(fds[1]);
+}
+
+TEST(NetFaults, RecvFailureSurfacesAsReaderError)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    // Data is pending, so poll reports readable; the recv then fails.
+    ASSERT_TRUE(sendAll(fds[1], "x\n", 2));
+    LineReader reader(fds[0]);
+    GlobalFaultGuard guard("net.recv:once:1:ECONNRESET");
+    std::string line;
+    EXPECT_EQ(reader.readLine(&line, 1000), LineReader::Status::Error);
+    closeSocket(fds[0]);
+    closeSocket(fds[1]);
+}
+
+TEST(NetFaults, SendFailureReportsFalseThenRecovers)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    {
+        GlobalFaultGuard guard("net.send:once:1:EPIPE");
+        EXPECT_FALSE(sendLine(fds[0], "{\"type\":\"ping\"}"));
+    }
+    EXPECT_TRUE(sendLine(fds[0], "{\"type\":\"ping\"}"));
+    closeSocket(fds[0]);
+    closeSocket(fds[1]);
+}
+
+#ifdef __linux__
+
+void
+sigusr1Noop(int)
+{
+}
+
+TEST(NetFaults, ConnectEintrRecoveryPathSurfacesPollFailure)
+{
+    // connectTcp finishes a signal-interrupted handshake by polling
+    // for writability (site net.connect.poll). Reach that branch
+    // deterministically: fill a backlog-0 listener so a blocking
+    // connect hangs in SYN-retry, then interrupt it with a
+    // no-SA_RESTART signal. The injected poll failure must surface as
+    // a connect error — no hang, no half-open fd.
+    struct sigaction sa = {};
+    struct sigaction old = {};
+    sa.sa_handler = &sigusr1Noop;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // connect() must return EINTR, not restart.
+    ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+    const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(lfd, 0);
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(lfd, 0), 0); // Smallest possible accept queue.
+    const uint16_t port = boundPort(lfd);
+
+    // Fill the queue with connects nobody accepts (non-blocking, so
+    // the fillers themselves cannot hang the test).
+    std::vector<int> fillers;
+    addr.sin_port = htons(port);
+    for (int i = 0; i < 16; ++i) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        ASSERT_TRUE(setNonBlocking(fd));
+        (void)::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr));
+        fillers.push_back(fd);
+    }
+
+    GlobalFaultGuard guard("net.connect.poll:once:1:EIO");
+    std::atomic<bool> done{false};
+    pthread_t main_thread = pthread_self();
+    std::thread pinger([&done, main_thread] {
+        for (int i = 0; i < 2000 && !done.load(); ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            pthread_kill(main_thread, SIGUSR1);
+        }
+    });
+    std::string err;
+    const int fd = connectTcp("127.0.0.1", port, &err);
+    done.store(true);
+    pinger.join();
+    EXPECT_EQ(fd, -1);
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(FaultInjector::global().injected("net.connect.poll"), 1u);
+
+    for (const int f : fillers)
+        closeSocket(f);
+    closeSocket(lfd);
+    sigaction(SIGUSR1, &old, nullptr);
+}
+
+// ------------------------------------------- poller fault injection
+
+TEST(PollerFaults, EpollCreateFailureFailsInit)
+{
+    GlobalFaultGuard guard("server.epoll.create:once:1:EMFILE");
+    Poller poller;
+    std::string err;
+    EXPECT_FALSE(poller.init(Poller::Kind::Epoll, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(FaultInjector::global().injected("server.epoll.create"),
+              1u);
+}
+
+TEST(PollerFaults, EpollCtlFailureReportsAddError)
+{
+    Poller poller;
+    std::string err;
+    ASSERT_TRUE(poller.init(Poller::Kind::Epoll, &err)) << err;
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    {
+        GlobalFaultGuard guard("server.epoll.ctl:once:1:ENOMEM");
+        EXPECT_FALSE(poller.add(fds[0], true, false));
+    }
+    EXPECT_TRUE(poller.add(fds[0], true, false));
+    poller.del(fds[0]);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+#endif // __linux__
 
 } // namespace
 } // namespace mse

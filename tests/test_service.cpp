@@ -7,15 +7,32 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <string>
 #include <thread>
 
+#include "common/fault_injection.hpp"
+#include "common/metric_names.hpp"
 #include "mapping/mapping_io.hpp"
 #include "mappers/mapper.hpp"
 #include "service/service.hpp"
 #include "test_helpers.hpp"
+#include "service/error_codes.hpp"
 
 namespace mse {
 namespace {
+
+/** Arms the global injector for one test, disarming on scope exit. */
+class GlobalFaultGuard
+{
+  public:
+    explicit GlobalFaultGuard(const std::string &config)
+    {
+        std::string err;
+        EXPECT_TRUE(FaultInjector::global().configure(config, &err))
+            << err;
+    }
+    ~GlobalFaultGuard() { FaultInjector::global().clear(); }
+};
 
 SearchRequest
 gemmRequest(size_t samples = 400)
@@ -132,7 +149,7 @@ TEST(MseService, DeadlineExpiredInQueueReturnsStructuredError)
     t_slow.reply.wait();
     const SearchReply r = t_doomed.reply.get();
     EXPECT_FALSE(r.ok);
-    EXPECT_EQ(r.error_code, "deadline_exceeded");
+    EXPECT_EQ(r.error_code, wire_errors::kDeadlineExceeded);
 }
 
 TEST(MseService, CancellationStopsSearchEarly)
@@ -164,7 +181,7 @@ TEST(MseService, QueueFullRejectsImmediately)
     auto rejected = service.submit(gemmRequest(100));
     const SearchReply r = rejected.reply.get();
     EXPECT_FALSE(r.ok);
-    EXPECT_EQ(r.error_code, "queue_full");
+    EXPECT_EQ(r.error_code, wire_errors::kQueueFull);
     // Load-shedding rejections tell the client when to come back.
     EXPECT_EQ(r.retry_after_ms, cfg.retry_hint_ms);
     running.cancel->requestCancel();
@@ -178,11 +195,11 @@ TEST(MseService, BadRequestsFailFastWithoutQueueing)
     MseService service;
     SearchRequest bad = gemmRequest();
     bad.mapper = "no-such-mapper";
-    EXPECT_EQ(service.search(bad).error_code, "unknown_mapper");
+    EXPECT_EQ(service.search(bad).error_code, wire_errors::kUnknownMapper);
 
     SearchRequest empty;
     empty.arch = test::miniNpu();
-    EXPECT_EQ(service.search(empty).error_code, "bad_workload");
+    EXPECT_EQ(service.search(empty).error_code, wire_errors::kBadWorkload);
 }
 
 TEST(MseService, StopWithoutDrainFailsQueuedRequests)
@@ -194,7 +211,7 @@ TEST(MseService, StopWithoutDrainFailsQueuedRequests)
     service.stop(/*drain=*/false);
     const SearchReply rb = b.reply.get();
     EXPECT_FALSE(rb.ok);
-    EXPECT_EQ(rb.error_code, "shutting_down");
+    EXPECT_EQ(rb.error_code, wire_errors::kShuttingDown);
     // The running request was cancelled, not abandoned.
     const SearchReply ra = a.reply.get();
     EXPECT_TRUE(ra.cancelled || !ra.ok);
@@ -231,6 +248,71 @@ TEST(MseService, ObjectiveChangesWhatIsMinimized)
     EXPECT_NE(r_edp.score, r_edp.latency_cycles);
     // The two objectives are separate store keys: both runs are cold.
     EXPECT_EQ(r_lat.store_hit, StoreHit::Miss);
+}
+
+TEST(MseService, CancelledWhileQueuedReturnsCancelledCode)
+{
+    MseService service; // One executor: the slow search pins the lane.
+    auto running = service.submit(gemmRequest(2000000));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    auto queued = service.submit(gemmRequest(100));
+    // Cancel the queued request first: when the executor frees up and
+    // dequeues it, the cancellation is already visible — the reply
+    // must be the structured cancelled error, not a search result.
+    queued.cancel->requestCancel();
+    running.cancel->requestCancel();
+    const SearchReply r = queued.reply.get();
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error_code, wire_errors::kCancelled);
+    running.reply.wait();
+}
+
+TEST(MseService, InfeasibleSpaceReturnsNoValidMapping)
+{
+    // A 1-word L1 cannot hold even single-element tiles of all three
+    // GEMM tensors: every mapping in the space is illegal, so the
+    // search exhausts its budget without an incumbent.
+    MseService service;
+    SearchRequest req;
+    req.workload = test::tinyGemm();
+    req.arch = test::flatArch(/*l1_words=*/1);
+    req.max_samples = 64;
+    const SearchReply r = service.search(req);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error_code, wire_errors::kNoValidMapping);
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_FALSE(r.cancelled);
+}
+
+TEST(MseService, StatsSchemaCarriesEveryAlwaysKey)
+{
+    // Pins the static stats schema to the metric_names registry:
+    // tools/mse_analyze.py cross-checks the emitted tree against the
+    // header; this test closes the loop at runtime.
+    MseService service;
+    ASSERT_TRUE(service.search(gemmRequest()).ok);
+    const JsonValue stats = service.statsJson();
+    for (const char *key : metric_names::kAlwaysKeys)
+        EXPECT_NE(test::findMetricPath(stats, key), nullptr) << key;
+}
+
+TEST(MseService, StatsSchemaConditionalKeysAppearWhenTriggered)
+{
+    MseService service;
+    MseService::ClusterHooks hooks;
+    hooks.self = "127.0.0.1:0";
+    service.setClusterHooks(std::move(hooks));
+    // A successful improving search populates store.per_key.*.
+    ASSERT_TRUE(service.search(gemmRequest()).ok);
+    // Any armed site (even a synthetic test.* one) flips faults.*.
+    GlobalFaultGuard guard("test.stats.schema:once:1:EIO");
+    const JsonValue stats = service.statsJson();
+    for (const char *key : metric_names::kConditionalKeys) {
+        const std::string k = key;
+        if (k.rfind("replication.", 0) == 0)
+            continue; // Agent-emitted; pinned by the cluster suite.
+        EXPECT_NE(test::findMetricPath(stats, k), nullptr) << key;
+    }
 }
 
 } // namespace

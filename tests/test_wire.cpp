@@ -17,6 +17,7 @@
 #include "service/wire.hpp"
 #include "test_helpers.hpp"
 #include "workload/workload_io.hpp"
+#include "service/error_codes.hpp"
 
 namespace mse {
 namespace {
@@ -98,23 +99,23 @@ TEST(Wire, RejectsBadRequestsWithStructuredCodes)
         const char *line;
         const char *code;
     } cases[] = {
-        {"{oops", "bad_json"},
-        {"", "bad_json"},
-        {"42", "bad_request"},
-        {"[]", "bad_request"},
-        {"{}", "bad_request"},
-        {"{\"type\":\"shutdown\"}", "bad_request"},
-        {"{\"type\":\"search\"}", "bad_workload"},
+        {"{oops", wire_errors::kBadJson},
+        {"", wire_errors::kBadJson},
+        {"42", wire_errors::kBadRequest},
+        {"[]", wire_errors::kBadRequest},
+        {"{}", wire_errors::kBadRequest},
+        {"{\"type\":\"shutdown\"}", wire_errors::kBadRequest},
+        {"{\"type\":\"search\"}", wire_errors::kBadWorkload},
         {"{\"type\":\"search\",\"workload\":\"not-wl1\"}",
-         "bad_workload"},
+         wire_errors::kBadWorkload},
         {"{\"type\":\"search\",\"workload\":{\"gemm\":"
          "{\"b\":0,\"m\":8,\"k\":8,\"n\":8}}}",
-         "bad_workload"},
+         wire_errors::kBadWorkload},
         {"{\"type\":\"search\",\"workload\":{\"gemm\":"
          "{\"b\":1,\"m\":2.5,\"k\":8,\"n\":8}}}",
-         "bad_workload"},
+         wire_errors::kBadWorkload},
         {"{\"type\":\"search\",\"workload\":{\"fft\":{}}}",
-         "bad_workload"},
+         wire_errors::kBadWorkload},
     };
     for (const auto &c : cases) {
         std::string code;
@@ -129,18 +130,18 @@ TEST(Wire, RejectsBadRequestsWithStructuredCodes)
         const char *tail;
         const char *code;
     } tails[] = {
-        {"}", "bad_arch"},
-        {",\"arch\":\"tpu-v9\"}", "bad_arch"},
+        {"}", wire_errors::kBadArch},
+        {",\"arch\":\"tpu-v9\"}", wire_errors::kBadArch},
         {",\"arch\":{\"npu\":{\"l2_bytes\":0,\"l1_bytes\":1,"
          "\"num_pes\":1,\"alus_per_pe\":1}}}",
-         "bad_arch"},
+         wire_errors::kBadArch},
         {",\"arch\":\"accel-A\",\"objective\":\"speed\"}",
-         "bad_request"},
-        {",\"arch\":\"accel-A\",\"max_samples\":-1}", "bad_request"},
-        {",\"arch\":\"accel-A\",\"seed\":\"abc\"}", "bad_request"},
+         wire_errors::kBadRequest},
+        {",\"arch\":\"accel-A\",\"max_samples\":-1}", wire_errors::kBadRequest},
+        {",\"arch\":\"accel-A\",\"seed\":\"abc\"}", wire_errors::kBadRequest},
         {",\"arch\":\"accel-A\",\"densities\":{\"Weights\":2}}",
-         "bad_request"},
-        {",\"arch\":\"accel-A\",\"deadline_ms\":-5}", "bad_request"},
+         wire_errors::kBadRequest},
+        {",\"arch\":\"accel-A\",\"deadline_ms\":-5}", wire_errors::kBadRequest},
     };
     for (const auto &t : tails) {
         std::string code;
@@ -151,21 +152,21 @@ TEST(Wire, RejectsBadRequestsWithStructuredCodes)
 
 TEST(Wire, ReplyEncoders)
 {
-    const JsonValue err = wireError("bad_json", "oops");
+    const JsonValue err = wireError(wire_errors::kBadJson, "oops");
     EXPECT_EQ(err.dump(),
               "{\"ok\":false,\"error\":{\"code\":\"bad_json\","
               "\"message\":\"oops\"}}");
     EXPECT_FALSE(err.getBool("ok", true));
-    EXPECT_EQ(err.find("error")->getString("code", ""), "bad_json");
+    EXPECT_EQ(err.find("error")->getString("code", ""), wire_errors::kBadJson);
 
     SearchReply fail;
     fail.ok = false;
-    fail.error_code = "deadline_exceeded";
+    fail.error_code = wire_errors::kDeadlineExceeded;
     fail.error_message = "too late";
     const JsonValue ferr = searchReplyJson(fail);
     EXPECT_FALSE(ferr.getBool("ok", true));
     EXPECT_EQ(ferr.find("error")->getString("code", ""),
-              "deadline_exceeded");
+              wire_errors::kDeadlineExceeded);
 
     SearchReply okr;
     okr.ok = true;
@@ -191,12 +192,12 @@ TEST(Wire, ReplyEncoders)
     // Retryable rejections carry a machine-readable retry_after_ms
     // hint inside the error object (DESIGN.md Sec. 9); terminal
     // errors omit it entirely.
-    const JsonValue busy = wireError("queue_full", "try later", 750);
+    const JsonValue busy = wireError(wire_errors::kQueueFull, "try later", 750);
     EXPECT_EQ(busy.find("error")->getInt("retry_after_ms", -1), 750);
     EXPECT_EQ(err.find("error")->find("retry_after_ms"), nullptr);
     SearchReply shed;
     shed.ok = false;
-    shed.error_code = "queue_full";
+    shed.error_code = wire_errors::kQueueFull;
     shed.error_message = "queue at capacity";
     shed.retry_after_ms = 1000;
     EXPECT_EQ(searchReplyJson(shed).find("error")->getInt(
@@ -303,11 +304,11 @@ TEST(Wire, ParsesReplicateBatches)
     // Missing or non-array entries: structurally broken, rejected.
     std::string code;
     EXPECT_FALSE(parse("{\"type\":\"replicate\"}", &code).has_value());
-    EXPECT_EQ(code, "bad_request");
+    EXPECT_EQ(code, wire_errors::kBadRequest);
     EXPECT_FALSE(
         parse("{\"type\":\"replicate\",\"entries\":7}", &code)
             .has_value());
-    EXPECT_EQ(code, "bad_request");
+    EXPECT_EQ(code, wire_errors::kBadRequest);
 }
 
 TEST(Wire, ClusterReplyEncoders)
@@ -321,7 +322,7 @@ TEST(Wire, ClusterReplyEncoders)
     // wrong_shard rejections carry the owner so a client can follow.
     SearchReply wrong;
     wrong.ok = false;
-    wrong.error_code = "wrong_shard";
+    wrong.error_code = wire_errors::kWrongShard;
     wrong.error_message = "not mine";
     wrong.error_owner = "127.0.0.1:7002";
     const JsonValue wj = searchReplyJson(wrong);
@@ -446,11 +447,11 @@ TEST_F(WireTcpTest, MalformedJsonGetsErrorAndConnectionSurvives)
     LineReader reader(fd);
     const JsonValue err = roundTrip(fd, reader, "{\"type\":oops");
     EXPECT_FALSE(err.getBool("ok", true));
-    EXPECT_EQ(err.find("error")->getString("code", ""), "bad_json");
+    EXPECT_EQ(err.find("error")->getString("code", ""), wire_errors::kBadJson);
 
     const JsonValue err2 =
         roundTrip(fd, reader, "{\"type\":\"selfdestruct\"}");
-    EXPECT_EQ(err2.find("error")->getString("code", ""), "bad_request");
+    EXPECT_EQ(err2.find("error")->getString("code", ""), wire_errors::kBadRequest);
 
     // Same connection still serves valid requests.
     const JsonValue pong = roundTrip(fd, reader, "{\"type\":\"ping\"}");
@@ -471,7 +472,7 @@ TEST_F(WireTcpTest, OversizedLineGetsErrorThenClose)
     const auto doc = parseJson(out);
     ASSERT_TRUE(doc.has_value());
     EXPECT_EQ(doc->find("error")->getString("code", ""),
-              "request_too_large");
+              wire_errors::kRequestTooLarge);
     // The server hangs up; closing with unread junk queued may surface
     // as a reset (Error) rather than a clean EOF (Closed).
     const auto st = reader.readLine(&out, 60000);
@@ -520,7 +521,7 @@ TEST_F(WireTcpTest, DisconnectCancelsSearchAndQueuedDeadlineExpires)
     ASSERT_TRUE(doc.has_value()) << out;
     EXPECT_FALSE(doc->getBool("ok", true));
     EXPECT_EQ(doc->find("error")->getString("code", ""),
-              "deadline_exceeded");
+              wire_errors::kDeadlineExceeded);
     closeSocket(fd2);
 }
 

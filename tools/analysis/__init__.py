@@ -1,0 +1,22 @@
+"""Shared static-analysis framework for the MSE repo.
+
+Modules:
+  source     -- file collection + a small C++ lexer (CppSource) that
+                classifies every byte as code / comment / string /
+                disabled (#if 0), handles raw strings and adjacent
+                string-literal concatenation.
+  report     -- the Finding record, `// mse-lint: allow(rule)` escape
+                hatch, and text/github output formatting.
+  registries -- cross-file contract registries: wire error codes,
+                fault-injection sites, metrics key paths, plus the
+                DESIGN.md / README.md doc-table extractors.
+  locks      -- class-member mutex census, thread-safety-annotation
+                coverage, and the lock-order graph (declared
+                ACQUIRED_BEFORE/AFTER edges + mined acquisition-site
+                edges) with cycle detection.
+  includes   -- file-level include DAG, module layering ranks, and
+                include-cycle detection.
+
+`tools/mse_lint.py` (single-file style rules) and `tools/mse_analyze.py`
+(project-wide semantic rules) are both thin drivers over this package.
+"""

@@ -1,0 +1,114 @@
+"""Include DAG: module layering and include-cycle detection.
+
+src/ is layered; the compiler happily lets a low layer reach up (any
+header is includable), so the layering only exists while something
+checks it.  Ranks are declared by the driver; a module may include
+itself or strictly lower-ranked modules.  File-level cycles are flagged
+independently (they break incremental builds long before they break
+layering).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .source import CppSource
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+@dataclass
+class IncludeGraph:
+    # file path (repo-relative, normalised) -> [(included path, line)]
+    files: Dict[str, List[Tuple[str, int]]] = field(default_factory=dict)
+
+    def module_of(self, path: str, src_prefix: str = "src/") -> Optional[str]:
+        """`src/service/wire.cpp` -> `service`; None outside src/."""
+        idx = path.find(src_prefix)
+        if idx < 0:
+            return None
+        rest = path[idx + len(src_prefix):]
+        if "/" not in rest:
+            return None
+        return rest.split("/")[0]
+
+
+def build_include_graph(
+    sources: Sequence[CppSource], strip_prefix: str = ""
+) -> IncludeGraph:
+    """Include edges from quoted includes.  Quoted include targets are
+    project-relative already (`common/json.hpp`); we normalise both
+    sides to `src/...` so file-level cycle detection can join them."""
+    g = IncludeGraph()
+    for src in sources:
+        path = src.path
+        if strip_prefix and path.startswith(strip_prefix):
+            path = path[len(strip_prefix):]
+        edges: List[Tuple[str, int]] = []
+        # Raw lines, not code view: includes are preprocessor text and
+        # the code view keeps them anyway; raw is simpler to trust.
+        for idx, ln in enumerate(src.code_ws_lines):
+            m = _INCLUDE_RE.match(ln)
+            if m:
+                target = m.group(1)
+                if not target.startswith("src/"):
+                    target = "src/" + target
+                edges.append((target, idx + 1))
+        g.files[path] = edges
+    return g
+
+
+def layering_violations(
+    graph: IncludeGraph, ranks: Dict[str, int]
+) -> List[Tuple[str, int, str, str]]:
+    """(file, line, from_module, to_module) for every include that
+    reaches up or sideways in the rank order."""
+    out: List[Tuple[str, int, str, str]] = []
+    for path, edges in sorted(graph.files.items()):
+        mod = graph.module_of(path)
+        if mod is None or mod not in ranks:
+            continue
+        for target, line in edges:
+            tmod = graph.module_of(target)
+            if tmod is None or tmod == mod or tmod not in ranks:
+                continue
+            if ranks[tmod] >= ranks[mod]:
+                out.append((path, line, mod, tmod))
+    return out
+
+
+def include_cycles(graph: IncludeGraph) -> List[List[str]]:
+    """File-level include cycles (DFS back-edge enumeration)."""
+    adj: Dict[str, List[str]] = {}
+    for path, edges in graph.files.items():
+        adj.setdefault(path, [])
+        for target, _line in edges:
+            if target in graph.files:
+                adj[path].append(target)
+            adj.setdefault(target, [])
+    cycles: List[List[str]] = []
+    seen: Set[Tuple[str, ...]] = set()
+    color: Dict[str, int] = {}
+    stack: List[str] = []
+
+    def dfs(u: str) -> None:
+        color[u] = 1
+        stack.append(u)
+        for v in adj[u]:
+            if color.get(v, 0) == 0:
+                dfs(v)
+            elif color.get(v) == 1:
+                cyc = stack[stack.index(v):] + [v]
+                canon = tuple(sorted(cyc[:-1]))
+                if canon not in seen:
+                    seen.add(canon)
+                    cycles.append(cyc)
+        stack.pop()
+        color[u] = 2
+
+    for node in sorted(adj):
+        if color.get(node, 0) == 0:
+            dfs(node)
+    return cycles

@@ -1,0 +1,267 @@
+"""Mutex census, annotation coverage, and the lock-order graph.
+
+PR 4 put Clang Thread Safety annotations on the hot classes; this
+module keeps them honest project-wide:
+
+  * every class-member `Mutex` must be wired into the annotation system
+    (something must GUARDED_BY/REQUIRES/ACQUIRE/EXCLUDES it) — an
+    unannotated mutex is invisible to -Wthread-safety;
+  * the lock-order graph combines declared edges (ACQUIRED_BEFORE /
+    ACQUIRED_AFTER on the declarations) with edges mined from
+    acquisition sites (a MutexLock taken while another guard is live in
+    the same function), and must stay acyclic.  DESIGN.md Sec. 8's rule
+    is stronger — no path holds two of the inventory mutexes at once —
+    so in-repo the mined edge set stays empty and the graph work
+    proves a negative; fixtures in the selftests prove the cycle
+    detector actually fires.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .source import CppSource
+
+_CLASS_RE = re.compile(r"\b(class|struct)\s+(\w+)\b[^;{(]*\{")
+_MUTEX_DECL_RE = re.compile(r"\b(?:mutable\s+)?Mutex\s+(\w+)\s*(;|ACQUIRED_)")
+_ANNOT_REF_RE = re.compile(
+    r"\b(GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED|ACQUIRE|"
+    r"ACQUIRE_SHARED|RELEASE|RELEASE_SHARED|RELEASE_GENERIC|TRY_ACQUIRE|"
+    r"TRY_ACQUIRE_SHARED|EXCLUDES|ASSERT_CAPABILITY|RETURN_CAPABILITY)"
+    r"\s*\(([^)]*)\)"
+)
+_ORDER_DECL_RE = re.compile(
+    r"\bMutex\s+(\w+)\s+(ACQUIRED_BEFORE|ACQUIRED_AFTER)\s*\(([^)]*)\)"
+)
+_GUARD_RE = re.compile(
+    r"\b(?:MutexLock|MutexUniqueLock)\s+\w+\s*[({]\s*([\w.>()\-]+?)\s*[)}]"
+)
+_FUNC_DEF_RE = re.compile(
+    r"^(?:[\w:<>,&*~ ]+[ \t*&])?(?:(\w+)::)?(\w+)\s*\([^;{]*\)\s*"
+    r"(?:const\s*)?(?:noexcept\s*)?(?:REQUIRES\s*\([^)]*\)\s*|"
+    r"EXCLUDES\s*\([^)]*\)\s*|ACQUIRE\s*\([^)]*\)\s*|"
+    r"RELEASE\s*\([^)]*\)\s*)*\{",
+    re.M,
+)
+
+
+@dataclass
+class MutexDecl:
+    cls: str  # owning class ("" if file-scope)
+    name: str  # member name, e.g. mu_
+    path: str
+    line: int
+    annotated: bool = False  # something references it in an annotation
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+
+@dataclass
+class LockModel:
+    mutexes: List[MutexDecl] = field(default_factory=list)
+    # qualified-name edges: a must be acquired before b
+    declared_edges: List[Tuple[str, str, str, int]] = field(
+        default_factory=list
+    )  # (before, after, path, line)
+    mined_edges: List[Tuple[str, str, str, int]] = field(default_factory=list)
+
+    def all_edges(self) -> List[Tuple[str, str, str, int]]:
+        return self.declared_edges + self.mined_edges
+
+
+def _class_regions(src: CppSource) -> List[Tuple[str, int, int]]:
+    """(class_name, start_offset, end_offset) over the joined code
+    view, via brace matching from each class/struct head."""
+    text = "\n".join(src.code_lines)
+    out: List[Tuple[str, int, int]] = []
+    for m in _CLASS_RE.finditer(text):
+        open_brace = text.find("{", m.start())
+        if open_brace < 0:
+            continue
+        depth = 0
+        for i in range(open_brace, len(text)):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    out.append((m.group(2), open_brace, i))
+                    break
+    return out
+
+
+def _owning_class(
+    regions: List[Tuple[str, int, int]], offset: int
+) -> str:
+    """Innermost class containing `offset` (smallest enclosing span)."""
+    best = ""
+    best_span = None
+    for name, a, b in regions:
+        if a <= offset <= b:
+            span = b - a
+            if best_span is None or span < best_span:
+                best, best_span = name, span
+    return best
+
+
+def extract_mutexes(sources: Sequence[CppSource]) -> List[MutexDecl]:
+    """Census of `Mutex` member declarations across the given files,
+    with annotation-coverage computed from the same files."""
+    decls: List[MutexDecl] = []
+    annotated_refs: Set[Tuple[str, str]] = set()  # (path, mutex-name ref)
+    for src in sources:
+        text = "\n".join(src.code_lines)
+        regions = _class_regions(src)
+        for m in _MUTEX_DECL_RE.finditer(text):
+            cls = _owning_class(regions, m.start())
+            if not cls:
+                continue  # function-local or free mutex: TSA tracks it
+            line = text.count("\n", 0, m.start()) + 1
+            decls.append(
+                MutexDecl(cls=cls, name=m.group(1), path=src.path, line=line)
+            )
+        for m in _ANNOT_REF_RE.finditer(text):
+            for tok in re.findall(r"[\w.>\-]+", m.group(2)):
+                leaf = re.split(r"[.>]|->", tok)[-1]
+                annotated_refs.add((src.path, leaf.lstrip("!")))
+    # A mutex is annotated if any annotation in its own header/impl
+    # pair (same stem) or the same file references its name.
+    by_stem: Dict[str, Set[str]] = {}
+    for path, name in annotated_refs:
+        stem = re.sub(r"\.(hpp|hh|h|cpp|cc|cxx)$", "", path)
+        by_stem.setdefault(stem, set()).add(name)
+    for d in decls:
+        stem = re.sub(r"\.(hpp|hh|h|cpp|cc|cxx)$", "", d.path)
+        if d.name in by_stem.get(stem, set()):
+            d.annotated = True
+    return decls
+
+
+def extract_declared_edges(
+    sources: Sequence[CppSource],
+) -> List[Tuple[str, str, str, int]]:
+    edges: List[Tuple[str, str, str, int]] = []
+    for src in sources:
+        text = "\n".join(src.code_lines)
+        regions = _class_regions(src)
+        for m in _ORDER_DECL_RE.finditer(text):
+            cls = _owning_class(regions, m.start())
+            line = text.count("\n", 0, m.start()) + 1
+            this = f"{cls}::{m.group(1)}" if cls else m.group(1)
+            for other_tok in re.findall(r"[\w:.>\-]+", m.group(3)):
+                other = other_tok.split(".")[-1].split(">")[-1]
+                if "::" not in other and cls:
+                    other = f"{cls}::{other}"
+                if m.group(2) == "ACQUIRED_BEFORE":
+                    edges.append((this, other, src.path, line))
+                else:
+                    edges.append((other, this, src.path, line))
+    return edges
+
+
+def _normalize_guard_arg(arg: str, cls: str) -> str:
+    """`p->mu` / `this->mu_` / `store_.mu` -> leaf member name,
+    qualified by the enclosing class when the expression is local."""
+    leaf = re.split(r"->|\.", arg)[-1].strip()
+    leaf = re.sub(r"\(\)$", "", leaf)
+    if arg.strip().startswith(("this->",)) or arg.strip() == leaf:
+        return f"{cls}::{leaf}" if cls else leaf
+    return leaf  # foreign object's mutex: best-effort leaf name
+
+
+def mine_acquisition_edges(
+    sources: Sequence[CppSource],
+) -> List[Tuple[str, str, str, int]]:
+    """Within each function body, an acquisition taken while earlier
+    guards are still in scope yields held -> new edges.  Guard lifetime
+    is approximated by brace depth: a guard dies when its enclosing
+    block closes."""
+    edges: List[Tuple[str, str, str, int]] = []
+    for src in sources:
+        text = "\n".join(src.code_lines)
+        for fm in _FUNC_DEF_RE.finditer(text):
+            cls = fm.group(1) or _owning_class(
+                _class_regions(src), fm.start()
+            )
+            open_brace = text.find("{", fm.end() - 1)
+            if open_brace < 0:
+                continue
+            # Walk the body char-by-char tracking depth + guards.
+            depth = 0
+            held: List[Tuple[int, str]] = []  # (depth, mutex)
+            i = open_brace
+            while i < len(text):
+                c = text[i]
+                if c == "{":
+                    depth += 1
+                elif c == "}":
+                    depth -= 1
+                    held = [(d, mx) for (d, mx) in held if d <= depth]
+                    if depth == 0:
+                        break
+                gm = _GUARD_RE.match(text, i)
+                if gm:
+                    mx = _normalize_guard_arg(gm.group(1), cls or "")
+                    line = text.count("\n", 0, i) + 1
+                    for _d, prev in held:
+                        if prev != mx:
+                            edges.append((prev, mx, src.path, line))
+                    held.append((depth, mx))
+                    i = gm.end()
+                    continue
+                i += 1
+    # Dedup, keep first site per edge.
+    seen: Set[Tuple[str, str]] = set()
+    out: List[Tuple[str, str, str, int]] = []
+    for a, b, p, ln in edges:
+        if (a, b) not in seen:
+            seen.add((a, b))
+            out.append((a, b, p, ln))
+    return out
+
+
+def find_cycles(
+    edges: Sequence[Tuple[str, str, str, int]]
+) -> List[List[str]]:
+    """Simple DFS cycle enumeration over the lock-order graph."""
+    graph: Dict[str, List[str]] = {}
+    for a, b, _p, _l in edges:
+        graph.setdefault(a, []).append(b)
+        graph.setdefault(b, [])
+    cycles: List[List[str]] = []
+    seen_cycles: Set[Tuple[str, ...]] = set()
+
+    color: Dict[str, int] = {}
+    stack: List[str] = []
+
+    def dfs(u: str) -> None:
+        color[u] = 1
+        stack.append(u)
+        for v in graph[u]:
+            if color.get(v, 0) == 0:
+                dfs(v)
+            elif color.get(v) == 1:
+                cyc = stack[stack.index(v):] + [v]
+                canon = tuple(sorted(cyc[:-1]))
+                if canon not in seen_cycles:
+                    seen_cycles.add(canon)
+                    cycles.append(cyc)
+        stack.pop()
+        color[u] = 2
+
+    for node in sorted(graph):
+        if color.get(node, 0) == 0:
+            dfs(node)
+    return cycles
+
+
+def build_lock_model(sources: Sequence[CppSource]) -> LockModel:
+    model = LockModel()
+    model.mutexes = extract_mutexes(sources)
+    model.declared_edges = extract_declared_edges(sources)
+    model.mined_edges = mine_acquisition_edges(sources)
+    return model

@@ -1,0 +1,100 @@
+"""Findings, the escape hatch, and output formatting.
+
+Shared by mse_lint (style rules) and mse_analyze (semantic rules) so
+that suppression syntax, GitHub annotation format, and exit-code
+conventions cannot drift between the two tools.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+# `// mse-lint: allow(rule) reason` on the offending line or the line
+# above.  Several rules may be listed comma-separated.  The reason text
+# is free-form but conventionally mandatory in review.
+ALLOW_RE = re.compile(
+    r"//\s*mse-lint:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)"
+)
+# Markdown/docs variant for non-C++ files (DESIGN.md, README.md,
+# shell): `<!-- mse-lint: allow(rule) -->` or `# mse-lint: allow(rule)`.
+ALLOW_DOC_RE = re.compile(
+    r"mse-lint:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)"
+)
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self, fmt: str) -> str:
+        if fmt == "github":
+            return (
+                f"::error file={self.path},line={self.line},"
+                f"title=mse-lint {self.rule}::{self.message}"
+            )
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def allowed_rules(lines: Sequence[str], idx: int) -> set:
+    """Rules suppressed at 0-based line `idx` (same line or line above)."""
+    rules: set = set()
+    for j in (idx, idx - 1):
+        if 0 <= j < len(lines):
+            m = ALLOW_RE.search(lines[j])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def allowed_rules_doc(lines: Sequence[str], idx: int) -> set:
+    """Doc-file variant of allowed_rules (HTML/shell comment syntax)."""
+    rules: set = set()
+    for j in (idx, idx - 1):
+        if 0 <= j < len(lines):
+            m = ALLOW_DOC_RE.search(lines[j])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def suppressed(finding: Finding, lines: Sequence[str], doc: bool = False) -> bool:
+    """True if an allow-comment at the finding's location names its rule.
+
+    Registry-level findings anchored to a declaration line participate
+    too: suppress an `xyz-orphan` by annotating the declaration.
+    """
+    fn = allowed_rules_doc if doc else allowed_rules
+    return finding.rule in fn(lines, finding.line - 1)
+
+
+def emit(
+    findings: Iterable[Finding],
+    fmt: str,
+    tool: str,
+    files_scanned: int,
+    out=None,
+    err=None,
+) -> int:
+    """Print findings and the summary line; return the exit status."""
+    out = out or sys.stdout
+    err = err or sys.stderr
+    flist: List[Finding] = sorted(
+        findings, key=lambda f: (f.path, f.line, f.rule)
+    )
+    for f in flist:
+        print(f.format(fmt), file=out)
+    summary = (
+        f"{tool}: {len(flist)} finding(s) across "
+        f"{files_scanned} file(s) scanned"
+    )
+    if fmt == "github":
+        print(f"::notice::{summary}", file=err)
+    else:
+        print(summary, file=err)
+    return 1 if flist else 0

@@ -1,0 +1,286 @@
+"""File collection and a small C++ lexer.
+
+The lexer exists because grep-level extraction lies: a fault-site name
+mentioned in a comment, a code literal inside an `#if 0` block, or a
+string split across adjacent literals (`"store." "open"`) would all
+corrupt the registries.  `CppSource` scans the whole translation unit
+once, classifying every byte, and everything downstream (lint rules,
+registry extractors, the lock miner) works off that single pass.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+CPP_EXTS = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h"}
+
+
+def norm(path: str) -> str:
+    """Normalise a path to forward slashes for portable matching."""
+    return path.replace(os.sep, "/")
+
+
+def in_dir(path: str, d: str) -> bool:
+    """True if `path` (normalised) lives under directory component `d`."""
+    return ("/" + d + "/") in ("/" + norm(path))
+
+
+def collect_files(roots: Iterable[str], exts: Optional[set] = None) -> List[str]:
+    """Walk `roots` (files or directories), skipping dot-dirs and build
+    trees, returning a sorted list of files with one of `exts`."""
+    if exts is None:
+        exts = CPP_EXTS
+    out: List[str] = []
+    for root in roots:
+        if os.path.isfile(root):
+            if os.path.splitext(root)[1] in exts:
+                out.append(root)
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(".") and d not in {"build", "__pycache__"}
+            )
+            for fn in sorted(filenames):
+                if os.path.splitext(fn)[1] in exts:
+                    out.append(os.path.join(dirpath, fn))
+    return sorted(out)
+
+
+@dataclass
+class StringLit:
+    """One logical string literal: adjacent literals separated only by
+    whitespace/comments are merged, per [lex.string]."""
+
+    line: int  # 1-based line of the first fragment
+    value: str  # decoded-enough contents (escapes kept verbatim)
+
+
+@dataclass
+class CppSource:
+    """A lexed C++ file.
+
+    Attributes:
+      path           -- as given (normalised separators).
+      text           -- raw contents.
+      lines          -- raw lines (no terminators).
+      code_lines     -- lines with comments removed, string contents
+                        blanked to "" and disabled (#if 0) regions
+                        emptied: what pattern rules should match on.
+      code_ws_lines  -- like code_lines but ordinary string literal
+                        contents KEPT: for extractors that read keys
+                        out of code (raw strings still blanked; their
+                        contents are in `strings`).
+      strings        -- every logical string literal in live code.
+      line_count     -- len(lines).
+    """
+
+    path: str
+    text: str
+    lines: List[str] = field(default_factory=list)
+    code_lines: List[str] = field(default_factory=list)
+    code_ws_lines: List[str] = field(default_factory=list)
+    strings: List[StringLit] = field(default_factory=list)
+
+    @property
+    def line_count(self) -> int:
+        return len(self.lines)
+
+    def string_values(self) -> List[str]:
+        return [s.value for s in self.strings]
+
+
+_RAW_OPEN = re.compile(r'R"([^()\\ \t\n]*)\(')
+
+# Lines that flip preprocessor-disabled state.  We only track the
+# textbook `#if 0` dead-block idiom (plus nested #if/#endif inside it);
+# full conditional evaluation is out of scope and unnecessary.
+_PP_IF = re.compile(r"^\s*#\s*(if|ifdef|ifndef)\b(.*)$")
+_PP_ELSE = re.compile(r"^\s*#\s*(else|elif)\b")
+_PP_ENDIF = re.compile(r"^\s*#\s*endif\b")
+_PP_IF0 = re.compile(r"^\s*#\s*if\s+0\s*(//.*|/\*.*)?$")
+
+
+def _disabled_lines(lines: List[str]) -> List[bool]:
+    """Mark lines inside `#if 0` ... (#else|#endif) regions."""
+    disabled = [False] * len(lines)
+    depth = 0  # nesting depth of #if inside a dead region
+    dead = False
+    for i, ln in enumerate(lines):
+        if not dead:
+            if _PP_IF0.match(ln):
+                dead = True
+                depth = 0
+                disabled[i] = True
+            continue
+        disabled[i] = True
+        if _PP_IF.match(ln):
+            depth += 1
+        elif _PP_ENDIF.match(ln):
+            if depth == 0:
+                dead = False
+            else:
+                depth -= 1
+        elif depth == 0 and _PP_ELSE.match(ln):
+            # `#else` of `#if 0`: the following branch is live.
+            dead = False
+    return disabled
+
+
+def lex(path: str, text: Optional[str] = None) -> CppSource:
+    """Lex one file into a CppSource."""
+    if text is None:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    lines = text.split("\n")
+    disabled = _disabled_lines(lines)
+
+    # Rebuild the text with disabled lines blanked so the char scanner
+    # never sees them (a quote inside #if 0 must not open a string).
+    live_text = "\n".join(
+        ("" if disabled[i] else ln) for i, ln in enumerate(lines)
+    )
+
+    src = CppSource(path=norm(path), text=text, lines=lines)
+    code_chars: List[str] = []  # mirrors live_text, strings/comments blanked
+    ws_chars: List[str] = []  # same, but ordinary string contents kept
+    raw_strings: List[Tuple[int, str]] = []  # (line, value) fragments
+
+    i = 0
+    line_no = 1
+    n = len(live_text)
+    while i < n:
+        c = live_text[i]
+        nxt = live_text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            code_chars.append("\n")
+            ws_chars.append("\n")
+            line_no += 1
+            i += 1
+        elif c == "/" and nxt == "/":
+            # Line comment: skip to end of line.
+            j = live_text.find("\n", i)
+            i = n if j < 0 else j
+        elif c == "/" and nxt == "*":
+            j = live_text.find("*/", i + 2)
+            end = n if j < 0 else j + 2
+            # Preserve line structure inside the comment.
+            for ch in live_text[i:end]:
+                if ch == "\n":
+                    code_chars.append("\n")
+                    ws_chars.append("\n")
+                    line_no += 1
+            i = end
+        elif c == "R" and nxt == '"':
+            m = _RAW_OPEN.match(live_text, i)
+            if not m:
+                code_chars.append(c)
+                ws_chars.append(c)
+                i += 1
+                continue
+            delim = m.group(1)
+            close = ")" + delim + '"'
+            j = live_text.find(close, m.end())
+            end = n if j < 0 else j + len(close)
+            value = live_text[m.end():j] if j >= 0 else live_text[m.end():]
+            raw_strings.append((line_no, value))
+            code_chars.append('""')
+            ws_chars.append('""')
+            for ch in live_text[i:end]:
+                if ch == "\n":
+                    code_chars.append("\n")
+                    ws_chars.append("\n")
+                    line_no += 1
+            i = end
+        elif c == '"':
+            j = i + 1
+            frag: List[str] = []
+            while j < n and live_text[j] != '"':
+                if live_text[j] == "\\" and j + 1 < n:
+                    frag.append(live_text[j:j + 2])
+                    j += 2
+                elif live_text[j] == "\n":
+                    break  # unterminated; be forgiving
+                else:
+                    frag.append(live_text[j])
+                    j += 1
+            raw_strings.append((line_no, "".join(frag)))
+            code_chars.append('""')
+            ws_chars.append('"' + "".join(frag).replace("\n", " ") + '"')
+            i = j + 1 if j < n else n
+        elif c == "'" and not (
+            code_chars and (code_chars[-1].isalnum() or code_chars[-1] == "_")
+        ):
+            # Char literal; skip it (watch for '\'' and '\\').  A quote
+            # preceded by an identifier/digit char is a C++14 digit
+            # separator (1'000'000), not a literal.
+            j = i + 1
+            while j < n and live_text[j] not in {"'", "\n"}:
+                j += 2 if live_text[j] == "\\" else 1
+            code_chars.append("''")
+            ws_chars.append("''")
+            i = j + 1 if j < n and live_text[j] == "'" else min(j, n)
+        else:
+            code_chars.append(c)
+            ws_chars.append(c)
+            i += 1
+
+    src.code_lines = "".join(code_chars).split("\n")
+    src.code_ws_lines = "".join(ws_chars).split("\n")
+    for lst in (src.code_lines, src.code_ws_lines):
+        while len(lst) < len(lines):
+            lst.append("")
+
+    # Merge adjacent literals: consecutive fragments with only
+    # whitespace between them in the *code* view are one literal.
+    merged: List[StringLit] = []
+    code_text = "\n".join(src.code_lines)
+    # Positions of every `""` marker in code_text, in order, correspond
+    # 1:1 with raw_strings.
+    marker_pos: List[int] = []
+    k = code_text.find('""')
+    while k >= 0:
+        marker_pos.append(k)
+        k = code_text.find('""', k + 2)
+    # Char literals also produce 2-char markers ('' not "") so the
+    # correspondence with raw_strings holds for `""` only.
+    assert len(marker_pos) == len(raw_strings), (
+        f"{path}: lexer marker mismatch "
+        f"({len(marker_pos)} vs {len(raw_strings)})"
+    )
+    idx = 0
+    while idx < len(raw_strings):
+        line0, val = raw_strings[idx]
+        end_pos = marker_pos[idx] + 2
+        j = idx + 1
+        while j < len(raw_strings):
+            between = code_text[end_pos:marker_pos[j]]
+            if between.strip() == "":
+                val += raw_strings[j][1]
+                end_pos = marker_pos[j] + 2
+                j += 1
+            else:
+                break
+        merged.append(StringLit(line=line0, value=val))
+        idx = j
+    src.strings = merged
+    return src
+
+
+class SourceModel:
+    """Lexes files once and caches them for all analysis passes."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[str, CppSource] = {}
+
+    def get(self, path: str, text: Optional[str] = None) -> CppSource:
+        key = norm(path)
+        if key not in self._cache:
+            self._cache[key] = lex(path, text)
+        return self._cache[key]
+
+    def load_all(self, paths: Iterable[str]) -> List[CppSource]:
+        return [self.get(p) for p in paths]

@@ -1,0 +1,559 @@
+#!/usr/bin/env python3
+"""mse_analyze: project-wide semantic analyzer for the MSE repo.
+
+Where mse_lint checks one file at a time for style/idiom hazards, this
+tool builds a whole-project model first and then enforces cross-file
+contracts that no single-file check can see:
+
+  registries   wire error codes, fault-injection sites, metrics key
+               paths: declaration header vs construction sites vs
+               tests vs docs vs client retry logic.
+  locks        class-member Mutex census, thread-safety-annotation
+               coverage, lock-order graph acyclicity.
+  includes     module layering ranks over the include DAG + file-level
+               include cycles.
+
+Usage:
+  mse_analyze.py [--root DIR] [--format text|github]
+                 [--dump-registries json]
+
+Exit status 1 when any unsuppressed finding is reported.  Suppress a
+finding at its anchor line with `// mse-lint: allow(<rule>) reason`
+(C++) or `<!-- mse-lint: allow(<rule>) -->` (markdown).
+
+Rules:
+  wire-code-undocumented   declared code missing from DESIGN.md Sec. 9
+  wire-code-unknown        DESIGN.md row for an undeclared code
+  wire-code-orphan         declared code never constructed in src/tools
+  wire-code-untested       declared code never asserted in tests
+  wire-code-retry-mismatch DESIGN.md retryable column vs isRetryable()
+  fault-site-undocumented  declared site missing from README table
+  fault-site-unknown       armed/documented site that is not declared
+  fault-site-orphan        declared site never consulted in src/
+  fault-site-unexercised   declared site no test or chaos phase arms
+  metrics-key-undeclared   emitted stats key missing from header
+  metrics-key-stale        declared stats key no emitter produces
+  metrics-key-orphan       declared stats key nothing consumes
+  dup-literal              registry string typed out instead of the
+                           constant (error codes: src/service,
+                           src/cluster, tools; fault sites: src/)
+  mutex-unannotated        class-member Mutex invisible to
+                           -Wthread-safety (nothing GUARDED_BY etc.)
+  lock-order-cycle         cycle in declared+mined lock-order graph
+  layering                 include reaching up/sideways in module ranks
+  include-cycle            file-level include cycle
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from analysis import includes as inc  # noqa: E402
+from analysis import locks  # noqa: E402
+from analysis import registries as regs  # noqa: E402
+from analysis.report import (  # noqa: E402
+    Finding,
+    allowed_rules,
+    allowed_rules_doc,
+    emit,
+)
+from analysis.source import CPP_EXTS, SourceModel, collect_files  # noqa: E402
+
+# ---------------------------------------------------------------- config
+
+ERROR_HEADER = "src/service/error_codes.hpp"
+FAULT_HEADER = "src/common/fault_sites.hpp"
+METRIC_HEADER = "src/common/metric_names.hpp"
+DESIGN_DOC = "DESIGN.md"
+README_DOC = "README.md"
+
+# Module layering: a module may include itself or strictly lower ranks.
+MODULE_RANKS = {
+    "common": 0,
+    "workload": 0,
+    "arch": 0,
+    "nn": 1,
+    "mapping": 1,
+    "model": 2,
+    "sparse": 3,
+    "mappers": 3,
+    "core": 4,
+    "service": 5,
+    "cluster": 6,
+}
+
+# The stats-reply JSON tree: which functions build it and where other
+# builders' trees are mounted.
+STATS_EMITTERS = [
+    regs.Emitter(
+        "src/common/metrics.cpp",
+        r"ServiceMetrics::toJson\s*\(",
+        "ServiceMetrics::toJson",
+    ),
+    regs.Emitter(
+        "src/common/metrics.cpp",
+        r"LatencyHistogram::toJson\s*\(",
+        "LatencyHistogram::toJson",
+    ),
+    regs.Emitter(
+        "src/service/service.cpp",
+        r"MseService::statsJson\s*\(",
+        "MseService::statsJson",
+    ),
+    regs.Emitter(
+        "src/cluster/replication.cpp",
+        r"ReplicationAgent::statsJson\s*\(",
+        "ReplicationAgent::statsJson",
+    ),
+]
+ROOT_EMITTER = "MseService::statsJson"
+SPLICE_TARGETS = {
+    "metrics_": "ServiceMetrics::toJson",
+    "search_latency_": "LatencyHistogram::toJson",
+}
+# Files scanned for out-of-emitter mounts (the augment_stats hook):
+# `j["replication"] = agent->statsJson();` in the daemon main.
+AUGMENT_FILES = ["tools/mse_serve.cpp"]
+AUGMENT_TARGET = "ReplicationAgent::statsJson"
+
+_FAULT_SPEC_RE = re.compile(r"([a-z][a-z0-9_.]*)\s*:\s*(every|once|p)\s*:")
+# Sites under this prefix are synthetic fixtures for the injector's own
+# unit tests (documented in README); production code never consults
+# them, so arming one is not a typo.
+_TEST_SITE_PREFIX = "test."
+
+
+class Analyzer:
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.model = SourceModel()
+        self.findings: List[Finding] = []
+        self.registries: Dict[str, object] = {}
+
+        def rel(paths: List[str]) -> List[str]:
+            return [os.path.relpath(p, root) for p in paths]
+
+        def collect(sub: str, exts=None) -> List[str]:
+            d = os.path.join(root, sub)
+            if not os.path.isdir(d):
+                return []
+            return rel(collect_files([d], exts))
+
+        self.src_paths = collect("src")
+        self.test_paths = collect("tests")
+        self.tool_cpp_paths = collect("tools")
+        self.bench_paths = collect("bench")
+        self.script_paths = collect("tools", {".sh"}) + collect(
+            "scripts", {".sh"}
+        )
+        self.files_scanned = (
+            len(self.src_paths)
+            + len(self.test_paths)
+            + len(self.tool_cpp_paths)
+            + len(self.bench_paths)
+            + len(self.script_paths)
+        )
+
+    # -------------------------------------------------------- helpers
+
+    def src(self, path: str):
+        return self.model.get(
+            os.path.join(self.root, path)
+        ) if not os.path.isabs(path) else self.model.get(path)
+
+    def srcs(self, paths: Sequence[str]):
+        return [self.src(p) for p in paths]
+
+    def read_text(self, path: str) -> Optional[str]:
+        full = os.path.join(self.root, path)
+        if not os.path.isfile(full):
+            return None
+        with open(full, "r", encoding="utf-8", errors="replace") as f:
+            return f.read()
+
+    def has(self, path: str) -> bool:
+        return os.path.isfile(os.path.join(self.root, path))
+
+    def _relpath_of(self, lexed_path: str) -> str:
+        p = os.path.relpath(lexed_path, self.root)
+        return p.replace(os.sep, "/")
+
+    def report(self, path: str, line: int, rule: str, message: str) -> None:
+        """Queue a finding unless an allow-comment suppresses it.
+
+        `path` is root-relative; C++/shell files use the `//`/`#`
+        comment form, markdown the HTML-comment form.
+        """
+        full = os.path.join(self.root, path)
+        try:
+            with open(full, "r", encoding="utf-8", errors="replace") as f:
+                lines = f.read().split("\n")
+        except OSError:
+            lines = []
+        is_doc = path.endswith((".md", ".sh", ".yml", ".yaml"))
+        fn = allowed_rules_doc if is_doc else allowed_rules
+        if rule in fn(lines, line - 1):
+            return
+        self.findings.append(Finding(path, line, rule, message))
+
+    # -------------------------------------------------- error codes
+
+    def analyze_error_codes(self) -> None:
+        if not self.has(ERROR_HEADER):
+            return
+        header = self.src(ERROR_HEADER)
+        non_test = [
+            self.src(p)
+            for p in self.src_paths + self.tool_cpp_paths
+        ]
+        tests = self.srcs(self.test_paths)
+        design = self.read_text(DESIGN_DOC)
+        reg = regs.extract_error_codes(header, non_test, tests, design)
+        self.registries["wire_error_codes"] = {
+            "declared": {c.name: c.value for c in reg.declared},
+            "constructed": sorted(reg.constructed),
+            "tested": sorted(reg.tested),
+            "retryable": sorted(reg.retryable),
+            "documented": sorted(reg.documented),
+        }
+
+        hdr_rel = ERROR_HEADER
+        documented = reg.documented
+        for c in reg.declared:
+            if design is not None and c.value not in documented:
+                self.report(
+                    hdr_rel, c.line, "wire-code-undocumented",
+                    f"wire error code \"{c.value}\" has no row in "
+                    f"{DESIGN_DOC}'s taxonomy table",
+                )
+            if c.name not in reg.constructed:
+                self.report(
+                    hdr_rel, c.line, "wire-code-orphan",
+                    f"wire error code \"{c.value}\" ({c.name}) is never "
+                    "constructed or handled in src/ or tools/",
+                )
+            if c.name not in reg.tested:
+                self.report(
+                    hdr_rel, c.line, "wire-code-untested",
+                    f"wire error code \"{c.value}\" is never asserted "
+                    "in tests/",
+                )
+        by_value = reg.by_value()
+        for value, (retry, line) in sorted(documented.items()):
+            if value not in by_value:
+                self.report(
+                    DESIGN_DOC, line, "wire-code-unknown",
+                    f"{DESIGN_DOC} documents error code \"{value}\" "
+                    f"which {ERROR_HEADER} does not declare",
+                )
+            else:
+                is_retry = value in reg.retryable
+                if retry != is_retry:
+                    self.report(
+                        DESIGN_DOC, line, "wire-code-retry-mismatch",
+                        f"\"{value}\": {DESIGN_DOC} says retryable="
+                        f"{'yes' if retry else 'no'} but "
+                        f"wire_errors::isRetryable says "
+                        f"{'yes' if is_retry else 'no'}",
+                    )
+
+        # dup-literal: code literals belong in the header only.
+        values = set(by_value)
+        scope = [
+            p
+            for p in self.src_paths + self.tool_cpp_paths
+            if p != ERROR_HEADER
+            and (p.startswith(("src/service/", "src/cluster/", "tools/")))
+        ]
+        for p in scope:
+            for lit in self.src(p).strings:
+                if lit.value in values:
+                    self.report(
+                        p, lit.line, "dup-literal",
+                        f"string \"{lit.value}\" duplicates wire error "
+                        f"code wire_errors::{by_value[lit.value].name}; "
+                        f"use the constant from {ERROR_HEADER}",
+                    )
+
+    # -------------------------------------------------- fault sites
+
+    def analyze_fault_sites(self) -> None:
+        if not self.has(FAULT_HEADER):
+            return
+        header = self.src(FAULT_HEADER)
+        src_files = self.srcs(self.src_paths)
+        tests = self.srcs(self.test_paths)
+        scripts = {
+            p: t
+            for p in self.script_paths
+            if (t := self.read_text(p)) is not None
+        }
+        readme = self.read_text(README_DOC)
+        reg = regs.extract_fault_sites(
+            header, src_files, tests, scripts, readme
+        )
+        self.registries["fault_sites"] = {
+            "declared": {c.name: c.value for c in reg.declared},
+            "consulted": sorted(reg.consulted),
+            "exercised": sorted(reg.exercised),
+            "documented": sorted(reg.documented),
+        }
+
+        declared_values = {c.value for c in reg.declared}
+        for c in reg.declared:
+            if c.name not in reg.consulted:
+                self.report(
+                    FAULT_HEADER, c.line, "fault-site-orphan",
+                    f"fault site \"{c.value}\" ({c.name}) is never "
+                    "consulted by any faultCheck/sys* call in src/",
+                )
+            if c.value not in reg.exercised:
+                self.report(
+                    FAULT_HEADER, c.line, "fault-site-unexercised",
+                    f"fault site \"{c.value}\" is never armed by any "
+                    "test or chaos phase (MSE_FAULTS)",
+                )
+            if readme is not None and c.value not in reg.documented:
+                self.report(
+                    FAULT_HEADER, c.line, "fault-site-undocumented",
+                    f"fault site \"{c.value}\" has no row in "
+                    f"{README_DOC}'s fault-site table",
+                )
+        for site, line in sorted(reg.documented.items()):
+            if site not in declared_values:
+                self.report(
+                    README_DOC, line, "fault-site-unknown",
+                    f"{README_DOC} documents fault site \"{site}\" "
+                    f"which {FAULT_HEADER} does not declare",
+                )
+        # Armed specs naming unknown sites (typo in a test/chaos file).
+        for f in tests:
+            for lit in f.strings:
+                for m in _FAULT_SPEC_RE.finditer(lit.value):
+                    if m.group(1).startswith(_TEST_SITE_PREFIX):
+                        continue
+                    if m.group(1) not in declared_values:
+                        self.report(
+                            f"{self._relpath_of(f.path)}",
+                            lit.line, "fault-site-unknown",
+                            f"fault spec arms site \"{m.group(1)}\" "
+                            f"which {FAULT_HEADER} does not declare",
+                        )
+        for p, text in scripts.items():
+            for idx, ln in enumerate(text.split("\n")):
+                if "MSE_FAULTS" not in ln:
+                    continue
+                for m in _FAULT_SPEC_RE.finditer(ln):
+                    if m.group(1).startswith(_TEST_SITE_PREFIX):
+                        continue
+                    if m.group(1) not in declared_values:
+                        self.report(
+                            p, idx + 1, "fault-site-unknown",
+                            f"fault spec arms site \"{m.group(1)}\" "
+                            f"which {FAULT_HEADER} does not declare",
+                        )
+        # dup-literal: site literals belong in the header (and in the
+        # user-facing MSE_FAULTS surface: tests/scripts are exempt).
+        for p in self.src_paths:
+            if p == FAULT_HEADER:
+                continue
+            for lit in self.src(p).strings:
+                if lit.value in declared_values:
+                    name = next(
+                        c.name for c in reg.declared
+                        if c.value == lit.value
+                    )
+                    self.report(
+                        p, lit.line, "dup-literal",
+                        f"string \"{lit.value}\" duplicates fault site "
+                        f"fault_sites::{name}; use the constant from "
+                        f"{FAULT_HEADER}",
+                    )
+
+    # -------------------------------------------------- metrics keys
+
+    def analyze_metrics(self) -> None:
+        if not self.has(METRIC_HEADER):
+            return
+        header = self.src(METRIC_HEADER)
+        sources = {
+            e.path: self.src(e.path)
+            for e in STATS_EMITTERS
+            if self.has(e.path)
+        }
+        extra: List[Tuple[Tuple[str, ...], str]] = []
+        mount_re = re.compile(
+            r'\w+\s*\[\s*"(\w+)"\s*\]\s*=\s*\w+\s*(?:->|\.)\s*statsJson\s*\('
+        )
+        for p in AUGMENT_FILES:
+            if not self.has(p):
+                continue
+            for ln in self.src(p).code_ws_lines:
+                m = mount_re.search(ln)
+                if m:
+                    extra.append(((m.group(1),), AUGMENT_TARGET))
+        emitted = regs.resolve_emitted_tree(
+            sources, STATS_EMITTERS, SPLICE_TARGETS, ROOT_EMITTER, extra
+        )
+        consumers = self.srcs(
+            self.test_paths + self.bench_paths + self.tool_cpp_paths
+        )
+        consumer_texts = {
+            p: t
+            for p in self.script_paths
+            if (t := self.read_text(p)) is not None
+        }
+        reg = regs.extract_metrics(header, emitted, consumers, consumer_texts)
+        self.registries["metrics_keys"] = {
+            "declared": {c.name: c.value for c in reg.declared},
+            "emitted": sorted({k.dotted for k in emitted}),
+            "consumed": sorted(reg.consumed),
+        }
+
+        declared_values = {c.value: c for c in reg.declared}
+        emitted_values = {k.dotted for k in emitted}
+        for k in emitted:
+            if k.dotted not in declared_values:
+                self.report(
+                    self._relpath_of(k.file), k.line,
+                    "metrics-key-undeclared",
+                    f"stats key \"{k.dotted}\" is emitted but not "
+                    f"declared in {METRIC_HEADER}",
+                )
+        for c in reg.declared:
+            if c.value not in emitted_values:
+                self.report(
+                    METRIC_HEADER, c.line, "metrics-key-stale",
+                    f"stats key \"{c.value}\" is declared but no "
+                    "emitter produces it",
+                )
+            if c.name not in reg.consumed:
+                self.report(
+                    METRIC_HEADER, c.line, "metrics-key-orphan",
+                    f"stats key \"{c.value}\" is never read by any "
+                    "test, bench, or harness",
+                )
+
+    # -------------------------------------------------- locks
+
+    def analyze_locks(self) -> None:
+        src_files = self.srcs(self.src_paths)
+        model = locks.build_lock_model(src_files)
+        self.registries["locks"] = {
+            "mutexes": [
+                {
+                    "name": m.qualified,
+                    "file": self._relpath_of(m.path),
+                    "line": m.line,
+                    "annotated": m.annotated,
+                }
+                for m in model.mutexes
+            ],
+            "declared_edges": [
+                [a, b] for a, b, _p, _l in model.declared_edges
+            ],
+            "mined_edges": [
+                [a, b] for a, b, _p, _l in model.mined_edges
+            ],
+        }
+        for m in model.mutexes:
+            if not m.annotated:
+                self.report(
+                    self._relpath_of(m.path), m.line, "mutex-unannotated",
+                    f"Mutex {m.qualified} has no thread-safety "
+                    "annotations referencing it (GUARDED_BY/REQUIRES/"
+                    "ACQUIRE/EXCLUDES): invisible to -Wthread-safety",
+                )
+        edges = model.all_edges()
+        edge_site = {(a, b): (p, l) for a, b, p, l in edges}
+        for cyc in locks.find_cycles(edges):
+            a, b = cyc[0], cyc[1]
+            path, line = edge_site.get((a, b), (self.src_paths[0], 1))
+            self.report(
+                self._relpath_of(path)
+                if os.path.isabs(path) else path,
+                line, "lock-order-cycle",
+                "lock-order cycle: " + " -> ".join(cyc),
+            )
+
+    # -------------------------------------------------- includes
+
+    def analyze_includes(self) -> None:
+        src_files = self.srcs(self.src_paths)
+        graph = inc.IncludeGraph()
+        for s in src_files:
+            rel = self._relpath_of(s.path)
+            built = inc.build_include_graph([s])
+            (orig_path, edges), = built.files.items()
+            graph.files[rel] = edges
+        self.registries["include_graph"] = {
+            "modules": MODULE_RANKS,
+            "files": {p: [t for t, _ in e] for p, e in graph.files.items()},
+        }
+        for path, line, mod, tmod in inc.layering_violations(
+            graph, MODULE_RANKS
+        ):
+            self.report(
+                path, line, "layering",
+                f"src/{mod} (rank {MODULE_RANKS[mod]}) must not include "
+                f"src/{tmod} (rank {MODULE_RANKS[tmod]}): layering runs "
+                "strictly downward",
+            )
+        for cyc in inc.include_cycles(graph):
+            self.report(
+                cyc[0], 1, "include-cycle",
+                "include cycle: " + " -> ".join(cyc),
+            )
+
+    # -------------------------------------------------- driver
+
+    def run(self) -> List[Finding]:
+        self.analyze_error_codes()
+        self.analyze_fault_sites()
+        self.analyze_metrics()
+        self.analyze_locks()
+        self.analyze_includes()
+        return self.findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="project-wide semantic analyzer"
+    )
+    ap.add_argument(
+        "--root", default=".", help="repository root (default: cwd)"
+    )
+    ap.add_argument(
+        "--format", choices=("text", "github"), default="text"
+    )
+    ap.add_argument(
+        "--dump-registries",
+        choices=("json",),
+        default=None,
+        help="print the extracted registries to stdout and exit 0",
+    )
+    args = ap.parse_args(argv)
+
+    analyzer = Analyzer(os.path.abspath(args.root))
+    findings = analyzer.run()
+    if args.dump_registries == "json":
+        json.dump(analyzer.registries, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    return emit(
+        findings,
+        args.format,
+        tool="mse_analyze",
+        files_scanned=analyzer.files_scanned,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,7 @@
 #include "common/json.hpp"
 #include "common/math_util.hpp"
 #include "service/net.hpp"
+#include "service/error_codes.hpp"
 
 namespace {
 
@@ -128,8 +129,7 @@ backoffMs(int attempt, int base_ms, int cap_ms, uint64_t seed)
 bool
 retryableCode(const std::string &code)
 {
-    return code == "queue_full" || code == "shutting_down" ||
-        code == "too_many_connections";
+    return mse::wire_errors::isRetryable(code.c_str());
 }
 
 std::vector<int64_t>

@@ -67,7 +67,13 @@ import argparse
 import os
 import re
 import sys
-from dataclasses import dataclass
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+# Shared with tools/mse_analyze.py so suppression syntax, finding
+# formats, and file collection cannot drift between the two tools.
+from analysis.report import ALLOW_RE, Finding, allowed_rules  # noqa: E402
+from analysis.source import CPP_EXTS, collect_files, norm  # noqa: E402
 
 RULES = (
     "json-emit",
@@ -79,10 +85,6 @@ RULES = (
     "raw-syscall",
     "store-construct",
 )
-
-CPP_EXTS = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h"}
-
-ALLOW_RE = re.compile(r"//\s*mse-lint:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
 
 # A string literal containing the opening of a JSON object/field, e.g.
 # "{\"type\":..." — the signature of hand-rolled JSON emission.
@@ -136,22 +138,6 @@ STORE_CONSTRUCT_RE = re.compile(
 )
 
 
-@dataclass
-class Finding:
-    path: str
-    line: int  # 1-based
-    rule: str
-    message: str
-
-    def format(self, fmt: str) -> str:
-        if fmt == "github":
-            return (
-                f"::error file={self.path},line={self.line},"
-                f"title=mse-lint {self.rule}::{self.message}"
-            )
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
 def strip_comments_and_strings(line: str) -> str:
     """Code content of a line for structural rules (keeps length rough)."""
     line = re.sub(r'"(?:\\.|[^"\\])*"', '""', line)
@@ -159,22 +145,10 @@ def strip_comments_and_strings(line: str) -> str:
     return re.sub(r"//.*", "", line)
 
 
-def allowed_rules(lines: list[str], idx: int) -> set[str]:
-    """Rules suppressed at line index idx (same line or the line above)."""
-    out: set[str] = set()
-    for look in (idx, idx - 1):
-        if 0 <= look < len(lines):
-            m = ALLOW_RE.search(lines[look])
-            if m:
-                out.update(r.strip() for r in m.group(1).split(","))
-    return out
-
-
-def norm(path: str) -> str:
-    return path.replace(os.sep, "/")
-
-
 def in_dir(path: str, prefix: str) -> bool:
+    """Prefix match (unlike analysis.source.in_dir's component match):
+    lint scopes are path prefixes like "src/service/" or even file
+    stems like "src/common/json"."""
     return norm(path).startswith(prefix) or ("/" + prefix) in norm(path)
 
 
@@ -369,21 +343,6 @@ def lint_file(path: str, text: str | None = None) -> list[Finding]:
             text = f.read()
     return FileLinter(norm(path), text,
                       header_unordered_members(path)).run()
-
-
-def collect_files(paths: list[str]) -> list[str]:
-    out: list[str] = []
-    for p in paths:
-        if os.path.isfile(p):
-            if os.path.splitext(p)[1] in CPP_EXTS:
-                out.append(p)
-        else:
-            for root, dirs, files in os.walk(p):
-                dirs[:] = sorted(d for d in dirs if not d.startswith("."))
-                for f in sorted(files):
-                    if os.path.splitext(f)[1] in CPP_EXTS:
-                        out.append(os.path.join(root, f))
-    return out
 
 
 def main(argv: list[str]) -> int:
