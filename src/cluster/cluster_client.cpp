@@ -1,6 +1,7 @@
 #include "cluster/cluster_client.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/json.hpp"
 #include "service/net.hpp"
@@ -9,10 +10,60 @@
 
 namespace mse {
 
-ClusterClient::ClusterClient(ClusterConfig cluster, int io_timeout_ms)
-    : cluster_(std::move(cluster)), ring_(cluster_.ring()),
-      io_timeout_ms_(io_timeout_ms)
+namespace {
+
+double
+nowSeconds()
 {
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+ClusterClient::ClusterClient(ClusterConfig cluster, int io_timeout_ms,
+                             int node_retry_ttl_ms)
+    : cluster_(std::move(cluster)), ring_(cluster_.ring()),
+      io_timeout_ms_(io_timeout_ms),
+      node_retry_ttl_ms_(node_retry_ttl_ms)
+{
+}
+
+void
+ClusterClient::markFailed(const std::string &node)
+{
+    if (node_retry_ttl_ms_ <= 0)
+        return;
+    MutexLock lk(mu_);
+    failed_until_[node] = nowSeconds() + node_retry_ttl_ms_ / 1e3;
+}
+
+bool
+ClusterClient::isDeferred(const std::string &node) const
+{
+    MutexLock lk(mu_);
+    const auto it = failed_until_.find(node);
+    return it != failed_until_.end() && it->second > nowSeconds();
+}
+
+std::vector<std::string>
+ClusterClient::orderCandidates(std::vector<std::string> nodes) const
+{
+    const double now = nowSeconds();
+    std::vector<std::string> healthy, deferred;
+    MutexLock lk(mu_);
+    for (std::string &node : nodes) {
+        const auto it = failed_until_.find(node);
+        if (it != failed_until_.end() && it->second > now)
+            deferred.push_back(std::move(node));
+        else
+            healthy.push_back(std::move(node));
+    }
+    healthy.insert(healthy.end(),
+                   std::make_move_iterator(deferred.begin()),
+                   std::make_move_iterator(deferred.end()));
+    return healthy;
 }
 
 std::vector<std::string>
@@ -36,17 +87,20 @@ ClusterClient::tryNode(const std::string &node, const std::string &line)
     uint16_t port = 0;
     if (!splitHostPort(node, &host, &port)) {
         r.error = "bad node address '" + node + "'";
+        markFailed(node);
         return r;
     }
     std::string err;
     const int fd = connectTcp(host, port, &err);
     if (fd < 0) {
         r.error = node + ": " + err;
+        markFailed(node);
         return r;
     }
     if (!sendLine(fd, line)) {
         closeSocket(fd);
         r.error = node + ": send failed";
+        markFailed(node);
         return r;
     }
     LineReader reader(fd);
@@ -58,10 +112,17 @@ ClusterClient::tryNode(const std::string &node, const std::string &line)
             (status == LineReader::Status::Timeout
                  ? ": reply timeout"
                  : ": connection lost before reply");
+        markFailed(node);
         return r;
     }
     r.ok = true;
     r.served_by = node;
+    // One success clears the deferral immediately: a recovered daemon
+    // regains its ring position without waiting out the TTL.
+    {
+        MutexLock lk(mu_);
+        failed_until_.erase(node);
+    }
     return r;
 }
 
@@ -70,10 +131,12 @@ ClusterClient::request(const std::string &line)
 {
     // Candidate order: the key's replica set for searches (owner
     // first — that's where the freshest best lives), every node for
-    // anything else.
+    // anything else. Recently failed nodes sort to the back but stay
+    // in the sweep — a deferral, never a demotion.
     std::vector<std::string> candidates = routeOf(line);
     if (candidates.empty())
         candidates = ring_.nodes();
+    candidates = orderCandidates(std::move(candidates));
 
     Result last;
     std::vector<std::string> tried;

@@ -19,14 +19,25 @@
  * One request() call makes a single sweep over the key's candidates
  * (replicas, then redirect targets); retry/backoff policy across
  * sweeps belongs to the caller (mse_client keeps its existing loop).
+ *
+ * Failure memory is a TTL cache, not a demotion: a node that failed a
+ * transport attempt is *deferred* — moved to the back of the candidate
+ * order so healthy replicas are tried first — for node_retry_ttl_ms,
+ * then treated as healthy again. Deferred nodes are never skipped
+ * (a fully deferred candidate set still gets a full sweep), and one
+ * success clears the mark immediately, so a recovered daemon regains
+ * its ring position after at most one TTL instead of being shunned
+ * for the client's lifetime.
  */
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace mse {
 
@@ -34,8 +45,12 @@ namespace mse {
 class ClusterClient
 {
   public:
-    /** io_timeout_ms bounds each connect-send-receive leg. */
-    ClusterClient(ClusterConfig cluster, int io_timeout_ms = 120000);
+    /** io_timeout_ms bounds each connect-send-receive leg;
+     *  node_retry_ttl_ms is how long a transport failure defers a
+     *  node to the back of the candidate order (0 disables the
+     *  failure cache entirely). */
+    ClusterClient(ClusterConfig cluster, int io_timeout_ms = 120000,
+                  int node_retry_ttl_ms = 5000);
 
     /** Outcome of one routed request (a single candidate sweep). */
     struct Result
@@ -62,19 +77,45 @@ class ClusterClient
     std::vector<std::pair<std::string, Result>>
     broadcast(const std::string &line);
 
-    /** Candidate nodes for `line`, in routing order (test hook):
-     *  empty when the line is not a routable search. */
+    /** Candidate nodes for `line`, in pure ring order (test hook):
+     *  empty when the line is not a routable search. Failure-cache
+     *  deferral is applied on top of this by request() — see
+     *  orderCandidates(). */
     std::vector<std::string> routeOf(const std::string &line) const;
+
+    /**
+     * Apply the failure cache to a candidate list: nodes whose last
+     * transport failure is within the TTL move to the back (original
+     * order preserved within each group); nothing is ever dropped.
+     */
+    std::vector<std::string>
+    orderCandidates(std::vector<std::string> nodes) const EXCLUDES(mu_);
+
+    /** Record a transport failure against a node, deferring it for
+     *  the TTL (request() does this automatically; test hook). */
+    void markFailed(const std::string &node) EXCLUDES(mu_);
+
+    /** True while `node` is deferred by the failure cache. */
+    bool isDeferred(const std::string &node) const EXCLUDES(mu_);
 
     const ShardRing &ring() const { return ring_; }
 
   private:
-    /** One connect-send-receive against a single node. */
-    Result tryNode(const std::string &node, const std::string &line);
+    /** One connect-send-receive against a single node. Updates the
+     *  failure cache: transport failure marks, success clears. */
+    Result tryNode(const std::string &node, const std::string &line)
+        EXCLUDES(mu_);
 
     ClusterConfig cluster_;
     ShardRing ring_;
     int io_timeout_ms_;
+    int node_retry_ttl_ms_;
+
+    mutable Mutex mu_;
+    /** node -> steady-clock deadline (seconds) until which it is
+     *  deferred. Entries are dropped on success or natural expiry. */
+    std::unordered_map<std::string, double> failed_until_
+        GUARDED_BY(mu_);
 };
 
 } // namespace mse

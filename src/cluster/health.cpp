@@ -1,0 +1,251 @@
+#include "cluster/health.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/cluster_faults.hpp"
+#include "common/fault_sites.hpp"
+#include "service/net.hpp"
+
+namespace mse {
+
+namespace {
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+/** Stop-responsive sleep slice, ms. */
+constexpr int kSliceMs = 10;
+
+} // namespace
+
+const char *
+peerHealthName(PeerHealth h)
+{
+    switch (h) {
+      case PeerHealth::Up:
+        return "up";
+      case PeerHealth::Suspect:
+        return "suspect";
+      case PeerHealth::Down:
+        return "down";
+    }
+    return "up";
+}
+
+HealthMonitor::HealthMonitor(const ClusterConfig &cluster,
+                             HealthConfig cfg)
+    : cluster_(cluster), cfg_(cfg)
+{
+    const ShardRing ring = cluster_.ring();
+    const double now = nowSeconds();
+    MutexLock lk(mu_);
+    for (const std::string &addr : ring.nodes()) {
+        if (addr == cluster_.self)
+            continue;
+        PeerProbe ps;
+        ps.addr = addr;
+        if (!splitHostPort(addr, &ps.host, &ps.port))
+            continue; // Unroutable peer address: skip it entirely.
+        ps.next_probe_at = now; // First probe due immediately.
+        peers_.push_back(std::move(ps));
+    }
+}
+
+HealthMonitor::~HealthMonitor()
+{
+    stop();
+}
+
+void
+HealthMonitor::setOnTransition(TransitionFn fn)
+{
+    on_transition_ = std::move(fn);
+}
+
+void
+HealthMonitor::start()
+{
+    {
+        MutexLock lk(mu_);
+        if (running_ || peers_.empty())
+            return;
+        running_ = true;
+    }
+    stopping_.store(false);
+    prober_ = std::thread([this] { probeLoop(); });
+}
+
+void
+HealthMonitor::stop()
+{
+    stopping_.store(true);
+    if (prober_.joinable())
+        prober_.join();
+    MutexLock lk(mu_);
+    running_ = false;
+}
+
+PeerHealth
+HealthMonitor::healthOf(const std::string &addr) const
+{
+    MutexLock lk(mu_);
+    for (const PeerProbe &ps : peers_)
+        if (ps.addr == addr)
+            return ps.state;
+    return PeerHealth::Up;
+}
+
+PeerHealth
+HealthMonitor::nextState(PeerHealth cur, bool probe_ok,
+                         int consecutive_failures, int down_after)
+{
+    if (probe_ok) {
+        // Down climbs back through Suspect: one lucky probe through a
+        // flapping link must not flip a peer straight to Up.
+        if (cur == PeerHealth::Down)
+            return PeerHealth::Suspect;
+        return PeerHealth::Up;
+    }
+    if (cur == PeerHealth::Suspect)
+        return PeerHealth::Down; // The recovery didn't hold.
+    if (consecutive_failures >= down_after)
+        return PeerHealth::Down;
+    return cur;
+}
+
+bool
+HealthMonitor::probeOnce(const std::string &addr,
+                         const std::string &host, uint16_t port)
+{
+    if (clusterFaultCheck(fault_sites::kClusterProbe, addr) != 0)
+        return false;
+    std::string err;
+    const int fd = connectTcp(host, port, &err);
+    if (fd < 0)
+        return false;
+    JsonValue msg = JsonValue::object();
+    msg["type"] = "probe";
+    msg["from"] = cluster_.self;
+    bool ok = sendLine(fd, msg.dump());
+    if (ok) {
+        LineReader reader(fd);
+        std::string line;
+        ok = reader.readLine(&line, cfg_.probe_timeout_ms) ==
+            LineReader::Status::Line;
+        if (ok) {
+            const auto doc = parseJson(line);
+            ok = doc && doc->getBool("ok", false);
+        }
+    }
+    closeSocket(fd);
+    return ok;
+}
+
+void
+HealthMonitor::probeLoop()
+{
+    while (!stopping_.load()) {
+        // Pick the next due peer (deterministic: ring order breaks
+        // ties) without holding the lock across network I/O.
+        std::string addr, host;
+        uint16_t port = 0;
+        double next_due = 0.0;
+        {
+            const double now = nowSeconds();
+            MutexLock lk(mu_);
+            next_due = now + cfg_.probe_interval_ms / 1e3;
+            for (PeerProbe &ps : peers_) {
+                if (ps.next_probe_at <= now && addr.empty()) {
+                    addr = ps.addr;
+                    host = ps.host;
+                    port = ps.port;
+                    ps.next_probe_at =
+                        now + cfg_.probe_interval_ms / 1e3;
+                } else {
+                    next_due = std::min(next_due, ps.next_probe_at);
+                }
+            }
+        }
+        if (addr.empty()) {
+            // Nothing due yet: sleep in slices so stop() stays
+            // responsive.
+            const double until = std::min(
+                next_due, nowSeconds() + cfg_.probe_interval_ms / 1e3);
+            while (!stopping_.load() && nowSeconds() < until)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(kSliceMs));
+            continue;
+        }
+        const bool ok = probeOnce(addr, host, port);
+        PeerHealth from = PeerHealth::Up, to = PeerHealth::Up;
+        bool changed = false;
+        {
+            MutexLock lk(mu_);
+            for (PeerProbe &ps : peers_) {
+                if (ps.addr != addr)
+                    continue;
+                ++ps.probes_sent;
+                if (ok)
+                    ps.consecutive_failures = 0;
+                else {
+                    ++ps.probes_failed;
+                    ++ps.consecutive_failures;
+                }
+                from = ps.state;
+                to = nextState(ps.state, ok, ps.consecutive_failures,
+                               cfg_.down_after);
+                if (to != from) {
+                    ps.state = to;
+                    ++ps.transitions;
+                    changed = true;
+                }
+                break;
+            }
+        }
+        if (changed && on_transition_)
+            on_transition_(addr, from, to);
+    }
+}
+
+JsonValue
+HealthMonitor::statsJson() const
+{
+    JsonValue j = JsonValue::object();
+    j["probe_interval_ms"] = cfg_.probe_interval_ms;
+    j["down_after"] = cfg_.down_after;
+    uint64_t up = 0, suspect = 0, down = 0;
+    uint64_t sent = 0, failed = 0;
+    JsonValue &peers = j["peers"];
+    peers = JsonValue::object();
+    MutexLock lk(mu_);
+    for (const PeerProbe &ps : peers_) {
+        JsonValue &pp = peers[ps.addr];
+        pp["state"] = peerHealthName(ps.state);
+        pp["consecutive_failures"] = ps.consecutive_failures;
+        pp["probes_sent"] = ps.probes_sent;
+        pp["probes_failed"] = ps.probes_failed;
+        pp["transitions"] = ps.transitions;
+        sent += ps.probes_sent;
+        failed += ps.probes_failed;
+        if (ps.state == PeerHealth::Up)
+            ++up;
+        else if (ps.state == PeerHealth::Suspect)
+            ++suspect;
+        else
+            ++down;
+    }
+    j["peers_up"] = up;
+    j["peers_suspect"] = suspect;
+    j["peers_down"] = down;
+    j["probes_sent"] = sent;
+    j["probes_failed"] = failed;
+    return j;
+}
+
+} // namespace mse

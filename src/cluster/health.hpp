@@ -1,0 +1,140 @@
+/**
+ * @file
+ * HealthMonitor: active failure detection for cluster peers.
+ *
+ * One probe thread walks the ring peers on a deterministic
+ * steady-clock schedule (every probe_interval_ms per peer), sending
+ * {"type":"probe"} over the normal wire protocol and applying a
+ * three-state hysteresis machine to the outcomes:
+ *
+ *     Up ──(down_after consecutive failures)──▶ Down
+ *     Down ──(one success)──▶ Suspect
+ *     Suspect ──(one success)──▶ Up
+ *     Suspect ──(one failure)──▶ Down
+ *
+ * The Suspect waypoint means a single lucky probe through a flapping
+ * link cannot flip a peer straight back to Up — it takes two
+ * consecutive successes, so hint drains and sync pulls don't thrash.
+ *
+ * Consumers poll healthOf() (ReplicationAgent gates shipping and
+ * spills to hints on Down) or register an onTransition callback
+ * (the daemon schedules an anti-entropy sync when a peer returns).
+ * The callback fires on the probe thread with no monitor lock held.
+ *
+ * Probes go through the cluster.probe fault site (per-peer via
+ * MSE_FAULT_PEERS), so the chaos harness can sever the probe path
+ * without touching real sockets.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/json.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace mse {
+
+/** Observed availability of one peer. */
+enum class PeerHealth
+{
+    Up,      ///< Answering probes.
+    Suspect, ///< First success after Down; one more promotes to Up.
+    Down,    ///< down_after consecutive probe failures.
+};
+
+/** Stable wire/stats name of a health state. */
+const char *peerHealthName(PeerHealth h);
+
+/** Tuning knobs of the health monitor. */
+struct HealthConfig
+{
+    /** Per-peer probe period, ms. */
+    int probe_interval_ms = 500;
+
+    /** Per-probe reply timeout, ms. */
+    int probe_timeout_ms = 1000;
+
+    /** Consecutive failures before Up degrades to Down. */
+    int down_after = 3;
+};
+
+/** Probes ring peers and tracks their availability. */
+class HealthMonitor
+{
+  public:
+    /** Transition callback: (peer, previous state, new state). */
+    using TransitionFn = std::function<void(
+        const std::string &peer, PeerHealth from, PeerHealth to)>;
+
+    HealthMonitor(const ClusterConfig &cluster, HealthConfig cfg = {});
+    ~HealthMonitor();
+
+    HealthMonitor(const HealthMonitor &) = delete;
+    HealthMonitor &operator=(const HealthMonitor &) = delete;
+
+    /** Install the transition callback. Must be called before
+     *  start(); the probe thread reads it unlocked. */
+    void setOnTransition(TransitionFn fn);
+
+    /** Start the probe thread (idempotent). */
+    void start();
+
+    /** Stop and join the probe thread (idempotent; destructor calls
+     *  it). */
+    void stop();
+
+    /** Current state of one peer (Up for unknown addresses: absent
+     *  peers must not look dead). */
+    PeerHealth healthOf(const std::string &addr) const;
+
+    /**
+     * The pure hysteresis step, exposed so tests can replay exact
+     * transition sequences without sockets or clocks.
+     * `consecutive_failures` is the count *including* this probe when
+     * probe_ok is false.
+     */
+    static PeerHealth nextState(PeerHealth cur, bool probe_ok,
+                                int consecutive_failures,
+                                int down_after);
+
+    /** Stats block mounted at "health" in the daemon's statsJson. */
+    JsonValue statsJson() const;
+
+  private:
+    struct PeerProbe
+    {
+        std::string addr;
+        std::string host;
+        uint16_t port = 0;
+        PeerHealth state = PeerHealth::Up;
+        int consecutive_failures = 0;
+        uint64_t probes_sent = 0;
+        uint64_t probes_failed = 0;
+        uint64_t transitions = 0;
+        double next_probe_at = 0.0; ///< steady-clock seconds.
+    };
+
+    void probeLoop();
+    /** One probe round-trip (fault gate + connect + request). */
+    bool probeOnce(const std::string &addr, const std::string &host,
+                   uint16_t port);
+
+    ClusterConfig cluster_;
+    HealthConfig cfg_;
+    TransitionFn on_transition_;
+
+    mutable Mutex mu_;
+    std::vector<PeerProbe> peers_ GUARDED_BY(mu_);
+    bool running_ GUARDED_BY(mu_) = false;
+
+    std::thread prober_;
+    std::atomic<bool> stopping_{false};
+};
+
+} // namespace mse

@@ -1,0 +1,180 @@
+#include "cluster/hints.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <fcntl.h>
+
+#include "common/fault_sites.hpp"
+#include "common/sys_io.hpp"
+
+namespace mse {
+
+std::string
+hintFilePath(const std::string &prefix, const std::string &peer_addr)
+{
+    if (prefix.empty())
+        return "";
+    std::string sanitized = peer_addr;
+    for (char &c : sanitized)
+        if (c == ':' || c == '/')
+            c = '_';
+    return prefix + "hints_" + sanitized + ".jsonl";
+}
+
+HintLog::HintLog(std::string path, size_t capacity)
+    : path_(std::move(path)), capacity_(capacity == 0 ? 1 : capacity)
+{
+    MutexLock lk(mu_);
+    loadLocked();
+}
+
+void
+HintLog::loadLocked()
+{
+    if (path_.empty())
+        return;
+    const int fd = sysOpen(path_.c_str(), O_RDONLY, 0,
+                           fault_sites::kClusterHintRead);
+    if (fd < 0)
+        return; // Missing file = no pending hints; read errors too —
+                // hints are redundancy, sync backstops them.
+    std::string pending;
+    char chunk[1 << 16];
+    auto ingest = [this](const std::string &line) {
+        if (line.empty())
+            return;
+        auto e = MappingStore::decodeEntry(line);
+        if (!e) {
+            ++malformed_;
+            return;
+        }
+        if (q_.size() >= capacity_) {
+            q_.pop_front();
+            ++dropped_; // Trim oldest: freshest hints win.
+        }
+        q_.push_back(std::move(*e));
+    };
+    while (true) {
+        const ssize_t r = sysRead(fd, chunk, sizeof(chunk),
+                                  fault_sites::kClusterHintRead);
+        if (r < 0) {
+            pending.clear();
+            break; // Keep the parsed prefix.
+        }
+        if (r == 0)
+            break;
+        pending.append(chunk, static_cast<size_t>(r));
+        size_t start = 0;
+        while (true) {
+            const size_t nl = pending.find('\n', start);
+            if (nl == std::string::npos)
+                break;
+            ingest(pending.substr(start, nl - start));
+            start = nl + 1;
+        }
+        pending.erase(0, start);
+    }
+    if (!pending.empty()) {
+        // Crash mid-append (MappingStore tail convention): parse the
+        // unterminated line if it decodes, count it otherwise.
+        tail_unterminated_ = true;
+        ingest(pending);
+    }
+    sysClose(fd);
+}
+
+bool
+HintLog::appendLineLocked(const std::string &line)
+{
+    const int fd = sysOpen(path_.c_str(),
+                           O_WRONLY | O_APPEND | O_CREAT, 0644,
+                           fault_sites::kClusterHintAppend);
+    if (fd < 0)
+        return false;
+    const std::string data = line + "\n";
+    const bool ok = sysWriteAll(fd, data.data(), data.size(),
+                                fault_sites::kClusterHintAppend);
+    sysClose(fd);
+    return ok;
+}
+
+void
+HintLog::truncateFileLocked()
+{
+    const int fd = sysOpen(path_.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC, 0644,
+                           fault_sites::kClusterHintAppend);
+    if (fd >= 0)
+        sysClose(fd);
+}
+
+void
+HintLog::push(const StoreEntry &e)
+{
+    MutexLock lk(mu_);
+    if (q_.size() >= capacity_) {
+        q_.pop_front();
+        ++dropped_;
+    }
+    q_.push_back(e);
+    if (!path_.empty()) {
+        // Append failures lose only redundancy (the hint stays in
+        // memory; anti-entropy sync backstops a crash), so they are
+        // not fatal and not sticky.
+        (void)appendLineLocked(MappingStore::encodeEntry(e));
+    }
+}
+
+std::vector<StoreEntry>
+HintLog::peek(size_t max_n) const
+{
+    MutexLock lk(mu_);
+    std::vector<StoreEntry> out;
+    const size_t n = std::min(max_n, q_.size());
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(q_[i]);
+    return out;
+}
+
+void
+HintLog::popFront(size_t n)
+{
+    MutexLock lk(mu_);
+    for (size_t i = 0; i < n && !q_.empty(); ++i)
+        q_.pop_front();
+    // Every hint acked: start the file clean. Until then shipped
+    // lines linger on disk — harmless, a crash re-ships idempotently.
+    if (!path_.empty() && q_.empty())
+        truncateFileLocked();
+}
+
+size_t
+HintLog::size() const
+{
+    MutexLock lk(mu_);
+    return q_.size();
+}
+
+uint64_t
+HintLog::dropped() const
+{
+    MutexLock lk(mu_);
+    return dropped_;
+}
+
+uint64_t
+HintLog::malformedLines() const
+{
+    MutexLock lk(mu_);
+    return malformed_;
+}
+
+bool
+HintLog::tailUnterminated() const
+{
+    MutexLock lk(mu_);
+    return tail_unterminated_;
+}
+
+} // namespace mse

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * HintLog: the bounded hinted-handoff buffer for one Down peer.
+ *
+ * When a ring successor is Down, ReplicationAgent redirects its
+ * replication batches here instead of burning backoff retries against
+ * a dead socket. The log is a bounded in-memory deque mirrored to an
+ * append-only JSONL file (one MappingStore record line per hint)
+ * through the sys_io seam — cluster.hint.append / cluster.hint.read
+ * fault sites — so hints survive a daemon restart. On recovery the
+ * agent drains oldest-first and truncates the file once every hint is
+ * acked.
+ *
+ * Overflow drops the *oldest* hints (counted): hints are monotone
+ * best-score records like everything else in replication, so the
+ * freshest ones carry the most information, and anti-entropy sync
+ * backstops anything dropped.
+ *
+ * Loading follows the MappingStore tail conventions: a final line
+ * without a newline (crash mid-append) is still parsed if it decodes,
+ * and malformed lines are skipped and counted, never fatal.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "service/mapping_store.hpp"
+
+namespace mse {
+
+/** Bounded, file-backed hint queue for one peer. */
+class HintLog
+{
+  public:
+    /**
+     * path empty = memory-only (tests, in-memory daemons). A
+     * non-empty path is loaded immediately; entries beyond capacity
+     * are trimmed oldest-first (counted as dropped).
+     */
+    HintLog(std::string path, size_t capacity);
+
+    HintLog(const HintLog &) = delete;
+    HintLog &operator=(const HintLog &) = delete;
+
+    /** Append one hint (drop-oldest on overflow). */
+    void push(const StoreEntry &e) EXCLUDES(mu_);
+
+    /** Oldest max_n hints, in order, without removing them. */
+    std::vector<StoreEntry> peek(size_t max_n) const EXCLUDES(mu_);
+
+    /**
+     * Drop the oldest n hints after a successful ship. When the queue
+     * empties, the backing file is truncated — until then it may hold
+     * already-shipped lines, which is safe: a crash mid-drain re-ships
+     * them and best-score-wins merge makes that a no-op.
+     */
+    void popFront(size_t n) EXCLUDES(mu_);
+
+    size_t size() const EXCLUDES(mu_);
+
+    /** Hints dropped by overflow (including load-time trimming). */
+    uint64_t dropped() const EXCLUDES(mu_);
+
+    /** Malformed lines skipped while loading the hint file. */
+    uint64_t malformedLines() const EXCLUDES(mu_);
+
+    /** True when the loaded file ended in an unterminated line. */
+    bool tailUnterminated() const EXCLUDES(mu_);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void loadLocked() REQUIRES(mu_);
+    bool appendLineLocked(const std::string &line) REQUIRES(mu_);
+    void truncateFileLocked() REQUIRES(mu_);
+
+    std::string path_;
+    size_t capacity_;
+
+    mutable Mutex mu_;
+    std::deque<StoreEntry> q_ GUARDED_BY(mu_);
+    uint64_t dropped_ GUARDED_BY(mu_) = 0;
+    uint64_t malformed_ GUARDED_BY(mu_) = 0;
+    bool tail_unterminated_ GUARDED_BY(mu_) = false;
+};
+
+/** Hint-file path for one peer: prefix + sanitized peer address
+ *  (':' and '/' become '_'). Empty prefix = memory-only logs. */
+std::string hintFilePath(const std::string &prefix,
+                         const std::string &peer_addr);
+
+} // namespace mse

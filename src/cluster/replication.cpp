@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/cluster_faults.hpp"
+#include "common/fault_sites.hpp"
+#include "service/error_codes.hpp"
 #include "service/net.hpp"
 
 namespace mse {
@@ -20,8 +23,10 @@ nowSeconds()
 } // namespace
 
 ReplicationAgent::ReplicationAgent(const ClusterConfig &cluster,
-                                   ReplicationConfig cfg)
-    : cluster_(cluster), ring_(cluster.ring()), cfg_(cfg)
+                                   ReplicationConfig cfg,
+                                   ReplicationHooks hooks)
+    : cluster_(cluster), ring_(cluster.ring()), cfg_(std::move(cfg)),
+      hooks_(std::move(hooks))
 {
     for (const std::string &addr : ring_.nodes()) {
         if (addr == cluster_.self)
@@ -30,6 +35,9 @@ ReplicationAgent::ReplicationAgent(const ClusterConfig &cluster,
         p->addr = addr;
         if (!splitHostPort(addr, &p->host, &p->port))
             continue; // Unroutable peer address: skip it entirely.
+        p->hints = std::make_unique<HintLog>(
+            hintFilePath(cfg_.hint_path_prefix, addr),
+            cfg_.hint_capacity);
         peers_.push_back(std::move(p));
     }
     for (auto &p : peers_) {
@@ -75,9 +83,47 @@ ReplicationAgent::enqueue(const StoreEntry &e)
     }
 }
 
-bool
-ReplicationAgent::shipBatch(Peer &p, const std::vector<Item> &batch)
+void
+ReplicationAgent::requestSync(const std::string &addr)
 {
+    for (auto &p : peers_) {
+        if (p->addr != addr)
+            continue;
+        {
+            MutexLock lk(p->mu);
+            p->sync_pending = true;
+        }
+        p->cv.notify_one();
+    }
+}
+
+void
+ReplicationAgent::requestSyncAll()
+{
+    for (auto &p : peers_)
+        requestSync(p->addr);
+}
+
+PeerHealth
+ReplicationAgent::peerHealth(const Peer &p) const
+{
+    return hooks_.health_of ? hooks_.health_of(p.addr) : PeerHealth::Up;
+}
+
+bool
+ReplicationAgent::shipEntries(Peer &p,
+                              const std::vector<StoreEntry> &entries,
+                              uint64_t *merged_out, bool *acked_out)
+{
+    if (clusterFaultCheck(fault_sites::kClusterShip, p.addr) != 0) {
+        // Injected outbound failure: behave like a real send error
+        // (connection is gone, caller backs off).
+        if (p.fd >= 0) {
+            closeSocket(p.fd);
+            p.fd = -1;
+        }
+        return false;
+    }
     if (p.fd < 0) {
         std::string err;
         p.fd = connectTcp(p.host, p.port, &err);
@@ -87,10 +133,10 @@ ReplicationAgent::shipBatch(Peer &p, const std::vector<Item> &batch)
     JsonValue msg = JsonValue::object();
     msg["type"] = "replicate";
     msg["from"] = cluster_.self;
-    JsonValue &entries = msg["entries"];
-    entries = JsonValue::array();
-    for (const Item &it : batch)
-        entries.push(MappingStore::encodeEntryJson(it.entry));
+    JsonValue &arr = msg["entries"];
+    arr = JsonValue::array();
+    for (const StoreEntry &e : entries)
+        arr.push(MappingStore::encodeEntryJson(e));
     if (!sendLine(p.fd, msg.dump())) {
         closeSocket(p.fd);
         p.fd = -1;
@@ -105,66 +151,233 @@ ReplicationAgent::shipBatch(Peer &p, const std::vector<Item> &batch)
         return false;
     }
     const auto doc = parseJson(line);
-    if (!doc || !doc->getBool("ok", false)) {
-        // A daemon that answers but rejects (e.g. an older build) is
-        // not coming around on retry; drop the batch rather than spin.
-        // The connection itself is still fine.
-        return true;
+    if (!doc)
+        return true; // Unparseable ack: not coming around on retry.
+    if (!doc->getBool("ok", false)) {
+        // A structured refusal: retryable codes (unavailable — the
+        // peer is alive but gating cluster ops) keep the batch queued
+        // for the backoff path; anything else (e.g. an older build
+        // rejecting the op) drops it rather than spin. The connection
+        // itself is still fine either way.
+        const JsonValue *err = doc->find("error");
+        const std::string code =
+            err ? err->getString("code", "") : std::string();
+        return !wire_errors::isRetryable(code.c_str());
     }
-    MutexLock lk(p.mu);
-    p.merged += static_cast<uint64_t>(doc->getInt("merged", 0));
-    p.acked += batch.size();
+    if (acked_out)
+        *acked_out = true;
+    if (merged_out)
+        *merged_out += static_cast<uint64_t>(doc->getInt("merged", 0));
     return true;
+}
+
+bool
+ReplicationAgent::syncRound(Peer &p, size_t *pulled_out, bool *more_out)
+{
+    *pulled_out = 0;
+    *more_out = false;
+    if (!hooks_.local_digest || !hooks_.apply_entries)
+        return true; // Anti-entropy disabled: nothing to do.
+    if (clusterFaultCheck(fault_sites::kClusterSync, p.addr) != 0) {
+        if (p.fd >= 0) {
+            closeSocket(p.fd);
+            p.fd = -1;
+        }
+        return false;
+    }
+    if (p.fd < 0) {
+        std::string err;
+        p.fd = connectTcp(p.host, p.port, &err);
+        if (p.fd < 0)
+            return false;
+    }
+    JsonValue msg = JsonValue::object();
+    msg["type"] = "sync";
+    msg["from"] = cluster_.self;
+    JsonValue &digest = msg["digest"];
+    digest = JsonValue::object();
+    for (const auto &kv : hooks_.local_digest())
+        digest[kv.first] = kv.second;
+    if (!sendLine(p.fd, msg.dump())) {
+        closeSocket(p.fd);
+        p.fd = -1;
+        return false;
+    }
+    LineReader reader(p.fd);
+    std::string line;
+    if (reader.readLine(&line, cfg_.io_timeout_ms) !=
+        LineReader::Status::Line) {
+        closeSocket(p.fd);
+        p.fd = -1;
+        return false;
+    }
+    const auto doc = parseJson(line);
+    if (!doc)
+        return true;
+    if (!doc->getBool("ok", false)) {
+        const JsonValue *err = doc->find("error");
+        const std::string code =
+            err ? err->getString("code", "") : std::string();
+        return !wire_errors::isRetryable(code.c_str());
+    }
+    std::vector<StoreEntry> pulled;
+    if (const JsonValue *arr = doc->find("entries")) {
+        if (arr->isArray()) {
+            for (const JsonValue &item : arr->items()) {
+                auto e = MappingStore::decodeEntryJson(item);
+                if (e)
+                    pulled.push_back(std::move(*e));
+            }
+        }
+    }
+    if (!pulled.empty())
+        *pulled_out = hooks_.apply_entries(pulled);
+    // A non-empty reply may have been capped by the responder: run
+    // another round (the refreshed digest shrinks the diff each time,
+    // so this terminates).
+    *more_out = !pulled.empty();
+    return true;
+}
+
+void
+ReplicationAgent::spillToHints(Peer &p)
+{
+    std::deque<Item> moved;
+    {
+        MutexLock lk(p.mu);
+        moved.swap(p.q);
+    }
+    // Hint pushes (and their file appends) run with the queue
+    // unlocked, so enqueue() never blocks behind hint-file I/O.
+    for (const Item &it : moved)
+        p.hints->push(it.entry);
 }
 
 void
 ReplicationAgent::workerLoop(Peer &p)
 {
-    int backoff_ms = 0; // 0 = healthy, ship as soon as work arrives.
     while (true) {
-        std::vector<Item> batch;
         {
             MutexUniqueLock lk(p.mu);
-            while (!stopping_.load() && p.q.empty())
+            if (!stopping_.load() && p.q.empty() && !p.sync_pending)
                 p.cv.wait_for(
                     lk.native(),
                     std::chrono::milliseconds(cfg_.flush_interval_ms));
-            if (p.q.empty()) {
-                if (stopping_.load())
-                    break;
-                continue;
+        }
+        const bool stopping = stopping_.load();
+
+        if (peerHealth(p) == PeerHealth::Down) {
+            // Hinted handoff: park the pending records instead of
+            // burning backoff retries against a dead socket. The
+            // flush-interval wait above paces re-checking.
+            spillToHints(p);
+            {
+                MutexLock lk(p.mu);
+                p.backoff_ms = 0; // Down is not a retry loop.
             }
+            if (stopping)
+                break;
+            continue;
+        }
+
+        bool io_failed = false;
+        bool did_work = false;
+
+        // 1) Drain hints first — oldest data, one batch per pass so
+        //    fresh queue traffic interleaves. Skipped at stop (the
+        //    file preserves them for the next run).
+        if (!stopping && p.hints->size() > 0) {
+            const auto batch = p.hints->peek(cfg_.max_batch);
+            uint64_t merged = 0;
+            bool peer_acked = false;
+            if (shipEntries(p, batch, &merged, &peer_acked)) {
+                p.hints->popFront(batch.size());
+                MutexLock lk(p.mu);
+                if (peer_acked)
+                    p.hints_shipped += batch.size();
+                p.merged += merged;
+            } else {
+                io_failed = true;
+            }
+            did_work = true;
+        }
+
+        // 2) Anti-entropy round, if scheduled.
+        bool sync_wanted = false;
+        {
+            MutexLock lk(p.mu);
+            sync_wanted = p.sync_pending;
+        }
+        if (!stopping && !io_failed && sync_wanted) {
+            size_t pulled = 0;
+            bool more = false;
+            if (syncRound(p, &pulled, &more)) {
+                MutexLock lk(p.mu);
+                ++p.sync_rounds;
+                p.sync_pulled += pulled;
+                if (!more)
+                    p.sync_pending = false;
+            } else {
+                io_failed = true;
+            }
+            did_work = true;
+        }
+
+        // 3) The live queue.
+        std::vector<Item> batch;
+        if (!io_failed) {
+            MutexLock lk(p.mu);
             const size_t n = std::min(cfg_.max_batch, p.q.size());
             batch.assign(p.q.begin(),
                          p.q.begin() + static_cast<long>(n));
         }
-        // Network I/O with the queue unlocked: enqueue() never blocks
-        // behind a slow peer.
-        if (shipBatch(p, batch)) {
-            backoff_ms = 0;
-            const uint64_t last_seq = batch.back().seq;
-            MutexLock lk(p.mu);
-            p.shipped += batch.size();
-            // Pop exactly what was shipped: drop-oldest may have
-            // advanced the front past (never into) this batch.
-            while (!p.q.empty() && p.q.front().seq <= last_seq)
-                p.q.pop_front();
-        } else {
+        if (!io_failed && !batch.empty()) {
+            // Network I/O with the queue unlocked: enqueue() never
+            // blocks behind a slow peer.
+            std::vector<StoreEntry> entries;
+            entries.reserve(batch.size());
+            for (const Item &it : batch)
+                entries.push_back(it.entry);
+            uint64_t merged = 0;
+            bool peer_acked = false;
+            if (shipEntries(p, entries, &merged, &peer_acked)) {
+                const uint64_t last_seq = batch.back().seq;
+                MutexLock lk(p.mu);
+                p.shipped += batch.size();
+                if (peer_acked)
+                    p.acked += batch.size();
+                p.merged += merged;
+                // Pop exactly what was shipped: drop-oldest may have
+                // advanced the front past (never into) this batch.
+                while (!p.q.empty() && p.q.front().seq <= last_seq)
+                    p.q.pop_front();
+            } else {
+                io_failed = true;
+            }
+            did_work = true;
+        }
+
+        if (io_failed) {
+            int backoff = 0;
             {
                 MutexLock lk(p.mu);
                 ++p.ship_failures;
+                p.backoff_ms =
+                    replicationNextBackoffMs(p.backoff_ms, cfg_);
+                backoff = p.backoff_ms;
             }
             if (stopping_.load())
                 break; // One best-effort attempt per batch at stop.
-            backoff_ms = backoff_ms == 0
-                ? cfg_.backoff_base_ms
-                : std::min(backoff_ms * 2, cfg_.backoff_cap_ms);
             // Sleep in small slices so stop() stays responsive.
-            const double until = nowSeconds() + backoff_ms / 1e3;
+            const double until = nowSeconds() + backoff / 1e3;
             while (!stopping_.load() && nowSeconds() < until)
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(10));
+        } else if (did_work) {
+            MutexLock lk(p.mu);
+            p.backoff_ms = 0;
         }
+
         if (stopping_.load()) {
             MutexLock lk(p.mu);
             if (p.q.empty())
@@ -200,27 +413,58 @@ ReplicationAgent::queueDepth() const
     return total;
 }
 
+size_t
+ReplicationAgent::hintDepth() const
+{
+    size_t total = 0;
+    for (const auto &p : peers_)
+        total += p->hints->size();
+    return total;
+}
+
+bool
+ReplicationAgent::syncPending(const std::string &addr) const
+{
+    for (const auto &p : peers_) {
+        if (p->addr != addr)
+            continue;
+        MutexLock lk(p->mu);
+        return p->sync_pending;
+    }
+    return false;
+}
+
 JsonValue
 ReplicationAgent::statsJson() const
 {
     JsonValue j = JsonValue::object();
     j["replication_factor"] = cluster_.replicationClamped();
-    j["peers"] = peers_.size();
+    j["num_peers"] = peers_.size();
     uint64_t depth = 0, shipped = 0, acked = 0, merged = 0;
     uint64_t dropped = 0, failures = 0;
+    uint64_t hints_queued = 0, hints_dropped = 0, hints_shipped = 0;
+    uint64_t sync_rounds = 0, sync_pulled = 0;
     double oldest = 0.0;
     const double now = nowSeconds();
-    JsonValue &per_peer = j["per_peer"];
-    per_peer = JsonValue::object();
+    JsonValue &peers = j["peers"];
+    peers = JsonValue::object();
     for (const auto &p : peers_) {
+        const size_t hq = p->hints->size();
+        const uint64_t hd = p->hints->dropped();
+        const PeerHealth health = peerHealth(*p);
         MutexLock lk(p->mu);
-        JsonValue &pp = per_peer[p->addr];
+        JsonValue &pp = peers[p->addr];
         pp["queue_depth"] = p->q.size();
         pp["shipped"] = p->shipped;
         pp["acked"] = p->acked;
         pp["merged_by_peer"] = p->merged;
         pp["dropped"] = p->dropped;
         pp["ship_failures"] = p->ship_failures;
+        pp["backoff_ms"] = p->backoff_ms;
+        pp["health"] = peerHealthName(health);
+        pp["hints_queued"] = hq;
+        pp["hints_dropped"] = hd;
+        pp["hints_shipped"] = p->hints_shipped;
         const double lag =
             p->q.empty() ? 0.0 : now - p->q.front().enqueued_at;
         pp["lag_s"] = lag;
@@ -231,6 +475,11 @@ ReplicationAgent::statsJson() const
         merged += p->merged;
         dropped += p->dropped;
         failures += p->ship_failures;
+        hints_queued += hq;
+        hints_dropped += hd;
+        hints_shipped += p->hints_shipped;
+        sync_rounds += p->sync_rounds;
+        sync_pulled += p->sync_pulled;
     }
     j["queue_depth"] = depth;
     j["shipped"] = shipped;
@@ -238,6 +487,11 @@ ReplicationAgent::statsJson() const
     j["merged_by_peers"] = merged;
     j["dropped"] = dropped;
     j["ship_failures"] = failures;
+    j["hints_queued"] = hints_queued;
+    j["hints_dropped"] = hints_dropped;
+    j["hints_shipped"] = hints_shipped;
+    j["sync_rounds"] = sync_rounds;
+    j["sync_pulled"] = sync_pulled;
     j["lag_s"] = oldest;
     return j;
 }

@@ -1,7 +1,7 @@
 /**
  * @file
  * ReplicationAgent: asynchronous best-mapping shipping between
- * daemons.
+ * daemons, with hinted handoff and anti-entropy re-sync.
  *
  * Every local store improvement (MseService's on_improved hook) is
  * enqueued for each ring successor of the record's key and shipped in
@@ -11,18 +11,20 @@
  * records are monotone per key, so duplicates, reordering, and
  * crash-replay are all no-ops. Losing the async queue on SIGKILL
  * costs only *redundancy* (the owner still has the record); the chaos
- * harness Phase 5 certifies that no *acknowledged* record is lost
- * cluster-wide.
+ * harness Phases 5–6 certify that no *acknowledged* record is lost
+ * cluster-wide, partitions included.
  *
  * Mechanics:
  *  - One worker thread per peer, each draining a bounded per-peer
  *    queue in batches over a persistent connection. A slow or dead
  *    peer therefore cannot stall shipping to healthy ones.
- *  - Retry with capped exponential backoff (deterministic, no RNG);
+ *  - Retry with capped exponential backoff (deterministic, no RNG —
+ *    replicationNextBackoffMs is a pure function the tests replay);
  *    the failed batch stays queued and is re-shipped after the
  *    backoff, so transient faults (including MSE_FAULTS-injected ones
  *    — all socket I/O goes through the sys_io seam via net.hpp) only
- *    delay replication.
+ *    delay replication. A structured `unavailable` refusal counts as
+ *    a retryable failure; other refusals drop the batch.
  *  - Bounded queues drop the *oldest* records on overflow (counted in
  *    stats): under sustained overload the freshest bests win, and a
  *    dropped record is re-shipped naturally the next time its key
@@ -31,6 +33,18 @@
  *    numbers; an ack pops only entries up to the last shipped seq, so
  *    an overflow drop concurrent with an in-flight batch can never
  *    pop a record that was not actually sent.
+ *  - Hinted handoff: when the health hook reports a peer Down, its
+ *    queue spills into a bounded HintLog (file-backed through sys_io,
+ *    so hints survive restarts) instead of spinning backoff against a
+ *    dead socket; the worker drains the hints oldest-first once the
+ *    peer leaves Down.
+ *  - Anti-entropy: requestSync() marks a peer; its worker then sends
+ *    {"type":"sync"} with the local per-key best-score digest
+ *    (local_digest hook) and merges the returned records through
+ *    apply_entries (= applyReplication, which never re-triggers
+ *    on_improved — a sync round moves data one way and cannot loop).
+ *    Rounds repeat until one returns no records, so a bounded reply
+ *    cap on the responder still converges.
  */
 #pragma once
 
@@ -38,12 +52,15 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "cluster/health.hpp"
+#include "cluster/hints.hpp"
 #include "common/json.hpp"
 #include "common/thread_annotations.hpp"
 #include "service/mapping_store.hpp"
@@ -71,14 +88,56 @@ struct ReplicationConfig
 
     /** Per-I/O timeout when talking to a peer, ms. */
     int io_timeout_ms = 2000;
+
+    /** Hints kept per Down peer before drop-oldest (memory + file). */
+    size_t hint_capacity = 4096;
+
+    /** Hint-file path prefix (e.g. "<store>."); empty = memory-only
+     *  hint queues. See hintFilePath(). */
+    std::string hint_path_prefix;
 };
+
+/**
+ * Seams the agent reaches back through. Every hook may be null:
+ * a null health_of means every peer always looks Up (the pre-health
+ * behavior), null digest/apply disable anti-entropy rounds.
+ * Set at construction — workers start inside the constructor.
+ */
+struct ReplicationHooks
+{
+    /** Current health of a peer (HealthMonitor::healthOf). */
+    std::function<PeerHealth(const std::string &addr)> health_of;
+
+    /** Local per-key best scores (MappingStore::bestScores). */
+    std::function<std::vector<std::pair<std::string, double>>()>
+        local_digest;
+
+    /** Merge records pulled by a sync round; returns merged count
+     *  (MseService::applyReplication). */
+    std::function<size_t(const std::vector<StoreEntry> &entries)>
+        apply_entries;
+};
+
+/**
+ * The deterministic retry schedule: 0 (healthy) steps to base, then
+ * doubles to the cap. Pure — tests replay the exact sequence.
+ */
+inline int
+replicationNextBackoffMs(int prev_ms, const ReplicationConfig &cfg)
+{
+    if (prev_ms <= 0)
+        return cfg.backoff_base_ms;
+    const int next = prev_ms * 2;
+    return next < cfg.backoff_cap_ms ? next : cfg.backoff_cap_ms;
+}
 
 /** Ships local store improvements to ring successors. */
 class ReplicationAgent
 {
   public:
     ReplicationAgent(const ClusterConfig &cluster,
-                     ReplicationConfig cfg = {});
+                     ReplicationConfig cfg = {},
+                     ReplicationHooks hooks = {});
     ~ReplicationAgent();
 
     ReplicationAgent(const ReplicationAgent &) = delete;
@@ -91,6 +150,17 @@ class ReplicationAgent
      */
     void enqueue(const StoreEntry &e);
 
+    /**
+     * Schedule an anti-entropy round against one peer (no-op for
+     * unknown addresses or when the digest/apply hooks are unset).
+     * Called at daemon startup (the rejoin pull) and from the health
+     * monitor's Down→Up transitions.
+     */
+    void requestSync(const std::string &addr);
+
+    /** requestSync() against every peer. */
+    void requestSyncAll();
+
     /** Stop the workers. Pending batches are attempted once more
      *  (best effort, bounded by io_timeout_ms); then the queues are
      *  dropped. Idempotent; called by the destructor. */
@@ -98,13 +168,20 @@ class ReplicationAgent
 
     /**
      * Stats block for statsJson(): per-peer queue depth, shipped /
-     * acked / dropped / failure counters, and lag (seconds since the
-     * oldest still-queued record was enqueued; 0 when drained).
+     * acked / dropped / failure counters, backoff, health, hint
+     * state, and lag (seconds since the oldest still-queued record
+     * was enqueued; 0 when drained).
      */
     JsonValue statsJson() const;
 
     /** Total records waiting across all peers (test hook). */
     size_t queueDepth() const;
+
+    /** Total hints waiting across all peers (test hook). */
+    size_t hintDepth() const;
+
+    /** Pending-sync flag of one peer (test hook). */
+    bool syncPending(const std::string &addr) const;
 
   private:
     struct Item
@@ -130,18 +207,37 @@ class ReplicationAgent
         uint64_t merged GUARDED_BY(mu) = 0;
         uint64_t dropped GUARDED_BY(mu) = 0;
         uint64_t ship_failures GUARDED_BY(mu) = 0;
+        uint64_t hints_shipped GUARDED_BY(mu) = 0;
+        uint64_t sync_rounds GUARDED_BY(mu) = 0;
+        uint64_t sync_pulled GUARDED_BY(mu) = 0;
+        int backoff_ms GUARDED_BY(mu) = 0;
+        bool sync_pending GUARDED_BY(mu) = false;
+
+        std::unique_ptr<HintLog> hints; ///< Internally locked.
 
         std::thread worker;
         int fd = -1; ///< Worker-thread-owned persistent connection.
     };
 
     void workerLoop(Peer &p);
-    /** Ship one batch (connect if needed, send, await ack). */
-    bool shipBatch(Peer &p, const std::vector<Item> &batch);
+    /** Ship one replicate message (connect if needed, send, await
+     *  ack). On success *merged_out gains the peer's merged count and
+     *  *acked_out reports whether the peer actually accepted (a
+     *  non-retryable structured rejection "succeeds" — the batch is
+     *  dropped — without acking). */
+    bool shipEntries(Peer &p, const std::vector<StoreEntry> &entries,
+                     uint64_t *merged_out, bool *acked_out);
+    /** One anti-entropy round. On success *pulled_out is the merged
+     *  record count and *more_out whether another round is needed. */
+    bool syncRound(Peer &p, size_t *pulled_out, bool *more_out);
+    /** Move the pending queue into the hint log (peer is Down). */
+    void spillToHints(Peer &p);
+    PeerHealth peerHealth(const Peer &p) const;
 
     ClusterConfig cluster_;
     ShardRing ring_;
     ReplicationConfig cfg_;
+    ReplicationHooks hooks_;
     std::vector<std::unique_ptr<Peer>> peers_;
     std::atomic<bool> stopping_{false};
 };

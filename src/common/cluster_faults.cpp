@@ -1,0 +1,75 @@
+#include "common/cluster_faults.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/fault_injection.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace mse {
+namespace {
+
+Mutex g_mu;
+bool g_loaded GUARDED_BY(g_mu) = false;
+std::vector<std::string> g_peers GUARDED_BY(g_mu);
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= csv.size()) {
+        const size_t comma = csv.find(',', start);
+        const std::string tok = csv.substr(
+            start,
+            comma == std::string::npos ? std::string::npos
+                                       : comma - start);
+        if (!tok.empty())
+            out.push_back(tok);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+clusterFaultPeersConfigure(const std::string &csv)
+{
+    MutexLock lk(g_mu);
+    g_peers = splitCsv(csv);
+    g_loaded = true;
+}
+
+int
+clusterFaultCheck(const char *site, const std::string &peer)
+{
+    // Fast path: nothing armed at all — skip the filter lock entirely.
+    if (!FaultInjector::global().armed())
+        return 0;
+    {
+        MutexLock lk(g_mu);
+        if (!g_loaded) {
+            const char *env = std::getenv("MSE_FAULT_PEERS");
+            g_peers = splitCsv(env ? env : "");
+            g_loaded = true;
+        }
+        if (!g_peers.empty()) {
+            bool match = false;
+            for (const std::string &p : g_peers)
+                if (p == peer) {
+                    match = true;
+                    break;
+                }
+            // Filtered-out peer: do not consult the site, so its
+            // deterministic counter only advances for matched peers.
+            if (!match)
+                return 0;
+        }
+    }
+    return faultCheck(site);
+}
+
+} // namespace mse

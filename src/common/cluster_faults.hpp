@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Per-peer gating for the `cluster.*` fault sites.
+ *
+ * The single-daemon sites in fault_sites.hpp fire for every caller;
+ * partition scenarios need finer aim — "drop traffic *to daemon B*
+ * but keep talking to C" is what distinguishes an asymmetric
+ * partition from a dead process. clusterFaultCheck() wraps
+ * faultCheck() with a peer filter read from the MSE_FAULT_PEERS
+ * environment variable (comma-separated `host:port` addresses; unset
+ * or empty = the site applies to every peer). The filter is applied
+ * *before* the underlying site counter advances, so a site armed
+ * `every:1` against one peer stays deterministic no matter how much
+ * traffic flows to the others.
+ *
+ * Lives in src/common (not src/cluster) because the inbound gate in
+ * the server dispatches needs it and src/service must not include
+ * src/cluster (layering runs strictly downward).
+ */
+#pragma once
+
+#include <string>
+
+namespace mse {
+
+/**
+ * Reconfigure the peer filter (tests only; production reads
+ * MSE_FAULT_PEERS once at first use). Comma-separated addresses;
+ * empty string = match every peer.
+ */
+void clusterFaultPeersConfigure(const std::string &csv);
+
+/**
+ * faultCheck(site), but only when `peer` passes the MSE_FAULT_PEERS
+ * filter. Returns the injected errno, or 0 for "no fault".
+ */
+int clusterFaultCheck(const char *site, const std::string &peer);
+
+} // namespace mse

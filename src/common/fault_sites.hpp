@@ -55,6 +55,18 @@ inline constexpr const char *kServerEpollCtl = "server.epoll.ctl";
 inline constexpr const char *kServerEpollWait = "server.epoll.wait";
 inline constexpr const char *kServerPollWait = "server.poll.wait";
 
+// Cluster self-healing paths (src/cluster/health.cpp, hints.cpp,
+// replication.cpp; inbound gate in the server dispatches). These are
+// consulted through clusterFaultCheck() so MSE_FAULT_PEERS can arm
+// them against a chosen peer subset — the chaos harness builds
+// asymmetric partitions that way.
+inline constexpr const char *kClusterProbe = "cluster.probe";
+inline constexpr const char *kClusterShip = "cluster.ship";
+inline constexpr const char *kClusterSync = "cluster.sync";
+inline constexpr const char *kClusterHintAppend = "cluster.hint.append";
+inline constexpr const char *kClusterHintRead = "cluster.hint.read";
+inline constexpr const char *kClusterAccept = "cluster.accept";
+
 /** Every site the seam consults, for tests and tooling. */
 inline constexpr const char *kAllSites[] = {
     kStoreOpen,   kStoreRead,       kStoreAppend,     kStoreFsync,
@@ -63,6 +75,8 @@ inline constexpr const char *kAllSites[] = {
     kNetRecv,     kNetSend,         kServerAccept,    kServerRecv,
     kServerSend,  kServerWakeRead,  kServerEpollCreate,
     kServerEpollCtl, kServerEpollWait, kServerPollWait,
+    kClusterProbe, kClusterShip,    kClusterSync,     kClusterHintAppend,
+    kClusterHintRead, kClusterAccept,
 };
 
 } // namespace fault_sites

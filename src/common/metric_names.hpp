@@ -32,6 +32,8 @@ inline constexpr const char *kRequestsSearch = "requests.search";
 inline constexpr const char *kRequestsStats = "requests.stats";
 inline constexpr const char *kRequestsPing = "requests.ping";
 inline constexpr const char *kRequestsReplicate = "requests.replicate";
+inline constexpr const char *kRequestsProbe = "requests.probe";
+inline constexpr const char *kRequestsSync = "requests.sync";
 inline constexpr const char *kRequestsOther = "requests.other";
 inline constexpr const char *kRequestsErrors = "requests.errors";
 inline constexpr const char *kRequestsRejectedQueueFull =
@@ -107,7 +109,8 @@ inline constexpr const char *kFaultsInjectedTotal =
 inline constexpr const char *kSelf = "self";
 inline constexpr const char *kReplicationFactor =
     "replication.replication_factor";
-inline constexpr const char *kReplicationPeers = "replication.peers";
+inline constexpr const char *kReplicationNumPeers =
+    "replication.num_peers";
 inline constexpr const char *kReplicationQueueDepth =
     "replication.queue_depth";
 inline constexpr const char *kReplicationShipped =
@@ -120,26 +123,70 @@ inline constexpr const char *kReplicationDropped =
 inline constexpr const char *kReplicationShipFailures =
     "replication.ship_failures";
 inline constexpr const char *kReplicationLagS = "replication.lag_s";
-inline constexpr const char *kReplicationPerPeerQueueDepth =
-    "replication.per_peer.*.queue_depth";
-inline constexpr const char *kReplicationPerPeerShipped =
-    "replication.per_peer.*.shipped";
-inline constexpr const char *kReplicationPerPeerAcked =
-    "replication.per_peer.*.acked";
-inline constexpr const char *kReplicationPerPeerMergedByPeer =
-    "replication.per_peer.*.merged_by_peer";
-inline constexpr const char *kReplicationPerPeerDropped =
-    "replication.per_peer.*.dropped";
-inline constexpr const char *kReplicationPerPeerShipFailures =
-    "replication.per_peer.*.ship_failures";
-inline constexpr const char *kReplicationPerPeerLagS =
-    "replication.per_peer.*.lag_s";
+inline constexpr const char *kReplicationHintsQueued =
+    "replication.hints_queued";
+inline constexpr const char *kReplicationHintsDropped =
+    "replication.hints_dropped";
+inline constexpr const char *kReplicationHintsShipped =
+    "replication.hints_shipped";
+inline constexpr const char *kReplicationSyncRounds =
+    "replication.sync_rounds";
+inline constexpr const char *kReplicationSyncPulled =
+    "replication.sync_pulled";
+inline constexpr const char *kReplicationPeersQueueDepth =
+    "replication.peers.*.queue_depth";
+inline constexpr const char *kReplicationPeersShipped =
+    "replication.peers.*.shipped";
+inline constexpr const char *kReplicationPeersAcked =
+    "replication.peers.*.acked";
+inline constexpr const char *kReplicationPeersMergedByPeer =
+    "replication.peers.*.merged_by_peer";
+inline constexpr const char *kReplicationPeersDropped =
+    "replication.peers.*.dropped";
+inline constexpr const char *kReplicationPeersShipFailures =
+    "replication.peers.*.ship_failures";
+inline constexpr const char *kReplicationPeersLagS =
+    "replication.peers.*.lag_s";
+inline constexpr const char *kReplicationPeersBackoffMs =
+    "replication.peers.*.backoff_ms";
+inline constexpr const char *kReplicationPeersHealth =
+    "replication.peers.*.health";
+inline constexpr const char *kReplicationPeersHintsQueued =
+    "replication.peers.*.hints_queued";
+inline constexpr const char *kReplicationPeersHintsDropped =
+    "replication.peers.*.hints_dropped";
+inline constexpr const char *kReplicationPeersHintsShipped =
+    "replication.peers.*.hints_shipped";
+
+// Peer health (HealthMonitor::statsJson, mounted at "health" in
+// cluster mode).
+inline constexpr const char *kHealthProbeIntervalMs =
+    "health.probe_interval_ms";
+inline constexpr const char *kHealthDownAfter = "health.down_after";
+inline constexpr const char *kHealthPeersUp = "health.peers_up";
+inline constexpr const char *kHealthPeersSuspect =
+    "health.peers_suspect";
+inline constexpr const char *kHealthPeersDown = "health.peers_down";
+inline constexpr const char *kHealthProbesSent = "health.probes_sent";
+inline constexpr const char *kHealthProbesFailed =
+    "health.probes_failed";
+inline constexpr const char *kHealthPeersState =
+    "health.peers.*.state";
+inline constexpr const char *kHealthPeersConsecutiveFailures =
+    "health.peers.*.consecutive_failures";
+inline constexpr const char *kHealthPeersProbesSent =
+    "health.peers.*.probes_sent";
+inline constexpr const char *kHealthPeersProbesFailed =
+    "health.peers.*.probes_failed";
+inline constexpr const char *kHealthPeersTransitions =
+    "health.peers.*.transitions";
 
 /** Keys every stats reply carries, cluster or not, faults or not —
  *  the static schema tests pin exactly this set. */
 inline constexpr const char *kAlwaysKeys[] = {
     kRequestsTotal, kRequestsSearch, kRequestsStats, kRequestsPing,
-    kRequestsReplicate, kRequestsOther, kRequestsErrors,
+    kRequestsReplicate, kRequestsProbe, kRequestsSync,
+    kRequestsOther, kRequestsErrors,
     kRequestsRejectedQueueFull, kQueueDepthGauge, kStoreExactHits,
     kStoreNearHits, kStoreCold, kStoreImprovementsWritten,
     kStoreDegradedEvents, kStoreReplicatedInMerged,
@@ -158,13 +205,23 @@ inline constexpr const char *kAlwaysKeys[] = {
 /** Conditional keys: faults armed, cluster mode, replication agent. */
 inline constexpr const char *kConditionalKeys[] = {
     kStorePerKey, kFaultsArmed, kFaultsInjectedTotal, kSelf,
-    kReplicationFactor, kReplicationPeers, kReplicationQueueDepth,
+    kReplicationFactor, kReplicationNumPeers, kReplicationQueueDepth,
     kReplicationShipped, kReplicationAcked, kReplicationMergedByPeers,
     kReplicationDropped, kReplicationShipFailures, kReplicationLagS,
-    kReplicationPerPeerQueueDepth, kReplicationPerPeerShipped,
-    kReplicationPerPeerAcked, kReplicationPerPeerMergedByPeer,
-    kReplicationPerPeerDropped, kReplicationPerPeerShipFailures,
-    kReplicationPerPeerLagS,
+    kReplicationHintsQueued, kReplicationHintsDropped,
+    kReplicationHintsShipped, kReplicationSyncRounds,
+    kReplicationSyncPulled, kReplicationPeersQueueDepth,
+    kReplicationPeersShipped, kReplicationPeersAcked,
+    kReplicationPeersMergedByPeer, kReplicationPeersDropped,
+    kReplicationPeersShipFailures, kReplicationPeersLagS,
+    kReplicationPeersBackoffMs, kReplicationPeersHealth,
+    kReplicationPeersHintsQueued, kReplicationPeersHintsDropped,
+    kReplicationPeersHintsShipped, kHealthProbeIntervalMs,
+    kHealthDownAfter, kHealthPeersUp, kHealthPeersSuspect,
+    kHealthPeersDown, kHealthProbesSent, kHealthProbesFailed,
+    kHealthPeersState, kHealthPeersConsecutiveFailures,
+    kHealthPeersProbesSent, kHealthPeersProbesFailed,
+    kHealthPeersTransitions,
 };
 
 } // namespace metric_names

@@ -92,6 +92,10 @@ ServiceMetrics::onRequest(const char *type)
         ++requests_ping_;
     else if (std::strcmp(type, "replicate") == 0)
         ++requests_replicate_;
+    else if (std::strcmp(type, "probe") == 0)
+        ++requests_probe_;
+    else if (std::strcmp(type, "sync") == 0)
+        ++requests_sync_;
     else
         ++requests_other_;
 }
@@ -180,6 +184,8 @@ ServiceMetrics::toJson() const
     req["stats"] = requests_stats_;
     req["ping"] = requests_ping_;
     req["replicate"] = requests_replicate_;
+    req["probe"] = requests_probe_;
+    req["sync"] = requests_sync_;
     req["other"] = requests_other_;
     req["errors"] = errors_total_;
     req["rejected_queue_full"] = rejected_queue_full_;

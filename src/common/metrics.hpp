@@ -108,6 +108,8 @@ class ServiceMetrics
     uint64_t requests_stats_ GUARDED_BY(mu_) = 0;
     uint64_t requests_ping_ GUARDED_BY(mu_) = 0;
     uint64_t requests_replicate_ GUARDED_BY(mu_) = 0;
+    uint64_t requests_probe_ GUARDED_BY(mu_) = 0;
+    uint64_t requests_sync_ GUARDED_BY(mu_) = 0;
     uint64_t requests_other_ GUARDED_BY(mu_) = 0;
     uint64_t errors_total_ GUARDED_BY(mu_) = 0;
     uint64_t rejected_queue_full_ GUARDED_BY(mu_) = 0;

@@ -51,6 +51,12 @@ inline constexpr const char *kTooManyConnections = "too_many_connections";
 // re-sends there (see ClusterClient).
 inline constexpr const char *kWrongShard = "wrong_shard";
 
+// Cluster op refused (inbound fault gate or peer overload): the
+// daemon is alive but not accepting this probe/replicate/sync right
+// now. Retryable — replication backs off and re-ships, the health
+// monitor keeps probing.
+inline constexpr const char *kUnavailable = "unavailable";
+
 // Server-side invariant breach (reply future lost). Never expected.
 // mse-lint: allow(wire-code-untested) unreachable without breaking an invariant
 inline constexpr const char *kInternal = "internal";
@@ -61,7 +67,7 @@ inline constexpr const char *kAllCodes[] = {
     kBadArch,         kUnknownMapper, kRequestTooLarge,
     kNoValidMapping,  kDeadlineExceeded, kCancelled,
     kIdleTimeout,     kQueueFull,    kShuttingDown,
-    kTooManyConnections, kWrongShard, kInternal,
+    kTooManyConnections, kWrongShard, kUnavailable, kInternal,
 };
 
 /**
@@ -75,7 +81,8 @@ isRetryable(const char *code)
 {
     return std::strcmp(code, kQueueFull) == 0 ||
         std::strcmp(code, kShuttingDown) == 0 ||
-        std::strcmp(code, kTooManyConnections) == 0;
+        std::strcmp(code, kTooManyConnections) == 0 ||
+        std::strcmp(code, kUnavailable) == 0;
 }
 
 } // namespace wire_errors

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/cluster_faults.hpp"
 #include "common/sys_io.hpp"
 #include "service/net.hpp"
 #include "service/wire.hpp"
@@ -18,6 +19,12 @@ namespace {
 /** Upper bound on one wait, ms: a backstop for stop requests should
  *  the wake pipe ever fail; idle deadlines shorten it further. */
 constexpr int kLoopTickMs = 200;
+
+/** Backoff hint on an `unavailable` refusal of a cluster op. */
+constexpr int kUnavailableRetryMs = 100;
+
+/** Cap on records per sync reply (see ThreadedServer's twin). */
+constexpr size_t kSyncMaxEntries = 512;
 
 /** Shutdown drain budget, ms: cancelled in-flight searches stop at
  *  their next generation boundary, so this is generous. */
@@ -412,6 +419,28 @@ EventServer::handleLine(Conn *c, const std::string &line)
         pushDone(c, wireError(code, message).dump());
         return;
     }
+    // Inbound partition gate — see ThreadedServer::handleConnection.
+    // Drop severs the connection without a reply; refuse answers
+    // `unavailable`. Client ops are never gated.
+    if (req->kind == WireRequest::Kind::Replicate ||
+        req->kind == WireRequest::Kind::Probe ||
+        req->kind == WireRequest::Kind::Sync) {
+        const int err =
+            clusterFaultCheck(fault_sites::kClusterAccept, req->from);
+        if (err == EPIPE || err == ECONNRESET) {
+            c->want_close = true;
+            c->in.clear();
+            setPaused(c, true);
+            return;
+        }
+        if (err != 0) {
+            pushDone(c, wireError(wire_errors::kUnavailable,
+                                  "cluster op refused",
+                                  kUnavailableRetryMs)
+                            .dump());
+            return;
+        }
+    }
     switch (req->kind) {
       case WireRequest::Kind::Ping:
         service_.metrics().onRequest("ping");
@@ -431,6 +460,19 @@ EventServer::handleLine(Conn *c, const std::string &line)
             service_.applyReplication(req->replicate_entries);
         pushDone(c, replicateReplyJson(
                         res.first, res.second + req->replicate_invalid)
+                        .dump());
+        break;
+      }
+      case WireRequest::Kind::Probe:
+        service_.metrics().onRequest("probe");
+        pushDone(c, probeReplyJson().dump());
+        break;
+      case WireRequest::Kind::Sync: {
+        // A digest diff over the in-memory best map: read-only and
+        // bounded, fine on the event loop like replicate merges.
+        service_.metrics().onRequest("sync");
+        pushDone(c, syncReplyJson(service_.syncEntries(
+                                      req->sync_digest, kSyncMaxEntries))
                         .dump());
         break;
       }

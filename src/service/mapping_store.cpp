@@ -454,6 +454,47 @@ MappingStore::keyAppendCounts() const
     return out;
 }
 
+std::vector<std::pair<std::string, double>>
+MappingStore::bestScores() const
+{
+    MutexLock lk(mu_);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(best_.size());
+    // mse-lint: allow(unordered-iter) sorted before return
+    for (const auto &kv : best_)
+        out.emplace_back(kv.first, kv.second.score);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<StoreEntry>
+MappingStore::entriesBetterThan(
+    const std::vector<std::pair<std::string, double>> &digest,
+    size_t max_entries) const
+{
+    std::unordered_map<std::string, double> peer_best;
+    peer_best.reserve(digest.size());
+    for (const auto &kv : digest)
+        peer_best[kv.first] = kv.second;
+    MutexLock lk(mu_);
+    std::vector<std::pair<std::string, const StoreEntry *>> picked;
+    // mse-lint: allow(unordered-iter) sorted before return
+    for (const auto &kv : best_) {
+        const auto it = peer_best.find(kv.first);
+        if (it == peer_best.end() || kv.second.score < it->second)
+            picked.emplace_back(kv.first, &kv.second);
+    }
+    std::sort(picked.begin(), picked.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    if (max_entries > 0 && picked.size() > max_entries)
+        picked.resize(max_entries);
+    std::vector<StoreEntry> out;
+    out.reserve(picked.size());
+    for (const auto &kv : picked)
+        out.push_back(*kv.second);
+    return out;
+}
+
 bool
 MappingStore::tryRecover()
 {

@@ -201,6 +201,25 @@ class MappingStore
     std::vector<std::pair<std::string, uint64_t>> keyAppendCounts()
         const EXCLUDES(mu_);
 
+    /**
+     * Anti-entropy digest: best score per live store key, sorted by
+     * key (deterministic wire payloads). A rejoining daemon sends this
+     * to its peers to learn exactly what it missed.
+     */
+    std::vector<std::pair<std::string, double>> bestScores() const
+        EXCLUDES(mu_);
+
+    /**
+     * Anti-entropy responder half: the live entries a peer holding
+     * `digest` (its bestScores) is missing, or that strictly beat its
+     * score for the same key. Sorted by key; capped at max_entries
+     * (0 = unlimited). Score ties are NOT shipped — mergeEntry would
+     * ignore them, so shipping them only wastes wire bytes.
+     */
+    std::vector<StoreEntry> entriesBetterThan(
+        const std::vector<std::pair<std::string, double>> &digest,
+        size_t max_entries) const EXCLUDES(mu_);
+
   private:
     void ingestLineLocked(const std::string &line) REQUIRES(mu_);
     /** Shared accept path of recordIfBetter/mergeEntry: best-score-

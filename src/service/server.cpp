@@ -1,10 +1,13 @@
 #include "service/server.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <thread>
 #include <vector>
 
+#include "common/cluster_faults.hpp"
+#include "common/fault_sites.hpp"
 #include "common/thread_annotations.hpp"
 #include "service/event_server.hpp"
 #include "service/net.hpp"
@@ -18,6 +21,13 @@ namespace {
 /** Poll interval for stop-flag checks, ms (threaded backend only;
  *  the event backend uses exact steady-clock deadlines instead). */
 constexpr int kPollMs = 200;
+
+/** Backoff hint on an `unavailable` refusal of a cluster op. */
+constexpr int kUnavailableRetryMs = 100;
+
+/** Cap on records per sync reply: a rejoining daemon that missed a
+ *  lot pulls in bounded rounds instead of one giant line. */
+constexpr size_t kSyncMaxEntries = 512;
 
 /**
  * The original thread-per-connection backend: an accept loop spawning
@@ -155,6 +165,31 @@ class ThreadedServer : public ServerBackend
                           // session.
             }
 
+            // Inbound partition gate: the cluster.accept site can make
+            // this daemon drop (connection dies, no reply — a severed
+            // link) or refuse (structured `unavailable` — an
+            // overloaded-but-alive peer) daemon-to-daemon traffic,
+            // keyed per sender via MSE_FAULT_PEERS. Client traffic
+            // (ping/stats/search) is never gated — that is what makes
+            // a partitioned daemon different from a dead one.
+            if (req->kind == WireRequest::Kind::Replicate ||
+                req->kind == WireRequest::Kind::Probe ||
+                req->kind == WireRequest::Kind::Sync) {
+                const int err = clusterFaultCheck(
+                    fault_sites::kClusterAccept, req->from);
+                if (err == EPIPE || err == ECONNRESET)
+                    break; // Drop: close without a reply.
+                if (err != 0) {
+                    if (!sendLine(fd,
+                                  wireError(wire_errors::kUnavailable,
+                                            "cluster op refused",
+                                            kUnavailableRetryMs)
+                                      .dump()))
+                        break;
+                    continue;
+                }
+            }
+
             std::string reply;
             switch (req->kind) {
               case WireRequest::Kind::Ping:
@@ -177,6 +212,18 @@ class ThreadedServer : public ServerBackend
                 reply = replicateReplyJson(
                             res.first,
                             res.second + req->replicate_invalid)
+                            .dump();
+                break;
+              }
+              case WireRequest::Kind::Probe:
+                service_.metrics().onRequest("probe");
+                reply = probeReplyJson().dump();
+                break;
+              case WireRequest::Kind::Sync: {
+                service_.metrics().onRequest("sync");
+                reply = syncReplyJson(
+                            service_.syncEntries(req->sync_digest,
+                                                 kSyncMaxEntries))
                             .dump();
                 break;
               }

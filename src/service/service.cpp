@@ -409,6 +409,14 @@ MseService::applyReplication(const std::vector<StoreEntry> &entries)
     return {merged, ignored};
 }
 
+std::vector<StoreEntry>
+MseService::syncEntries(
+    const std::vector<std::pair<std::string, double>> &digest,
+    size_t max_entries) const
+{
+    return store_.entriesBetterThan(digest, max_entries);
+}
+
 void
 MseService::stop(bool drain)
 {

@@ -288,6 +288,17 @@ class MseService
     std::pair<size_t, size_t>
     applyReplication(const std::vector<StoreEntry> &entries);
 
+    /**
+     * Anti-entropy responder: the live records a peer advertising
+     * `digest` (its per-key best scores) is missing or losing on,
+     * capped at max_entries (0 = unlimited). Pure read — the caller
+     * merges our records via its own applyReplication, so a sync
+     * round can only flow data one way and cannot loop.
+     */
+    std::vector<StoreEntry> syncEntries(
+        const std::vector<std::pair<std::string, double>> &digest,
+        size_t max_entries) const;
+
     MappingStore &store() { return store_; }
     const ServiceConfig &config() const { return cfg_; }
     ServiceMetrics &metrics() { return metrics_; }

@@ -153,7 +153,7 @@ parseWireRequest(const std::string &line, std::string *error_code,
     }
     if (type == "replicate") {
         req.kind = WireRequest::Kind::Replicate;
-        req.replicate_from = doc->getString("from", "");
+        req.from = doc->getString("from", "");
         const JsonValue *entries = doc->find("entries");
         if (!entries || !entries->isArray()) {
             fail(error_code, error_message, wire_errors::kBadRequest,
@@ -169,10 +169,35 @@ parseWireRequest(const std::string &line, std::string *error_code,
         }
         return req;
     }
+    if (type == "probe") {
+        req.kind = WireRequest::Kind::Probe;
+        req.from = doc->getString("from", "");
+        return req;
+    }
+    if (type == "sync") {
+        req.kind = WireRequest::Kind::Sync;
+        req.from = doc->getString("from", "");
+        const JsonValue *digest = doc->find("digest");
+        if (!digest || !digest->isObject()) {
+            fail(error_code, error_message, wire_errors::kBadRequest,
+                 "sync request needs a \"digest\" object");
+            return std::nullopt;
+        }
+        for (const auto &kv : digest->members()) {
+            // Non-numeric digest values are skipped, not fatal: the
+            // responder then treats the key as missing and ships the
+            // record — extra data merges idempotently.
+            if (kv.second.isNumber())
+                req.sync_digest.emplace_back(kv.first,
+                                             kv.second.asDouble());
+        }
+        return req;
+    }
     if (type != "search") {
         fail(error_code, error_message, wire_errors::kBadRequest,
              "unknown request type '" + type +
-                 "' (want ping, stats, search, or replicate)");
+                 "' (want ping, stats, search, replicate, probe, or "
+                 "sync)");
         return std::nullopt;
     }
 
@@ -341,6 +366,29 @@ pingReplyJson()
     JsonValue j = JsonValue::object();
     j["ok"] = true;
     j["type"] = "ping";
+    return j;
+}
+
+JsonValue
+probeReplyJson()
+{
+    JsonValue j = JsonValue::object();
+    j["ok"] = true;
+    j["type"] = "probe";
+    return j;
+}
+
+JsonValue
+syncReplyJson(const std::vector<StoreEntry> &entries)
+{
+    JsonValue j = JsonValue::object();
+    j["ok"] = true;
+    j["type"] = "sync";
+    j["sent"] = static_cast<uint64_t>(entries.size());
+    JsonValue &arr = j["entries"];
+    arr = JsonValue::array();
+    for (const StoreEntry &e : entries)
+        arr.push(MappingStore::encodeEntryJson(e));
     return j;
 }
 

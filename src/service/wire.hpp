@@ -21,6 +21,9 @@
  *    "densities": {"Weights":0.4, "Inputs":0.5}, "deadline_ms":60000}
  *   {"type":"replicate","from":"host:port",
  *    "entries":[{<store record, see mapping_store.hpp>}, ...]}
+ *   {"type":"probe","from":"host:port"}           // health-monitor ping
+ *   {"type":"sync","from":"host:port",            // anti-entropy pull
+ *    "digest":{"<store key>":<best score>, ...}}
  *
  * Unknown top-level fields are ignored on every request type (the
  * tolerant-reader rule, pinned by tests/test_wire.cpp): a newer client
@@ -63,17 +66,27 @@ struct WireRequest
         Stats,
         Search,
         Replicate,
+        Probe,
+        Sync,
     };
     Kind kind = Kind::Ping;
     SearchRequest search; ///< Valid when kind == Search.
 
-    /** Replicate payload: decoded records plus the sender's advertised
-     *  address. Entries that fail to decode are counted, not fatal —
-     *  a peer running a newer build must not be able to wedge this
-     *  daemon's replication stream. */
+    /** Sender's advertised address on the daemon-to-daemon ops
+     *  (replicate / probe / sync) — the inbound fault gate keys its
+     *  per-peer filter on this. */
+    std::string from;
+
+    /** Replicate payload: decoded records. Entries that fail to decode
+     *  are counted, not fatal — a peer running a newer build must not
+     *  be able to wedge this daemon's replication stream. */
     std::vector<StoreEntry> replicate_entries;
-    std::string replicate_from;
     size_t replicate_invalid = 0;
+
+    /** Sync payload: the caller's per-store-key best scores. The
+     *  responder sends back exactly the records the caller is missing
+     *  or losing on. */
+    std::vector<std::pair<std::string, double>> sync_digest;
 };
 
 /**
@@ -105,5 +118,11 @@ JsonValue replicateReplyJson(size_t merged, size_t ignored);
 
 /** {"ok":true,"type":"ping"} */
 JsonValue pingReplyJson();
+
+/** {"ok":true,"type":"probe"} */
+JsonValue probeReplyJson();
+
+/** {"ok":true,"type":"sync","sent":N,"entries":[...]} */
+JsonValue syncReplyJson(const std::vector<StoreEntry> &entries);
 
 } // namespace mse

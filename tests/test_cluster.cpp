@@ -19,6 +19,8 @@
 
 #include "cluster/cluster_client.hpp"
 #include "cluster/replication.hpp"
+#include "common/cluster_faults.hpp"
+#include "common/fault_injection.hpp"
 #include "common/math_util.hpp"
 #include "common/metric_names.hpp"
 #include "service/net.hpp"
@@ -33,6 +35,23 @@ namespace {
 using test::allAtTop;
 using test::miniNpu;
 using test::tinyGemm;
+
+/** Arms the global injector for one test, disarming on scope exit. */
+class GlobalFaultGuard
+{
+  public:
+    explicit GlobalFaultGuard(const std::string &config)
+    {
+        std::string err;
+        EXPECT_TRUE(FaultInjector::global().configure(config, &err))
+            << err;
+    }
+    ~GlobalFaultGuard()
+    {
+        FaultInjector::global().clear();
+        clusterFaultPeersConfigure("");
+    }
+};
 
 bool
 waitUntil(const std::function<bool()> &pred, int timeout_ms = 15000)
@@ -211,12 +230,23 @@ class ClusterTest : public ::testing::Test
         }
         cluster_.replication = kReplicas;
 
-        // Phase 2: every node gets the full ring + its agent.
+        // Phase 2: every node gets the full ring + its agent, with
+        // the anti-entropy hooks wired exactly like mse_serve does.
         const ShardRing ring = cluster_.ring();
         for (auto &node : nodes_) {
             ClusterConfig mine = cluster_;
             mine.self = node->addr;
-            node->agent = std::make_unique<ReplicationAgent>(mine);
+            MseService *svc = node->service.get();
+            ReplicationHooks rhooks;
+            rhooks.local_digest = [svc]() {
+                return svc->store().bestScores();
+            };
+            rhooks.apply_entries =
+                [svc](const std::vector<StoreEntry> &entries) {
+                    return svc->applyReplication(entries).first;
+                };
+            node->agent = std::make_unique<ReplicationAgent>(
+                mine, ReplicationConfig{}, std::move(rhooks));
             MseService::ClusterHooks hooks;
             hooks.self = node->addr;
             const std::string self = node->addr;
@@ -411,7 +441,7 @@ TEST_F(ClusterTest, StatsCarrySelfPerKeyAndReplicationBlocks)
     const JsonValue *repl = stats.find("replication");
     ASSERT_NE(repl, nullptr);
     EXPECT_GE(repl->getInt("queue_depth", -1), 0);
-    const JsonValue *per_peer = repl->find("per_peer");
+    const JsonValue *per_peer = repl->find("peers");
     ASSERT_NE(per_peer, nullptr);
     // Every node but self appears as a peer, acked catches shipped.
     size_t peers = 0;
@@ -515,6 +545,252 @@ TEST(ReplicationAgent, DropsOldestOnOverflowAndCountsIt)
     const JsonValue s = agent.statsJson();
     EXPECT_GE(s.getInt("dropped", 0), 8);
     agent.stop();
+}
+
+TEST(ReplicationBackoff, ReplaysTheDeterministicSchedule)
+{
+    // The retry schedule is a pure function — no RNG, no clock — so a
+    // failing peer produces exactly this sequence, every run.
+    ReplicationConfig cfg; // base 100ms, cap 2000ms
+    std::vector<int> seq;
+    int b = 0;
+    for (int i = 0; i < 8; ++i) {
+        b = replicationNextBackoffMs(b, cfg);
+        seq.push_back(b);
+    }
+    const std::vector<int> expect = {100,  200,  400,  800,
+                                     1600, 2000, 2000, 2000};
+    EXPECT_EQ(seq, expect);
+    // A successful ship resets to 0; the next failure starts over.
+    EXPECT_EQ(replicationNextBackoffMs(0, cfg), 100);
+    // The cap binds even when doubling would overshoot it.
+    ReplicationConfig tight;
+    tight.backoff_base_ms = 10;
+    tight.backoff_cap_ms = 35;
+    EXPECT_EQ(replicationNextBackoffMs(10, tight), 20);
+    EXPECT_EQ(replicationNextBackoffMs(20, tight), 35);
+    EXPECT_EQ(replicationNextBackoffMs(35, tight), 35);
+}
+
+TEST(ReplicationAgent, InjectedShipFaultRetriesAndDelivers)
+{
+    // cluster.ship severs the first outbound batch; the batch must
+    // stay queued through the backoff and land on the retry.
+    ServiceConfig scfg;
+    scfg.executors = 2;
+    MseService service(scfg);
+    ServiceServer server(service, ServerConfig{});
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    const std::string addr =
+        "127.0.0.1:" + std::to_string(server.port());
+    ClusterConfig cfg;
+    cfg.self = "127.0.0.1:1";
+    cfg.nodes = {cfg.self, addr};
+    cfg.replication = 2;
+    ReplicationConfig rcfg;
+    rcfg.flush_interval_ms = 5;
+    rcfg.backoff_base_ms = 10;
+    rcfg.backoff_cap_ms = 20;
+    rcfg.io_timeout_ms = 2000;
+    ReplicationAgent agent(cfg, rcfg);
+
+    GlobalFaultGuard guard("cluster.ship:once:1:EPIPE");
+    agent.enqueue(makeEntry(tinyGemm(), miniNpu(), 10.0));
+    ASSERT_TRUE(waitUntil([&] { return service.store().size() == 1; }));
+    // The store merge lands before the worker processes the ack, so
+    // wait for the full post-success state (ack counted, backoff
+    // reset) rather than sampling stats right after the merge.
+    ASSERT_TRUE(waitUntil([&] {
+        const JsonValue js = agent.statsJson();
+        const JsonValue *jp = js.find("peers")->find(addr);
+        return js.getInt("acked", 0) >= 1 && jp != nullptr &&
+               jp->getInt("backoff_ms", -1) == 0;
+    }));
+    const JsonValue s = agent.statsJson();
+    EXPECT_GE(s.getInt("ship_failures", 0), 1);
+    EXPECT_EQ(s.getInt("queue_depth", -1), 0);
+    EXPECT_EQ(s.getInt("acked", -1), 1);
+    agent.stop();
+    server.stop();
+}
+
+// ------------------------------------------------ client TTL failover
+
+TEST(ClusterClientTtl, DefersFailedNodeUntilTtlExpires)
+{
+    ClusterConfig cfg;
+    cfg.nodes = {"127.0.0.1:9", "127.0.0.1:19"};
+    cfg.replication = 2;
+    ClusterClient client(cfg, 1000, /*node_retry_ttl_ms=*/300);
+
+    EXPECT_FALSE(client.isDeferred("127.0.0.1:9"));
+    client.markFailed("127.0.0.1:9");
+    EXPECT_TRUE(client.isDeferred("127.0.0.1:9"));
+    // Deferred nodes move to the back — never out — of the order.
+    const std::vector<std::string> deferred = client.orderCandidates(
+        {"127.0.0.1:9", "127.0.0.1:19"});
+    const std::vector<std::string> want_deferred = {"127.0.0.1:19",
+                                                    "127.0.0.1:9"};
+    EXPECT_EQ(deferred, want_deferred);
+
+    // The TTL expires on its own: the node regains its ring position
+    // without any successful contact (it will simply be *tried* again).
+    std::this_thread::sleep_for(std::chrono::milliseconds(350));
+    EXPECT_FALSE(client.isDeferred("127.0.0.1:9"));
+    const std::vector<std::string> healed = client.orderCandidates(
+        {"127.0.0.1:9", "127.0.0.1:19"});
+    const std::vector<std::string> want_healed = {"127.0.0.1:9",
+                                                  "127.0.0.1:19"};
+    EXPECT_EQ(healed, want_healed);
+
+    // TTL 0 disables the failure cache entirely.
+    ClusterClient off(cfg, 1000, 0);
+    off.markFailed("127.0.0.1:9");
+    EXPECT_FALSE(off.isDeferred("127.0.0.1:9"));
+}
+
+TEST_F(ClusterTest, FailoverDefersDeadOwnerAndClearsOnSuccess)
+{
+    // Long TTL so only success (not expiry) can clear a deferral.
+    ClusterClient client(cluster_, 30000, /*node_retry_ttl_ms=*/60000);
+    const std::string line = searchLine(8);
+    const auto route = client.routeOf(line);
+    ASSERT_EQ(route.size(), kReplicas);
+    ASSERT_TRUE(client.request(line).ok);
+    // Wait for the replica copy that failover depends on.
+    Node &successor = nodeAt(route[1]);
+    ASSERT_TRUE(waitUntil([&] {
+        return successor.service->store()
+                   .lookup(makeGemm("gemm", 1, 8, 8, 8),
+                           makeNpu("npu", 8192, 128, 4, 2),
+                           Objective::Edp, false, 0.0)
+                   .hit == StoreHit::Exact;
+    }));
+
+    // Dead owner: the first sweep pays one failed try, marks it.
+    nodeAt(route[0]).server->stop();
+    const auto first = client.request(line);
+    ASSERT_TRUE(first.ok) << first.error;
+    EXPECT_EQ(first.served_by, route[1]);
+    EXPECT_EQ(first.nodes_tried, 2u);
+    EXPECT_TRUE(client.isDeferred(route[0]));
+
+    // While deferred, the healthy replica is tried first: no repeated
+    // connect-timeout tax on every request (the pre-TTL behavior).
+    const auto second = client.request(line);
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_EQ(second.served_by, route[1]);
+    EXPECT_EQ(second.nodes_tried, 1u);
+
+    // A deferred node is still swept — and one success un-defers it
+    // immediately, no TTL wait.
+    client.markFailed(route[1]);
+    EXPECT_TRUE(client.isDeferred(route[1]));
+    const auto third = client.request(line);
+    ASSERT_TRUE(third.ok) << third.error;
+    EXPECT_EQ(third.served_by, route[1]);
+    EXPECT_EQ(third.nodes_tried, 2u); // dead owner first, then replica
+    EXPECT_FALSE(client.isDeferred(route[1]));
+}
+
+// --------------------------------------------- anti-entropy + gating
+
+TEST_F(ClusterTest, AntiEntropySyncPullsMissedRecords)
+{
+    // Seed one record via a routed search; it lives on the key's two
+    // replicas. The third node plays the rejoining daemon: its sync
+    // digest is empty, so a round against the owner pulls the record.
+    ClusterClient client(cluster_, 30000);
+    ASSERT_TRUE(client.request(searchLine(8)).ok);
+    const auto route = cluster_.ring().replicasOf(keyFor(8), kReplicas);
+    std::string outsider_addr;
+    for (const auto &node : nodes_)
+        if (std::find(route.begin(), route.end(), node->addr) ==
+            route.end())
+            outsider_addr = node->addr;
+    ASSERT_FALSE(outsider_addr.empty());
+    Node &outsider = nodeAt(outsider_addr);
+    ASSERT_EQ(outsider.service->store().size(), 0u);
+
+    // First round is severed by the cluster.sync fault site (scoped to
+    // the owner peer); the worker backs off and the retry converges.
+    clusterFaultPeersConfigure(route[0]);
+    GlobalFaultGuard guard("cluster.sync:once:1:EIO");
+    outsider.agent->requestSync(route[0]);
+    ASSERT_TRUE(waitUntil(
+        [&] { return outsider.service->store().size() == 1; }));
+    // Rounds repeat until one comes back empty, then the flag clears.
+    EXPECT_TRUE(waitUntil(
+        [&] { return !outsider.agent->syncPending(route[0]); }));
+    const JsonValue s = outsider.agent->statsJson();
+    EXPECT_GE(s.getInt("sync_rounds", 0), 2);
+    EXPECT_GE(s.getInt("sync_pulled", 0), 1);
+    EXPECT_GE(s.getInt("ship_failures", 0), 1);
+}
+
+TEST_F(ClusterTest, InboundGateRefusesOrSeversClusterOpsOnly)
+{
+    std::string host;
+    uint16_t port = 0;
+    ASSERT_TRUE(splitHostPort(nodes_[0]->addr, &host, &port));
+    std::string err;
+
+    {
+        // Non-sever errno: structured retryable refusal.
+        clusterFaultPeersConfigure("10.0.0.1:1");
+        GlobalFaultGuard guard("cluster.accept:every:1:EIO");
+        const int fd = connectTcp(host, port, &err);
+        ASSERT_GE(fd, 0) << err;
+        ASSERT_TRUE(sendLine(fd, "{\"type\":\"replicate\","
+                                 "\"from\":\"10.0.0.1:1\","
+                                 "\"entries\":[]}"));
+        LineReader reader(fd);
+        std::string line;
+        ASSERT_EQ(reader.readLine(&line, 30000),
+                  LineReader::Status::Line);
+        const auto doc = parseJson(line);
+        ASSERT_TRUE(doc.has_value());
+        EXPECT_FALSE(doc->getBool("ok", true));
+        const JsonValue *e = doc->find("error");
+        ASSERT_NE(e, nullptr);
+        EXPECT_EQ(e->getString("code", ""), wire_errors::kUnavailable);
+        EXPECT_EQ(e->getInt("retry_after_ms", -1), 100);
+        EXPECT_TRUE(
+            wire_errors::isRetryable(wire_errors::kUnavailable));
+
+        // Client ops are never gated: a ping on the same connection
+        // sails through while the fault stays armed.
+        ASSERT_TRUE(sendLine(fd, "{\"type\":\"ping\"}"));
+        ASSERT_EQ(reader.readLine(&line, 30000),
+                  LineReader::Status::Line);
+        EXPECT_TRUE(parseJson(line)->getBool("ok", false));
+
+        // The per-peer filter scopes the partition: a replicate from
+        // an unfiltered sender is untouched.
+        ASSERT_TRUE(sendLine(fd, "{\"type\":\"replicate\","
+                                 "\"from\":\"10.0.0.2:2\","
+                                 "\"entries\":[]}"));
+        ASSERT_EQ(reader.readLine(&line, 30000),
+                  LineReader::Status::Line);
+        EXPECT_TRUE(parseJson(line)->getBool("ok", false)) << line;
+        closeSocket(fd);
+    }
+    {
+        // EPIPE/ECONNRESET: the connection is severed with no reply —
+        // indistinguishable from a mid-request netsplit.
+        clusterFaultPeersConfigure("10.0.0.1:1");
+        GlobalFaultGuard guard("cluster.accept:every:1:EPIPE");
+        const int fd = connectTcp(host, port, &err);
+        ASSERT_GE(fd, 0) << err;
+        ASSERT_TRUE(sendLine(fd, "{\"type\":\"probe\","
+                                 "\"from\":\"10.0.0.1:1\"}"));
+        LineReader reader(fd);
+        std::string line;
+        EXPECT_EQ(reader.readLine(&line, 30000),
+                  LineReader::Status::Closed);
+        closeSocket(fd);
+    }
 }
 
 TEST(ReplicationAgent, StatsSchemaCarriesEveryDeclaredReplicationKey)

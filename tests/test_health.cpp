@@ -1,0 +1,263 @@
+/**
+ * @file
+ * HealthMonitor: the hysteresis state machine (pure replay), live
+ * failure detection and recovery against real loopback daemons, the
+ * cluster.probe fault site with per-peer MSE_FAULT_PEERS filtering,
+ * and the health stats schema pinned to the metric_names registry.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/health.hpp"
+#include "common/cluster_faults.hpp"
+#include "common/fault_injection.hpp"
+#include "common/metric_names.hpp"
+#include "service/server.hpp"
+#include "test_helpers.hpp"
+
+namespace mse {
+namespace {
+
+/** Arms the global injector for one test, disarming on scope exit. */
+class GlobalFaultGuard
+{
+  public:
+    explicit GlobalFaultGuard(const std::string &config)
+    {
+        std::string err;
+        EXPECT_TRUE(FaultInjector::global().configure(config, &err))
+            << err;
+    }
+    ~GlobalFaultGuard()
+    {
+        FaultInjector::global().clear();
+        // Drop any per-peer filter a test installed so later tests
+        // (and the env-lazy-load path) start from a clean slate.
+        clusterFaultPeersConfigure("");
+    }
+};
+
+bool
+waitUntil(const std::function<bool()> &pred, int timeout_ms = 15000)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred();
+}
+
+/** One loopback daemon the monitor can probe. */
+struct LiveNode
+{
+    std::unique_ptr<MseService> service;
+    std::unique_ptr<ServiceServer> server;
+    std::string addr;
+
+    explicit LiveNode(uint16_t port = 0)
+    {
+        ServiceConfig scfg;
+        // Several services in one process need executors >= 2 (the
+        // ThreadPool one-top-level-caller contract).
+        scfg.executors = 2;
+        service = std::make_unique<MseService>(scfg);
+        ServerConfig srv;
+        srv.port = port;
+        server = std::make_unique<ServiceServer>(*service, srv);
+        std::string err;
+        EXPECT_TRUE(server->start(&err)) << err;
+        addr = "127.0.0.1:" + std::to_string(server->port());
+    }
+};
+
+HealthConfig
+fastProbes(int down_after = 2)
+{
+    HealthConfig cfg;
+    cfg.probe_interval_ms = 20;
+    cfg.probe_timeout_ms = 1000;
+    cfg.down_after = down_after;
+    return cfg;
+}
+
+// ---------------------------------------------- pure state machine
+
+TEST(HealthStateMachine, ReplaysHysteresisTransitionTable)
+{
+    using H = PeerHealth;
+    const int k = 3; // down_after
+
+    // Up holds through k-1 consecutive failures, breaks on the k-th.
+    EXPECT_EQ(HealthMonitor::nextState(H::Up, true, 0, k), H::Up);
+    EXPECT_EQ(HealthMonitor::nextState(H::Up, false, 1, k), H::Up);
+    EXPECT_EQ(HealthMonitor::nextState(H::Up, false, 2, k), H::Up);
+    EXPECT_EQ(HealthMonitor::nextState(H::Up, false, 3, k), H::Down);
+
+    // Down only climbs out through Suspect, never straight to Up.
+    EXPECT_EQ(HealthMonitor::nextState(H::Down, false, 9, k), H::Down);
+    EXPECT_EQ(HealthMonitor::nextState(H::Down, true, 0, k),
+              H::Suspect);
+
+    // Suspect: a second success promotes, one failure demotes.
+    EXPECT_EQ(HealthMonitor::nextState(H::Suspect, true, 0, k), H::Up);
+    EXPECT_EQ(HealthMonitor::nextState(H::Suspect, false, 1, k),
+              H::Down);
+
+    // Deterministic replay of a full flap cycle, driving the counter
+    // exactly as probeLoop does: ok ok fail fail fail ok fail ok ok.
+    const bool probes[] = {true,  true, false, false, false,
+                           true,  false, true,  true};
+    const H expect[] = {H::Up,      H::Up,   H::Up,
+                        H::Up,      H::Down, H::Suspect,
+                        H::Down,    H::Suspect, H::Up};
+    H state = H::Up;
+    int failures = 0;
+    for (size_t i = 0; i < std::size(probes); ++i) {
+        failures = probes[i] ? 0 : failures + 1;
+        state = HealthMonitor::nextState(state, probes[i], failures, k);
+        EXPECT_EQ(state, expect[i]) << "step " << i;
+    }
+}
+
+TEST(HealthStateMachine, StateNamesAreStableWireStrings)
+{
+    EXPECT_STREQ(peerHealthName(PeerHealth::Up), "up");
+    EXPECT_STREQ(peerHealthName(PeerHealth::Suspect), "suspect");
+    EXPECT_STREQ(peerHealthName(PeerHealth::Down), "down");
+}
+
+// ------------------------------------------------- live monitoring
+
+TEST(HealthMonitorLive, DetectsDeathAndRecoversThroughSuspect)
+{
+    LiveNode peer;
+    const uint16_t port = peer.server->port();
+
+    ClusterConfig cluster;
+    cluster.self = "127.0.0.1:1";
+    cluster.nodes = {cluster.self, peer.addr};
+    cluster.replication = 2;
+    HealthMonitor monitor(cluster, fastProbes(2));
+
+    std::mutex mu;
+    std::vector<std::pair<PeerHealth, PeerHealth>> transitions;
+    monitor.setOnTransition([&](const std::string &addr,
+                                PeerHealth from, PeerHealth to) {
+        EXPECT_EQ(addr, peer.addr);
+        std::lock_guard<std::mutex> lk(mu);
+        transitions.emplace_back(from, to);
+    });
+    monitor.start();
+    monitor.start(); // idempotent
+
+    // Healthy peer: stays Up while probes succeed.
+    EXPECT_TRUE(waitUntil([&] {
+        return monitor.statsJson().getInt("probes_sent", 0) >= 2;
+    }));
+    EXPECT_EQ(monitor.healthOf(peer.addr), PeerHealth::Up);
+
+    // Unknown addresses are Up: absent peers must not look dead.
+    EXPECT_EQ(monitor.healthOf("10.9.9.9:9"), PeerHealth::Up);
+
+    // Kill the peer: down_after consecutive misses mark it Down.
+    peer.server->stop();
+    EXPECT_TRUE(waitUntil(
+        [&] { return monitor.healthOf(peer.addr) == PeerHealth::Down; }));
+
+    // Revive it on the same port: recovery climbs Down -> Suspect ->
+    // Up (two consecutive successes), never straight to Up.
+    LiveNode revived(port);
+    ASSERT_EQ(revived.addr, peer.addr);
+    EXPECT_TRUE(waitUntil(
+        [&] { return monitor.healthOf(peer.addr) == PeerHealth::Up; }));
+    monitor.stop();
+    monitor.stop(); // idempotent
+
+    std::lock_guard<std::mutex> lk(mu);
+    ASSERT_GE(transitions.size(), 3u);
+    EXPECT_EQ(transitions[0].first, PeerHealth::Up);
+    EXPECT_EQ(transitions[0].second, PeerHealth::Down);
+    // The climb out of Down passes through Suspect exactly once per
+    // successful recovery.
+    bool saw_suspect = false, saw_up = false;
+    for (size_t i = 1; i < transitions.size(); ++i) {
+        if (transitions[i].second == PeerHealth::Suspect)
+            saw_suspect = true;
+        if (transitions[i].second == PeerHealth::Up) {
+            EXPECT_EQ(transitions[i].first, PeerHealth::Suspect);
+            saw_up = true;
+        }
+    }
+    EXPECT_TRUE(saw_suspect);
+    EXPECT_TRUE(saw_up);
+}
+
+TEST(HealthMonitorLive, ProbeFaultSiteSeversExactlyTheFilteredPeer)
+{
+    // Two healthy daemons; MSE_FAULT_PEERS-style filtering arms the
+    // cluster.probe site against only one of them. The partitioned
+    // peer must go Down while the other never leaves Up — the
+    // asymmetric-partition primitive the chaos harness builds on.
+    LiveNode a, b;
+    ClusterConfig cluster;
+    cluster.self = "127.0.0.1:1";
+    cluster.nodes = {cluster.self, a.addr, b.addr};
+    cluster.replication = 2;
+    HealthMonitor monitor(cluster, fastProbes(2));
+
+    clusterFaultPeersConfigure(a.addr);
+    GlobalFaultGuard guard("cluster.probe:every:1:EIO");
+    monitor.start();
+
+    EXPECT_TRUE(waitUntil(
+        [&] { return monitor.healthOf(a.addr) == PeerHealth::Down; }));
+    EXPECT_EQ(monitor.healthOf(b.addr), PeerHealth::Up);
+    const JsonValue stats = monitor.statsJson();
+    EXPECT_GE(stats.getInt("probes_failed", 0), 2);
+    EXPECT_EQ(stats.getInt("peers_down", -1), 1);
+    EXPECT_EQ(stats.getInt("peers_up", -1), 1);
+    monitor.stop();
+}
+
+// ------------------------------------------------------ stats schema
+
+TEST(HealthMonitorStats, SchemaCarriesEveryDeclaredHealthKey)
+{
+    // Pins the monitor's stats block to the metric_names registry:
+    // every declared health.* path (mounted under "health" by
+    // mse_serve's augment_stats hook) must be present, including one
+    // peers.* child per peer.
+    ClusterConfig cluster;
+    cluster.self = "127.0.0.1:1";
+    cluster.nodes = {cluster.self, "127.0.0.1:9"};
+    cluster.replication = 2;
+    HealthMonitor monitor(cluster);
+    const JsonValue stats = monitor.statsJson();
+    const std::string prefix = "health.";
+    for (const char *key : metric_names::kConditionalKeys) {
+        const std::string k = key;
+        if (k.rfind(prefix, 0) != 0)
+            continue;
+        EXPECT_NE(test::findMetricPath(stats, k.substr(prefix.size())),
+                  nullptr)
+            << key;
+    }
+    const JsonValue *peers = stats.find("peers");
+    ASSERT_NE(peers, nullptr);
+    const JsonValue *pp = peers->find("127.0.0.1:9");
+    ASSERT_NE(pp, nullptr);
+    EXPECT_EQ(pp->getString("state", ""), "up");
+}
+
+} // namespace
+} // namespace mse

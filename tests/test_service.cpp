@@ -311,6 +311,8 @@ TEST(MseService, StatsSchemaConditionalKeysAppearWhenTriggered)
         const std::string k = key;
         if (k.rfind("replication.", 0) == 0)
             continue; // Agent-emitted; pinned by the cluster suite.
+        if (k.rfind("health.", 0) == 0)
+            continue; // Monitor-emitted; pinned by the health suite.
         EXPECT_NE(test::findMetricPath(stats, k), nullptr) << key;
     }
 }

@@ -287,7 +287,7 @@ TEST(Wire, ParsesReplicateBatches)
     const auto req = parse(msg.dump());
     ASSERT_TRUE(req.has_value());
     ASSERT_EQ(req->kind, WireRequest::Kind::Replicate);
-    EXPECT_EQ(req->replicate_from, "127.0.0.1:9001");
+    EXPECT_EQ(req->from, "127.0.0.1:9001");
     // Invalid entries are skipped and counted, never fatal: one bad
     // record must not wedge replication of the rest of the batch.
     ASSERT_EQ(req->replicate_entries.size(), 1u);
@@ -299,7 +299,7 @@ TEST(Wire, ParsesReplicateBatches)
         parse("{\"type\":\"replicate\",\"entries\":[]}");
     ASSERT_TRUE(empty.has_value());
     EXPECT_TRUE(empty->replicate_entries.empty());
-    EXPECT_TRUE(empty->replicate_from.empty());
+    EXPECT_TRUE(empty->from.empty());
 
     // Missing or non-array entries: structurally broken, rejected.
     std::string code;
@@ -309,6 +309,74 @@ TEST(Wire, ParsesReplicateBatches)
         parse("{\"type\":\"replicate\",\"entries\":7}", &code)
             .has_value());
     EXPECT_EQ(code, wire_errors::kBadRequest);
+}
+
+TEST(Wire, ParsesProbeAndSyncRequests)
+{
+    // Probe: trivially small, tolerant of extras, `from` optional.
+    auto probe = parse(
+        "{\"type\":\"probe\",\"from\":\"127.0.0.1:7001\",\"v\":2}");
+    ASSERT_TRUE(probe.has_value());
+    EXPECT_EQ(probe->kind, WireRequest::Kind::Probe);
+    EXPECT_EQ(probe->from, "127.0.0.1:7001");
+    auto bare = parse("{\"type\":\"probe\"}");
+    ASSERT_TRUE(bare.has_value());
+    EXPECT_TRUE(bare->from.empty());
+
+    // Sync: the digest maps store key -> local best score.
+    auto sync = parse(
+        "{\"type\":\"sync\",\"from\":\"127.0.0.1:7002\","
+        "\"digest\":{\"k1\":1.5,\"k2\":2,\"bogus\":\"nan\"}}");
+    ASSERT_TRUE(sync.has_value());
+    EXPECT_EQ(sync->kind, WireRequest::Kind::Sync);
+    EXPECT_EQ(sync->from, "127.0.0.1:7002");
+    // Non-numeric digest values are skipped (the responder then treats
+    // the key as missing — extra shipped data merges idempotently).
+    ASSERT_EQ(sync->sync_digest.size(), 2u);
+    for (const auto &kv : sync->sync_digest) {
+        if (kv.first == "k1")
+            EXPECT_EQ(kv.second, 1.5);
+        else
+            EXPECT_EQ(kv.first, "k2");
+    }
+    // An empty digest is valid: a cold daemon wants everything.
+    auto cold = parse("{\"type\":\"sync\",\"digest\":{}}");
+    ASSERT_TRUE(cold.has_value());
+    EXPECT_TRUE(cold->sync_digest.empty());
+
+    // Missing or non-object digest: structurally broken, rejected.
+    std::string code;
+    EXPECT_FALSE(parse("{\"type\":\"sync\"}", &code).has_value());
+    EXPECT_EQ(code, wire_errors::kBadRequest);
+    EXPECT_FALSE(
+        parse("{\"type\":\"sync\",\"digest\":[1]}", &code).has_value());
+    EXPECT_EQ(code, wire_errors::kBadRequest);
+}
+
+TEST(Wire, ProbeAndSyncReplyEncoders)
+{
+    const JsonValue pr = probeReplyJson();
+    EXPECT_TRUE(pr.getBool("ok", false));
+    EXPECT_EQ(pr.getString("type", ""), "probe");
+
+    std::vector<StoreEntry> entries;
+    auto e = MappingStore::decodeEntryJson(entryJson(4.0));
+    ASSERT_TRUE(e.has_value());
+    entries.push_back(*e);
+    const JsonValue sr = syncReplyJson(entries);
+    EXPECT_TRUE(sr.getBool("ok", false));
+    EXPECT_EQ(sr.getString("type", ""), "sync");
+    EXPECT_EQ(sr.getInt("sent", -1), 1);
+    const JsonValue *arr = sr.find("entries");
+    ASSERT_NE(arr, nullptr);
+    ASSERT_TRUE(arr->isArray());
+    // The shipped records round-trip through the store codec.
+    auto back = MappingStore::decodeEntryJson(arr->items()[0]);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->score, 4.0);
+
+    const JsonValue none = syncReplyJson({});
+    EXPECT_EQ(none.getInt("sent", -1), 0);
 }
 
 TEST(Wire, ClusterReplyEncoders)

@@ -32,6 +32,29 @@
 # cluster-wide best score for its key must be at least as good — zero
 # acknowledged-record loss and cluster-wide per-key monotonicity.
 #
+# Phase 6 (partition chaos): a fresh ring with fast health probes
+# (--probe-interval-ms 50 --down-after 2) through
+# CHAOS_PARTITION_CYCLES (default 21) deterministic partition/heal
+# cycles. Fault config is per-process environment, so a partition is
+# "restart the victim with the link broken" and a heal is "restart it
+# clean". Scenarios rotate by cycle%3:
+#   netsplit   — the victim's cluster.* sites all fail: inbound
+#                replicate/probe/sync severed (cluster.accept EPIPE)
+#                and outbound probes/ships/syncs erroring, so both
+#                sides detect Down and peers spill hinted handoff;
+#   asymmetric — the victim cannot reach exactly one peer
+#                (MSE_FAULT_PEERS-filtered probe/ship/sync EIO) while
+#                that peer still reaches the victim;
+#   flapping   — every second inbound cluster op dies
+#                (cluster.accept every:2), churning the victim
+#                through Suspect at the observers.
+# Every cycle runs an acknowledged routed search *during* the
+# partition, heals, and must re-converge within CHAOS_WAIT_S: the
+# acked key reaches >=2 of the 3 stores via hint drain + the rejoin
+# sync pull. Afterwards: store_check on every file, zero
+# acknowledged-record loss cluster-wide, and every acked key on >=2
+# stores.
+#
 # Usage: tools/chaos_harness.sh BUILD_DIR [CYCLES]
 #
 # CYCLES defaults to 30 (the CI acceptance floor). CHAOS_WAIT_S bounds
@@ -264,13 +287,20 @@ cl_peers_of() { # cl_peers_of INDEX -> comma list of the other addrs
     echo "$out"
 }
 
-cl_start() { # cl_start INDEX — (re)start daemon INDEX on its fixed addr
-    local i="$1"
+# cl_start INDEX [MSE_FAULTS [MSE_FAULT_PEERS]] — (re)start daemon
+# INDEX on its fixed addr; CL_STORE_PREFIX and CL_PROBE_ARGS let the
+# partition phase reuse the machinery with its own stores and fast
+# health probes.
+cl_start() {
+    local i="$1" faults="${2:-}" fault_peers="${3:-}"
     : >"$WORK_DIR/cl_serve_$i.log"
-    MSE_EXECUTORS=2 "$SERVE" \
+    # shellcheck disable=SC2086  # CL_PROBE_ARGS is a flag list
+    MSE_EXECUTORS=2 MSE_FAULTS="$faults" MSE_FAULT_PEERS="$fault_peers" \
+        "$SERVE" \
         --self "${CL_ADDRS[$i]}" --peers "$(cl_peers_of "$i")" \
-        --replicas 2 --store "$WORK_DIR/cl_store_$i.jsonl" \
-        --samples 200 >"$WORK_DIR/cl_serve_$i.log" 2>&1 &
+        --replicas 2 --store "$WORK_DIR/${CL_STORE_PREFIX}$i.jsonl" \
+        --samples 200 ${CL_PROBE_ARGS:-} \
+        >"$WORK_DIR/cl_serve_$i.log" 2>&1 &
     CL_PIDS[$i]=$!
 }
 
@@ -279,43 +309,77 @@ cl_listening() {
     grep -q '^LISTENING' "$WORK_DIR/cl_serve_$1.log" 2>/dev/null
 }
 
+cl_bounce() { # cl_bounce INDEX [MSE_FAULTS [MSE_FAULT_PEERS]]
+    local i="$1"
+    kill -9 "${CL_PIDS[$i]}" 2>/dev/null || true
+    wait "${CL_PIDS[$i]}" 2>/dev/null || true
+    cl_start "$@"
+    wait_until "bounced daemon $i to report its port" cl_listening "$i"
+}
+
 # The ring needs fixed ports (--self is part of the hash): derive a
-# block from the PID and retry with a shifted block on bind collision.
-cl_started=0
-for attempt in 0 1 2 3 4; do
-    CL_BASE=$((24000 + (($$ * 7 + attempt * 233) % 36000)))
-    CL_ADDRS=()
-    for i in $(seq 0 $((CL_N - 1))); do
-        CL_ADDRS+=("127.0.0.1:$((CL_BASE + i))")
-    done
-    CL_NODES=$(IFS=,; echo "${CL_ADDRS[*]}")
+# block from the PID (salted per phase) and retry with a shifted
+# block on bind collision.
+cl_boot_ring() { # cl_boot_ring SALT
+    local salt="$1" attempt i all_up deadline
+    cl_started=0
+    for attempt in 0 1 2 3 4; do
+        CL_BASE=$((24000 + (($$ * 7 + salt + attempt * 233) % 36000)))
+        CL_ADDRS=()
+        for i in $(seq 0 $((CL_N - 1))); do
+            CL_ADDRS+=("127.0.0.1:$((CL_BASE + i))")
+        done
+        CL_NODES=$(IFS=,; echo "${CL_ADDRS[*]}")
 
-    CL_PIDS=()
-    for i in $(seq 0 $((CL_N - 1))); do
-        rm -f "$WORK_DIR/cl_store_$i.jsonl"
-        cl_start "$i"
-    done
+        CL_PIDS=()
+        for i in $(seq 0 $((CL_N - 1))); do
+            rm -f "$WORK_DIR/${CL_STORE_PREFIX}$i.jsonl"
+            cl_start "$i"
+        done
 
-    all_up=1
+        all_up=1
+        for i in $(seq 0 $((CL_N - 1))); do
+            deadline=$(($(date +%s) + CHAOS_WAIT_S))
+            while ! grep -q '^LISTENING' "$WORK_DIR/cl_serve_$i.log" 2>/dev/null; do
+                if ! kill -0 "${CL_PIDS[$i]}" 2>/dev/null; then
+                    all_up=0
+                    break
+                fi
+                [ "$(date +%s)" -ge "$deadline" ] &&
+                    cl_fail "cluster daemon $i never reported its port"
+                sleep 0.1
+            done
+            [ "$all_up" -eq 1 ] || break
+        done
+        if [ "$all_up" -eq 1 ]; then
+            cl_started=1
+            break
+        fi
+        cl_kill_all
+    done
+}
+
+cl_drain() { # SIGTERM every live daemon and require rc 0 from each
+    local i deadline
     for i in $(seq 0 $((CL_N - 1))); do
+        [ -n "${CL_PIDS[$i]}" ] && kill -TERM "${CL_PIDS[$i]}" 2>/dev/null || true
+    done
+    for i in $(seq 0 $((CL_N - 1))); do
+        [ -n "${CL_PIDS[$i]}" ] || continue
         deadline=$(($(date +%s) + CHAOS_WAIT_S))
-        while ! grep -q '^LISTENING' "$WORK_DIR/cl_serve_$i.log" 2>/dev/null; do
-            if ! kill -0 "${CL_PIDS[$i]}" 2>/dev/null; then
-                all_up=0
-                break
-            fi
+        while kill -0 "${CL_PIDS[$i]}" 2>/dev/null; do
             [ "$(date +%s)" -ge "$deadline" ] &&
-                cl_fail "cluster daemon $i never reported its port"
+                cl_fail "cluster daemon $i ignored SIGTERM"
             sleep 0.1
         done
-        [ "$all_up" -eq 1 ] || break
+        wait "${CL_PIDS[$i]}" 2>/dev/null || true
+        CL_PIDS[$i]=""
     done
-    if [ "$all_up" -eq 1 ]; then
-        cl_started=1
-        break
-    fi
-    cl_kill_all
-done
+}
+
+CL_STORE_PREFIX="cl_store_"
+CL_PROBE_ARGS=""
+cl_boot_ring 0
 [ "$cl_started" -eq 1 ] ||
     fail "could not bind a $CL_N-port block after 5 attempts"
 echo "chaos: cluster up at $CL_NODES for $CL_CYCLES SIGKILL cycles"
@@ -357,19 +421,7 @@ for ((cycle = 1; cycle <= CL_CYCLES; ++cycle)); do
 done
 
 # Drain the survivors cleanly before inspecting the store files.
-for i in $(seq 0 $((CL_N - 1))); do
-    kill -TERM "${CL_PIDS[$i]}" 2>/dev/null || true
-done
-for i in $(seq 0 $((CL_N - 1))); do
-    deadline=$(($(date +%s) + CHAOS_WAIT_S))
-    while kill -0 "${CL_PIDS[$i]}" 2>/dev/null; do
-        [ "$(date +%s)" -ge "$deadline" ] &&
-            cl_fail "cluster daemon $i ignored SIGTERM"
-        sleep 0.1
-    done
-    wait "${CL_PIDS[$i]}" 2>/dev/null || true
-    CL_PIDS[$i]=""
-done
+cl_drain
 
 # Per-file integrity + per-key monotonicity, then the cluster-wide
 # acknowledged-record check.
@@ -398,4 +450,138 @@ LOST=$(awk '
     cl_fail "acknowledged record lost after kill storm: $LOST"
 echo "chaos: cluster failover OK ($CL_CYCLES SIGKILL cycles, $ACK_COUNT acks, zero acknowledged-record loss)"
 
-echo "chaos harness OK: $CYCLES kill cycles, zero corrupted records, clean recovery, graceful degradation, event-loop faults absorbed, cluster failover certified"
+# --- Phase 6: partition chaos — detection, handoff, re-sync. ---
+# Fresh ring, fresh stores, fast probes so Down detection and the
+# Suspect->Up climb fit inside a cycle. See the header comment for
+# the scenario rotation.
+P6_CYCLES="${CHAOS_PARTITION_CYCLES:-21}"
+CL_STORE_PREFIX="p6_store_"
+CL_PROBE_ARGS="--probe-interval-ms 50 --down-after 2"
+cl_boot_ring 101
+[ "$cl_started" -eq 1 ] ||
+    fail "could not bind a partition-phase port block after 5 attempts"
+echo "chaos: partition ring up at $CL_NODES for $P6_CYCLES partition/heal cycles"
+
+ACKED6="$WORK_DIR/acked6.txt"
+: >"$ACKED6"
+
+# Observer OBS must report peer PEER_ADDR down in its health stats.
+p6_sees_down() { # p6_sees_down PORT PEER_ADDR
+    timeout "$CHAOS_WAIT_S" "$CLIENT" --port "$1" --stats 2>/dev/null |
+        grep -qF "\"$2\":{\"state\":\"down\""
+}
+
+p6_key_on_two() { # p6_key_on_two KEY -> key present in >=2 store files
+    local n=0 i
+    for i in $(seq 0 $((CL_N - 1))); do
+        if "$CHECK" --keys "$WORK_DIR/p6_store_$i.jsonl" 2>/dev/null |
+            grep -qF "$1 "; then
+            n=$((n + 1))
+        fi
+    done
+    [ "$n" -ge 2 ]
+}
+
+for ((cycle = 1; cycle <= P6_CYCLES; ++cycle)); do
+    VICTIM=$((cycle % CL_N))
+    SCENARIO=$((cycle % 3))
+    FPEERS=""
+    case "$SCENARIO" in
+    0) # Netsplit: the victim loses cluster traffic in both
+       # directions (inbound gate severs, outbound probe/ship/sync
+       # error) but keeps serving client searches.
+        NAME="netsplit"
+        FAULTS="cluster.accept:every:1:EPIPE,cluster.probe:every:1:EIO"
+        FAULTS="$FAULTS,cluster.ship:every:1:EIO,cluster.sync:every:1:EIO"
+        ;;
+    1) # Asymmetric: the victim cannot reach exactly one peer; that
+       # peer still reaches the victim.
+        NAME="asymmetric"
+        FAULTS="cluster.probe:every:1:EIO,cluster.ship:every:1:EIO"
+        FAULTS="$FAULTS,cluster.sync:every:1:EIO"
+        FPEERS="${CL_ADDRS[$(((VICTIM + 1) % CL_N))]}"
+        ;;
+    *) # Flapping: every second inbound cluster op dies, so the
+       # observers churn the victim through Suspect.
+        NAME="flapping"
+        FAULTS="cluster.accept:every:2:EPIPE"
+        ;;
+    esac
+
+    # Partition: bounce the victim with the broken link armed.
+    cl_bounce "$VICTIM" "$FAULTS" "$FPEERS"
+
+    # Failure detection must actually fire where the scenario predicts
+    # it: netsplit -> an observer marks the victim down; asymmetric ->
+    # the victim marks its unreachable peer down.
+    if [ "$SCENARIO" -eq 0 ]; then
+        OBS=$(((VICTIM + 1) % CL_N))
+        wait_until "cycle $cycle ($NAME): observer to mark the victim down" \
+            p6_sees_down "${CL_ADDRS[$OBS]##*:}" "${CL_ADDRS[$VICTIM]}"
+    elif [ "$SCENARIO" -eq 1 ]; then
+        wait_until "cycle $cycle ($NAME): victim to mark its lost peer down" \
+            p6_sees_down "${CL_ADDRS[$VICTIM]##*:}" "$FPEERS"
+    fi
+
+    # Acknowledged routed search *during* the partition. The M sweep
+    # lands on different ring owners across cycles, so records are
+    # acked on partitioned victims and on healthy observers alike.
+    M=$((32 + ((cycle * 7) % 8) * 16))
+    OUT=$(timeout "$((CHAOS_WAIT_S * 4))" "$CLIENT" --cluster "$CL_NODES" \
+        --gemm "4,$M,64,64" --samples 200 --retries 3 2>/dev/null) ||
+        cl_fail "cycle $cycle ($NAME): partitioned search failed: $OUT"
+    echo "$OUT" | grep -q '"ok":true' ||
+        cl_fail "cycle $cycle ($NAME): partitioned search not ok: $OUT"
+    P6_KEY=$(echo "$OUT" | sed -n 's/.*"store_key":"\([^"]*\)".*/\1/p')
+    P6_SCORE=$(echo "$OUT" | sed -n 's/.*"score":\([0-9.eE+-]*\).*/\1/p')
+    [ -n "$P6_KEY" ] && [ -n "$P6_SCORE" ] ||
+        cl_fail "cycle $cycle ($NAME): reply missing store_key/score: $OUT"
+    echo "$P6_KEY $P6_SCORE" >>"$ACKED6"
+
+    # Heal: clean restart. Hinted handoff from the observers plus the
+    # rejoining victim's startup sync pull must put this cycle's acked
+    # key on >=2 stores within the wait bound.
+    cl_bounce "$VICTIM"
+    wait_until "cycle $cycle ($NAME): acked key to re-converge onto >=2 stores" \
+        p6_key_on_two "$P6_KEY"
+done
+
+cl_drain
+
+# Final certification: per-file integrity, zero acknowledged-record
+# loss cluster-wide, and every acked key on >=2 of the 3 stores.
+BEST6="$WORK_DIR/p6_best.txt"
+: >"$BEST6"
+for i in $(seq 0 $((CL_N - 1))); do
+    "$CHECK" "$WORK_DIR/p6_store_$i.jsonl" >/dev/null ||
+        cl_fail "partition store $i corrupted after the chaos run"
+    "$CHECK" --keys "$WORK_DIR/p6_store_$i.jsonl" >"$WORK_DIR/p6_keys_$i.txt" ||
+        cl_fail "partition store $i key dump failed"
+    cat "$WORK_DIR/p6_keys_$i.txt" >>"$BEST6"
+done
+
+ACK6_COUNT=$(wc -l <"$ACKED6")
+[ "$ACK6_COUNT" -ge "$P6_CYCLES" ] ||
+    cl_fail "only $ACK6_COUNT acked records for $P6_CYCLES partition cycles"
+LOST6=$(awk '
+    NR == FNR { if (!($1 in best) || $2 < best[$1]) best[$1] = $2; next }
+    {
+        if (!($1 in best)) { print "missing " $1; exit 1 }
+        if (best[$1] > $2 * (1 + 1e-9) + 1e-12) {
+            print "regressed " $1 ": best " best[$1] " > acked " $2
+            exit 1
+        }
+    }' "$BEST6" "$ACKED6") ||
+    cl_fail "acknowledged record lost across partitions: $LOST6"
+
+while read -r key _; do
+    n=0
+    for i in $(seq 0 $((CL_N - 1))); do
+        grep -qF "$key " "$WORK_DIR/p6_keys_$i.txt" && n=$((n + 1))
+    done
+    [ "$n" -ge 2 ] ||
+        cl_fail "acked key $key on only $n store(s) after heal"
+done <"$ACKED6"
+echo "chaos: partition chaos OK ($P6_CYCLES partition/heal cycles, $ACK6_COUNT acks, all re-converged onto >=2 replicas)"
+
+echo "chaos harness OK: $CYCLES kill cycles, zero corrupted records, clean recovery, graceful degradation, event-loop faults absorbed, cluster failover certified, partition chaos certified"

@@ -14,7 +14,11 @@
 #   6. after SIGKILLing the owner, the routed search fails over to the
 #      replica and is *still* a warm exact hit — the acknowledged
 #      record survived its owner's death;
-#   7. the surviving daemons drain cleanly on SIGTERM.
+#   7. the dead owner rejoins with an *empty* store (its file is
+#      deleted first) and re-learns the key from the survivors via
+#      the startup anti-entropy sync pull — self-healing, no client
+#      traffic required;
+#   8. all three daemons drain cleanly on SIGTERM.
 #
 # Usage: tools/cluster_smoke.sh BUILD_DIR
 #
@@ -100,6 +104,7 @@ for attempt in 0 1 2 3 4; do
         MSE_EXECUTORS=2 "$SERVE" \
             --self "${ADDRS[$i]}" --peers "$PEERS" --replicas 2 \
             --store "$WORK_DIR/store_$i.jsonl" --samples 300 \
+            --probe-interval-ms 100 --down-after 2 \
             >"$WORK_DIR/serve_$i.log" 2>&1 &
         PIDS+=($!)
     done
@@ -222,7 +227,42 @@ grep -q 'nodes tried: 2' "$FO_ERR" ||
     fail "client did not report the failover hop: $(cat "$FO_ERR")"
 echo "failover OK: warm exact hit from $SURVIVOR after owner SIGKILL"
 
-# --- 7. Clean SIGTERM drain of the survivors. ---
+# --- 7. Kill -> rejoin -> verify converged: the owner comes back
+#        with an empty store and must re-learn the key from the
+#        survivors via the startup sync pull (plus the survivors'
+#        hint drain once their probes see it Up again). ---
+OWNER_IDX=""
+for i in $(seq 0 $((N - 1))); do
+    [ "${ADDRS[$i]}" = "$OWNER" ] && OWNER_IDX="$i"
+done
+[ -n "$OWNER_IDX" ] || fail "owner $OWNER not in the node list"
+rm -f "$WORK_DIR/store_$OWNER_IDX.jsonl"
+PEERS=""
+for j in $(seq 0 $((N - 1))); do
+    [ "$j" -eq "$OWNER_IDX" ] && continue
+    PEERS="${PEERS:+$PEERS,}${ADDRS[$j]}"
+done
+: >"$WORK_DIR/serve_$OWNER_IDX.log"
+MSE_EXECUTORS=2 "$SERVE" \
+    --self "${ADDRS[$OWNER_IDX]}" --peers "$PEERS" --replicas 2 \
+    --store "$WORK_DIR/store_$OWNER_IDX.jsonl" --samples 300 \
+    --probe-interval-ms 100 --down-after 2 \
+    >"$WORK_DIR/serve_$OWNER_IDX.log" 2>&1 &
+PIDS[$OWNER_IDX]=$!
+owner_listening() {
+    kill -0 "${PIDS[$OWNER_IDX]}" 2>/dev/null || return 1
+    grep -q '^LISTENING' "$WORK_DIR/serve_$OWNER_IDX.log" 2>/dev/null
+}
+wait_until "the owner to rejoin the ring" owner_listening
+owner_recovered_key() {
+    "$CHECK" --keys "$WORK_DIR/store_$OWNER_IDX.jsonl" 2>/dev/null |
+        grep -qF "$KEY "
+}
+wait_until "the rejoined owner to re-sync the key from the survivors" \
+    owner_recovered_key
+echo "rejoin OK: owner re-learned $KEY from the survivors with zero client traffic"
+
+# --- 8. Clean SIGTERM drain of all three daemons. ---
 for i in $(seq 0 $((N - 1))); do
     [ -n "${PIDS[$i]}" ] || continue
     kill -TERM "${PIDS[$i]}"
@@ -240,4 +280,4 @@ for i in $(seq 0 $((N - 1))); do
     PIDS[$i]=""
 done
 
-echo "cluster smoke OK: routed cold -> warm, replication, wrong_shard redirect, failover warm hit, clean drain"
+echo "cluster smoke OK: routed cold -> warm, replication, wrong_shard redirect, failover warm hit, rejoin re-sync, clean drain"

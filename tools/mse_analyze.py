@@ -112,6 +112,11 @@ STATS_EMITTERS = [
         r"ReplicationAgent::statsJson\s*\(",
         "ReplicationAgent::statsJson",
     ),
+    regs.Emitter(
+        "src/cluster/health.cpp",
+        r"HealthMonitor::statsJson\s*\(",
+        "HealthMonitor::statsJson",
+    ),
 ]
 ROOT_EMITTER = "MseService::statsJson"
 SPLICE_TARGETS = {
@@ -119,9 +124,14 @@ SPLICE_TARGETS = {
     "search_latency_": "LatencyHistogram::toJson",
 }
 # Files scanned for out-of-emitter mounts (the augment_stats hook):
-# `j["replication"] = agent->statsJson();` in the daemon main.
+# `j["replication"] = agent->statsJson();` in the daemon main. The
+# mount key names which emitter's tree lands there; a statsJson mount
+# under any other key is a registry gap and is reported.
 AUGMENT_FILES = ["tools/mse_serve.cpp"]
-AUGMENT_TARGET = "ReplicationAgent::statsJson"
+AUGMENT_TARGETS = {
+    "replication": "ReplicationAgent::statsJson",
+    "health": "HealthMonitor::statsJson",
+}
 
 _FAULT_SPEC_RE = re.compile(r"([a-z][a-z0-9_.]*)\s*:\s*(every|once|p)\s*:")
 # Sites under this prefix are synthetic fixtures for the injector's own
@@ -395,10 +405,21 @@ class Analyzer:
         for p in AUGMENT_FILES:
             if not self.has(p):
                 continue
-            for ln in self.src(p).code_ws_lines:
+            for i, ln in enumerate(self.src(p).code_ws_lines):
                 m = mount_re.search(ln)
-                if m:
-                    extra.append(((m.group(1),), AUGMENT_TARGET))
+                if not m:
+                    continue
+                target = AUGMENT_TARGETS.get(m.group(1))
+                if target is None:
+                    self.add(
+                        p,
+                        i + 1,
+                        "metrics-key-undeclared",
+                        f'statsJson tree mounted at "{m.group(1)}" has '
+                        f"no emitter mapping in AUGMENT_TARGETS",
+                    )
+                    continue
+                extra.append(((m.group(1),), target))
         emitted = regs.resolve_emitted_tree(
             sources, STATS_EMITTERS, SPLICE_TARGETS, ROOT_EMITTER, extra
         )

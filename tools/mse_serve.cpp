@@ -13,13 +13,18 @@
  * via consistent-hash sharding. This daemon serves only the keys it
  * owns or replicates (anything else is rejected with a wrong_shard
  * redirect), and ships its local store improvements to each key's
- * ring successors in the background (see src/cluster/).
+ * ring successors in the background (see src/cluster/). Self-healing
+ * rides on top: a health monitor probes every peer, Down peers get
+ * hinted handoff instead of live shipping, and an anti-entropy sync
+ * round fires at startup (the rejoin pull) and whenever a peer climbs
+ * back to Up.
  *
  * Usage:
  *   mse_serve [--port N] [--store FILE] [--samples N]
  *             [--deadline-s S] [--queue N] [--executors N]
  *             [--max-conns N] [--threaded]
  *             [--self HOST:PORT --peers H:P,H:P,... [--replicas R]]
+ *             [--probe-interval-ms N] [--down-after N]
  */
 #include <algorithm>
 #include <csignal>
@@ -30,6 +35,7 @@
 #include <string>
 #include <thread>
 
+#include "cluster/health.hpp"
 #include "cluster/replication.hpp"
 #include "service/server.hpp"
 
@@ -110,8 +116,15 @@ usage(const char *argv0)
         "  --peers LIST    comma-separated peer addresses\n"
         "  --replicas R    copies of each key incl. the owner "
         "(default 2)\n"
+        "  --probe-interval-ms N  peer health probe period "
+        "(default 500)\n"
+        "  --down-after N  consecutive failed probes before a peer "
+        "is\n"
+        "                  marked Down (default 3)\n"
         "env: MSE_FAULTS=\"site:spec,...\" arms deterministic fault\n"
         "injection (see src/common/fault_injection.hpp);\n"
+        "MSE_FAULT_PEERS=H:P,... limits cluster.* fault sites to "
+        "those\npeers; "
         "MSE_EVENT_BACKEND=poll forces the poll(2) readiness "
         "backend\n",
         argv0);
@@ -127,6 +140,7 @@ main(int argc, char **argv)
     std::string cluster_self;
     std::string cluster_peers;
     size_t cluster_replicas = 2;
+    mse::HealthConfig health_cfg;
     // The daemon (not the library) resolves the executor default, so
     // embedded/test uses of MseService stay single-executor unless
     // they opt in.
@@ -173,6 +187,13 @@ main(int argc, char **argv)
         } else if (arg == "--replicas" && val) {
             cluster_replicas = static_cast<size_t>(
                 std::max<long long>(1, std::atoll(val)));
+            ++i;
+        } else if (arg == "--probe-interval-ms" && val) {
+            health_cfg.probe_interval_ms =
+                std::max(1, std::atoi(val));
+            ++i;
+        } else if (arg == "--down-after" && val) {
+            health_cfg.down_after = std::max(1, std::atoi(val));
             ++i;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
@@ -221,12 +242,52 @@ main(int argc, char **argv)
         cluster.replication = cluster_replicas;
     }
 
-    // Declared before the service: executors call into the agent via
-    // the on_improved hook, so the agent must be destroyed last.
+    // Declaration order is the reverse of teardown: the monitor
+    // outlives the agent (workers read healthOf), the agent outlives
+    // the service (executors call enqueue via on_improved). The
+    // cross-calls that point the other way — the monitor's transition
+    // callback into the agent, the agent's digest/apply hooks into
+    // the service — are quiesced by the explicit stop sequence below
+    // (server, monitor, agent) before any of them is destroyed.
+    std::unique_ptr<mse::HealthMonitor> monitor;
     std::unique_ptr<mse::ReplicationAgent> agent;
     mse::MseService service(svc_cfg);
     if (cluster_mode) {
-        agent = std::make_unique<mse::ReplicationAgent>(cluster);
+        monitor =
+            std::make_unique<mse::HealthMonitor>(cluster, health_cfg);
+        mse::HealthMonitor *monitor_ptr = monitor.get();
+
+        mse::ReplicationConfig rcfg;
+        if (!svc_cfg.store_path.empty())
+            rcfg.hint_path_prefix = svc_cfg.store_path + ".";
+        mse::ReplicationHooks rhooks;
+        rhooks.health_of = [monitor_ptr](const std::string &addr) {
+            return monitor_ptr->healthOf(addr);
+        };
+        mse::MseService *svc_ptr = &service;
+        rhooks.local_digest = [svc_ptr]() {
+            return svc_ptr->store().bestScores();
+        };
+        rhooks.apply_entries =
+            [svc_ptr](const std::vector<mse::StoreEntry> &entries) {
+                return svc_ptr->applyReplication(entries).first;
+            };
+        agent = std::make_unique<mse::ReplicationAgent>(
+            cluster, rcfg, std::move(rhooks));
+        mse::ReplicationAgent *agent_ptr = agent.get();
+
+        // A peer that climbed back to Up missed everything shipped
+        // while it was gone only if *we* were also down — but the
+        // reverse pull is what heals *us* after a partition, so both
+        // sides sync on recovery. Cheap when already converged: the
+        // digest exchange ships nothing.
+        monitor->setOnTransition(
+            [agent_ptr](const std::string &addr, mse::PeerHealth,
+                        mse::PeerHealth to) {
+                if (to == mse::PeerHealth::Up)
+                    agent_ptr->requestSync(addr);
+            });
+
         mse::MseService::ClusterHooks hooks;
         hooks.self = cluster_self;
         const mse::ShardRing ring = cluster.ring();
@@ -239,12 +300,13 @@ main(int argc, char **argv)
         hooks.owner_of = [ring](const std::string &key) {
             return ring.ownerOf(key);
         };
-        mse::ReplicationAgent *agent_ptr = agent.get();
         hooks.on_improved = [agent_ptr](const mse::StoreEntry &e) {
             agent_ptr->enqueue(e);
         };
-        hooks.augment_stats = [agent_ptr](mse::JsonValue &j) {
+        hooks.augment_stats = [agent_ptr,
+                               monitor_ptr](mse::JsonValue &j) {
             j["replication"] = agent_ptr->statsJson();
+            j["health"] = monitor_ptr->statsJson();
         };
         service.setClusterHooks(std::move(hooks));
     }
@@ -252,7 +314,20 @@ main(int argc, char **argv)
     std::string err;
     if (!server.start(&err)) {
         std::fprintf(stderr, "mse_serve: %s\n", err.c_str());
+        // Quiesce the cross-calling threads in order before the
+        // destructors run (see the declaration-order comment).
+        if (monitor)
+            monitor->stop();
+        if (agent)
+            agent->stop();
         return 1;
+    }
+    if (cluster_mode) {
+        monitor->start();
+        // The rejoin pull: ask every peer for records this daemon
+        // missed while it was down (a no-op digest exchange when the
+        // store is already converged).
+        agent->requestSyncAll();
     }
 
     installSignalHandlers();
@@ -282,6 +357,8 @@ main(int argc, char **argv)
 
     std::fprintf(stderr, "shutting down...\n");
     server.stop(); // Joins connections, drains the queue.
+    if (monitor)
+        monitor->stop(); // No more transition callbacks into the agent.
     if (agent)
         agent->stop(); // After the drain: last improvements ship too.
     std::fprintf(stderr, "%s\n", service.statsJson().dump(2).c_str());
